@@ -1,0 +1,63 @@
+"""Shared infrastructure for the paper-reproduction benchmarks.
+
+Every file in this directory regenerates one table or figure of the
+paper (see DESIGN.md §2).  Each test both *benchmarks* a representative
+operation (via pytest-benchmark) and *emits* the table/series the paper
+reports — printed to the terminal (run with ``-s`` to see it live) and
+written under ``benchmarks/results/``.
+
+Scale selection: benches default to the reduced configuration
+(256 px @ 4 nm/px, 8 kernels) so the whole suite finishes in minutes.
+Set ``MOSAIC_BENCH_SCALE=full`` for the paper-scale setup
+(1024 px @ 1 nm/px, 24 kernels) — expect hours.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.config import LithoConfig
+from repro.litho.simulator import LithographySimulator
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    scale = os.environ.get("MOSAIC_BENCH_SCALE", "reduced").lower()
+    if scale not in ("reduced", "full"):
+        raise ValueError(f"MOSAIC_BENCH_SCALE must be 'reduced' or 'full', got {scale!r}")
+    return scale
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> LithoConfig:
+    return LithoConfig.paper() if bench_scale() == "full" else LithoConfig.reduced()
+
+
+@pytest.fixture(scope="session")
+def bench_sim(bench_config: LithoConfig) -> LithographySimulator:
+    sim = LithographySimulator(bench_config)
+    sim.prewarm()
+    return sim
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def emit(results_dir: Path):
+    """Print a report block and persist it to results/<name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        banner = f"\n===== {name} ({bench_scale()} scale) ====="
+        print(banner)
+        print(text)
+        (results_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _emit

@@ -1,0 +1,73 @@
+"""Ablation A5 — mask cleanup: write-cost reduction vs quality impact.
+
+Free-form ILT masks are e-beam expensive (paper ref [6] motivates ILT
+write-time work).  This bench runs two cleanup levels on optimized
+masks and reports the shot-count/edge-length savings against the
+contest-score change — the trade a mask shop actually evaluates:
+
+* *light*  — speck removal + pinhole fill only: free quality-wise,
+* *aggressive* — adds boundary smoothing: the biggest shot savings but
+  it may cost EPE on marginal features.
+"""
+
+from repro.mask.cleanup import CleanupConfig, cleanup_mask
+from repro.metrics.complexity import mask_complexity
+from repro.metrics.mrc import check_mask_rules
+from repro.metrics.score import contest_score
+from repro.opc.mosaic import MosaicFast
+from repro.workloads.iccad2013 import load_benchmark
+
+CASES = ("B4", "B8")
+LEVELS = [
+    ("light", CleanupConfig(min_figure_area_nm2=300.0, max_pinhole_area_nm2=300.0, smooth=False)),
+    ("aggressive", CleanupConfig(min_figure_area_nm2=500.0, max_pinhole_area_nm2=500.0, smooth=True)),
+]
+
+
+def test_ablation_mask_cleanup(benchmark, bench_config, bench_sim, emit):
+    grid = bench_sim.grid
+    rows = [
+        f"  {'case':6s} {'mask':>12s} {'shots':>7s} {'edge nm':>9s} {'MRC':>6s} "
+        f"{'#EPE':>5s} {'PVB':>7s} {'score':>9s}"
+    ]
+    stats = {}
+    for name in CASES:
+        layout = load_benchmark(name)
+        result = MosaicFast(bench_config, simulator=bench_sim).solve(layout)
+        variants = [("raw", result.mask)]
+        variants += [
+            (label, cleanup_mask(result.mask, grid, cfg)) for label, cfg in LEVELS
+        ]
+        for label, mask in variants:
+            cx = mask_complexity(mask, grid)
+            mrc = check_mask_rules(mask, grid)
+            score = contest_score(bench_sim, mask, layout)
+            stats[(name, label)] = (cx, score)
+            rows.append(
+                f"  {name:6s} {label:>12s} {cx.shot_count:7d} {cx.edge_length_nm:9.0f} "
+                f"{'ok' if mrc.clean else 'viol':>6s} {score.epe_violations:5d} "
+                f"{score.pv_band_nm2:7.0f} {score.total:9.0f}"
+            )
+
+    # Benchmark the cleanup pipeline itself on the last raw mask.
+    benchmark(cleanup_mask, result.mask, grid, LEVELS[1][1])
+
+    shot_saving = 1.0 - sum(
+        stats[(n, "aggressive")][0].shot_count for n in CASES
+    ) / sum(stats[(n, "raw")][0].shot_count for n in CASES)
+    rows.append(f"\n  aggressive cleanup shot-count saving: {shot_saving * 100:.0f}%")
+    emit("ablation_cleanup", "\n".join(rows))
+
+    for name in CASES:
+        raw_cx, raw_score = stats[(name, "raw")]
+        light_cx, light_score = stats[(name, "light")]
+        aggr_cx, aggr_score = stats[(name, "aggressive")]
+        # Light cleanup is quality-free: EPE unchanged, fewer shots.
+        assert light_score.epe_violations <= raw_score.epe_violations
+        assert light_cx.shot_count <= raw_cx.shot_count
+        # Aggressive cleanup saves the most shots...
+        assert aggr_cx.shot_count < light_cx.shot_count
+        assert aggr_cx.edge_length_nm < raw_cx.edge_length_nm
+        # ...without catastrophic damage (bounded EPE cost, no holes).
+        assert aggr_score.epe_violations <= 5
+        assert aggr_score.shape_violations == 0

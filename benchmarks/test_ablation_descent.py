@@ -1,0 +1,75 @@
+"""Ablation A9 — descent strategy: paper-style normalized steps vs Adam.
+
+The paper's Alg. 1 uses plain gradient descent with a normalized step
+and the jump technique; modern ILT work (GAN-OPC / Neural-ILT lineage)
+favours Adam.  This bench compares the two at equal iteration budgets,
+with Adam safeguarded by the backtracking line search (without it,
+Adam's sign-like steps overshoot the sigmoid landscape and diverge).
+"""
+
+from repro.config import OptimizerConfig
+from repro.opc.mosaic import MosaicFast
+from repro.workloads.iccad2013 import load_benchmark
+
+CASES = ("B1", "B4", "B9")
+MODES = [
+    ("normalized", OptimizerConfig(max_iterations=30)),
+    (
+        "adam+ls",
+        OptimizerConfig(
+            max_iterations=30,
+            descent_mode="adam",
+            step_size=1.0,
+            use_line_search=True,
+            use_jump=False,
+        ),
+    ),
+]
+
+
+def test_ablation_descent(benchmark, bench_config, bench_sim, emit):
+    scores = {}
+    for label, cfg in MODES:
+        for name in CASES:
+            result = MosaicFast(
+                bench_config, optimizer_config=cfg, simulator=bench_sim
+            ).solve(load_benchmark(name))
+            scores[(label, name)] = result
+
+    benchmark.pedantic(
+        lambda: MosaicFast(
+            bench_config, optimizer_config=MODES[1][1], simulator=bench_sim
+        ).solve(load_benchmark("B1")),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        f"  {'mode':>12s}"
+        + "".join(f"{n + ' #EPE':>9s}{n + ' PVB':>9s}" for n in CASES)
+        + f"{'total score':>13s}{'total t(s)':>11s}"
+    ]
+    totals = {}
+    for label, _ in MODES:
+        total = sum(scores[(label, n)].score.total for n in CASES)
+        runtime = sum(scores[(label, n)].runtime_s for n in CASES)
+        totals[label] = total
+        rows.append(
+            f"  {label:>12s}"
+            + "".join(
+                f"{scores[(label, n)].score.epe_violations:9d}"
+                f"{scores[(label, n)].score.pv_band_nm2:9.0f}"
+                for n in CASES
+            )
+            + f"{total:13.0f}{runtime:11.1f}"
+        )
+    emit("ablation_descent", "\n".join(rows))
+
+    # Both strategies must fully solve the clips...
+    for label, _ in MODES:
+        for name in CASES:
+            assert scores[(label, name)].score.epe_violations <= 1
+            assert scores[(label, name)].score.shape_violations == 0
+    # ...and land within 35% of each other in total score.
+    values = sorted(totals.values())
+    assert values[1] <= 1.35 * values[0]

@@ -1,0 +1,67 @@
+"""Ablation A1 — the Eq. 21 combined-kernel speedup.
+
+The paper collapses the weighted SOCS sum into one precomputed kernel
+(Sec. 3.5) to cut convolution count by h.  That collapse is exact only
+for a coherent system; this bench quantifies both sides of the trade:
+forward-simulation speedup versus aerial-image error against the full
+h-kernel sum, plus the accuracy of simple truncation as the alternative.
+"""
+
+import time
+
+import numpy as np
+
+from repro.geometry.raster import rasterize_layout
+from repro.optics.hopkins import aerial_image
+from repro.workloads.iccad2013 import load_benchmark
+
+
+def test_ablation_kernel_speedup(benchmark, bench_config, bench_sim, emit):
+    grid = bench_sim.grid
+    layout = load_benchmark("B4")
+    mask = rasterize_layout(layout, grid).astype(float)
+    kernels = bench_sim.kernels_at(0.0)
+    combined = kernels.combined()
+
+    full = aerial_image(mask, kernels)
+    fast = benchmark(aerial_image, mask, combined)
+
+    def timed(k, repeats=5):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            aerial_image(mask, k)
+        return (time.perf_counter() - start) / repeats
+
+    t_full, t_comb = timed(kernels), timed(combined)
+    resist_thr = bench_config.resist.threshold
+    rows = [
+        f"  kernels h = {kernels.num_kernels}",
+        f"  forward sim: full sum {t_full * 1e3:.1f} ms, "
+        f"combined kernel {t_comb * 1e3:.1f} ms  ({t_full / t_comb:.1f}x speedup)",
+        f"  aerial-image error of combined kernel: "
+        f"max {np.abs(full - fast).max():.4f}, rms {np.sqrt(np.mean((full - fast) ** 2)):.4f}",
+        f"  printed-pixel disagreement: "
+        f"{np.count_nonzero((full > resist_thr) != (fast > resist_thr))} px",
+        "",
+        "  truncation alternative (keep top-h kernels of the full sum):",
+        f"  {'h':>4s} {'rms error':>12s} {'printed diff px':>16s}",
+    ]
+    for h in (1, 2, 4, kernels.num_kernels):
+        truncated = aerial_image(mask, kernels.truncated(h))
+        rows.append(
+            f"  {h:4d} {np.sqrt(np.mean((full - truncated) ** 2)):12.5f} "
+            f"{np.count_nonzero((full > resist_thr) != (truncated > resist_thr)):16d}"
+        )
+    emit("ablation_kernel_speedup", "\n".join(rows))
+
+    # Speedup must be real and roughly proportional to h.
+    assert t_comb < t_full
+    # The combined kernel is an approximation: nonzero but bounded error.
+    err = np.abs(full - fast).max()
+    assert 0 < err < 0.5
+    # Truncation error decreases monotonically in h and vanishes at full h.
+    errs = [
+        np.sqrt(np.mean((full - aerial_image(mask, kernels.truncated(h))) ** 2))
+        for h in (1, 4, kernels.num_kernels)
+    ]
+    assert errs[0] > errs[1] > errs[2] == 0.0

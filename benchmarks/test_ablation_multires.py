@@ -1,0 +1,58 @@
+"""Ablation A8 — coarse-to-fine (multiresolution) optimization.
+
+ILT iteration cost scales with pixel count; warm-starting the full-grid
+solve from a coarse-grid solution should preserve quality while cutting
+wall-clock.  This bench compares full-resolution MOSAIC_fast against the
+2x multiresolution wrapper on three clips.
+"""
+
+from repro.opc.mosaic import MosaicFast
+from repro.opc.multires import MultiResolutionSolver
+from repro.workloads.iccad2013 import load_benchmark
+
+CASES = ("B1", "B4", "B9")
+
+
+def test_ablation_multires(benchmark, bench_config, bench_sim, emit):
+    results = {}
+    for name in CASES:
+        layout = load_benchmark(name)
+        full = MosaicFast(bench_config, simulator=bench_sim).solve(layout)
+        multi = MultiResolutionSolver(
+            bench_config, solver_cls=MosaicFast, factor=2, simulator=bench_sim
+        ).solve(layout)
+        results[name] = (full, multi)
+
+    benchmark.pedantic(
+        lambda: MultiResolutionSolver(
+            bench_config, solver_cls=MosaicFast, factor=2, simulator=bench_sim
+        ).solve(load_benchmark("B1")),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [
+        f"  {'case':6s} {'solver':>10s} {'#EPE':>5s} {'PVB':>8s} "
+        f"{'score':>9s} {'runtime s':>10s}"
+    ]
+    speedups = []
+    for name in CASES:
+        full, multi = results[name]
+        for label, r in (("full", full), ("multires", multi)):
+            rows.append(
+                f"  {name:6s} {label:>10s} {r.score.epe_violations:5d} "
+                f"{r.score.pv_band_nm2:8.0f} {r.score.total:9.0f} {r.runtime_s:10.2f}"
+            )
+        speedups.append(full.runtime_s / multi.runtime_s)
+    rows.append(
+        f"\n  wall-clock speedup (full / multires): "
+        + ", ".join(f"{s:.2f}x" for s in speedups)
+    )
+    emit("ablation_multires", "\n".join(rows))
+
+    for name in CASES:
+        full, multi = results[name]
+        # The headline trade: faster at comparable quality.
+        assert multi.runtime_s < full.runtime_s
+        assert multi.score.epe_violations <= full.score.epe_violations + 1
+        assert multi.score.shape_violations == 0

@@ -1,0 +1,55 @@
+"""Ablation A3 — seeding the optimizer with rule-based SRAFs.
+
+The paper starts gradient descent from the target plus rule-based SRAFs
+(Alg. 1 line 2) because "starting from a good initial solution gives us
+a better chance to obtain a good result".  This bench compares SRAF
+seeding against raw-target seeding on clips with isolated features
+(where assist features matter most).
+"""
+
+from repro.opc.mosaic import MosaicFast
+from repro.workloads.iccad2013 import load_benchmark
+
+CASES = ("B1", "B2", "B4")
+
+
+def test_ablation_sraf_seeding(benchmark, bench_config, bench_sim, emit):
+    scores = {}
+    for name in CASES:
+        layout = load_benchmark(name)
+        for use_sraf in (True, False):
+            solver = MosaicFast(bench_config, simulator=bench_sim, use_sraf=use_sraf)
+            scores[(name, use_sraf)] = solver.solve(layout).score
+
+    benchmark.pedantic(
+        lambda: MosaicFast(bench_config, simulator=bench_sim, use_sraf=True).solve(
+            load_benchmark("B1")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [f"  {'case':6s} {'seed':>12s} {'#EPE':>6s} {'PVB':>8s} {'score':>10s}"]
+    with_total = without_total = 0.0
+    for name in CASES:
+        for use_sraf in (True, False):
+            s = scores[(name, use_sraf)]
+            label = "target+SRAF" if use_sraf else "target only"
+            rows.append(
+                f"  {name:6s} {label:>12s} {s.epe_violations:6d} "
+                f"{s.pv_band_nm2:8.0f} {s.total:10.0f}"
+            )
+            if use_sraf:
+                with_total += s.total
+            else:
+                without_total += s.total
+    delta = (without_total - with_total) / without_total * 100.0
+    rows.append(f"\n  SRAF seeding improves the summed score by {delta:.1f}%")
+    emit("ablation_sraf", "\n".join(rows))
+
+    # SRAF seeding must not hurt in aggregate on isolated-feature clips.
+    assert with_total <= without_total * 1.02
+    # With the SRAF seed, every clip converges to (near) zero violations;
+    # the raw-target seed is allowed to be stuck in a worse local minimum —
+    # exactly the paper's argument for line 2 of Alg. 1.
+    assert all(scores[(name, True)].epe_violations <= 2 for name in CASES)

@@ -1,0 +1,79 @@
+"""Extension E1 — process-window EPE (beyond the paper).
+
+The paper optimizes exact EPE at nominal and proxies the corners via
+F_pvb.  The extension adds per-corner EPE terms (see
+``repro.opc.extensions``).  This bench measures what the extra forward
+cost buys: EPE robustness *across* the window (violations at the worst
+corner), compared between MOSAIC_exact and MOSAIC_exact_pw.
+"""
+
+from repro.metrics.epe import measure_epe
+from repro.opc.extensions import MosaicExactPW
+from repro.opc.mosaic import MosaicExact
+from repro.workloads.iccad2013 import load_benchmark
+
+CASES = ("B4", "B6")
+
+
+def corner_epe_profile(bench_sim, mask, layout):
+    """EPE violations at every process condition."""
+    grid = bench_sim.grid
+    profile = {}
+    for corner in bench_sim.corners():
+        printed = bench_sim.print_binary(mask, corner)
+        profile[corner.name] = measure_epe(printed, layout, grid).num_violations
+    return profile
+
+
+def test_extension_pw_epe(benchmark, bench_config, bench_sim, emit):
+    results = {}
+    for name in CASES:
+        layout = load_benchmark(name)
+        exact = MosaicExact(bench_config, simulator=bench_sim).solve(layout)
+        pw = MosaicExactPW(bench_config, simulator=bench_sim).solve(layout)
+        results[name] = (
+            (exact, corner_epe_profile(bench_sim, exact.mask, layout)),
+            (pw, corner_epe_profile(bench_sim, pw.mask, layout)),
+        )
+
+    benchmark.pedantic(
+        lambda: MosaicExactPW(bench_config, simulator=bench_sim).solve(
+            load_benchmark("B4")
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    corner_names = [c.name for c in bench_sim.corners()]
+    rows = [
+        f"  {'case':6s} {'solver':>9s} {'PVB':>7s} {'t(s)':>6s}  "
+        + "".join(f"{c:>15s}" for c in corner_names)
+    ]
+    worst = {}
+    for name in CASES:
+        for label, (result, profile) in zip(("exact", "exact_pw"), results[name]):
+            rows.append(
+                f"  {name:6s} {label:>9s} {result.score.pv_band_nm2:7.0f} "
+                f"{result.runtime_s:6.1f}  "
+                + "".join(f"{profile[c]:>15d}" for c in corner_names)
+            )
+            worst[(name, label)] = max(profile.values())
+    rows.append(
+        "\n  worst-corner EPE violations: "
+        + ", ".join(
+            f"{name}: exact {worst[(name, 'exact')]} -> pw {worst[(name, 'exact_pw')]}"
+            for name in CASES
+        )
+    )
+    emit("extension_pw_epe", "\n".join(rows))
+
+    for name in CASES:
+        (exact, _), (pw, _) = results[name]
+        # The extension must not regress nominal quality...
+        assert pw.score.epe_violations <= exact.score.epe_violations + 1
+        assert pw.score.shape_violations == 0
+        # ...and must not worsen the worst corner.
+        assert worst[(name, "exact_pw")] <= worst[(name, "exact")] + 1
+        # It pays with runtime (more forward images per iteration); the
+        # 0.8 factor tolerates wall-clock noise under parallel load.
+        assert pw.runtime_s > 0.8 * exact.runtime_s

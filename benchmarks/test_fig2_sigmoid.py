@@ -1,0 +1,34 @@
+"""Fig. 2 — the sigmoid resist threshold model (theta_Z = 50, th_r = 0.5).
+
+Regenerates the curve Z(I) = sig(theta_Z (I - th_r)) that the paper plots
+and benchmarks the vectorized sigmoid evaluation itself (the innermost
+operation of the whole optimizer).
+"""
+
+import numpy as np
+
+from repro.config import ResistConfig
+from repro.resist.threshold import sigmoid_threshold
+
+
+def test_fig2_sigmoid_curve(benchmark, emit):
+    resist = ResistConfig()  # theta_Z = 50, th_r = 0.5 (paper values)
+    intensity = np.linspace(0.0, 1.0, 101).reshape(1, -1)
+
+    curve = benchmark(sigmoid_threshold, intensity, resist)
+
+    rows = ["  I        Z(I)"]
+    for i in range(0, 101, 10):
+        rows.append(f"  {intensity[0, i]:.2f}   {curve[0, i]:.6f}")
+    # The paper's qualitative features: 0.5 crossing at th_r, steep but
+    # smooth transition confined to roughly +/-0.1 around threshold.
+    z = curve[0]
+    crossing = intensity[0, int(np.argmin(np.abs(z - 0.5)))]
+    width = intensity[0, int(np.searchsorted(z, 0.99))] - intensity[0, int(np.searchsorted(z, 0.01))]
+    rows.append(f"\n  0.5-crossing at I = {crossing:.2f} (paper: th_r = 0.50)")
+    rows.append(f"  1%-99% transition width = {width:.2f} intensity units")
+    emit("fig2_sigmoid", "\n".join(rows))
+
+    assert crossing == 0.5
+    assert 0.05 < width < 0.3
+    assert np.all(np.diff(z) > 0)

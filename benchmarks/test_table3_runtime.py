@@ -1,0 +1,65 @@
+"""Table 3 — runtime comparison across approaches.
+
+Regenerates the paper's runtime table on a four-clip subset spanning the
+size range (B1 smallest ... B10 largest).  Expected shape: MOSAIC_fast
+runs in the same ballpark as the baselines while MOSAIC_exact pays a
+multiple for its per-sample EPE gradients (the paper reports ~7x; the
+ratio here is smaller because the EPE windows are vectorized, but the
+ordering fast < exact must hold).
+"""
+
+from repro.baselines import BasicILT, LevelSetILT, ModelBasedOPC
+from repro.opc.mosaic import MosaicExact, MosaicFast
+from repro.workloads.iccad2013 import load_benchmark
+
+CASES = ["B1", "B4", "B7", "B10"]
+APPROACHES = [
+    ("ModelBased", ModelBasedOPC),
+    ("BasicILT", BasicILT),
+    ("LevelSet", LevelSetILT),
+    ("MOSAIC_fast", MosaicFast),
+    ("MOSAIC_exact", MosaicExact),
+]
+
+
+def test_table3_runtime(benchmark, bench_config, bench_sim, emit):
+    runtimes = {label: {} for label, _ in APPROACHES}
+    for name in CASES:
+        layout = load_benchmark(name)
+        for label, solver_cls in APPROACHES:
+            result = solver_cls(bench_config, simulator=bench_sim).solve(layout)
+            runtimes[label][name] = result.runtime_s
+
+    benchmark.pedantic(
+        lambda: MosaicFast(bench_config, simulator=bench_sim).solve(load_benchmark("B1")),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = [f"  {'case':6s}" + "".join(f"{label:>14s}" for label, _ in APPROACHES)]
+    for name in CASES:
+        rows.append(
+            f"  {name:6s}"
+            + "".join(f"{runtimes[label][name]:14.2f}" for label, _ in APPROACHES)
+        )
+    averages = {
+        label: sum(values.values()) / len(values)
+        for label, values in runtimes.items()
+    }
+    rows.append(
+        f"  {'avg':6s}" + "".join(f"{averages[label]:14.2f}" for label, _ in APPROACHES)
+    )
+    rows.append(
+        f"\n  exact/fast runtime ratio: "
+        f"{averages['MOSAIC_exact'] / averages['MOSAIC_fast']:.2f}x"
+    )
+    emit("table3_runtime", "\n".join(rows))
+
+    # The paper's runtime ordering: exact is the slow, highest-quality mode.
+    assert averages["MOSAIC_exact"] > averages["MOSAIC_fast"]
+    # fast stays within an order of magnitude of the other ILT-style
+    # approaches (the contest winners were ILT-based; the model-based
+    # baseline converges in a handful of cheap feedback iterations and is
+    # not a meaningful runtime comparison point at this scale).
+    ilt_reference = 0.5 * (averages["BasicILT"] + averages["LevelSet"])
+    assert averages["MOSAIC_fast"] < 10 * ilt_reference

@@ -1,0 +1,66 @@
+"""Validation V1 — SOCS factorization against the Abbe reference model.
+
+Not a paper table, but the numerical foundation every experiment rests
+on: the h-kernel Hopkins/SOCS images (paper Eq. 2) must converge to the
+direct source-point Abbe sum as h grows.  This bench sweeps h on a real
+clip and reports error and runtime of both paths.
+"""
+
+import time
+
+import numpy as np
+
+from repro.config import OpticsConfig
+from repro.geometry.raster import rasterize_layout
+from repro.optics.abbe import AbbeImager
+from repro.optics.hopkins import aerial_image
+from repro.optics.kernels import build_socs_kernels
+from repro.workloads.iccad2013 import load_benchmark
+
+
+def test_validation_abbe(benchmark, bench_config, bench_sim, emit):
+    grid = bench_sim.grid
+    optics = bench_config.optics
+    layout = load_benchmark("B4")
+    mask = rasterize_layout(layout, grid).astype(float)
+
+    abbe = AbbeImager(grid, optics)
+    reference = benchmark(abbe.aerial_image, mask)
+
+    start = time.perf_counter()
+    for _ in range(3):
+        abbe.aerial_image(mask)
+    abbe_time = (time.perf_counter() - start) / 3
+
+    rows = [
+        f"  Abbe reference: {abbe.num_source_points} source points, "
+        f"{abbe_time * 1e3:.1f} ms/image",
+        f"\n  {'h':>4s} {'max err':>10s} {'rms err':>10s} {'ms/image':>9s}",
+    ]
+    errors = []
+    for h in (1, 2, 4, 8, 16, 10_000):
+        kernels = build_socs_kernels(
+            grid, OpticsConfig(
+                wavelength_nm=optics.wavelength_nm,
+                numerical_aperture=optics.numerical_aperture,
+                sigma_inner=optics.sigma_inner,
+                sigma_outer=optics.sigma_outer,
+                num_kernels=h,
+            )
+        )
+        start = time.perf_counter()
+        image = aerial_image(mask, kernels)
+        socs_time = time.perf_counter() - start
+        err = np.abs(image - reference)
+        errors.append(err.max())
+        rows.append(
+            f"  {kernels.num_kernels:4d} {err.max():10.2e} "
+            f"{np.sqrt(np.mean(err**2)):10.2e} {socs_time * 1e3:9.1f}"
+        )
+    emit("validation_abbe", "\n".join(rows))
+
+    # Error decreases monotonically in h and vanishes at full rank.
+    assert all(a >= b - 1e-12 for a, b in zip(errors, errors[1:]))
+    assert errors[-1] < 1e-9
+    # The paper's operating point (h between 8 and 24) is already accurate.
+    assert errors[3] < 0.03  # h = 8

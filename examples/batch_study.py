@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Batch study: the experiment harness + CSV + SVG figure outputs.
+
+Runs a solver matrix over a mixed workload (two bundled clips plus a
+seeded random one), prints the aggregate table, exports the raw numbers
+to CSV, and renders an SVG figure of the best solver's result on the
+random clip — the full "research study" loop in one script.
+
+Usage:
+    python examples/batch_study.py [output-directory]
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+from repro import LithoConfig, LithographySimulator, MosaicExact, MosaicFast, load_benchmark
+from repro.baselines import ModelBasedOPC
+from repro.harness import run_experiment
+from repro.io.svg import save_svg
+from repro.workloads.random_layout import random_layout
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1]) if len(sys.argv) > 1 else Path(tempfile.mkdtemp())
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    config = LithoConfig.reduced()
+    sim = LithographySimulator(config)
+    sim.prewarm()
+
+    layouts = [load_benchmark("B4"), load_benchmark("B8"), random_layout(123, num_shapes=5)]
+    solvers = [
+        ("ModelBased", lambda: ModelBasedOPC(config, simulator=sim)),
+        ("MOSAIC_fast", lambda: MosaicFast(config, simulator=sim)),
+        ("MOSAIC_exact", lambda: MosaicExact(config, simulator=sim)),
+    ]
+
+    result = run_experiment(solvers, layouts, progress=lambda msg: print(f"  running {msg}"))
+    print()
+    print(result.format_table())
+
+    csv_path = out_dir / "batch_study.csv"
+    result.to_csv(csv_path)
+    print(f"\nWrote raw results to {csv_path}")
+
+    # Figure: the winning solver's result on the random clip.
+    best = result.ranking()[0]
+    factory = dict(solvers)[best]
+    rand_clip = layouts[-1]
+    solved = factory().solve(rand_clip)
+    svg_path = out_dir / f"{rand_clip.name}_{best}.svg"
+    height, width = config.grid.extent_nm
+    save_svg(
+        svg_path,
+        (width, height),
+        layout=rand_clip,
+        mask=solved.mask,
+        printed=sim.print_binary(solved.mask),
+        pv_band=sim.pv_band(solved.mask),
+        grid=config.grid,
+        title=f"{rand_clip.name} via {best}: {solved.score}",
+    )
+    print(f"Wrote figure to {svg_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Contest flow: run both MOSAIC modes and all baselines over the suite.
+
+Reproduces the structure of the paper's Table 2 on the synthetic
+ICCAD-2013-style clips: per-testcase #EPE violations, PV-band area and
+contest score for every approach, plus per-approach ratio summaries.
+
+Usage:
+    python examples/contest_flow.py [B1 B4 B6 ...]   # default: B1 B4 B6 B8
+"""
+
+import sys
+
+from repro import LithoConfig, LithographySimulator, MosaicExact, MosaicFast, load_benchmark
+from repro.baselines import BasicILT, LevelSetILT, ModelBasedOPC, RuleBasedOPC
+
+
+def main() -> None:
+    names = sys.argv[1:] or ["B1", "B4", "B6", "B8"]
+    config = LithoConfig.reduced()
+    sim = LithographySimulator(config)
+    sim.prewarm()
+
+    solvers = [
+        ("RuleBased", lambda: RuleBasedOPC(config, simulator=sim)),
+        ("ModelBased", lambda: ModelBasedOPC(config, simulator=sim)),
+        ("BasicILT", lambda: BasicILT(config, simulator=sim)),
+        ("LevelSet", lambda: LevelSetILT(config, simulator=sim)),
+        ("MOSAIC_fast", lambda: MosaicFast(config, simulator=sim)),
+        ("MOSAIC_exact", lambda: MosaicExact(config, simulator=sim)),
+    ]
+
+    header = f"{'case':6s}" + "".join(f"{label:>26s}" for label, _ in solvers)
+    print(header)
+    print(f"{'':6s}" + f"{'#EPE    PVB   score':>26s}" * len(solvers))
+    totals = {label: 0.0 for label, _ in solvers}
+    for name in names:
+        layout = load_benchmark(name)
+        row = f"{name:6s}"
+        for label, factory in solvers:
+            score = factory().solve(layout).score
+            totals[label] += score.total
+            row += f"{score.epe_violations:8d} {score.pv_band_nm2:6.0f} {score.total:9.0f}"
+        print(row)
+
+    best = min(totals.values())
+    print("\nTotals (lower is better):")
+    for label, total in totals.items():
+        print(f"  {label:14s} {total:10.0f}   ratio vs best: {total / best:.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python
+"""Hotspot and process-window analysis of an optimized mask.
+
+Combines three of the library's analysis tools on one clip:
+
+1. NILS-based hotspot detection — which boundary samples have weak
+   image slope (and would fail first under dose error),
+2. a full (defocus x dose) process-window sweep with exposure latitude
+   and depth-of-focus extraction,
+3. mask-rule and write-cost (shot count) reporting.
+
+Usage:
+    python examples/hotspot_analysis.py [benchmark-name]
+"""
+
+import sys
+
+from repro import LithoConfig, LithographySimulator, MosaicExact, load_benchmark
+from repro.geometry.edges import generate_sample_points
+from repro.geometry.raster import rasterize_layout
+from repro.metrics.complexity import mask_complexity
+from repro.metrics.imagequality import edge_slopes, hotspot_samples
+from repro.metrics.mrc import check_mask_rules
+from repro.process.window_analysis import sweep_process_window
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "B6"
+    config = LithoConfig.reduced()
+    layout = load_benchmark(name)
+    sim = LithographySimulator(config)
+    grid = sim.grid
+
+    print(f"Optimizing {name} with MOSAIC_exact...")
+    result = MosaicExact(config, simulator=sim).solve(layout)
+    print(result.score)
+
+    # 1. NILS hotspots on the optimized mask's aerial image.
+    samples = generate_sample_points(layout, grid)
+    aerial = sim.aerial(result.mask)
+    slopes = edge_slopes(aerial, samples, grid, feature_width_nm=70.0)
+    nils_sorted = sorted(slopes, key=lambda s: s.nils)
+    threshold = nils_sorted[len(nils_sorted) // 4].nils  # worst quartile
+    hot = hotspot_samples(slopes, nils_threshold=threshold)
+    print(f"\nNILS across {len(slopes)} edge samples: "
+          f"min {nils_sorted[0].nils:.2f}, median {nils_sorted[len(slopes)//2].nils:.2f}")
+    print(f"Worst-quartile hotspot candidates ({len(hot)}):")
+    for slope in sorted(hot, key=lambda s: s.nils)[:5]:
+        s = slope.sample
+        print(f"  ({s.x:5.0f}, {s.y:5.0f}) nm  {s.orientation.value}-edge  "
+              f"NILS = {slope.nils:.2f}")
+
+    # 2. Process-window sweep.
+    window = sweep_process_window(
+        sim,
+        result.mask,
+        layout,
+        defocus_values_nm=(0.0, 15.0, 25.0),
+        dose_values=(0.94, 0.96, 0.98, 1.0, 1.02, 1.04, 1.06),
+    )
+    print("\nProcess-window map (rows: defocus, cols: dose; '.' passes, 'X' fails):")
+    doses = sorted({p.dose for p in window.points})
+    print("          " + "".join(f"{d:7.2f}" for d in doses))
+    for defocus in sorted({p.defocus_nm for p in window.points}):
+        cells = [
+            "      ." if next(
+                p for p in window.points if p.defocus_nm == defocus and p.dose == d
+            ).passes else "      X"
+            for d in doses
+        ]
+        print(f"  {defocus:5.0f}nm " + "".join(cells))
+    print(f"Exposure latitude at best focus: {window.exposure_latitude() * 100:.1f}%")
+    print(f"Depth of focus at nominal dose : {window.depth_of_focus():.0f} nm")
+    print(f"Window pass fraction           : {window.pass_fraction() * 100:.0f}%")
+
+    # 3. Manufacturability.
+    target = rasterize_layout(layout, grid).astype(float)
+    for label, mask in (("drawn target", target), ("optimized mask", result.mask)):
+        cx = mask_complexity(mask, grid)
+        mrc = check_mask_rules(mask, grid)
+        print(f"\n{label}: {cx.figure_count} figures, {cx.shot_count} shots, "
+              f"{cx.edge_length_nm:.0f} nm edge, {cx.corner_count} corners, "
+              f"MRC {'clean' if mrc.clean else 'VIOLATIONS'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments that lack the
+``wheel`` package needed by the PEP 517 editable-install path.  All
+metadata lives in pyproject.toml; setuptools >= 61 reads it from there.
+"""
+
+from setuptools import setup
+
+setup()

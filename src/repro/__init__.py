@@ -1,0 +1,105 @@
+"""MOSAIC: Mask Optimizing Solution with process-window-Aware Inverse Correction.
+
+A from-scratch reproduction of the DAC 2014 paper: gradient-descent
+inverse lithography (ILT) that co-optimizes nominal-condition fidelity
+(EPE or image difference) and the process variability band across focus/
+dose corners.
+
+Quickstart::
+
+    from repro import LithoConfig, MosaicFast, load_benchmark
+
+    solver = MosaicFast(LithoConfig.reduced())
+    result = solver.solve(load_benchmark("B1"))
+    print(result.score)
+"""
+
+from .config import (
+    GridSpec,
+    LithoConfig,
+    OpticsConfig,
+    OptimizerConfig,
+    ProcessConfig,
+    ResistConfig,
+)
+from .errors import (
+    GeometryError,
+    GridError,
+    LayoutIOError,
+    OpticsError,
+    OptimizationError,
+    ProcessError,
+    ReproError,
+)
+from .geometry import Layout, Polygon, Rect, rasterize_layout
+from .litho import LithographySimulator
+from .metrics import ScoreBreakdown, contest_score, measure_epe
+from .opc import (
+    EPEObjective,
+    GradientDescentOptimizer,
+    ImageDifferenceObjective,
+    MosaicExact,
+    MosaicFast,
+    MosaicResult,
+    PVBandObjective,
+)
+from .harness import ExperimentResult, run_experiment
+from .process import ProcessCorner, enumerate_corners, pv_band, pv_band_area
+from .recipe import Recipe, dump_recipe, load_recipe, solve_with_recipe
+from .report import VerificationReport, verify_mask
+from .workloads import BENCHMARK_NAMES, load_all_benchmarks, load_benchmark
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # configuration
+    "GridSpec",
+    "OpticsConfig",
+    "ResistConfig",
+    "ProcessConfig",
+    "OptimizerConfig",
+    "LithoConfig",
+    # errors
+    "ReproError",
+    "GeometryError",
+    "GridError",
+    "OpticsError",
+    "ProcessError",
+    "OptimizationError",
+    "LayoutIOError",
+    # geometry
+    "Rect",
+    "Polygon",
+    "Layout",
+    "rasterize_layout",
+    # simulation
+    "LithographySimulator",
+    "ProcessCorner",
+    "enumerate_corners",
+    "pv_band",
+    "pv_band_area",
+    # optimization
+    "MosaicFast",
+    "MosaicExact",
+    "MosaicResult",
+    "GradientDescentOptimizer",
+    "ImageDifferenceObjective",
+    "EPEObjective",
+    "PVBandObjective",
+    # metrics
+    "contest_score",
+    "ScoreBreakdown",
+    "measure_epe",
+    "verify_mask",
+    "VerificationReport",
+    "run_experiment",
+    "ExperimentResult",
+    "Recipe",
+    "load_recipe",
+    "dump_recipe",
+    "solve_with_recipe",
+    # workloads
+    "BENCHMARK_NAMES",
+    "load_benchmark",
+    "load_all_benchmarks",
+]

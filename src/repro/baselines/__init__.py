@@ -1,0 +1,20 @@
+"""Baseline OPC approaches the paper compares against.
+
+The ICCAD-2013 contest winners' binaries are unavailable; these modules
+re-implement the approach families those entries used (see DESIGN.md §3):
+
+* :class:`ModelBasedOPC` — forward model-based OPC with edge
+  fragmentation and iterative edge movement (the conventional approach
+  of the paper's introduction, ref [2]).
+* :class:`BasicILT` — plain pixel-based ILT with the quadratic image
+  difference at the nominal condition only (refs [9, 12]) — MOSAIC minus
+  EPE awareness and minus the process-window term.
+* :class:`LevelSetILT` — level-set mask evolution (ref [8]).
+"""
+
+from .modelbased import ModelBasedOPC
+from .ilt_basic import BasicILT
+from .levelset import LevelSetILT
+from .rulebased import RuleBasedOPC
+
+__all__ = ["ModelBasedOPC", "BasicILT", "LevelSetILT", "RuleBasedOPC"]

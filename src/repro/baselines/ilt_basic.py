@@ -1,0 +1,51 @@
+"""Plain pixel-based ILT baseline (Poonawala-style, paper refs [9, 12]).
+
+Identical machinery to MOSAIC_fast but with the historical objective:
+quadratic (gamma = 2) image difference at the *nominal condition only* —
+no process-window term, no EPE formulation, target-only seed (no SRAFs).
+The gap between this baseline and the MOSAIC modes isolates the paper's
+contribution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..config import LithoConfig, OptimizerConfig
+from ..geometry.layout import Layout
+from ..litho.simulator import LithographySimulator
+from ..opc.mosaic import MosaicResult, MosaicSolver
+from ..opc.objectives.base import Objective
+from ..opc.objectives.composite import CompositeObjective
+from ..opc.objectives.image_diff import ImageDifferenceObjective
+
+
+class BasicILT(MosaicSolver):
+    """Quadratic nominal-only ILT (no PV-band term, no SRAF seed)."""
+
+    mode_name = "ILT_basic"
+
+    def __init__(
+        self,
+        litho_config: Optional[LithoConfig] = None,
+        optimizer_config: Optional[OptimizerConfig] = None,
+        simulator: Optional[LithographySimulator] = None,
+    ) -> None:
+        super().__init__(
+            litho_config=litho_config,
+            optimizer_config=optimizer_config,
+            use_sraf=False,
+            simulator=simulator,
+        )
+
+    def build_design_objective(self, target, layout: Layout) -> Objective:
+        return ImageDifferenceObjective(target, gamma=2)
+
+    def build_objective(self, target, layout: Layout) -> CompositeObjective:
+        # Single-term composite: alpha * F_id, beta intentionally unused.
+        return CompositeObjective(
+            [(self.optimizer_config.alpha, self.build_design_objective(target, layout))]
+        )
+
+    def solve(self, layout: Layout, iteration_callback=None) -> MosaicResult:
+        return super().solve(layout, iteration_callback=iteration_callback)

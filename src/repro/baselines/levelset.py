@@ -1,0 +1,140 @@
+"""Level-set ILT baseline (Shen et al., paper ref [8]).
+
+The mask is represented implicitly as the sub-zero region of a level-set
+function phi (a signed distance field).  Each iteration evolves the
+boundary along its normal with a speed proportional to the image-fidelity
+gradient,
+
+    phi  <-  phi - dt * v * |grad phi| ,   M = (phi < 0),
+
+and phi is re-initialized to a signed distance field periodically to keep
+the evolution well-conditioned.  Compared to pixel ILT, topology changes
+are natural (assist features can nucleate), but the optimization cannot
+use continuous transmissions and tends to converge slower.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import ndimage
+
+from ..config import LithoConfig
+from ..geometry.layout import Layout
+from ..geometry.raster import rasterize_layout
+from ..litho.simulator import LithographySimulator
+from ..metrics.score import contest_score
+from ..opc.history import IterationRecord, OptimizationHistory
+from ..opc.mosaic import MosaicResult
+from ..opc.objectives.image_diff import ImageDifferenceObjective
+from ..opc.optimizer import OptimizationResult
+from ..opc.state import ForwardContext
+from ..utils.timer import Timer
+
+
+def signed_distance(mask: np.ndarray) -> np.ndarray:
+    """Signed distance field in pixels: negative inside, positive outside."""
+    inside = np.asarray(mask) > 0.5
+    if not inside.any():
+        return np.full(inside.shape, np.inf)
+    if inside.all():
+        return np.full(inside.shape, -np.inf)
+    dist_out = ndimage.distance_transform_edt(~inside)
+    dist_in = ndimage.distance_transform_edt(inside)
+    return dist_out - dist_in
+
+
+def _gradient_magnitude(phi: np.ndarray) -> np.ndarray:
+    """|grad phi| by central differences (pixel units)."""
+    gy, gx = np.gradient(phi)
+    return np.sqrt(gx**2 + gy**2)
+
+
+class LevelSetILT:
+    """Level-set mask evolution driven by the quadratic image gradient.
+
+    Args:
+        litho_config: lithography stack configuration.
+        max_iterations: evolution steps.
+        dt: time step in pixels of boundary motion per iteration
+            (the velocity is max-normalized, so dt bounds the motion).
+        reinit_period: iterations between signed-distance re-initializations.
+        simulator: optional shared simulator.
+    """
+
+    mode_name = "LevelSetILT"
+
+    def __init__(
+        self,
+        litho_config: Optional[LithoConfig] = None,
+        max_iterations: int = 30,
+        dt: float = 2.0,
+        reinit_period: int = 5,
+        simulator: Optional[LithographySimulator] = None,
+    ) -> None:
+        self.litho_config = litho_config or LithoConfig.paper()
+        self.sim = simulator or LithographySimulator(self.litho_config)
+        self.max_iterations = max_iterations
+        self.dt = dt
+        self.reinit_period = reinit_period
+
+    def solve(self, layout: Layout, iteration_callback=None) -> MosaicResult:
+        """Evolve the level set for one layout clip."""
+        with Timer() as total:
+            grid = self.sim.grid
+            target = rasterize_layout(layout, grid).astype(np.float64)
+            objective = ImageDifferenceObjective(target, gamma=2)
+            phi = signed_distance(target)
+            history = OptimizationHistory()
+            best_value = np.inf
+            best_mask = target.copy()
+            best_iteration = 0
+
+            for iteration in range(self.max_iterations):
+                mask = (phi < 0).astype(np.float64)
+                ctx = ForwardContext(mask, self.sim)
+                value, grad = objective.value_and_gradient(ctx)
+                if value < best_value:
+                    best_value = value
+                    best_mask = mask
+                    best_iteration = iteration
+                record = IterationRecord(
+                    iteration=iteration,
+                    objective=value,
+                    gradient_rms=float(np.sqrt(np.mean(grad**2))),
+                    step_size=self.dt,
+                )
+                if iteration_callback is not None:
+                    record = iteration_callback(iteration, mask, record)
+                history.append(record)
+
+                speed = grad / (np.max(np.abs(grad)) + 1e-12)
+                phi = phi + self.dt * speed * _gradient_magnitude(phi)
+                if (iteration + 1) % self.reinit_period == 0:
+                    phi = signed_distance(phi < 0)
+
+            final_mask = (phi < 0).astype(np.float64)
+            final_ctx = ForwardContext(final_mask, self.sim)
+            final_value = objective.value(final_ctx)
+            if final_value < best_value:
+                best_mask = final_mask
+                best_iteration = len(history)
+
+            optimization = OptimizationResult(
+                mask=best_mask,
+                binary_mask=best_mask,
+                history=history,
+                iterations=len(history),
+                converged=False,
+                best_iteration=best_iteration,
+                runtime_s=total.elapsed,
+            )
+        score = contest_score(self.sim, best_mask, layout, runtime_s=total.elapsed)
+        return MosaicResult(
+            layout_name=layout.name,
+            optimization=optimization,
+            score=score,
+            target=target,
+            runtime_s=total.elapsed,
+        )

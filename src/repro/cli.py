@@ -1,0 +1,226 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``solve``      — run an OPC solver on a bundled benchmark or a GLP file.
+* ``simulate``   — print a mask/layout through the lithography model.
+* ``verify``     — solve and emit the full verification report (+SVG).
+* ``benchmarks`` — list the bundled ICCAD-2013-style clips.
+* ``export``     — write a bundled benchmark to a GLP file.
+
+Examples::
+
+    python -m repro solve B1 --mode fast
+    python -m repro solve my_layout.glp --mode exact --scale reduced --out results/
+    python -m repro simulate B4
+    python -m repro benchmarks
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from .config import LithoConfig
+from .errors import ReproError
+from .geometry.layout import Layout
+from .geometry.raster import rasterize_layout
+from .io.glp import read_glp, write_glp
+from .io.images import ascii_render, save_npz_images
+from .litho.simulator import LithographySimulator
+from .metrics.score import contest_score
+from .workloads.iccad2013 import BENCHMARK_NAMES, load_all_benchmarks, load_benchmark
+
+_MODES = ("fast", "exact", "multires", "modelbased", "rulebased", "ilt", "levelset")
+
+
+def _load_layout(spec: str) -> Layout:
+    """Benchmark name or .glp path -> Layout."""
+    if spec in BENCHMARK_NAMES:
+        return load_benchmark(spec)
+    path = Path(spec)
+    if path.suffix == ".glp" or path.exists():
+        return read_glp(path)
+    raise ReproError(
+        f"{spec!r} is neither a bundled benchmark ({', '.join(BENCHMARK_NAMES)}) "
+        "nor a readable .glp file"
+    )
+
+
+def _config_for(scale: str) -> LithoConfig:
+    return LithoConfig.paper() if scale == "paper" else LithoConfig.reduced()
+
+
+def _solver_for(mode: str, config: LithoConfig, sim: LithographySimulator):
+    from .baselines import BasicILT, LevelSetILT, ModelBasedOPC, RuleBasedOPC
+    from .opc.mosaic import MosaicExact, MosaicFast
+    from .opc.multires import MultiResolutionSolver
+
+    if mode == "multires":
+        return MultiResolutionSolver(config, solver_cls=MosaicFast, simulator=sim)
+    factory = {
+        "fast": MosaicFast,
+        "exact": MosaicExact,
+        "modelbased": ModelBasedOPC,
+        "rulebased": RuleBasedOPC,
+        "ilt": BasicILT,
+        "levelset": LevelSetILT,
+    }[mode]
+    return factory(config, simulator=sim)
+
+
+def cmd_solve(args: argparse.Namespace) -> int:
+    layout = _load_layout(args.layout)
+    config = _config_for(args.scale)
+    sim = LithographySimulator(config)
+    if args.recipe:
+        from .recipe import load_recipe, solve_with_recipe
+
+        recipe = load_recipe(args.recipe)
+        print(f"Solving {layout.name} with recipe {recipe.name or args.recipe} "
+              f"(mode={recipe.mode})...")
+        result = solve_with_recipe(recipe, layout, config, simulator=sim)
+    else:
+        solver = _solver_for(args.mode, config, sim)
+        print(f"Solving {layout.name} with {solver.mode_name} "
+              f"({config.grid.shape[0]} px @ {config.grid.pixel_nm:g} nm/px)...")
+        result = solver.solve(layout)
+    print(result.score)
+    if args.render:
+        print("\n--- optimized mask ---")
+        print(ascii_render(result.mask, width=args.render_width))
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        bundle = out_dir / f"{layout.name}_{args.mode}.npz"
+        save_npz_images(
+            bundle,
+            {
+                "target": result.target,
+                "mask": result.mask,
+                "printed": sim.print_binary(result.mask).astype(float),
+                "pv_band": sim.pv_band(result.mask).astype(float),
+            },
+        )
+        print(f"Wrote {bundle}")
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    layout = _load_layout(args.layout)
+    config = _config_for(args.scale)
+    sim = LithographySimulator(config)
+    target = rasterize_layout(layout, config.grid).astype(float)
+    score = contest_score(sim, target, layout)
+    print(f"{layout.name}: drawn-mask print (no OPC)")
+    print(score)
+    if args.render:
+        print("\n--- printed image at nominal condition ---")
+        print(ascii_render(sim.print_binary(target).astype(float), width=args.render_width))
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from .report import verify_mask
+
+    layout = _load_layout(args.layout)
+    config = _config_for(args.scale)
+    sim = LithographySimulator(config)
+    solver = _solver_for(args.mode, config, sim)
+    print(f"Solving {layout.name} with {solver.mode_name}...")
+    result = solver.solve(layout)
+    report = verify_mask(sim, result.mask, layout, runtime_s=result.runtime_s)
+    print()
+    print(report.render())
+    if args.svg:
+        from .io.svg import save_svg
+
+        height, width = config.grid.extent_nm
+        save_svg(
+            args.svg,
+            (width, height),
+            layout=layout,
+            mask=result.mask,
+            printed=sim.print_binary(result.mask),
+            pv_band=sim.pv_band(result.mask),
+            grid=config.grid,
+            title=f"{layout.name} {solver.mode_name}",
+        )
+        print(f"\nWrote figure to {args.svg}")
+    return 0 if report.clean else 2
+
+
+def cmd_benchmarks(_args: argparse.Namespace) -> int:
+    print(f"{'name':6s} {'shapes':>7s} {'area nm^2':>10s} {'perimeter nm':>13s}")
+    for name, layout in load_all_benchmarks().items():
+        print(
+            f"{name:6s} {layout.num_shapes:7d} {layout.pattern_area:10.0f} "
+            f"{layout.total_perimeter:13.0f}"
+        )
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    layout = load_benchmark(args.name)
+    write_glp(layout, args.path)
+    print(f"Wrote {args.name} to {args.path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MOSAIC process-window-aware inverse lithography (DAC 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    solve = sub.add_parser("solve", help="run OPC on a benchmark or GLP file")
+    solve.add_argument("layout", help="benchmark name (B1..B10) or .glp path")
+    solve.add_argument("--mode", choices=_MODES, default="fast")
+    solve.add_argument("--recipe", help="JSON recipe file (overrides --mode)")
+    solve.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    solve.add_argument("--out", help="directory for the NPZ result bundle")
+    solve.add_argument("--render", action="store_true", help="ASCII-render the mask")
+    solve.add_argument("--render-width", type=int, default=56)
+    solve.set_defaults(func=cmd_solve)
+
+    simulate = sub.add_parser("simulate", help="print a layout without OPC")
+    simulate.add_argument("layout", help="benchmark name (B1..B10) or .glp path")
+    simulate.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    simulate.add_argument("--render", action="store_true")
+    simulate.add_argument("--render-width", type=int, default=56)
+    simulate.set_defaults(func=cmd_simulate)
+
+    verify = sub.add_parser(
+        "verify", help="solve + full verification report (exit 2 on violations)"
+    )
+    verify.add_argument("layout", help="benchmark name (B1..B10) or .glp path")
+    verify.add_argument("--mode", choices=_MODES, default="fast")
+    verify.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    verify.add_argument("--svg", help="write a layered SVG figure to this path")
+    verify.set_defaults(func=cmd_verify)
+
+    benchmarks = sub.add_parser("benchmarks", help="list bundled clips")
+    benchmarks.set_defaults(func=cmd_benchmarks)
+
+    export = sub.add_parser("export", help="write a bundled clip to GLP")
+    export.add_argument("name", choices=BENCHMARK_NAMES)
+    export.add_argument("path")
+    export.set_defaults(func=cmd_export)
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""Physical and paper-default constants for the MOSAIC reproduction.
+
+The defaults mirror Sec. 4 of the paper (DAC 2014) and the ICCAD 2013
+contest setup the paper evaluates on:
+
+* 193 nm ArF immersion lithography, NA = 1.35, annular illumination.
+* 1024 x 1024 nm layout clips at 1 nm per pixel.
+* Process window: defocus range +/-25 nm, dose range +/-2 %.
+* Resist threshold th_r = 0.5 on the (normalized) aerial image, sigmoid
+  steepness theta_Z = 50 (paper Fig. 2).
+* Mask relaxation sigmoid steepness theta_M = 4 (paper Eq. 8; value from
+  the line-search ILT reference [12] the paper builds on).
+* EPE constraint th_epe = 15 nm, sample points every 40 nm.
+* SOCS approximation order h = 24 kernels (paper Eq. 2).
+"""
+
+from __future__ import annotations
+
+# --- Optics ---------------------------------------------------------------
+WAVELENGTH_NM: float = 193.0
+NUMERICAL_APERTURE: float = 1.35
+#: Annular illumination partial-coherence bounds (sigma_in, sigma_out).
+SIGMA_INNER: float = 0.6
+SIGMA_OUTER: float = 0.9
+#: Number of SOCS/SVD kernels retained (paper: h = 24).
+NUM_KERNELS: int = 24
+
+# --- Layout / grid --------------------------------------------------------
+#: Side length of an ICCAD-2013 layout clip in nanometres.
+CLIP_SIZE_NM: float = 1024.0
+#: Paper mask resolution: 1 nm per pixel.
+PIXEL_SIZE_NM: float = 1.0
+
+# --- Resist ---------------------------------------------------------------
+RESIST_THRESHOLD: float = 0.5
+#: Sigmoid steepness for the printed-image approximation (paper theta_Z).
+THETA_Z: float = 50.0
+
+# --- Mask relaxation ------------------------------------------------------
+#: Sigmoid steepness for the mask variable transform (paper theta_M).
+THETA_M: float = 4.0
+
+# --- Process window -------------------------------------------------------
+DEFOCUS_RANGE_NM: float = 25.0
+DOSE_RANGE: float = 0.02
+
+# --- EPE ------------------------------------------------------------------
+#: EPE violation threshold in nanometres (paper: 15 nm).
+EPE_THRESHOLD_NM: float = 15.0
+#: Spacing between EPE sample points along pattern boundaries (paper: 40 nm).
+EPE_SAMPLE_SPACING_NM: float = 40.0
+#: Sigmoid steepness for the differentiable EPE-violation indicator
+#: (units: 1 / pixel of Dsum; moderate steepness keeps gradients alive
+#: for samples far from the violation threshold).
+THETA_EPE: float = 1.0
+
+# --- Optimizer (paper Alg. 1 / Sec. 4.1) ----------------------------------
+MAX_ITERATIONS: int = 20
+#: Default iteration budgets for the two solvers.  The paper runs both for
+#: th_iter = 20 C++ iterations; this implementation's normalized-gradient
+#: steps are cheaper but smaller, so the defaults are higher: the fast mode
+#: converges by ~30, the exact mode (sparser EPE gradients) by ~60.
+MOSAIC_FAST_ITERATIONS: int = 30
+MOSAIC_EXACT_ITERATIONS: int = 60
+GRADIENT_RMS_TOLERANCE: float = 1e-5
+#: Image-difference exponent gamma for MOSAIC_fast (paper Sec. 3.3).
+GAMMA_FAST: float = 4.0
+
+# --- ICCAD 2013 contest score (paper Eq. 22) -------------------------------
+#: Score = runtime + SCORE_PVB_WEIGHT * PVB + SCORE_EPE_WEIGHT * #EPE
+#:         + SCORE_SHAPE_WEIGHT * #ShapeViolations
+SCORE_PVB_WEIGHT: float = 4.0
+SCORE_EPE_WEIGHT: float = 5000.0
+SCORE_SHAPE_WEIGHT: float = 10000.0

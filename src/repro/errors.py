@@ -1,0 +1,35 @@
+"""Exception hierarchy for the MOSAIC reproduction library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch one base type.  Subclasses indicate which subsystem rejected the
+input or failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class GeometryError(ReproError):
+    """Invalid geometric input (degenerate rectangle, non-rectilinear polygon...)."""
+
+
+class GridError(ReproError):
+    """Raster/pixel-grid mismatch or invalid grid specification."""
+
+
+class OpticsError(ReproError):
+    """Invalid optical-system configuration or kernel construction failure."""
+
+class ProcessError(ReproError):
+    """Invalid process-window specification (corners, dose, defocus)."""
+
+
+class OptimizationError(ReproError):
+    """Mask optimization could not proceed (bad state, non-finite gradient...)."""
+
+
+class LayoutIOError(ReproError):
+    """Layout file could not be parsed or written."""

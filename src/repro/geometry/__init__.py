@@ -1,0 +1,28 @@
+"""Rectilinear geometry: rectangles, polygons, layout clips, rasterization.
+
+Layouts in this library model ICCAD-2013-style M1 clips: rectilinear
+polygons inside a square clip window, with coordinates in nanometres.
+"""
+
+from .rect import Rect
+from .polygon import Polygon
+from .layout import Layout
+from .raster import rasterize_layout, rasterize_polygon, rasterize_rect
+from .edges import Edge, EdgeOrientation, SamplePoint, extract_edges, generate_sample_points
+from .contours import boundary_mask, extract_contour_segments
+
+__all__ = [
+    "Rect",
+    "Polygon",
+    "Layout",
+    "rasterize_layout",
+    "rasterize_polygon",
+    "rasterize_rect",
+    "Edge",
+    "EdgeOrientation",
+    "SamplePoint",
+    "extract_edges",
+    "generate_sample_points",
+    "boundary_mask",
+    "extract_contour_segments",
+]

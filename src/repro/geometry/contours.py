@@ -1,0 +1,108 @@
+"""Contour utilities on binary printed images.
+
+Used for EPE measurement (locating the printed edge near a sample point),
+shape-violation detection support, and the Fig. 5 image dumps.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from ..utils.validation import ensure_binary_image
+
+
+def boundary_mask(image: np.ndarray) -> np.ndarray:
+    """Pixels that are set and touch an unset 4-neighbour (or the border).
+
+    Args:
+        image: binary printed image.
+
+    Returns:
+        Boolean mask of boundary pixels.
+    """
+    img = ensure_binary_image(image)
+    padded = np.pad(img, 1, mode="constant", constant_values=False)
+    interior = (
+        padded[:-2, 1:-1]
+        & padded[2:, 1:-1]
+        & padded[1:-1, :-2]
+        & padded[1:-1, 2:]
+    )
+    return img & ~interior
+
+
+def extract_contour_segments(image: np.ndarray, pixel_nm: float = 1.0) -> List[Tuple[Tuple[float, float], Tuple[float, float]]]:
+    """Extract unit contour segments between set and unset pixels.
+
+    Each returned segment is ``((x0, y0), (x1, y1))`` in nm, lying on the
+    pixel lattice between a set pixel and an unset 4-neighbour.  Suitable
+    for plotting printed contours.
+    """
+    img = ensure_binary_image(image)
+    rows, cols = img.shape
+    segments: List[Tuple[Tuple[float, float], Tuple[float, float]]] = []
+    padded = np.pad(img, 1, mode="constant", constant_values=False)
+
+    # Horizontal boundaries: transitions between vertically adjacent pixels.
+    diff_v = padded[1:, 1:-1] != padded[:-1, 1:-1]  # shape (rows+1, cols)
+    ys, xs = np.nonzero(diff_v)
+    for iy, ix in zip(ys, xs):
+        y = iy * pixel_nm
+        segments.append(((ix * pixel_nm, y), ((ix + 1) * pixel_nm, y)))
+
+    # Vertical boundaries: transitions between horizontally adjacent pixels.
+    diff_h = padded[1:-1, 1:] != padded[1:-1, :-1]  # shape (rows, cols+1)
+    ys, xs = np.nonzero(diff_h)
+    for iy, ix in zip(ys, xs):
+        x = ix * pixel_nm
+        segments.append(((x, iy * pixel_nm), (x, (iy + 1) * pixel_nm)))
+    return segments
+
+
+def edge_displacement(
+    printed: np.ndarray,
+    row: int,
+    col: int,
+    axis: int,
+    interior_sign: int,
+    max_search: int,
+) -> int | None:
+    """Signed pixel displacement from a target boundary pixel to the printed edge.
+
+    Starting from the target boundary pixel ``(row, col)`` (which sits just
+    inside the target pattern), walk along ``axis`` (0 = rows/y, 1 = cols/x)
+    to find where the printed image transitions, searching up to
+    ``max_search`` pixels in both directions.
+
+    Returns:
+        Signed displacement in pixels — positive when the printed edge lies
+        *outside* the target edge (printed pattern bulges out), negative
+        when it pulls in; ``None`` when no printed edge is found within the
+        search range (catastrophic failure, e.g. the feature did not print).
+    """
+    printed = ensure_binary_image(printed)
+    rows, cols = printed.shape
+
+    def value_at(offset: int) -> bool:
+        # offset counts pixels along the *outward* normal from the target pixel.
+        delta = -interior_sign * offset
+        r = row + (delta if axis == 0 else 0)
+        c = col + (delta if axis == 1 else 0)
+        if not (0 <= r < rows and 0 <= c < cols):
+            return False
+        return bool(printed[r, c])
+
+    inside_here = value_at(0)
+    if inside_here:
+        # Printed covers the target boundary pixel: edge lies outward.
+        for k in range(1, max_search + 1):
+            if not value_at(k):
+                return k - 1
+        return None
+    # Printed does not reach the target boundary pixel: edge lies inward.
+    for k in range(1, max_search + 1):
+        if value_at(-k):
+            return -k
+    return None

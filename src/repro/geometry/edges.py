@@ -1,0 +1,184 @@
+"""Edge extraction and EPE sample-point generation (paper Fig. 3).
+
+EPE is measured at points sampled along the target pattern boundary,
+split into samples on horizontal edges (``HS`` — displacement measured
+vertically) and samples on vertical edges (``VS`` — displacement measured
+horizontally).  The paper samples every 40 nm.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from .. import constants
+from ..config import GridSpec
+from .layout import Layout
+from .polygon import Polygon
+
+
+class EdgeOrientation(enum.Enum):
+    """Orientation of a polygon boundary edge."""
+
+    HORIZONTAL = "H"
+    VERTICAL = "V"
+
+
+@dataclass(frozen=True)
+class Edge:
+    """One axis-aligned boundary edge of a target polygon.
+
+    Attributes:
+        orientation: horizontal or vertical.
+        fixed: the invariant coordinate (y for horizontal, x for vertical), nm.
+        lo: smaller varying coordinate, nm.
+        hi: larger varying coordinate, nm.
+        interior_sign: +1 if the pattern interior lies on the +normal side
+            (+y for horizontal edges, +x for vertical edges), else -1.
+    """
+
+    orientation: EdgeOrientation
+    fixed: float
+    lo: float
+    hi: float
+    interior_sign: int
+
+    @property
+    def length(self) -> float:
+        return self.hi - self.lo
+
+
+@dataclass(frozen=True)
+class SamplePoint:
+    """One EPE measurement site on the target boundary.
+
+    Attributes:
+        x, y: physical coordinates in nm.
+        row, col: pixel indices of the boundary pixel (interior side).
+        orientation: orientation of the edge the sample sits on — a sample
+            on a HORIZONTAL edge belongs to the paper's HS set and its EPE
+            is measured along y; a VERTICAL-edge sample (VS) along x.
+        interior_sign: +1 if the interior is on the +normal side.
+    """
+
+    x: float
+    y: float
+    row: int
+    col: int
+    orientation: EdgeOrientation
+    interior_sign: int
+
+    @property
+    def is_horizontal(self) -> bool:
+        return self.orientation is EdgeOrientation.HORIZONTAL
+
+
+def extract_edges(poly: Polygon) -> List[Edge]:
+    """Decompose a rectilinear polygon boundary into oriented edges.
+
+    Vertices are counter-clockwise, so the interior is to the left of each
+    directed segment: a horizontal segment traversed in +x has interior
+    above it (+y); one traversed in -x has interior below.  A vertical
+    segment traversed in +y has interior on -x; in -y on +x.
+    """
+    edges: List[Edge] = []
+    for (x0, y0), (x1, y1) in poly.segments():
+        if y0 == y1:  # horizontal
+            sign = 1 if x1 > x0 else -1
+            edges.append(
+                Edge(
+                    orientation=EdgeOrientation.HORIZONTAL,
+                    fixed=y0,
+                    lo=min(x0, x1),
+                    hi=max(x0, x1),
+                    interior_sign=sign,
+                )
+            )
+        else:  # vertical
+            sign = -1 if y1 > y0 else 1
+            edges.append(
+                Edge(
+                    orientation=EdgeOrientation.VERTICAL,
+                    fixed=x0,
+                    lo=min(y0, y1),
+                    hi=max(y0, y1),
+                    interior_sign=sign,
+                )
+            )
+    return edges
+
+
+def _positions_along(lo: float, hi: float, spacing: float) -> List[float]:
+    """Sample positions along [lo, hi]: midpoint for short edges, else a
+    centred uniform ladder with the given spacing."""
+    length = hi - lo
+    if length <= spacing:
+        return [(lo + hi) / 2.0]
+    count = int(length // spacing)
+    used = count * spacing
+    start = lo + (length - used) / 2.0 + spacing / 2.0
+    return [start + k * spacing for k in range(count)]
+
+
+def _interior_pixel(
+    coord_along: float, edge: Edge, grid: GridSpec
+) -> Tuple[int, int]:
+    """Pixel indices of the boundary pixel just inside the pattern."""
+    dx = grid.pixel_nm
+    rows, cols = grid.shape
+    # Center the sample half a pixel inside the interior along the normal.
+    if edge.orientation is EdgeOrientation.HORIZONTAL:
+        x = coord_along
+        y = edge.fixed + edge.interior_sign * dx / 2.0
+    else:
+        y = coord_along
+        x = edge.fixed + edge.interior_sign * dx / 2.0
+    col = min(max(int(x / dx), 0), cols - 1)
+    row = min(max(int(y / dx), 0), rows - 1)
+    return row, col
+
+
+def generate_sample_points(
+    layout: Layout,
+    grid: GridSpec,
+    spacing_nm: float = constants.EPE_SAMPLE_SPACING_NM,
+) -> List[SamplePoint]:
+    """Generate EPE sample points along every target edge.
+
+    Args:
+        layout: target layout.
+        grid: pixel grid the mask/images live on.
+        spacing_nm: distance between consecutive samples (paper: 40 nm).
+
+    Returns:
+        Sample points covering all edges; short edges get one midpoint
+        sample so no feature goes unmeasured.
+    """
+    samples: List[SamplePoint] = []
+    for poly in layout.polygons:
+        for edge in extract_edges(poly):
+            for pos in _positions_along(edge.lo, edge.hi, spacing_nm):
+                row, col = _interior_pixel(pos, edge, grid)
+                if edge.orientation is EdgeOrientation.HORIZONTAL:
+                    x, y = pos, edge.fixed
+                else:
+                    x, y = edge.fixed, pos
+                samples.append(
+                    SamplePoint(
+                        x=x,
+                        y=y,
+                        row=row,
+                        col=col,
+                        orientation=edge.orientation,
+                        interior_sign=edge.interior_sign,
+                    )
+                )
+    return samples
+
+
+def split_samples(samples: Sequence[SamplePoint]) -> Tuple[List[SamplePoint], List[SamplePoint]]:
+    """Split samples into the paper's (HS, VS) sets."""
+    hs = [s for s in samples if s.orientation is EdgeOrientation.HORIZONTAL]
+    vs = [s for s in samples if s.orientation is EdgeOrientation.VERTICAL]
+    return hs, vs

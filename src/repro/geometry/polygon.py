@@ -1,0 +1,139 @@
+"""Rectilinear (Manhattan) polygons.
+
+A polygon is a closed, simple, axis-aligned loop of vertices given in
+counter-clockwise order.  Consecutive edges alternate between horizontal
+and vertical.  This matches the geometry of M1 routing shapes in the
+ICCAD 2013 clips (lines, jogs, T/U/L shapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from ..errors import GeometryError
+from .rect import Rect
+
+Point = Tuple[float, float]
+
+
+def _signed_area(vertices: Sequence[Point]) -> float:
+    """Shoelace signed area; positive for counter-clockwise loops."""
+    total = 0.0
+    n = len(vertices)
+    for i in range(n):
+        x0, y0 = vertices[i]
+        x1, y1 = vertices[(i + 1) % n]
+        total += x0 * y1 - x1 * y0
+    return total / 2.0
+
+
+def _dedupe_collinear(vertices: Sequence[Point]) -> List[Point]:
+    """Remove repeated points and merge collinear consecutive edges."""
+    pts = [vertices[0]]
+    for p in vertices[1:]:
+        if p != pts[-1]:
+            pts.append(p)
+    if len(pts) > 1 and pts[0] == pts[-1]:
+        pts.pop()
+    # Merge collinear runs (all edges are axis-aligned so collinear means
+    # the shared coordinate repeats across three consecutive points).
+    out: List[Point] = []
+    n = len(pts)
+    for i in range(n):
+        prev = pts[i - 1]
+        cur = pts[i]
+        nxt = pts[(i + 1) % n]
+        if (prev[0] == cur[0] == nxt[0]) or (prev[1] == cur[1] == nxt[1]):
+            continue
+        out.append(cur)
+    return out
+
+
+@dataclass(frozen=True)
+class Polygon:
+    """Simple rectilinear polygon with counter-clockwise vertices.
+
+    Construction normalizes orientation (clockwise input is reversed) and
+    removes duplicate/collinear vertices, then validates rectilinearity.
+    """
+
+    vertices: Tuple[Point, ...]
+
+    def __init__(self, vertices: Sequence[Point]) -> None:
+        if len(vertices) < 4:
+            raise GeometryError(f"polygon needs >= 4 vertices, got {len(vertices)}")
+        pts = _dedupe_collinear([(float(x), float(y)) for x, y in vertices])
+        if len(pts) < 4:
+            raise GeometryError("polygon degenerates after removing collinear vertices")
+        area = _signed_area(pts)
+        if area == 0:
+            raise GeometryError("polygon has zero area")
+        if area < 0:
+            pts = list(reversed(pts))
+        n = len(pts)
+        for i in range(n):
+            x0, y0 = pts[i]
+            x1, y1 = pts[(i + 1) % n]
+            if x0 != x1 and y0 != y1:
+                raise GeometryError(
+                    f"non-rectilinear edge ({x0},{y0})-({x1},{y1})"
+                )
+        object.__setattr__(self, "vertices", tuple(pts))
+
+    @classmethod
+    def from_rect(cls, rect: Rect) -> "Polygon":
+        """Polygon covering the same region as ``rect``."""
+        return cls(list(rect.corners()))
+
+    @property
+    def area(self) -> float:
+        """Enclosed area (always positive)."""
+        return abs(_signed_area(self.vertices))
+
+    @property
+    def bbox(self) -> Rect:
+        """Axis-aligned bounding box."""
+        xs = [p[0] for p in self.vertices]
+        ys = [p[1] for p in self.vertices]
+        return Rect(min(xs), min(ys), max(xs), max(ys))
+
+    @property
+    def perimeter(self) -> float:
+        """Total boundary length."""
+        total = 0.0
+        n = len(self.vertices)
+        for i in range(n):
+            x0, y0 = self.vertices[i]
+            x1, y1 = self.vertices[(i + 1) % n]
+            total += abs(x1 - x0) + abs(y1 - y0)
+        return total
+
+    def segments(self) -> Iterator[Tuple[Point, Point]]:
+        """Yield boundary segments ``(start, end)`` in counter-clockwise order."""
+        n = len(self.vertices)
+        for i in range(n):
+            yield (self.vertices[i], self.vertices[(i + 1) % n])
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """Even-odd rule point-in-polygon test (boundary points count as inside)."""
+        # Boundary check first: on any segment?
+        for (x0, y0), (x1, y1) in self.segments():
+            if x0 == x1 == x and min(y0, y1) <= y <= max(y0, y1):
+                return True
+            if y0 == y1 == y and min(x0, x1) <= x <= max(x0, x1):
+                return True
+        inside = False
+        n = len(self.vertices)
+        for i in range(n):
+            x0, y0 = self.vertices[i]
+            x1, y1 = self.vertices[(i + 1) % n]
+            if (y0 > y) != (y1 > y):
+                x_cross = x0 + (y - y0) / (y1 - y0) * (x1 - x0)
+                if x < x_cross:
+                    inside = not inside
+        return inside
+
+    def translated(self, dx: float, dy: float) -> "Polygon":
+        """Polygon shifted by ``(dx, dy)``."""
+        return Polygon([(x + dx, y + dy) for x, y in self.vertices])

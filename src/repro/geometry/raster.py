@@ -1,0 +1,95 @@
+"""Rasterization of rectilinear geometry onto the pixel grid.
+
+Array convention used throughout the library: images are indexed
+``img[iy, ix]`` where ``iy`` grows with physical ``y`` (bottom row of the
+clip is row 0) and ``ix`` grows with physical ``x``.  Pixel ``(iy, ix)``
+covers ``[ix*dx, (ix+1)*dx) x [iy*dx, (iy+1)*dx)`` nm.  A pixel is set when
+its *center* lies inside the shape — exact for shapes whose edges sit on
+grid lines, which is the case for all ICCAD-style clips at 1 nm/px.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from ..config import GridSpec
+from ..errors import GridError
+from .layout import Layout
+from .polygon import Polygon
+from .rect import Rect
+
+
+def _center_span(lo: float, hi: float, dx: float, n: int) -> Tuple[int, int]:
+    """Index range [i0, i1) of pixels whose centers fall in [lo, hi)."""
+    i0 = int(math.ceil(lo / dx - 0.5 - 1e-12))
+    i1 = int(math.ceil(hi / dx - 0.5 - 1e-12))
+    return max(i0, 0), min(i1, n)
+
+
+def rasterize_rect(rect: Rect, grid: GridSpec, out: np.ndarray | None = None) -> np.ndarray:
+    """Rasterize a rectangle; OR into ``out`` if given.
+
+    Args:
+        rect: rectangle in nm coordinates.
+        grid: target pixel grid.
+        out: optional boolean array of ``grid.shape`` to accumulate into.
+
+    Returns:
+        Boolean image of shape ``grid.shape``.
+    """
+    rows, cols = grid.shape
+    if out is None:
+        out = np.zeros((rows, cols), dtype=bool)
+    elif out.shape != (rows, cols):
+        raise GridError(f"output shape {out.shape} != grid shape {grid.shape}")
+    dx = grid.pixel_nm
+    j0, j1 = _center_span(rect.x0, rect.x1, dx, cols)
+    i0, i1 = _center_span(rect.y0, rect.y1, dx, rows)
+    if i0 < i1 and j0 < j1:
+        out[i0:i1, j0:j1] = True
+    return out
+
+
+def rasterize_polygon(poly: Polygon, grid: GridSpec, out: np.ndarray | None = None) -> np.ndarray:
+    """Rasterize a rectilinear polygon by even-odd scanline filling.
+
+    For every pixel row, crossings of the polygon's vertical edges with the
+    row's center line are collected; pixels between alternate crossings are
+    filled.
+    """
+    rows, cols = grid.shape
+    if out is None:
+        out = np.zeros((rows, cols), dtype=bool)
+    elif out.shape != (rows, cols):
+        raise GridError(f"output shape {out.shape} != grid shape {grid.shape}")
+    dx = grid.pixel_nm
+
+    verticals = []  # (x, y_lo, y_hi)
+    for (x0, y0), (x1, y1) in poly.segments():
+        if x0 == x1:
+            verticals.append((x0, min(y0, y1), max(y0, y1)))
+    if not verticals:
+        return out
+
+    bbox = poly.bbox
+    i_lo, i_hi = _center_span(bbox.y0, bbox.y1, dx, rows)
+    for iy in range(i_lo, i_hi):
+        yc = (iy + 0.5) * dx
+        crossings = sorted(x for x, y_lo, y_hi in verticals if y_lo <= yc < y_hi)
+        for k in range(0, len(crossings) - 1, 2):
+            j0, j1 = _center_span(crossings[k], crossings[k + 1], dx, cols)
+            if j0 < j1:
+                out[iy, j0:j1] = True
+    return out
+
+
+def rasterize_layout(layout: Layout, grid: GridSpec) -> np.ndarray:
+    """Rasterize every shape of a layout into one boolean target image."""
+    rows, cols = grid.shape
+    out = np.zeros((rows, cols), dtype=bool)
+    for poly in layout.polygons:
+        rasterize_polygon(poly, grid, out=out)
+    return out

@@ -1,0 +1,112 @@
+"""Axis-aligned rectangles in nanometre coordinates.
+
+The convention throughout the library is ``(x0, y0)`` = lower-left corner,
+``(x1, y1)`` = upper-right corner, with ``x`` growing rightwards (columns)
+and ``y`` growing upwards (rows are stored top-to-bottom in arrays; the
+rasterizer handles the flip).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..errors import GeometryError
+
+
+@dataclass(frozen=True, order=True)
+class Rect:
+    """Axis-aligned rectangle with strictly positive area.
+
+    Attributes:
+        x0: left edge (nm).
+        y0: bottom edge (nm).
+        x1: right edge (nm), must exceed ``x0``.
+        y1: top edge (nm), must exceed ``y0``.
+    """
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+
+    def __post_init__(self) -> None:
+        if not (self.x1 > self.x0 and self.y1 > self.y0):
+            raise GeometryError(
+                f"degenerate rectangle ({self.x0},{self.y0})-({self.x1},{self.y1})"
+            )
+
+    @classmethod
+    def from_size(cls, x: float, y: float, width: float, height: float) -> "Rect":
+        """Build from a lower-left corner plus width and height."""
+        return cls(x, y, x + width, y + height)
+
+    @property
+    def width(self) -> float:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> float:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> float:
+        return self.width * self.height
+
+    @property
+    def center(self) -> Tuple[float, float]:
+        return ((self.x0 + self.x1) / 2.0, (self.y0 + self.y1) / 2.0)
+
+    def contains_point(self, x: float, y: float) -> bool:
+        """True if ``(x, y)`` lies inside or on the boundary."""
+        return self.x0 <= x <= self.x1 and self.y0 <= y <= self.y1
+
+    def contains_rect(self, other: "Rect") -> bool:
+        """True if ``other`` lies entirely inside this rectangle."""
+        return (
+            self.x0 <= other.x0
+            and self.y0 <= other.y0
+            and self.x1 >= other.x1
+            and self.y1 >= other.y1
+        )
+
+    def intersects(self, other: "Rect") -> bool:
+        """True if the interiors overlap (touching edges do not count)."""
+        return (
+            self.x0 < other.x1
+            and other.x0 < self.x1
+            and self.y0 < other.y1
+            and other.y0 < self.y1
+        )
+
+    def intersection(self, other: "Rect") -> "Rect | None":
+        """Overlap rectangle, or None if interiors are disjoint."""
+        if not self.intersects(other):
+            return None
+        return Rect(
+            max(self.x0, other.x0),
+            max(self.y0, other.y0),
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+        )
+
+    def expanded(self, margin: float) -> "Rect":
+        """Rectangle grown by ``margin`` on every side (negative shrinks)."""
+        return Rect(self.x0 - margin, self.y0 - margin, self.x1 + margin, self.y1 + margin)
+
+    def translated(self, dx: float, dy: float) -> "Rect":
+        """Rectangle shifted by ``(dx, dy)``."""
+        return Rect(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy)
+
+    def corners(self) -> Iterator[Tuple[float, float]]:
+        """Counter-clockwise corners starting at the lower-left."""
+        yield (self.x0, self.y0)
+        yield (self.x1, self.y0)
+        yield (self.x1, self.y1)
+        yield (self.x0, self.y1)
+
+    def distance_to(self, other: "Rect") -> float:
+        """Minimum euclidean gap between the two rectangles (0 if overlapping)."""
+        dx = max(0.0, max(self.x0, other.x0) - min(self.x1, other.x1))
+        dy = max(0.0, max(self.y0, other.y0) - min(self.y1, other.y1))
+        return float((dx * dx + dy * dy) ** 0.5)

@@ -1,0 +1,120 @@
+"""Batch experiment harness: solvers x layouts -> aggregated results.
+
+The benchmark files each regenerate one paper table; this harness is
+the generic engine behind ad-hoc studies: run any set of solvers over
+any set of layouts, collect the scores into a matrix, format it as a
+text table, and export CSV for spreadsheet analysis.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence, Tuple, Union
+
+from .errors import ReproError
+from .geometry.layout import Layout
+from .metrics.score import ScoreBreakdown
+
+#: A solver factory: () -> object with .solve(layout) -> MosaicResult.
+SolverFactory = Callable[[], object]
+
+
+@dataclass
+class ExperimentResult:
+    """Scores for every (solver, layout) cell of one batch run."""
+
+    solver_labels: List[str]
+    layout_names: List[str]
+    scores: Dict[Tuple[str, str], ScoreBreakdown] = field(default_factory=dict)
+    runtimes: Dict[Tuple[str, str], float] = field(default_factory=dict)
+
+    def score(self, solver: str, layout: str) -> ScoreBreakdown:
+        return self.scores[(solver, layout)]
+
+    def totals(self) -> Dict[str, float]:
+        """Summed contest score per solver (lower is better)."""
+        return {
+            label: sum(self.scores[(label, name)].total for name in self.layout_names)
+            for label in self.solver_labels
+        }
+
+    def ranking(self) -> List[str]:
+        """Solver labels sorted best (lowest total) first."""
+        totals = self.totals()
+        return sorted(self.solver_labels, key=lambda label: totals[label])
+
+    def format_table(self) -> str:
+        """Fixed-width text table, one row per layout plus a ratio row."""
+        header = f"{'case':8s}" + "".join(
+            f"{label:>24s}" for label in self.solver_labels
+        )
+        sub = f"{'':8s}" + f"{'#EPE   PVB      score':>24s}" * len(self.solver_labels)
+        rows = [header, sub]
+        for name in self.layout_names:
+            row = f"{name:8s}"
+            for label in self.solver_labels:
+                s = self.scores[(label, name)]
+                row += f"{s.epe_violations:7d}{s.pv_band_nm2:7.0f}{s.total:10.0f}"
+            rows.append(row)
+        totals = self.totals()
+        best = min(totals.values())
+        rows.append(
+            f"{'ratio':8s}"
+            + "".join(f"{totals[label] / best:>24.3f}" for label in self.solver_labels)
+        )
+        return "\n".join(rows)
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """One CSV row per (solver, layout) cell with all components."""
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(
+                ["solver", "layout", "epe_violations", "pv_band_nm2",
+                 "shape_violations", "runtime_s", "score"]
+            )
+            for label in self.solver_labels:
+                for name in self.layout_names:
+                    s = self.scores[(label, name)]
+                    writer.writerow(
+                        [label, name, s.epe_violations, s.pv_band_nm2,
+                         s.shape_violations, f"{s.runtime_s:.3f}", f"{s.total:.1f}"]
+                    )
+
+
+def run_experiment(
+    solvers: Sequence[Tuple[str, SolverFactory]],
+    layouts: Sequence[Layout],
+    progress: Callable[[str], None] = lambda msg: None,
+) -> ExperimentResult:
+    """Run every solver on every layout.
+
+    Args:
+        solvers: (label, factory) pairs; a fresh solver is built per cell
+            so per-run state never leaks (share a simulator through the
+            factory closure to reuse kernel caches).
+        layouts: the layouts to solve.
+        progress: optional callback receiving one message per cell.
+
+    Returns:
+        The filled result matrix.
+    """
+    if not solvers:
+        raise ReproError("run_experiment needs at least one solver")
+    if not layouts:
+        raise ReproError("run_experiment needs at least one layout")
+    labels = [label for label, _ in solvers]
+    if len(set(labels)) != len(labels):
+        raise ReproError(f"duplicate solver labels: {labels}")
+    result = ExperimentResult(
+        solver_labels=labels,
+        layout_names=[layout.name for layout in layouts],
+    )
+    for layout in layouts:
+        for label, factory in solvers:
+            progress(f"{label} on {layout.name}")
+            solved = factory().solve(layout)
+            result.scores[(label, layout.name)] = solved.score
+            result.runtimes[(label, layout.name)] = solved.runtime_s
+    return result

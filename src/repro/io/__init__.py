@@ -1,0 +1,20 @@
+"""Layout and image I/O."""
+
+from .glp import read_glp, write_glp, loads_glp, dumps_glp
+from .gds_lite import read_gds, write_gds
+from .images import save_npz_images, save_pgm, ascii_render
+from .svg import render_svg, save_svg
+
+__all__ = [
+    "read_gds",
+    "write_gds",
+    "render_svg",
+    "save_svg",
+    "read_glp",
+    "write_glp",
+    "loads_glp",
+    "dumps_glp",
+    "save_npz_images",
+    "save_pgm",
+    "ascii_render",
+]

@@ -1,0 +1,170 @@
+"""Minimal GDSII stream reader/writer for rectilinear layouts.
+
+Implements the subset of the GDSII binary format needed to exchange
+clips with real EDA tools: one library, one structure, BOUNDARY elements
+with XY coordinate lists.  Coordinates are written in database units of
+1 nm (unit record: 1 dbu = 1e-9 m).
+
+This is intentionally not a full GDS implementation — no SREF/AREF, no
+paths, no text — but files written here load in standard viewers, and
+BOUNDARY-only files exported by standard tools load here.
+"""
+
+from __future__ import annotations
+
+import struct
+from pathlib import Path
+from typing import List, Tuple, Union
+
+from ..errors import LayoutIOError
+from ..geometry.layout import Layout
+from ..geometry.polygon import Polygon
+from ..geometry.rect import Rect
+
+# GDSII record types (high byte) + data types (low byte) used here.
+_HEADER = 0x0002
+_BGNLIB = 0x0102
+_LIBNAME = 0x0206
+_UNITS = 0x0305
+_BGNSTR = 0x0502
+_STRNAME = 0x0606
+_ENDSTR = 0x0700
+_BOUNDARY = 0x0800
+_LAYER = 0x0D02
+_DATATYPE = 0x0E02
+_XY = 0x1003
+_ENDEL = 0x1100
+_ENDLIB = 0x0400
+
+#: Database unit: 1 nm, expressed in metres.
+_DBU_METERS = 1e-9
+_DEFAULT_LAYER = 1
+
+#: A zeroed BGNLIB/BGNSTR timestamp block (12 int16 fields).
+_ZERO_TIMESTAMP = (0,) * 12
+
+
+def _record(rectype: int, payload: bytes = b"") -> bytes:
+    length = 4 + len(payload)
+    if length % 2:
+        payload += b"\0"
+        length += 1
+    return struct.pack(">HH", length, rectype) + payload
+
+
+def _ascii(text: str) -> bytes:
+    data = text.encode("ascii")
+    return data + (b"\0" if len(data) % 2 else b"")
+
+
+def _gds_real8(value: float) -> bytes:
+    """Encode a float as GDSII 8-byte excess-64 real."""
+    if value == 0.0:
+        return b"\0" * 8
+    sign = 0x80 if value < 0 else 0x00
+    value = abs(value)
+    exponent = 64
+    while value >= 1.0:
+        value /= 16.0
+        exponent += 1
+    while value < 1.0 / 16.0:
+        value *= 16.0
+        exponent -= 1
+    mantissa = int(value * (1 << 56))
+    return struct.pack(">B", sign | exponent) + mantissa.to_bytes(7, "big")
+
+
+def _parse_real8(data: bytes) -> float:
+    byte0 = data[0]
+    sign = -1.0 if byte0 & 0x80 else 1.0
+    exponent = (byte0 & 0x7F) - 64
+    mantissa = int.from_bytes(data[1:8], "big") / float(1 << 56)
+    return sign * mantissa * (16.0**exponent)
+
+
+def write_gds(layout: Layout, path: Union[str, Path]) -> None:
+    """Write a layout as a one-structure GDSII file (1 nm dbu, layer 1)."""
+    chunks: List[bytes] = [
+        _record(_HEADER, struct.pack(">h", 600)),  # GDSII v6
+        _record(_BGNLIB, struct.pack(">12h", *_ZERO_TIMESTAMP)),
+        _record(_LIBNAME, _ascii("REPRO")),
+        _record(_UNITS, _gds_real8(1e-3) + _gds_real8(_DBU_METERS)),
+        _record(_BGNSTR, struct.pack(">12h", *_ZERO_TIMESTAMP)),
+        _record(_STRNAME, _ascii(layout.name or "TOP")),
+    ]
+    for poly in layout.polygons:
+        points: List[Tuple[int, int]] = [
+            (int(round(x)), int(round(y))) for x, y in poly.vertices
+        ]
+        points.append(points[0])  # GDS boundaries repeat the first point
+        xy = b"".join(struct.pack(">ii", x, y) for x, y in points)
+        chunks += [
+            _record(_BOUNDARY),
+            _record(_LAYER, struct.pack(">h", _DEFAULT_LAYER)),
+            _record(_DATATYPE, struct.pack(">h", 0)),
+            _record(_XY, xy),
+            _record(_ENDEL),
+        ]
+    chunks += [_record(_ENDSTR), _record(_ENDLIB)]
+    Path(path).write_bytes(b"".join(chunks))
+
+
+def read_gds(path: Union[str, Path], clip: Rect | None = None) -> Layout:
+    """Read a BOUNDARY-only GDSII file back into a Layout.
+
+    Args:
+        path: GDS file path.
+        clip: clip window for the layout; defaults to the contest clip
+            (shapes must fit inside whichever clip is used).
+    """
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise LayoutIOError(f"cannot read {path}: {exc}") from exc
+
+    offset = 0
+    name = "TOP"
+    dbu_nm = 1.0
+    polygons: List[Polygon] = []
+    current_xy: List[Tuple[float, float]] | None = None
+    in_boundary = False
+
+    while offset + 4 <= len(data):
+        length, rectype = struct.unpack(">HH", data[offset: offset + 4])
+        if length < 4:
+            raise LayoutIOError(f"corrupt record at byte {offset}")
+        payload = data[offset + 4: offset + length]
+        offset += length
+
+        if rectype == _UNITS:
+            if len(payload) != 16:
+                raise LayoutIOError("malformed UNITS record")
+            dbu_nm = _parse_real8(payload[8:16]) / _DBU_METERS
+        elif rectype == _STRNAME:
+            name = payload.rstrip(b"\0").decode("ascii", errors="replace")
+        elif rectype == _BOUNDARY:
+            in_boundary = True
+            current_xy = None
+        elif rectype == _XY and in_boundary:
+            count = len(payload) // 8
+            coords = struct.unpack(f">{2 * count}i", payload[: 8 * count])
+            current_xy = [
+                (coords[2 * i] * dbu_nm, coords[2 * i + 1] * dbu_nm)
+                for i in range(count)
+            ]
+        elif rectype == _ENDEL and in_boundary:
+            if current_xy is None or len(current_xy) < 5:
+                raise LayoutIOError("BOUNDARY element without a valid XY record")
+            try:
+                polygons.append(Polygon(current_xy[:-1]))  # drop repeated point
+            except Exception as exc:
+                raise LayoutIOError(f"unsupported boundary geometry: {exc}") from exc
+            in_boundary = False
+        elif rectype == _ENDLIB:
+            break
+
+    if not polygons:
+        raise LayoutIOError(f"{path}: no BOUNDARY elements found")
+    layout = Layout(name=name, clip=clip or Rect(0, 0, 1024, 1024))
+    layout.extend(polygons)
+    return layout

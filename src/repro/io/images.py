@@ -1,0 +1,69 @@
+"""Image dumps: NPZ bundles, PGM files, and ASCII renderings.
+
+These are the output paths of the Fig. 5 example bench (target / OPC mask
+/ nominal image / PV band); no plotting dependencies are available in the
+offline environment, so images are persisted as arrays and portable
+greyscale files and optionally rendered to text.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from ..errors import GridError
+
+
+def save_npz_images(path: Union[str, Path], images: Dict[str, np.ndarray]) -> None:
+    """Save named images into one compressed ``.npz`` bundle."""
+    if not images:
+        raise GridError("no images to save")
+    np.savez_compressed(Path(path), **{k: np.asarray(v) for k, v in images.items()})
+
+
+def save_pgm(path: Union[str, Path], image: np.ndarray) -> None:
+    """Save a 2-D array as a binary PGM (P5) greyscale image.
+
+    Values are min-max scaled to 0-255; the vertical axis is flipped so
+    the file displays with y upward, matching the library's convention.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim != 2:
+        raise GridError(f"PGM needs a 2-D image, got shape {img.shape}")
+    lo, hi = float(img.min()), float(img.max())
+    scale = 255.0 / (hi - lo) if hi > lo else 0.0
+    data = ((img - lo) * scale).astype(np.uint8)[::-1, :]  # flip for display
+    header = f"P5\n{data.shape[1]} {data.shape[0]}\n255\n".encode("ascii")
+    Path(path).write_bytes(header + data.tobytes())
+
+
+def ascii_render(image: np.ndarray, width: int = 64) -> str:
+    """Coarse ASCII rendering of an image (for terminal inspection).
+
+    Args:
+        image: 2-D array (binary or continuous).
+        width: output character columns; rows follow the aspect ratio
+            (characters are ~2x taller than wide, compensated here).
+
+    Returns:
+        Multi-line string, y rendered upward.
+    """
+    img = np.asarray(image, dtype=np.float64)
+    if img.ndim != 2:
+        raise GridError(f"need a 2-D image, got shape {img.shape}")
+    rows, cols = img.shape
+    width = min(width, cols)
+    height = max(int(round(rows / cols * width / 2.0)), 1)
+    ry = np.linspace(0, rows - 1, height).astype(int)
+    rx = np.linspace(0, cols - 1, width).astype(int)
+    sampled = img[np.ix_(ry, rx)]
+    lo, hi = float(sampled.min()), float(sampled.max())
+    levels = " .:-=+*#%@"
+    if hi > lo:
+        quantized = ((sampled - lo) / (hi - lo) * (len(levels) - 1)).astype(int)
+    else:
+        quantized = np.zeros_like(sampled, dtype=int)
+    lines = ["".join(levels[v] for v in row) for row in quantized[::-1]]
+    return "\n".join(lines)

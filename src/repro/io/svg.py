@@ -1,0 +1,118 @@
+"""SVG rendering of layouts, masks and printed contours.
+
+The offline environment has no plotting stack; SVG needs none.  The
+renderer draws up to four layers into one scalable figure a browser or
+vector editor opens directly:
+
+* target polygons (filled),
+* optimized mask (filled, distinct colour),
+* printed contour (stroked line segments),
+* PV band (filled, warning colour).
+
+Coordinates are in nm with y flipped so the figure displays y-upward,
+matching the library's convention.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from ..config import GridSpec
+from ..errors import GridError
+from ..geometry.contours import extract_contour_segments
+from ..geometry.layout import Layout
+from ..mask.fracture import fracture_mask
+
+#: Default layer colours (fill, opacity).
+TARGET_STYLE = ("#2563eb", 0.35)   # blue
+MASK_STYLE = ("#16a34a", 0.45)     # green
+PVBAND_STYLE = ("#dc2626", 0.6)    # red
+CONTOUR_COLOR = "#111827"          # near-black stroke
+
+
+def _polygon_element(points: Sequence[Tuple[float, float]], height: float,
+                     fill: str, opacity: float) -> str:
+    path = " ".join(f"{x:.2f},{height - y:.2f}" for x, y in points)
+    return f'<polygon points="{path}" fill="{fill}" fill-opacity="{opacity}"/>'
+
+
+def _rect_element(x0: float, y0: float, x1: float, y1: float, height: float,
+                  fill: str, opacity: float) -> str:
+    return (
+        f'<rect x="{x0:.2f}" y="{height - y1:.2f}" width="{x1 - x0:.2f}" '
+        f'height="{y1 - y0:.2f}" fill="{fill}" fill-opacity="{opacity}"/>'
+    )
+
+
+def render_svg(
+    clip_nm: Tuple[float, float],
+    layout: Optional[Layout] = None,
+    mask: Optional[np.ndarray] = None,
+    printed: Optional[np.ndarray] = None,
+    pv_band: Optional[np.ndarray] = None,
+    grid: Optional[GridSpec] = None,
+    title: str = "",
+) -> str:
+    """Compose an SVG document from any subset of the four layers.
+
+    Args:
+        clip_nm: (width, height) of the drawing area in nm.
+        layout: target polygons (drawn as filled shapes).
+        mask: binary mask image (drawn as its fractured rectangles —
+            exact and far smaller than per-pixel rects).
+        printed: binary printed image (drawn as contour strokes).
+        pv_band: boolean PV-band image (filled).
+        grid: required when any image layer is given.
+        title: optional figure title.
+
+    Returns:
+        The SVG document text.
+    """
+    width, height = clip_nm
+    if (mask is not None or printed is not None or pv_band is not None) and grid is None:
+        raise GridError("grid is required to render image layers")
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {width:g} {height:g}" '
+        f'width="640" height="{640 * height / width:.0f}">',
+        f'<rect width="{width:g}" height="{height:g}" fill="white"/>',
+    ]
+    if title:
+        parts.append(
+            f'<text x="8" y="20" font-family="monospace" font-size="16">{title}</text>'
+        )
+    if pv_band is not None:
+        fill, opacity = PVBAND_STYLE
+        for rect in fracture_mask(pv_band.astype(float), grid):
+            parts.append(_rect_element(rect.x0, rect.y0, rect.x1, rect.y1, height, fill, opacity))
+    if layout is not None:
+        fill, opacity = TARGET_STYLE
+        for poly in layout.polygons:
+            parts.append(_polygon_element(poly.vertices, height, fill, opacity))
+    if mask is not None:
+        fill, opacity = MASK_STYLE
+        for rect in fracture_mask(mask, grid):
+            parts.append(_rect_element(rect.x0, rect.y0, rect.x1, rect.y1, height, fill, opacity))
+    if printed is not None:
+        segments = extract_contour_segments(printed, pixel_nm=grid.pixel_nm)
+        lines = [
+            f'<line x1="{x0:.2f}" y1="{height - y0:.2f}" x2="{x1:.2f}" '
+            f'y2="{height - y1:.2f}"/>'
+            for (x0, y0), (x1, y1) in segments
+        ]
+        parts.append(
+            f'<g stroke="{CONTOUR_COLOR}" stroke-width="1.5">' + "".join(lines) + "</g>"
+        )
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(
+    path: Union[str, Path],
+    clip_nm: Tuple[float, float],
+    **layers,
+) -> None:
+    """Render and write an SVG figure (see :func:`render_svg`)."""
+    Path(path).write_text(render_svg(clip_nm, **layers))

@@ -1,0 +1,5 @@
+"""Forward lithography simulator facade (paper Sec. 2: Z = f(M))."""
+
+from .simulator import LithographySimulator
+
+__all__ = ["LithographySimulator"]

@@ -1,0 +1,105 @@
+"""End-to-end forward lithography simulator.
+
+``LithographySimulator`` glues together the optical SOCS model, the resist
+threshold model and the process corners into the forward map ``Z = f(M)``
+(paper Eq. 5).  Kernel sets are built lazily per focus condition and
+cached, since TCC decomposition is the expensive setup step.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config import LithoConfig
+from ..optics.hopkins import aerial_image, field_stack
+from ..optics.kernels import SOCSKernels, build_socs_kernels
+from ..process.corners import ProcessCorner, enumerate_corners, nominal_corner
+from ..process.pvband import pv_band, pv_band_area
+from ..resist.threshold import ThresholdResist
+
+
+class LithographySimulator:
+    """Mask -> aerial image -> printed image, at any process condition.
+
+    Example:
+        >>> import numpy as np
+        >>> from repro.config import LithoConfig
+        >>> sim = LithographySimulator(LithoConfig.reduced())
+        >>> mask = np.zeros(sim.grid.shape)
+        >>> mask[96:160, 96:160] = 1.0
+        >>> printed = sim.print_binary(mask)
+        >>> bool(printed[128, 128])
+        True
+
+    Args:
+        config: full lithography configuration.
+        source: optional illumination source overriding the default
+            annular source built from ``config.optics``.
+    """
+
+    def __init__(self, config: LithoConfig, source: Optional[object] = None) -> None:
+        self.config = config
+        self.grid = config.grid
+        self.resist = ThresholdResist(config.resist, pixel_nm=config.grid.pixel_nm)
+        self._source = source
+        self._kernel_cache: Dict[float, SOCSKernels] = {}
+
+    # -- kernel management ---------------------------------------------------
+
+    def kernels_at(self, defocus_nm: float = 0.0) -> SOCSKernels:
+        """SOCS kernel set at the given focus (built once, then cached)."""
+        key = float(defocus_nm)
+        if key not in self._kernel_cache:
+            self._kernel_cache[key] = build_socs_kernels(
+                self.grid, self.config.optics, defocus_nm=key, source=self._source
+            )
+        return self._kernel_cache[key]
+
+    def corners(self, include_nominal: bool = True) -> List[ProcessCorner]:
+        """Process corners for the configured process window."""
+        return enumerate_corners(self.config.process, include_nominal=include_nominal)
+
+    def prewarm(self) -> None:
+        """Build all kernel sets up front (useful before timing runs)."""
+        for corner in self.corners():
+            self.kernels_at(corner.defocus_nm)
+
+    # -- forward simulation ----------------------------------------------------
+
+    def aerial(self, mask: np.ndarray, corner: Optional[ProcessCorner] = None) -> np.ndarray:
+        """Aerial intensity image at a process condition (default nominal)."""
+        corner = corner or nominal_corner()
+        kernels = self.kernels_at(corner.defocus_nm)
+        return aerial_image(mask, kernels, dose=corner.dose)
+
+    def fields(self, mask: np.ndarray, corner: Optional[ProcessCorner] = None) -> np.ndarray:
+        """Per-kernel coherent fields at a condition (for gradient reuse)."""
+        corner = corner or nominal_corner()
+        return field_stack(mask, self.kernels_at(corner.defocus_nm))
+
+    def print_binary(self, mask: np.ndarray, corner: Optional[ProcessCorner] = None) -> np.ndarray:
+        """Hard-threshold printed image Z (paper Eq. 3)."""
+        return self.resist.develop(self.aerial(mask, corner))
+
+    def print_soft(self, mask: np.ndarray, corner: Optional[ProcessCorner] = None) -> np.ndarray:
+        """Sigmoid printed image (paper Eq. 4), differentiable in the mask."""
+        return self.resist.develop_soft(self.aerial(mask, corner))
+
+    def print_all_corners(
+        self, mask: np.ndarray, corners: Optional[Sequence[ProcessCorner]] = None
+    ) -> List[np.ndarray]:
+        """Binary printed images at every process condition."""
+        corners = list(corners) if corners is not None else self.corners()
+        return [self.print_binary(mask, c) for c in corners]
+
+    # -- process-window evaluation ----------------------------------------------
+
+    def pv_band(self, mask: np.ndarray) -> np.ndarray:
+        """Boolean PV-band mask across all configured corners."""
+        return pv_band(self.print_all_corners(mask))
+
+    def pv_band_area(self, mask: np.ndarray) -> float:
+        """PV-band area in nm^2 across all configured corners."""
+        return pv_band_area(self.print_all_corners(mask), self.grid.pixel_nm)

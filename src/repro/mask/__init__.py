@@ -1,0 +1,37 @@
+"""Mask-plane representation, sigmoid relaxation, rule-based OPC/SRAF,
+and manufacturability cleanup."""
+
+from .transform import mask_from_params, params_from_mask, mask_param_derivative
+from .mask import MaskPlane, binarize
+from .rules import apply_edge_bias, add_corner_serifs, rule_based_opc
+from .sraf import insert_srafs, initial_mask_with_srafs
+from .cleanup import (
+    CleanupConfig,
+    cleanup_mask,
+    enforce_min_width,
+    fill_pinholes,
+    remove_specks,
+    smooth_boundaries,
+)
+from .fracture import fracture_mask, fractured_layout
+
+__all__ = [
+    "fracture_mask",
+    "fractured_layout",
+    "mask_from_params",
+    "params_from_mask",
+    "mask_param_derivative",
+    "MaskPlane",
+    "binarize",
+    "apply_edge_bias",
+    "add_corner_serifs",
+    "rule_based_opc",
+    "insert_srafs",
+    "initial_mask_with_srafs",
+    "CleanupConfig",
+    "cleanup_mask",
+    "remove_specks",
+    "fill_pinholes",
+    "smooth_boundaries",
+    "enforce_min_width",
+]

@@ -1,0 +1,134 @@
+"""Mask post-processing for manufacturability.
+
+Pixel-based ILT produces free-form masks that can contain specks,
+pinholes and sub-resolution jaggies which inflate e-beam write time
+(the shot-count concern of the paper's ref [6]) or violate mask rules.
+This module cleans an optimized mask while preserving its optical
+behaviour:
+
+* drop transmitting specks smaller than a minimum figure area,
+* fill enclosed pinholes smaller than a maximum hole area,
+* morphologically smooth jagged boundaries,
+* enforce a minimum figure width by opening.
+
+The quality impact of each step is measured in the mask-cleanup
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import ndimage
+
+from ..config import GridSpec
+from ..errors import GridError
+
+
+@dataclass(frozen=True)
+class CleanupConfig:
+    """Mask cleanup settings (all physical sizes in nm).
+
+    Attributes:
+        min_figure_area_nm2: transmitting islands below this are removed.
+        max_pinhole_area_nm2: enclosed holes below this are filled.
+        smooth: apply one open/close smoothing pass.
+        min_width_nm: enforce this minimum figure width (0 disables).
+    """
+
+    min_figure_area_nm2: float = 400.0
+    max_pinhole_area_nm2: float = 400.0
+    smooth: bool = True
+    min_width_nm: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.min_figure_area_nm2 < 0 or self.max_pinhole_area_nm2 < 0:
+            raise GridError("cleanup areas must be non-negative")
+        if self.min_width_nm < 0:
+            raise GridError("min_width_nm must be non-negative")
+
+
+def _as_bool(mask: np.ndarray, grid: GridSpec) -> np.ndarray:
+    m = np.asarray(mask)
+    if m.shape != grid.shape:
+        raise GridError(f"mask shape {m.shape} != grid shape {grid.shape}")
+    return m > 0.5
+
+
+def remove_specks(mask: np.ndarray, grid: GridSpec, min_area_nm2: float) -> np.ndarray:
+    """Remove transmitting components smaller than ``min_area_nm2``."""
+    m = _as_bool(mask, grid)
+    if min_area_nm2 <= 0:
+        return m.astype(np.float64)
+    min_px = min_area_nm2 / grid.pixel_nm**2
+    labels, count = ndimage.label(m)
+    if count == 0:
+        return m.astype(np.float64)
+    sizes = ndimage.sum_labels(np.ones_like(labels), labels, index=np.arange(1, count + 1))
+    keep = np.zeros(count + 1, dtype=bool)
+    keep[1:] = sizes >= min_px
+    return keep[labels].astype(np.float64)
+
+
+def fill_pinholes(mask: np.ndarray, grid: GridSpec, max_area_nm2: float) -> np.ndarray:
+    """Fill enclosed holes smaller than ``max_area_nm2``."""
+    m = _as_bool(mask, grid)
+    if max_area_nm2 <= 0:
+        return m.astype(np.float64)
+    max_px = max_area_nm2 / grid.pixel_nm**2
+    background = ~m
+    # 4-connected background; components not touching the border are holes.
+    structure = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool)
+    labels, count = ndimage.label(background, structure=structure)
+    if count == 0:
+        return m.astype(np.float64)
+    border = set(np.unique(labels[0, :])) | set(np.unique(labels[-1, :]))
+    border |= set(np.unique(labels[:, 0])) | set(np.unique(labels[:, -1]))
+    border.discard(0)
+    sizes = ndimage.sum_labels(np.ones_like(labels), labels, index=np.arange(1, count + 1))
+    out = m.copy()
+    for label in range(1, count + 1):
+        if label not in border and sizes[label - 1] <= max_px:
+            out[labels == label] = True
+    return out.astype(np.float64)
+
+
+def smooth_boundaries(mask: np.ndarray, grid: GridSpec) -> np.ndarray:
+    """One binary open + close pass with a 3x3 square.
+
+    Removes single-pixel bumps and fills single-pixel notches while
+    leaving rectangles exactly unchanged (a square structuring element
+    preserves Manhattan corners, unlike a cross, which chamfers them).
+    Features thinner than 3 px are removed — run after
+    :func:`remove_specks` with a matching minimum figure area.
+    """
+    m = _as_bool(mask, grid)
+    structure = np.ones((3, 3), dtype=bool)
+    opened = ndimage.binary_opening(m, structure=structure)
+    closed = ndimage.binary_closing(opened, structure=structure)
+    return closed.astype(np.float64)
+
+
+def enforce_min_width(mask: np.ndarray, grid: GridSpec, min_width_nm: float) -> np.ndarray:
+    """Morphological opening with a min-width square (drops thin slivers)."""
+    m = _as_bool(mask, grid)
+    width_px = int(round(min_width_nm / grid.pixel_nm))
+    if width_px <= 1:
+        return m.astype(np.float64)
+    structure = np.ones((width_px, width_px), dtype=bool)
+    return ndimage.binary_opening(m, structure=structure).astype(np.float64)
+
+
+def cleanup_mask(
+    mask: np.ndarray, grid: GridSpec, config: CleanupConfig | None = None
+) -> np.ndarray:
+    """Full cleanup pipeline: specks -> pinholes -> smoothing -> min width."""
+    config = config or CleanupConfig()
+    out = remove_specks(mask, grid, config.min_figure_area_nm2)
+    out = fill_pinholes(out, grid, config.max_pinhole_area_nm2)
+    if config.smooth:
+        out = smooth_boundaries(out, grid)
+    if config.min_width_nm:
+        out = enforce_min_width(out, grid, config.min_width_nm)
+    return out

@@ -1,0 +1,61 @@
+"""Mask-plane container coupling a pixel array to its grid."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import GridSpec
+from ..errors import GridError
+from ..geometry.layout import Layout
+from ..geometry.raster import rasterize_layout
+
+
+def binarize(mask: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+    """Binary {0,1} float mask from a continuous one (contest convention:
+    the manufactured mask is binary; the relaxation is an optimizer device)."""
+    return (np.asarray(mask, dtype=np.float64) > threshold).astype(np.float64)
+
+
+@dataclass
+class MaskPlane:
+    """A mask transmission image tied to its physical grid.
+
+    Attributes:
+        pixels: float array in [0, 1] of shape ``grid.shape``.
+        grid: pixel grid.
+    """
+
+    pixels: np.ndarray
+    grid: GridSpec
+
+    def __post_init__(self) -> None:
+        self.pixels = np.asarray(self.pixels, dtype=np.float64)
+        if self.pixels.shape != self.grid.shape:
+            raise GridError(
+                f"mask shape {self.pixels.shape} != grid shape {self.grid.shape}"
+            )
+        if self.pixels.min() < -1e-9 or self.pixels.max() > 1 + 1e-9:
+            raise GridError("mask transmission must lie in [0, 1]")
+
+    @classmethod
+    def from_layout(cls, layout: Layout, grid: GridSpec) -> "MaskPlane":
+        """The target mask: the layout rasterized verbatim."""
+        return cls(rasterize_layout(layout, grid).astype(np.float64), grid)
+
+    @classmethod
+    def empty(cls, grid: GridSpec) -> "MaskPlane":
+        return cls(np.zeros(grid.shape), grid)
+
+    def binary(self) -> "MaskPlane":
+        """Binarized copy (threshold 0.5)."""
+        return MaskPlane(binarize(self.pixels), self.grid)
+
+    @property
+    def area_nm2(self) -> float:
+        """Total transmitting area in nm^2 (continuous masks: weighted sum)."""
+        return float(self.pixels.sum()) * self.grid.pixel_nm**2
+
+    def copy(self) -> "MaskPlane":
+        return MaskPlane(self.pixels.copy(), self.grid)

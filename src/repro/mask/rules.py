@@ -1,0 +1,113 @@
+"""Rule-based OPC primitives: edge bias and corner serifs.
+
+These are the "simple and fast, but only suitable for less aggressive
+designs" corrections of the paper's introduction.  They serve two roles
+here: building blocks of the model-based baseline, and (optionally) part
+of the optimizer's initial solution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from ..config import GridSpec
+from ..errors import GridError
+from ..geometry.layout import Layout
+from ..geometry.raster import rasterize_layout
+
+
+def _square_structure(half_px: int) -> np.ndarray:
+    size = 2 * half_px + 1
+    return np.ones((size, size), dtype=bool)
+
+
+def apply_edge_bias(mask: np.ndarray, bias_nm: float, grid: GridSpec) -> np.ndarray:
+    """Uniformly bias all edges outward (positive) or inward (negative).
+
+    Implemented as morphological dilation/erosion with a square element —
+    the raster equivalent of sizing every polygon by ``bias_nm``.
+
+    Args:
+        mask: binary mask image.
+        bias_nm: physical bias; values smaller than one pixel are a no-op.
+        grid: the pixel grid.
+
+    Returns:
+        Biased binary mask (float 0/1).
+    """
+    m = np.asarray(mask) > 0.5
+    if m.shape != grid.shape:
+        raise GridError(f"mask shape {m.shape} != grid shape {grid.shape}")
+    half_px = abs(grid.nm_to_px(bias_nm))
+    if half_px == 0:
+        return m.astype(np.float64)
+    structure = _square_structure(half_px)
+    if bias_nm > 0:
+        out = ndimage.binary_dilation(m, structure=structure)
+    else:
+        out = ndimage.binary_erosion(m, structure=structure)
+    return out.astype(np.float64)
+
+
+def add_corner_serifs(
+    layout: Layout, mask: np.ndarray, grid: GridSpec, serif_nm: float = 12.0
+) -> np.ndarray:
+    """Add square serifs at convex corners of the target polygons.
+
+    Convex (outward, 90-degree) corners lose the most light; a small
+    square centred on the corner compensates.  Concave corners are left
+    alone (they round outward already).
+
+    Args:
+        layout: target layout providing corner locations.
+        mask: current mask image to add serifs to.
+        grid: pixel grid.
+        serif_nm: serif square side length.
+
+    Returns:
+        Mask with serifs OR-ed in (float 0/1).
+    """
+    m = np.asarray(mask) > 0.5
+    if m.shape != grid.shape:
+        raise GridError(f"mask shape {m.shape} != grid shape {grid.shape}")
+    out = m.copy()
+    half = serif_nm / 2.0
+    dx = grid.pixel_nm
+    rows, cols = grid.shape
+    for poly in layout.polygons:
+        verts = poly.vertices
+        n = len(verts)
+        for i in range(n):
+            prev = verts[i - 1]
+            cur = verts[i]
+            nxt = verts[(i + 1) % n]
+            # Cross product of incoming and outgoing edge directions:
+            # positive = left turn = convex corner for CCW polygons.
+            cross = (cur[0] - prev[0]) * (nxt[1] - cur[1]) - (cur[1] - prev[1]) * (
+                nxt[0] - cur[0]
+            )
+            if cross <= 0:
+                continue
+            j0 = max(int((cur[0] - half) / dx), 0)
+            j1 = min(int(np.ceil((cur[0] + half) / dx)), cols)
+            i0 = max(int((cur[1] - half) / dx), 0)
+            i1 = min(int(np.ceil((cur[1] + half) / dx)), rows)
+            if i0 < i1 and j0 < j1:
+                out[i0:i1, j0:j1] = True
+    return out.astype(np.float64)
+
+
+def rule_based_opc(
+    layout: Layout,
+    grid: GridSpec,
+    bias_nm: float = 0.0,
+    serif_nm: float = 0.0,
+) -> np.ndarray:
+    """Target raster with optional uniform bias and corner serifs applied."""
+    mask = rasterize_layout(layout, grid).astype(np.float64)
+    if bias_nm:
+        mask = apply_edge_bias(mask, bias_nm, grid)
+    if serif_nm:
+        mask = add_corner_serifs(layout, mask, grid, serif_nm=serif_nm)
+    return mask

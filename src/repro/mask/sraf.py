@@ -1,0 +1,123 @@
+"""Rule-based sub-resolution assist feature (SRAF) insertion.
+
+SRAFs are narrow bars placed parallel to isolated edges.  They are too
+small to print themselves but steer diffraction energy so isolated
+features image more like dense ones, widening the process window.  The
+paper seeds its gradient descent with "Z_t with rule-based SRAF"
+(Alg. 1 line 2); this module provides that seed.
+
+Placement rule (standard scattering-bar recipe, scaled to the 32 nm/193 nm
+setup): for every target edge whose outward neighbourhood is empty up to
+``2 * pitch_nm``, place one bar of width ``width_nm`` at centre distance
+``pitch_nm`` from the edge.  Bars are trimmed wherever they would come
+closer than ``clearance_nm`` to existing geometry (or other bars).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+from scipy import ndimage
+
+from ..config import GridSpec
+from ..geometry.edges import Edge, EdgeOrientation, extract_edges
+from ..geometry.layout import Layout
+from ..geometry.raster import rasterize_layout
+
+
+def _bar_pixel_box(
+    edge: Edge, pitch_nm: float, width_nm: float, grid: GridSpec
+) -> tuple | None:
+    """Pixel box (i0, i1, j0, j1) of the assist bar for one edge, or None."""
+    dx = grid.pixel_nm
+    rows, cols = grid.shape
+    outward = -edge.interior_sign
+    center = edge.fixed + outward * pitch_nm
+    half_w = width_nm / 2.0
+    lo_n, hi_n = center - half_w, center + half_w  # across the bar
+    lo_t, hi_t = edge.lo, edge.hi  # along the bar
+
+    def span(lo: float, hi: float, n: int) -> tuple:
+        a = int(np.floor(lo / dx))
+        b = int(np.ceil(hi / dx))
+        return max(a, 0), min(b, n)
+
+    if edge.orientation is EdgeOrientation.HORIZONTAL:
+        i0, i1 = span(lo_n, hi_n, rows)
+        j0, j1 = span(lo_t, hi_t, cols)
+    else:
+        i0, i1 = span(lo_t, hi_t, rows)
+        j0, j1 = span(lo_n, hi_n, cols)
+    if i0 >= i1 or j0 >= j1:
+        return None
+    return (i0, i1, j0, j1)
+
+
+def _edge_is_isolated(
+    edge: Edge, target: np.ndarray, search_nm: float, grid: GridSpec
+) -> bool:
+    """True when the outward neighbourhood of the edge is empty of geometry."""
+    box = _bar_pixel_box(edge, search_nm / 2.0, search_nm, grid)
+    if box is None:
+        return False
+    i0, i1, j0, j1 = box
+    return not bool(target[i0:i1, j0:j1].any())
+
+
+def insert_srafs(
+    layout: Layout,
+    grid: GridSpec,
+    pitch_nm: float = 90.0,
+    width_nm: float = 25.0,
+    clearance_nm: float = 35.0,
+    min_edge_nm: float = 50.0,
+) -> np.ndarray:
+    """SRAF-only mask image for a layout.
+
+    Args:
+        layout: target layout.
+        grid: pixel grid.
+        pitch_nm: distance from target edge to assist-bar centre.
+        width_nm: assist-bar width (sub-resolution: must not print).
+        clearance_nm: minimum spacing kept between bars and any geometry.
+        min_edge_nm: edges shorter than this get no bar.
+
+    Returns:
+        Boolean image containing only the assist bars.
+    """
+    target = rasterize_layout(layout, grid)
+    srafs = np.zeros_like(target)
+    clear_px = max(grid.nm_to_px(clearance_nm), 1)
+    keepout = ndimage.binary_dilation(
+        target, structure=np.ones((2 * clear_px + 1, 2 * clear_px + 1), dtype=bool)
+    )
+    edges: List[Edge] = []
+    for poly in layout.polygons:
+        edges.extend(extract_edges(poly))
+    for edge in edges:
+        if edge.length < min_edge_nm:
+            continue
+        if not _edge_is_isolated(edge, target, 2.0 * pitch_nm, grid):
+            continue
+        box = _bar_pixel_box(edge, pitch_nm, width_nm, grid)
+        if box is None:
+            continue
+        i0, i1, j0, j1 = box
+        bar = np.zeros_like(target)
+        bar[i0:i1, j0:j1] = True
+        bar &= ~keepout  # trim anything violating clearance to real geometry
+        srafs |= bar
+    return srafs
+
+
+def initial_mask_with_srafs(
+    layout: Layout,
+    grid: GridSpec,
+    pitch_nm: float = 90.0,
+    width_nm: float = 25.0,
+) -> np.ndarray:
+    """Optimizer seed: target raster plus rule-based SRAFs (Alg. 1 line 2)."""
+    target = rasterize_layout(layout, grid)
+    srafs = insert_srafs(layout, grid, pitch_nm=pitch_nm, width_nm=width_nm)
+    return (target | srafs).astype(np.float64)

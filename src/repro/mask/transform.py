@@ -1,0 +1,44 @@
+"""Sigmoid mask relaxation (paper Eq. 8).
+
+The binary constraint ``M in {0, 1}`` makes ILT an integer nonlinear
+program; the paper relaxes it through unconstrained variables P with
+
+    M = sig(theta_M * P) = 1 / (1 + exp(-theta_M * P)).
+
+These helpers convert between the two representations and provide the
+chain-rule factor ``dM/dP = theta_M * M * (1 - M)`` used by every
+objective gradient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .. import constants
+from ..utils.validation import sigmoid
+
+#: Masks are clipped into [eps, 1-eps] before the inverse transform so
+#: logit never produces infinities from exactly-binary seeds.
+_CLIP_EPS = 1e-3
+
+
+def mask_from_params(params: np.ndarray, theta_m: float = constants.THETA_M) -> np.ndarray:
+    """Continuous mask M in (0, 1) from unconstrained parameters P."""
+    return sigmoid(np.asarray(params, dtype=np.float64), theta_m)
+
+
+def params_from_mask(mask: np.ndarray, theta_m: float = constants.THETA_M) -> np.ndarray:
+    """Unconstrained parameters P from a (possibly binary) mask.
+
+    Binary inputs are softened by ``_CLIP_EPS`` so the inverse sigmoid is
+    finite; the round trip ``mask_from_params(params_from_mask(M))``
+    reproduces soft masks exactly and binary masks to within the clip.
+    """
+    m = np.clip(np.asarray(mask, dtype=np.float64), _CLIP_EPS, 1.0 - _CLIP_EPS)
+    return np.log(m / (1.0 - m)) / theta_m
+
+
+def mask_param_derivative(mask: np.ndarray, theta_m: float = constants.THETA_M) -> np.ndarray:
+    """Chain-rule factor dM/dP = theta_M * M * (1 - M) (paper Eqs. 15, 17)."""
+    m = np.asarray(mask, dtype=np.float64)
+    return theta_m * m * (1.0 - m)

@@ -1,0 +1,60 @@
+"""Evaluation metrics: EPE violations, PV band, shape violations, contest
+score, mask rules, mask complexity, and aerial-image quality."""
+
+from .epe import (
+    EPEMeasurement,
+    EPEReport,
+    measure_epe,
+    measure_epe_subpixel,
+    subpixel_edge_position,
+)
+from .pvband import pv_band_area_for_mask
+from .shapes import count_holes, count_shape_violations
+from .score import ScoreBreakdown, contest_score
+from .mrc import MRCReport, check_mask_rules, space_violations, width_violations
+from .complexity import MaskComplexity, mask_complexity
+from .imagequality import (
+    EdgeSlope,
+    edge_slopes,
+    hotspot_samples,
+    image_contrast,
+    image_log_slope,
+)
+from .cd import (
+    CDMeasurement,
+    Gauge,
+    cd_uniformity,
+    gauges_for_layout,
+    measure_cd,
+    measure_gauges,
+)
+
+__all__ = [
+    "Gauge",
+    "CDMeasurement",
+    "measure_cd",
+    "measure_gauges",
+    "cd_uniformity",
+    "gauges_for_layout",
+    "EPEMeasurement",
+    "EPEReport",
+    "measure_epe",
+    "measure_epe_subpixel",
+    "subpixel_edge_position",
+    "pv_band_area_for_mask",
+    "count_holes",
+    "count_shape_violations",
+    "ScoreBreakdown",
+    "contest_score",
+    "MRCReport",
+    "check_mask_rules",
+    "width_violations",
+    "space_violations",
+    "MaskComplexity",
+    "mask_complexity",
+    "EdgeSlope",
+    "edge_slopes",
+    "hotspot_samples",
+    "image_contrast",
+    "image_log_slope",
+]

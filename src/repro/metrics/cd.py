@@ -1,0 +1,148 @@
+"""Critical-dimension (CD) measurement through cutlines (gauges).
+
+A gauge is a measurement cutline across a feature; the CD is the
+printed width along it.  CD error and CD uniformity across process
+conditions are the fab's day-to-day counterparts of the contest's
+EPE/PVB metrics, so a mask-optimization library needs them for
+validation against production flows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..config import GridSpec
+from ..errors import GridError
+from ..geometry.layout import Layout
+from ..utils.validation import ensure_binary_image
+
+
+@dataclass(frozen=True)
+class Gauge:
+    """One CD measurement cutline.
+
+    Attributes:
+        name: identifier.
+        x, y: cutline centre in nm (should sit inside the feature).
+        horizontal: True measures width along x; False along y.
+        target_cd_nm: drawn dimension for error reporting.
+    """
+
+    name: str
+    x: float
+    y: float
+    horizontal: bool
+    target_cd_nm: float
+
+
+@dataclass(frozen=True)
+class CDMeasurement:
+    """Measured CD at one gauge.
+
+    Attributes:
+        gauge: where it was measured.
+        cd_nm: printed dimension, or None if nothing printed at the gauge.
+    """
+
+    gauge: Gauge
+    cd_nm: Optional[float]
+
+    @property
+    def error_nm(self) -> Optional[float]:
+        """Signed CD error (printed - target), None when unprinted."""
+        if self.cd_nm is None:
+            return None
+        return self.cd_nm - self.gauge.target_cd_nm
+
+
+def measure_cd(printed: np.ndarray, gauge: Gauge, grid: GridSpec) -> CDMeasurement:
+    """Printed dimension along one gauge's cutline.
+
+    Walks outward from the gauge centre pixel in both directions along
+    the measurement axis and counts contiguous printed pixels.
+    """
+    img = ensure_binary_image(printed, "printed")
+    if img.shape != grid.shape:
+        raise GridError(f"printed shape {img.shape} != grid {grid.shape}")
+    rows, cols = img.shape
+    dx = grid.pixel_nm
+    row = min(max(int(gauge.y / dx), 0), rows - 1)
+    col = min(max(int(gauge.x / dx), 0), cols - 1)
+    if not img[row, col]:
+        return CDMeasurement(gauge=gauge, cd_nm=None)
+
+    if gauge.horizontal:
+        line = img[row, :]
+        center = col
+    else:
+        line = img[:, col]
+        center = row
+    lo = center
+    while lo > 0 and line[lo - 1]:
+        lo -= 1
+    hi = center
+    while hi < len(line) - 1 and line[hi + 1]:
+        hi += 1
+    return CDMeasurement(gauge=gauge, cd_nm=(hi - lo + 1) * dx)
+
+
+def measure_gauges(
+    printed: np.ndarray, gauges: Sequence[Gauge], grid: GridSpec
+) -> List[CDMeasurement]:
+    """CD at every gauge."""
+    return [measure_cd(printed, g, grid) for g in gauges]
+
+
+def cd_uniformity(measurements_per_condition: Sequence[Sequence[CDMeasurement]]) -> float:
+    """Worst-case CD range (nm) across process conditions.
+
+    Args:
+        measurements_per_condition: for each process condition, the gauge
+            measurements in the same gauge order.
+
+    Returns:
+        The largest (max - min) printed CD over conditions among gauges
+        that printed everywhere; infinite when a gauge failed to print
+        under some condition (the CD is unbounded-bad there).
+    """
+    if not measurements_per_condition:
+        raise GridError("need at least one condition")
+    num_gauges = len(measurements_per_condition[0])
+    worst = 0.0
+    for i in range(num_gauges):
+        values = [conditions[i].cd_nm for conditions in measurements_per_condition]
+        if any(v is None for v in values):
+            return float("inf")
+        worst = max(worst, max(values) - min(values))
+    return worst
+
+
+def gauges_for_layout(layout: Layout, max_per_shape: int = 1) -> List[Gauge]:
+    """Auto-place one width gauge at each shape's bbox centre.
+
+    The gauge measures across the bbox's narrow direction — the
+    feature's critical dimension for simple shapes.  Complex shapes
+    (L/T/U) get a usable if approximate gauge; hand-placed gauges are
+    preferred for precision work.
+    """
+    if max_per_shape < 1:
+        raise GridError("max_per_shape must be >= 1")
+    gauges: List[Gauge] = []
+    for index, poly in enumerate(layout.polygons):
+        bbox = poly.bbox
+        cx, cy = bbox.center
+        horizontal = bbox.width <= bbox.height  # measure across the narrow axis
+        target = bbox.width if horizontal else bbox.height
+        gauges.append(
+            Gauge(
+                name=f"{layout.name}_g{index}",
+                x=cx,
+                y=cy,
+                horizontal=horizontal,
+                target_cd_nm=target,
+            )
+        )
+    return gauges

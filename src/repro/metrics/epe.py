@@ -1,0 +1,229 @@
+"""Edge placement error measurement (paper Sec. 3.2, Fig. 3).
+
+EPE at a sample point is the displacement between the target edge and the
+printed contour, measured along the edge normal, under the nominal
+process condition.  A sample *violates* when |EPE| exceeds th_epe (15 nm)
+or when no printed edge exists near the sample at all (the feature failed
+to print there — counted as a violation, since the distortion certainly
+exceeds any threshold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .. import constants
+from ..config import GridSpec
+from ..errors import GridError
+from ..geometry.contours import edge_displacement
+from ..geometry.edges import EdgeOrientation, SamplePoint, generate_sample_points
+from ..geometry.layout import Layout
+from ..utils.validation import ensure_binary_image
+
+
+@dataclass(frozen=True)
+class EPEMeasurement:
+    """EPE at one sample point.
+
+    Attributes:
+        sample: the measured sample point.
+        epe_nm: signed EPE (positive = printed edge outside target), or
+            None when no printed edge was found within the search range.
+        violation: whether this sample counts as an EPE violation.
+    """
+
+    sample: SamplePoint
+    epe_nm: Optional[float]
+    violation: bool
+
+
+@dataclass
+class EPEReport:
+    """All EPE measurements for one printed image."""
+
+    measurements: List[EPEMeasurement]
+    threshold_nm: float
+
+    @property
+    def num_samples(self) -> int:
+        return len(self.measurements)
+
+    @property
+    def num_violations(self) -> int:
+        return sum(1 for m in self.measurements if m.violation)
+
+    @property
+    def violations(self) -> List[EPEMeasurement]:
+        return [m for m in self.measurements if m.violation]
+
+    def max_abs_epe(self) -> Optional[float]:
+        """Largest |EPE| among samples where an edge was found."""
+        values = [abs(m.epe_nm) for m in self.measurements if m.epe_nm is not None]
+        return max(values) if values else None
+
+    def mean_abs_epe(self) -> Optional[float]:
+        """Mean |EPE| among samples where an edge was found."""
+        values = [abs(m.epe_nm) for m in self.measurements if m.epe_nm is not None]
+        return float(np.mean(values)) if values else None
+
+
+def measure_epe(
+    printed: np.ndarray,
+    layout: Layout,
+    grid: GridSpec,
+    threshold_nm: float = constants.EPE_THRESHOLD_NM,
+    sample_spacing_nm: float = constants.EPE_SAMPLE_SPACING_NM,
+    samples: Optional[Sequence[SamplePoint]] = None,
+    search_factor: float = 3.0,
+) -> EPEReport:
+    """Measure EPE at every boundary sample of a layout.
+
+    Args:
+        printed: binary printed image under the nominal condition.
+        layout: the target layout (provides boundary samples).
+        grid: pixel grid.
+        threshold_nm: violation threshold th_epe (paper: 15 nm).
+        sample_spacing_nm: sample ladder spacing (paper: 40 nm).
+        samples: precomputed sample points (regenerated when omitted).
+        search_factor: printed-edge search range as a multiple of the
+            threshold; beyond it the sample is a hard violation.
+
+    Returns:
+        The per-sample report.
+    """
+    printed = ensure_binary_image(printed, "printed")
+    if samples is None:
+        samples = generate_sample_points(layout, grid, spacing_nm=sample_spacing_nm)
+    max_search = max(int(round(search_factor * threshold_nm / grid.pixel_nm)), 1)
+    measurements: List[EPEMeasurement] = []
+    for sample in samples:
+        axis = 0 if sample.orientation is EdgeOrientation.HORIZONTAL else 1
+        disp_px = edge_displacement(
+            printed,
+            sample.row,
+            sample.col,
+            axis=axis,
+            interior_sign=sample.interior_sign,
+            max_search=max_search,
+        )
+        if disp_px is None:
+            measurements.append(EPEMeasurement(sample, None, True))
+            continue
+        epe_nm = disp_px * grid.pixel_nm
+        measurements.append(
+            EPEMeasurement(sample, epe_nm, abs(epe_nm) > threshold_nm)
+        )
+    return EPEReport(measurements=measurements, threshold_nm=threshold_nm)
+
+
+def subpixel_edge_position(
+    aerial: np.ndarray,
+    sample: SamplePoint,
+    grid: GridSpec,
+    threshold: float,
+    max_search_nm: float,
+) -> Optional[float]:
+    """Printed-edge coordinate along a sample's normal, to sub-pixel precision.
+
+    Walks the aerial intensity along the sample's normal and linearly
+    interpolates the resist-threshold crossing nearest the target edge.
+    Pixel-quantized EPE (from the binary image) is limited to the grid
+    resolution — at 4 nm/px the 15 nm criterion quantizes to 3-4 px;
+    interpolation in intensity recovers the continuous edge.
+
+    Args:
+        aerial: aerial intensity image at the measurement condition.
+        sample: the boundary sample.
+        grid: pixel grid.
+        threshold: resist threshold (dose-scaled by the caller if needed).
+        max_search_nm: search range on either side of the target edge.
+
+    Returns:
+        Edge coordinate in nm along the measurement axis (x for vertical
+        edges, y for horizontal), or None when no crossing exists.
+    """
+    img = np.asarray(aerial, dtype=np.float64)
+    if img.shape != grid.shape:
+        raise GridError(f"aerial shape {img.shape} != grid {grid.shape}")
+    rows, cols = img.shape
+    dx = grid.pixel_nm
+    max_steps = max(int(np.ceil(max_search_nm / dx)), 2)
+
+    # Pixel ladder along the normal, from inside (-max) to outside (+max),
+    # measured in outward steps from the sample's interior pixel.
+    offsets = np.arange(-max_steps, max_steps + 1)
+    values = np.empty(len(offsets))
+    positions = np.empty(len(offsets))
+    for k, off in enumerate(offsets):
+        delta = -sample.interior_sign * off  # outward = -interior_sign
+        if sample.orientation is EdgeOrientation.HORIZONTAL:
+            r = min(max(sample.row + delta, 0), rows - 1)
+            c = sample.col
+            positions[k] = (r + 0.5) * dx
+        else:
+            r = sample.row
+            c = min(max(sample.col + delta, 0), cols - 1)
+            positions[k] = (c + 0.5) * dx
+        values[k] = img[r, c]
+
+    edge_coord = sample.y if sample.orientation is EdgeOrientation.HORIZONTAL else sample.x
+    best: Optional[float] = None
+    diff = values - threshold
+    for k in range(len(offsets) - 1):
+        if diff[k] == 0.0:
+            crossing = positions[k]
+        elif diff[k] * diff[k + 1] < 0:
+            frac = diff[k] / (diff[k] - diff[k + 1])
+            crossing = positions[k] + frac * (positions[k + 1] - positions[k])
+        else:
+            continue
+        if best is None or abs(crossing - edge_coord) < abs(best - edge_coord):
+            best = crossing
+    return best
+
+
+def measure_epe_subpixel(
+    aerial: np.ndarray,
+    layout: Layout,
+    grid: GridSpec,
+    threshold: float = 0.5,
+    threshold_nm: float = constants.EPE_THRESHOLD_NM,
+    sample_spacing_nm: float = constants.EPE_SAMPLE_SPACING_NM,
+    samples: Optional[Sequence[SamplePoint]] = None,
+    search_factor: float = 3.0,
+) -> EPEReport:
+    """Sub-pixel EPE measurement from the aerial intensity.
+
+    Same contract as :func:`measure_epe`, but EPE values are continuous:
+    the printed edge is located by interpolating the aerial image's
+    threshold crossing instead of scanning the binary printed image.
+
+    Args:
+        aerial: aerial intensity at the measurement condition (apply the
+            dose factor before calling, or scale ``threshold``).
+        threshold: resist threshold th_r.
+        (other arguments as in :func:`measure_epe`)
+    """
+    if samples is None:
+        samples = generate_sample_points(layout, grid, spacing_nm=sample_spacing_nm)
+    max_search_nm = search_factor * threshold_nm
+    measurements: List[EPEMeasurement] = []
+    for sample in samples:
+        position = subpixel_edge_position(
+            aerial, sample, grid, threshold, max_search_nm
+        )
+        if position is None:
+            measurements.append(EPEMeasurement(sample, None, True))
+            continue
+        edge_coord = (
+            sample.y if sample.orientation is EdgeOrientation.HORIZONTAL else sample.x
+        )
+        outward = -sample.interior_sign
+        epe_nm = (position - edge_coord) * outward
+        measurements.append(
+            EPEMeasurement(sample, epe_nm, abs(epe_nm) > threshold_nm)
+        )
+    return EPEReport(measurements=measurements, threshold_nm=threshold_nm)

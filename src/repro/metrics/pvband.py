@@ -1,0 +1,17 @@
+"""PV-band metric on an optimized mask (wraps the process-level computation)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..litho.simulator import LithographySimulator
+
+
+def pv_band_area_for_mask(sim: LithographySimulator, mask: np.ndarray) -> float:
+    """PV-band area (nm^2) of a mask across the simulator's process corners.
+
+    Contest convention: the mask is binarized before evaluation, since the
+    manufactured mask cannot hold intermediate transmissions.
+    """
+    binary = (np.asarray(mask, dtype=np.float64) > 0.5).astype(np.float64)
+    return sim.pv_band_area(binary)

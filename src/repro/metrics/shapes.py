@@ -1,0 +1,56 @@
+"""Shape-violation detection (paper Eq. 22: "existence of holes in the
+final contour").
+
+A hole is an enclosed background region inside a printed feature — resist
+that should have cleared (or printed) but forms an island.  Holes are
+catastrophic (they cannot be fixed by edge movement), so the contest
+scores them with a large penalty.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import ndimage
+
+from ..utils.validation import ensure_binary_image
+
+#: 4-connectivity for background regions (matches 8-connectivity features).
+_BG_STRUCTURE = np.array([[0, 1, 0], [1, 1, 1], [0, 1, 0]], dtype=bool)
+
+
+def count_holes(printed: np.ndarray) -> int:
+    """Number of enclosed background regions (holes) in a printed image."""
+    img = ensure_binary_image(printed, "printed")
+    background = ~img
+    labels, count = ndimage.label(background, structure=_BG_STRUCTURE)
+    if count == 0:
+        return 0
+    border_labels = set(np.unique(labels[0, :])) | set(np.unique(labels[-1, :]))
+    border_labels |= set(np.unique(labels[:, 0])) | set(np.unique(labels[:, -1]))
+    border_labels.discard(0)
+    all_labels = set(range(1, count + 1))
+    return len(all_labels - border_labels)
+
+
+def count_shape_violations(printed: np.ndarray, target: np.ndarray | None = None) -> int:
+    """Shape violations of a printed image.
+
+    Counts holes in the printed contour; when the target is supplied,
+    *extra* printed components (features merged by bridging do not add
+    components, but spurious SRAF printing does) are counted as well.
+
+    Args:
+        printed: binary printed image at the nominal condition.
+        target: optional binary target image for the component comparison.
+
+    Returns:
+        Number of violations (0 for a healthy result).
+    """
+    violations = count_holes(printed)
+    if target is not None:
+        tgt = ensure_binary_image(target, "target")
+        printed_components = int(ndimage.label(printed)[1])
+        target_components = int(ndimage.label(tgt)[1])
+        if printed_components > target_components:
+            violations += printed_components - target_components
+    return violations

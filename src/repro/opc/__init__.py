@@ -1,0 +1,48 @@
+"""Mask optimization core: the paper's contribution.
+
+Gradient-descent ILT (Alg. 1) over sigmoid-relaxed mask variables, with
+three differentiable objectives —
+
+* ``ImageDifferenceObjective`` (F_id, Eq. 16): gamma-power nominal-image error,
+* ``EPEObjective`` (F_epe, Eqs. 9-15): sigmoid EPE-violation count,
+* ``PVBandObjective`` (F_pvb, Eq. 18): quadratic error across process corners —
+
+combined as ``F_fast = alpha*F_id + beta*F_pvb`` (MOSAIC_fast) and
+``F_exact = alpha*F_epe + beta*F_pvb`` (MOSAIC_exact).
+"""
+
+from .state import ForwardContext
+from .history import IterationRecord, OptimizationHistory
+from .optimizer import GradientDescentOptimizer, OptimizationResult
+from .objectives import (
+    CompositeObjective,
+    EPEObjective,
+    ImageDifferenceObjective,
+    Objective,
+    PVBandObjective,
+)
+from .objectives.regularization import DiscretizationPenalty, TotalVariationPenalty
+from .mosaic import MosaicExact, MosaicFast, MosaicResult, MosaicSolver
+from .multires import MultiResolutionSolver, coarsen_config, upsample_mask
+
+__all__ = [
+    "DiscretizationPenalty",
+    "TotalVariationPenalty",
+    "MultiResolutionSolver",
+    "coarsen_config",
+    "upsample_mask",
+    "ForwardContext",
+    "IterationRecord",
+    "OptimizationHistory",
+    "GradientDescentOptimizer",
+    "OptimizationResult",
+    "Objective",
+    "CompositeObjective",
+    "ImageDifferenceObjective",
+    "EPEObjective",
+    "PVBandObjective",
+    "MosaicFast",
+    "MosaicExact",
+    "MosaicSolver",
+    "MosaicResult",
+]

@@ -1,0 +1,59 @@
+"""Optimization trajectory recording (used by the Fig. 6 convergence bench)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class IterationRecord:
+    """Snapshot of one gradient-descent iteration.
+
+    Attributes:
+        iteration: 0-based iteration index.
+        objective: total objective F at the start of the iteration.
+        gradient_rms: RMS of the parameter-space gradient.
+        step_size: step actually applied (reflects jump boosts).
+        term_values: per-term objective values of a composite objective.
+        epe_violations: optional evaluated metric (convergence studies).
+        pv_band_nm2: optional evaluated metric.
+        score: optional evaluated contest score.
+    """
+
+    iteration: int
+    objective: float
+    gradient_rms: float
+    step_size: float
+    term_values: Dict[int, float] = field(default_factory=dict)
+    epe_violations: Optional[int] = None
+    pv_band_nm2: Optional[float] = None
+    score: Optional[float] = None
+
+
+@dataclass
+class OptimizationHistory:
+    """Ordered list of iteration records with series accessors."""
+
+    records: List[IterationRecord] = field(default_factory=list)
+
+    def append(self, record: IterationRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def series(self, attribute: str) -> List:
+        """Extract one attribute across iterations (e.g. ``"objective"``)."""
+        return [getattr(r, attribute) for r in self.records]
+
+    @property
+    def objectives(self) -> List[float]:
+        return self.series("objective")
+
+    @property
+    def final(self) -> Optional[IterationRecord]:
+        return self.records[-1] if self.records else None

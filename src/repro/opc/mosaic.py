@@ -1,0 +1,210 @@
+"""High-level MOSAIC solvers (paper Sec. 3.4, Eqs. 19-20).
+
+``MosaicFast``  : F = alpha * F_id  + beta * F_pvb   (efficient gradients)
+``MosaicExact`` : F = alpha * F_epe + beta * F_pvb   (direct EPE minimization)
+
+Both seed the optimizer with the target plus rule-based SRAFs and run the
+shared gradient-descent engine.  Default alpha/beta follow the contest
+scoring (Eq. 22): an EPE violation costs 5000, one nm^2 of PV band costs
+4 — so the exact solver weighs its violation count by 5000 and the PV
+term by ``4 * pixel_nm^2`` (converting the pixel-sum objective into nm^2).
+The fast solver's image-difference term is a per-pixel proxy for EPE;
+its default weight makes a mismatched boundary pixel comparable to its
+expected score impact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional
+
+import numpy as np
+
+from .. import constants
+from ..config import LithoConfig, OptimizerConfig
+from ..geometry.layout import Layout
+from ..geometry.raster import rasterize_layout
+from ..litho.simulator import LithographySimulator
+from ..mask.sraf import initial_mask_with_srafs
+from ..metrics.score import ScoreBreakdown, contest_score
+from ..utils.timer import Timer
+from .objectives.base import Objective
+from .objectives.composite import CompositeObjective
+from .objectives.epe_objective import EPEObjective
+from .objectives.image_diff import ImageDifferenceObjective
+from .objectives.pvband_objective import PVBandObjective
+from .optimizer import GradientDescentOptimizer, OptimizationResult
+
+
+@dataclass
+class MosaicResult:
+    """Everything produced by one MOSAIC run on one layout.
+
+    Attributes:
+        layout_name: which testcase this solved.
+        optimization: the raw optimizer output (mask, history, ...).
+        score: contest-score breakdown of the binarized mask.
+        target: rasterized target image.
+        runtime_s: total wall-clock including setup and evaluation.
+    """
+
+    layout_name: str
+    optimization: OptimizationResult
+    score: ScoreBreakdown
+    target: np.ndarray
+    runtime_s: float
+
+    @property
+    def mask(self) -> np.ndarray:
+        """The manufacturable (binary) optimized mask."""
+        return self.optimization.binary_mask
+
+
+class MosaicSolver:
+    """Shared machinery for both MOSAIC modes.
+
+    Args:
+        litho_config: lithography stack configuration.
+        optimizer_config: descent settings; ``alpha``/``beta`` weight the
+            design-target and process-window terms.  When left at the
+            generic defaults, mode-specific score-derived weights are
+            substituted (see module docstring).
+        use_sraf: seed with rule-based SRAFs (paper Alg. 1 line 2).
+        simulator: optional pre-built simulator to share kernel caches
+            across solvers/testcases.
+    """
+
+    #: Subclasses set this to label results/logs.
+    mode_name = "base"
+    #: Default iteration budget for this mode (see constants module note).
+    default_iterations = constants.MAX_ITERATIONS
+
+    def __init__(
+        self,
+        litho_config: Optional[LithoConfig] = None,
+        optimizer_config: Optional[OptimizerConfig] = None,
+        use_sraf: bool = True,
+        simulator: Optional[LithographySimulator] = None,
+    ) -> None:
+        self.litho_config = litho_config or LithoConfig.paper()
+        self.sim = simulator or LithographySimulator(self.litho_config)
+        if optimizer_config is None:
+            optimizer_config = replace(
+                OptimizerConfig(), max_iterations=self.default_iterations
+            )
+        self.optimizer_config = self._resolve_weights(optimizer_config)
+        self.use_sraf = use_sraf
+
+    # -- extension points ------------------------------------------------
+
+    def _resolve_weights(self, config: OptimizerConfig) -> OptimizerConfig:
+        """Substitute mode-specific defaults when generic weights are used."""
+        return config
+
+    def build_design_objective(self, target: np.ndarray, layout: Layout) -> Objective:
+        """The design-target term (F_id or F_epe)."""
+        raise NotImplementedError
+
+    # -- solve -------------------------------------------------------------
+
+    def initial_mask(self, layout: Layout) -> np.ndarray:
+        """Optimizer seed: target (+ SRAFs when enabled)."""
+        grid = self.sim.grid
+        if self.use_sraf:
+            return initial_mask_with_srafs(layout, grid)
+        return rasterize_layout(layout, grid).astype(np.float64)
+
+    def build_objective(self, target: np.ndarray, layout: Layout) -> CompositeObjective:
+        """alpha * design_target + beta * F_pvb (Eqs. 19/20)."""
+        cfg = self.optimizer_config
+        design = self.build_design_objective(target, layout)
+        pvb = PVBandObjective(target)
+        return CompositeObjective([(cfg.alpha, design), (cfg.beta, pvb)])
+
+    def solve(
+        self,
+        layout: Layout,
+        iteration_callback: Optional[Callable] = None,
+        initial_mask: Optional[np.ndarray] = None,
+    ) -> MosaicResult:
+        """Run the full MOSAIC flow on one layout clip.
+
+        Args:
+            layout: target layout.
+            iteration_callback: optional per-iteration hook passed to the
+                optimizer (see :class:`GradientDescentOptimizer`).
+            initial_mask: optional seed overriding the default
+                target(+SRAF) seed — used by warm starts and the
+                multiresolution solver.
+
+        Returns:
+            Result with the optimized mask and its contest score.
+        """
+        with Timer() as total:
+            grid = self.sim.grid
+            target = rasterize_layout(layout, grid).astype(np.float64)
+            objective = self.build_objective(target, layout)
+            optimizer = GradientDescentOptimizer(
+                self.sim, objective, self.optimizer_config, iteration_callback
+            )
+            if initial_mask is None:
+                initial_mask = self.initial_mask(layout)
+            optimization = optimizer.run(initial_mask)
+        score = contest_score(
+            self.sim, optimization.binary_mask, layout, runtime_s=total.elapsed
+        )
+        return MosaicResult(
+            layout_name=layout.name,
+            optimization=optimization,
+            score=score,
+            target=target,
+            runtime_s=total.elapsed,
+        )
+
+
+class MosaicFast(MosaicSolver):
+    """MOSAIC_fast: gamma-power image difference + PV-band term (Eq. 20)."""
+
+    mode_name = "MOSAIC_fast"
+    default_iterations = constants.MOSAIC_FAST_ITERATIONS
+
+    def _resolve_weights(self, config: OptimizerConfig) -> OptimizerConfig:
+        defaults = OptimizerConfig()
+        if config.alpha == defaults.alpha and config.beta == defaults.beta:
+            # A boundary pixel mismatch at nominal is the score-relevant
+            # event F_id guards against; weight it well above a PV pixel.
+            pixel_area = self.sim.grid.pixel_nm**2
+            config = config.with_weights(
+                alpha=10.0 * constants.SCORE_PVB_WEIGHT * pixel_area,
+                beta=constants.SCORE_PVB_WEIGHT * pixel_area,
+            )
+        return config
+
+    def build_design_objective(self, target: np.ndarray, layout: Layout) -> Objective:
+        return ImageDifferenceObjective(target, gamma=self.optimizer_config.gamma)
+
+
+class MosaicExact(MosaicSolver):
+    """MOSAIC_exact: sigmoid EPE-violation count + PV-band term (Eq. 19)."""
+
+    mode_name = "MOSAIC_exact"
+    default_iterations = constants.MOSAIC_EXACT_ITERATIONS
+
+    def _resolve_weights(self, config: OptimizerConfig) -> OptimizerConfig:
+        defaults = OptimizerConfig()
+        if config.alpha == defaults.alpha and config.beta == defaults.beta:
+            # Direct Eq. 22 weights: 5000 per violation, 4 per nm^2 of band.
+            pixel_area = self.sim.grid.pixel_nm**2
+            config = config.with_weights(
+                alpha=constants.SCORE_EPE_WEIGHT,
+                beta=constants.SCORE_PVB_WEIGHT * pixel_area,
+            )
+        return config
+
+    def build_design_objective(self, target: np.ndarray, layout: Layout) -> Objective:
+        return EPEObjective(
+            target,
+            layout,
+            self.sim.grid,
+            theta_epe=self.optimizer_config.theta_epe,
+        )

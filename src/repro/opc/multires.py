@@ -1,0 +1,107 @@
+"""Coarse-to-fine (multiresolution) mask optimization.
+
+ILT iteration cost scales with pixel count, but the early iterations
+only need to discover the mask's gross structure (biases, assist
+features).  The multiresolution solver exploits that: it first runs the
+chosen MOSAIC mode on a ``factor``-times coarser grid, upsamples the
+resulting continuous mask, and uses it to warm-start a short run at
+full resolution.  Same final quality for a fraction of the fine-grid
+iterations — quantified in the multiresolution ablation bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Type
+
+import numpy as np
+
+from ..config import GridSpec, LithoConfig, OptimizerConfig
+from ..errors import OptimizationError
+from ..geometry.layout import Layout
+from ..litho.simulator import LithographySimulator
+from .mosaic import MosaicFast, MosaicResult, MosaicSolver
+
+
+def upsample_mask(mask: np.ndarray, factor: int) -> np.ndarray:
+    """Nearest-neighbour upsampling by an integer factor (pixel replication)."""
+    if factor < 1:
+        raise OptimizationError(f"upsampling factor must be >= 1, got {factor}")
+    if factor == 1:
+        return np.asarray(mask, dtype=np.float64).copy()
+    return np.kron(np.asarray(mask, dtype=np.float64), np.ones((factor, factor)))
+
+
+def coarsen_config(config: LithoConfig, factor: int) -> LithoConfig:
+    """The same lithography setup on a ``factor``-times coarser grid."""
+    rows, cols = config.grid.shape
+    if rows % factor or cols % factor:
+        raise OptimizationError(
+            f"grid {config.grid.shape} not divisible by coarsening factor {factor}"
+        )
+    coarse_grid = GridSpec(
+        shape=(rows // factor, cols // factor),
+        pixel_nm=config.grid.pixel_nm * factor,
+    )
+    return replace(config, grid=coarse_grid)
+
+
+class MultiResolutionSolver:
+    """Two-level coarse-to-fine wrapper around a MOSAIC solver.
+
+    Args:
+        litho_config: full-resolution lithography configuration.
+        solver_cls: which MOSAIC mode to run at both levels.
+        factor: grid coarsening factor (the fine grid must divide by it).
+        coarse_config: optimizer settings for the coarse stage (defaults
+            to the solver's own defaults — coarse iterations are cheap).
+        fine_config: optimizer settings for the refinement stage
+            (defaults to one third of the mode's default budget).
+        simulator: optional pre-built full-resolution simulator.
+    """
+
+    mode_name = "MOSAIC_multires"
+
+    def __init__(
+        self,
+        litho_config: LithoConfig,
+        solver_cls: Type[MosaicSolver] = MosaicFast,
+        factor: int = 2,
+        coarse_config: Optional[OptimizerConfig] = None,
+        fine_config: Optional[OptimizerConfig] = None,
+        simulator: Optional[LithographySimulator] = None,
+    ) -> None:
+        if factor < 2:
+            raise OptimizationError("multiresolution needs factor >= 2")
+        self.litho_config = litho_config
+        self.factor = factor
+        self.coarse_solver = solver_cls(
+            coarsen_config(litho_config, factor), optimizer_config=coarse_config
+        )
+        if fine_config is None:
+            fine_iterations = max(solver_cls.default_iterations // 3, 5)
+            fine_config = replace(OptimizerConfig(), max_iterations=fine_iterations)
+        self.fine_solver = solver_cls(
+            litho_config, optimizer_config=fine_config, simulator=simulator
+        )
+
+    @property
+    def sim(self) -> LithographySimulator:
+        """The full-resolution simulator (for evaluation reuse)."""
+        return self.fine_solver.sim
+
+    def solve(self, layout: Layout) -> MosaicResult:
+        """Coarse solve, upsample, refine at full resolution."""
+        coarse = self.coarse_solver.solve(layout)
+        seed = np.clip(upsample_mask(coarse.optimization.mask, self.factor), 0.0, 1.0)
+        fine = self.fine_solver.solve(layout, initial_mask=seed)
+        # Account for the coarse stage in the reported runtime/score.
+        total_runtime = coarse.runtime_s + fine.runtime_s
+        score = replace(fine.score, runtime_s=total_runtime)
+        return MosaicResult(
+            layout_name=fine.layout_name,
+            optimization=fine.optimization,
+            score=score,
+            target=fine.target,
+            runtime_s=total_runtime,
+        )

@@ -1,0 +1,15 @@
+"""Differentiable ILT objectives (paper Sec. 3)."""
+
+from .base import Objective
+from .composite import CompositeObjective
+from .image_diff import ImageDifferenceObjective
+from .epe_objective import EPEObjective
+from .pvband_objective import PVBandObjective
+
+__all__ = [
+    "Objective",
+    "CompositeObjective",
+    "ImageDifferenceObjective",
+    "EPEObjective",
+    "PVBandObjective",
+]

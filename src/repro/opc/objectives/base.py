@@ -1,0 +1,32 @@
+"""Objective interface for the gradient-descent ILT engine."""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Tuple
+
+import numpy as np
+
+from ..state import ForwardContext
+
+
+class Objective(ABC):
+    """A differentiable functional of the mask, F(M).
+
+    Implementations compute the scalar value and the gradient with
+    respect to the *mask* plane M (not the unconstrained parameters P —
+    the optimizer applies the ``dM/dP`` chain-rule factor itself, so
+    objectives stay independent of the relaxation).
+    """
+
+    @abstractmethod
+    def value_and_gradient(self, ctx: ForwardContext) -> Tuple[float, np.ndarray]:
+        """Evaluate F(M) and dF/dM for the mask held by ``ctx``.
+
+        Returns:
+            ``(value, gradient)`` with the gradient shaped like the mask.
+        """
+
+    def value(self, ctx: ForwardContext) -> float:
+        """Objective value only (default: discards the gradient)."""
+        return self.value_and_gradient(ctx)[0]

@@ -1,0 +1,42 @@
+"""Weighted sums of objectives (paper Eqs. 19-20)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import OptimizationError
+from ..state import ForwardContext
+from .base import Objective
+
+
+class CompositeObjective(Objective):
+    """F = sum_i weight_i * F_i, with one shared forward context.
+
+    Example:
+        >>> # F_fast = alpha * F_id + beta * F_pvb   (paper Eq. 20)
+        >>> # composite = CompositeObjective([(alpha, f_id), (beta, f_pvb)])
+    """
+
+    def __init__(self, terms: Sequence[Tuple[float, Objective]]) -> None:
+        if not terms:
+            raise OptimizationError("composite objective needs at least one term")
+        for weight, _ in terms:
+            if weight < 0:
+                raise OptimizationError(f"term weights must be >= 0, got {weight}")
+        self.terms: List[Tuple[float, Objective]] = list(terms)
+        #: Per-term values from the latest evaluation, for logging/history.
+        self.last_term_values: Dict[int, float] = {}
+
+    def value_and_gradient(self, ctx: ForwardContext) -> Tuple[float, np.ndarray]:
+        total = 0.0
+        grad = np.zeros_like(ctx.mask)
+        self.last_term_values = {}
+        for i, (weight, objective) in enumerate(self.terms):
+            value, g = objective.value_and_gradient(ctx)
+            self.last_term_values[i] = value
+            if weight:
+                total += weight * value
+                grad += weight * g
+        return total, grad

@@ -1,0 +1,71 @@
+"""Process-window objective F_pvb (paper Sec. 3.4, Eq. 18).
+
+The PV band itself needs boolean operations over per-corner printed
+images (paper Fig. 4) and is not differentiable; the paper instead
+minimizes the summed quadratic difference between every corner's printed
+image and the target,
+
+    F_pvb = sum_{p corners} sum_{x,y} ( Z_p(x, y) - Z_t(x, y) )^2 ,
+
+which pulls both the innermost and outermost printed edges toward the
+target and thereby shrinks the band.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ...errors import OptimizationError
+from ...process.corners import ProcessCorner
+from ..state import ForwardContext
+from .base import Objective
+
+
+class PVBandObjective(Objective):
+    """Quadratic image error summed over process corners.
+
+    Args:
+        target: binary target image Z_t.
+        corners: process conditions to include.  Defaults to the
+            simulator's non-nominal corners (the nominal condition is the
+            design-target term's job).
+        normalize: divide by pixel count for grid-size independence.
+    """
+
+    def __init__(
+        self,
+        target: np.ndarray,
+        corners: Optional[Sequence[ProcessCorner]] = None,
+        normalize: bool = False,
+    ) -> None:
+        self.target = np.asarray(target, dtype=np.float64)
+        self._corners = list(corners) if corners is not None else None
+        self.normalize = normalize
+
+    def corners_for(self, ctx: ForwardContext) -> List[ProcessCorner]:
+        """The corner set actually evaluated (resolved lazily from ctx)."""
+        if self._corners is not None:
+            return self._corners
+        return [c for c in ctx.sim.corners() if not c.is_nominal]
+
+    def value_and_gradient(self, ctx: ForwardContext) -> Tuple[float, np.ndarray]:
+        if ctx.mask.shape != self.target.shape:
+            raise OptimizationError(
+                f"mask {ctx.mask.shape} vs target {self.target.shape} shape mismatch"
+            )
+        corners = self.corners_for(ctx)
+        if not corners:
+            raise OptimizationError("PVBandObjective needs at least one process corner")
+        scale = 1.0 / self.target.size if self.normalize else 1.0
+        value = 0.0
+        grad = np.zeros_like(ctx.mask)
+        for corner in corners:
+            z = ctx.soft_image(corner)
+            diff = z - self.target
+            value += float(np.sum(diff**2)) * scale
+            dz_di = ctx.sim.resist.soft_derivative(z)
+            df_di = scale * 2.0 * diff * dz_di
+            grad += ctx.intensity_gradient_to_mask(df_di, corner)
+        return value, grad

@@ -1,0 +1,83 @@
+"""Per-iteration forward-simulation cache shared by all objectives.
+
+Every objective needs some subset of {per-kernel fields, aerial image,
+soft printed image} at some subset of process corners.  Computing these
+once per iteration and sharing them is the single biggest runtime win in
+the optimizer, so the cache is explicit and objectives receive it rather
+than a raw mask.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..litho.simulator import LithographySimulator
+from ..optics.hopkins import aerial_image, backproject_fields
+from ..process.corners import ProcessCorner, nominal_corner
+
+
+class ForwardContext:
+    """Lazy, memoized forward simulation of one mask iterate.
+
+    Args:
+        mask: continuous mask M in (0, 1).
+        sim: the lithography simulator (provides kernels, resist, corners).
+    """
+
+    def __init__(self, mask: np.ndarray, sim: LithographySimulator) -> None:
+        self.mask = np.asarray(mask, dtype=np.float64)
+        self.sim = sim
+        self._fields: Dict[float, np.ndarray] = {}
+        self._aerial: Dict[tuple, np.ndarray] = {}
+        self._soft: Dict[tuple, np.ndarray] = {}
+
+    @property
+    def nominal(self) -> ProcessCorner:
+        return nominal_corner()
+
+    def fields(self, corner: Optional[ProcessCorner] = None) -> np.ndarray:
+        """Per-kernel coherent fields E_k at a corner's focus (dose-free)."""
+        corner = corner or self.nominal
+        key = float(corner.defocus_nm)
+        if key not in self._fields:
+            self._fields[key] = self.sim.fields(self.mask, corner)
+        return self._fields[key]
+
+    def aerial(self, corner: Optional[ProcessCorner] = None) -> np.ndarray:
+        """Aerial intensity at a corner (dose applied)."""
+        corner = corner or self.nominal
+        key = (float(corner.defocus_nm), float(corner.dose))
+        if key not in self._aerial:
+            kernels = self.sim.kernels_at(corner.defocus_nm)
+            self._aerial[key] = aerial_image(
+                self.mask, kernels, dose=corner.dose, fields=self.fields(corner)
+            )
+        return self._aerial[key]
+
+    def soft_image(self, corner: Optional[ProcessCorner] = None) -> np.ndarray:
+        """Sigmoid printed image Z at a corner (paper Eq. 4)."""
+        corner = corner or self.nominal
+        key = (float(corner.defocus_nm), float(corner.dose))
+        if key not in self._soft:
+            self._soft[key] = self.sim.resist.develop_soft(self.aerial(corner))
+        return self._soft[key]
+
+    def intensity_gradient_to_mask(
+        self, dF_dI: np.ndarray, corner: Optional[ProcessCorner] = None
+    ) -> np.ndarray:
+        """Back-propagate an intensity-space gradient onto the mask plane.
+
+        Given ``dF/dI_eff`` at a corner (``I_eff`` is the post-diffusion
+        intensity the resist thresholds), returns ``dF/dM`` using the
+        adjoint chain: the symmetric Gaussian diffusion adjoint, then the
+        adjoint of the SOCS imaging operator (the corner's dose factor is
+        included, since ``I = dose * sum_k w_k |E_k|^2``).
+        """
+        corner = corner or self.nominal
+        kernels = self.sim.kernels_at(corner.defocus_nm)
+        fields = self.fields(corner)
+        dF_dI = self.sim.resist.diffuse(np.asarray(dF_dI, dtype=np.float64))
+        weighted = dF_dI[None, :, :] * fields
+        return corner.dose * backproject_fields(weighted, kernels)

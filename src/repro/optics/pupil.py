@@ -1,0 +1,66 @@
+"""Projection pupil with defocus aberration.
+
+The pupil passes spatial frequencies up to ``NA / lambda`` and applies a
+defocus phase for off-focus process conditions.  The defocus phase uses
+the exact (non-paraxial) expression for an immersion medium of refractive
+index ``n``:
+
+    W(f) = 2*pi * delta * ( sqrt((n/lambda)^2 - |f|^2) - n/lambda )
+
+so that ``delta = 0`` gives a real, unaberrated pupil.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import OpticsConfig
+
+#: Refractive index of the immersion medium (water at 193 nm).
+IMMERSION_INDEX = 1.44
+
+
+def defocus_phase(
+    fx: np.ndarray,
+    fy: np.ndarray,
+    wavelength_nm: float,
+    defocus_nm: float,
+    refractive_index: float = IMMERSION_INDEX,
+) -> np.ndarray:
+    """Defocus phase (radians) at spatial frequencies ``(fx, fy)`` in 1/nm.
+
+    Frequencies beyond the medium's propagation limit would be evanescent;
+    they are clamped (they are cut by the pupil anyway).
+    """
+    f2 = np.asarray(fx, dtype=np.float64) ** 2 + np.asarray(fy, dtype=np.float64) ** 2
+    n_over_lambda = refractive_index / wavelength_nm
+    axial = np.sqrt(np.maximum(n_over_lambda**2 - f2, 0.0))
+    return 2.0 * np.pi * defocus_nm * (axial - n_over_lambda)
+
+
+def pupil_values(
+    fx: np.ndarray,
+    fy: np.ndarray,
+    optics: OpticsConfig,
+    defocus_nm: float = 0.0,
+    refractive_index: float = IMMERSION_INDEX,
+) -> np.ndarray:
+    """Complex pupil transmission at spatial frequencies ``(fx, fy)``.
+
+    Args:
+        fx, fy: spatial frequencies in cycles/nm (broadcastable arrays).
+        optics: optical-system parameters.
+        defocus_nm: focus offset; 0 gives the nominal (real) pupil.
+        refractive_index: immersion-medium index used by the defocus term.
+
+    Returns:
+        Complex array: 0 outside the NA cutoff, ``exp(i W(f))`` inside.
+    """
+    fx = np.asarray(fx, dtype=np.float64)
+    fy = np.asarray(fy, dtype=np.float64)
+    cutoff = optics.numerical_aperture / optics.wavelength_nm
+    inside = (fx**2 + fy**2) <= cutoff**2 + 1e-18
+    if defocus_nm == 0.0:
+        return inside.astype(np.complex128)
+    phase = defocus_phase(fx, fy, optics.wavelength_nm, defocus_nm, refractive_index)
+    return np.where(inside, np.exp(1j * phase), 0.0).astype(np.complex128)

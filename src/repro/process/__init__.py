@@ -1,0 +1,20 @@
+"""Process-window modelling: corners, PV band, and window analysis."""
+
+from .corners import ProcessCorner, enumerate_corners, nominal_corner
+from .pvband import pv_band, pv_band_area
+from .window_analysis import (
+    ProcessWindowMap,
+    WindowPoint,
+    sweep_process_window,
+)
+
+__all__ = [
+    "ProcessCorner",
+    "enumerate_corners",
+    "nominal_corner",
+    "pv_band",
+    "pv_band_area",
+    "ProcessWindowMap",
+    "WindowPoint",
+    "sweep_process_window",
+]

@@ -1,0 +1,84 @@
+"""Process-condition corners.
+
+The contest setup the paper evaluates on exposes a defocus range of
++/-25 nm and a dose range of +/-2 %.  Defocus blur is symmetric in sign to
+first order, so corners enumerate the *worst* focus (full defocus) against
+both dose extremes, plus the two dose extremes at best focus:
+
+    nominal:  (focus,   dose 1.00)
+    corners:  (focus,   dose 0.98), (focus,   dose 1.02),
+              (defocus, dose 0.98), (defocus, dose 1.02)
+
+The defocused/low-dose corner forms the innermost printed contour and the
+nominal-focus/high-dose corner the outermost — together they bound the PV
+band (paper Fig. 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..config import ProcessConfig
+from ..errors import ProcessError
+
+
+@dataclass(frozen=True)
+class ProcessCorner:
+    """One lithography process condition.
+
+    Attributes:
+        name: human-readable label.
+        defocus_nm: focus offset from best focus.
+        dose: exposure-dose multiplier (1.0 = nominal).
+    """
+
+    name: str
+    defocus_nm: float
+    dose: float
+
+    def __post_init__(self) -> None:
+        if self.dose <= 0:
+            raise ProcessError(f"dose must be positive, got {self.dose}")
+
+    @property
+    def is_nominal(self) -> bool:
+        return self.defocus_nm == 0.0 and self.dose == 1.0
+
+
+def nominal_corner() -> ProcessCorner:
+    """The nominal process condition (best focus, unit dose)."""
+    return ProcessCorner("nominal", 0.0, 1.0)
+
+
+def enumerate_corners(process: ProcessConfig, include_nominal: bool = True) -> List[ProcessCorner]:
+    """All process conditions used for PV-band evaluation.
+
+    Args:
+        process: defocus/dose ranges.
+        include_nominal: prepend the nominal condition (always first when
+            present, so callers can index it reliably).
+
+    Returns:
+        Nominal (optional) followed by the four (focus x dose) corners.
+        Degenerate ranges collapse duplicates away.
+    """
+    corners: List[ProcessCorner] = []
+    if include_nominal:
+        corners.append(nominal_corner())
+    dose_lo = 1.0 - process.dose_range
+    dose_hi = 1.0 + process.dose_range
+    defocus = process.defocus_range_nm
+    candidates = [
+        ProcessCorner("focus/dose-", 0.0, dose_lo),
+        ProcessCorner("focus/dose+", 0.0, dose_hi),
+        ProcessCorner("defocus/dose-", defocus, dose_lo),
+        ProcessCorner("defocus/dose+", defocus, dose_hi),
+    ]
+    seen = {(c.defocus_nm, c.dose) for c in corners}
+    for c in candidates:
+        key = (c.defocus_nm, c.dose)
+        if key not in seen:
+            seen.add(key)
+            corners.append(c)
+    return corners

@@ -1,0 +1,46 @@
+"""Process variability band (PV band) computation (paper Fig. 4, ref [20]).
+
+The PV band is the region between the outermost and innermost printed
+edges over all process conditions: the XOR of the union and intersection
+of the per-condition printed images.  Its area (nm^2) is the contest's
+process-window metric.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import ProcessError
+from ..utils.validation import ensure_binary_image, ensure_same_shape
+
+
+def pv_band(printed_images: Sequence[np.ndarray]) -> np.ndarray:
+    """Boolean PV-band mask: printed under some condition but not all.
+
+    Args:
+        printed_images: binary printed images, one per process condition
+            (order irrelevant; the nominal image should be included).
+
+    Returns:
+        Boolean array — True where edge placement varies across conditions.
+    """
+    if not printed_images:
+        raise ProcessError("pv_band needs at least one printed image")
+    images = [ensure_binary_image(img, f"printed[{i}]") for i, img in enumerate(printed_images)]
+    ensure_same_shape(*images)
+    union = images[0].copy()
+    intersection = images[0].copy()
+    for img in images[1:]:
+        union |= img
+        intersection &= img
+    return union & ~intersection
+
+
+def pv_band_area(printed_images: Sequence[np.ndarray], pixel_nm: float) -> float:
+    """PV-band area in nm^2."""
+    if pixel_nm <= 0:
+        raise ProcessError(f"pixel size must be positive, got {pixel_nm}")
+    band = pv_band(printed_images)
+    return float(np.count_nonzero(band)) * pixel_nm * pixel_nm

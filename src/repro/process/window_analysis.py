@@ -1,0 +1,110 @@
+"""Process-window analysis: exposure latitude and depth of focus.
+
+Beyond the contest's PV-band scalar, lithographers characterize a mask
+by its *process window*: the set of (dose, defocus) conditions under
+which the design still prints within the EPE tolerance.  This module
+sweeps the window on a grid of conditions and extracts exposure
+latitude (at best focus) and depth of focus (at nominal dose) — the
+natural extension experiments for a process-window-aware optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Sequence
+
+import numpy as np
+
+from ..config import GridSpec
+from ..errors import ProcessError
+from ..geometry.layout import Layout
+from .corners import ProcessCorner
+
+if TYPE_CHECKING:  # avoid a circular import: the simulator imports this package
+    from ..litho.simulator import LithographySimulator
+
+
+@dataclass(frozen=True)
+class WindowPoint:
+    """EPE outcome at one (defocus, dose) condition."""
+
+    defocus_nm: float
+    dose: float
+    epe_violations: int
+
+    @property
+    def passes(self) -> bool:
+        return self.epe_violations == 0
+
+
+@dataclass
+class ProcessWindowMap:
+    """EPE-violation counts over a (defocus x dose) condition grid."""
+
+    points: List[WindowPoint]
+
+    def passing(self) -> List[WindowPoint]:
+        return [p for p in self.points if p.passes]
+
+    def exposure_latitude(self, at_defocus_nm: float = 0.0) -> float:
+        """Fractional dose range that passes at the given focus.
+
+        Returns (dose_max - dose_min) over passing points, or 0.0 when
+        nothing passes at that focus.
+        """
+        doses = [p.dose for p in self.passing() if p.defocus_nm == at_defocus_nm]
+        return (max(doses) - min(doses)) if len(doses) >= 2 else 0.0
+
+    def depth_of_focus(self, at_dose: float = 1.0) -> float:
+        """Defocus span (nm) that passes at the given dose."""
+        focuses = [p.defocus_nm for p in self.passing() if p.dose == at_dose]
+        return (max(focuses) - min(focuses)) if len(focuses) >= 2 else 0.0
+
+    def pass_fraction(self) -> float:
+        """Fraction of swept conditions that print violation-free."""
+        return len(self.passing()) / len(self.points) if self.points else 0.0
+
+
+def sweep_process_window(
+    sim: "LithographySimulator",
+    mask: np.ndarray,
+    layout: Layout,
+    defocus_values_nm: Sequence[float] = (0.0, 10.0, 25.0, 40.0),
+    dose_values: Sequence[float] = (0.94, 0.96, 0.98, 1.0, 1.02, 1.04, 1.06),
+    grid: GridSpec | None = None,
+) -> ProcessWindowMap:
+    """Measure EPE violations over a grid of process conditions.
+
+    Args:
+        sim: configured simulator (kernel sets are built per new focus).
+        mask: the mask under test (binarized before simulation).
+        layout: the design target for EPE measurement.
+        defocus_values_nm: focus sweep (non-negative; blur is symmetric).
+        dose_values: dose sweep around 1.0.
+        grid: grid override (defaults to the simulator's grid).
+
+    Returns:
+        The full condition map with latitude/DOF accessors.
+    """
+    # Imported here to keep the module import-safe: the simulator package
+    # imports repro.process, so a top-level import would be circular.
+    from ..metrics.epe import measure_epe
+
+    if not defocus_values_nm or not dose_values:
+        raise ProcessError("process-window sweep needs non-empty condition lists")
+    grid = grid or sim.grid
+    binary = (np.asarray(mask, dtype=np.float64) > 0.5).astype(np.float64)
+    points: List[WindowPoint] = []
+    for defocus in defocus_values_nm:
+        for dose in dose_values:
+            corner = ProcessCorner(f"f{defocus:g}/d{dose:g}", float(defocus), float(dose))
+            printed = sim.print_binary(binary, corner)
+            report = measure_epe(printed, layout, grid)
+            points.append(
+                WindowPoint(
+                    defocus_nm=float(defocus),
+                    dose=float(dose),
+                    epe_violations=report.num_violations,
+                )
+            )
+    return ProcessWindowMap(points=points)

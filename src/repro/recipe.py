@@ -1,0 +1,166 @@
+"""OPC recipes: JSON-serializable solve settings.
+
+A recipe captures everything about *how* to solve — solver mode,
+optimizer hyper-parameters, post-OPC cleanup — so a flow can be
+versioned, shared and replayed without code:
+
+    {
+      "mode": "exact",
+      "optimizer": {"max_iterations": 40, "step_size": 10.0, "beta": 80.0},
+      "cleanup": {"min_figure_area_nm2": 300.0, "smooth": false}
+    }
+
+Unknown keys are rejected loudly (a typo like ``"max_iteration"`` must
+not silently fall back to defaults).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass, replace
+from pathlib import Path
+from typing import Optional, Union
+
+import numpy as np
+
+from .config import LithoConfig, OptimizerConfig
+from .errors import ReproError
+from .geometry.layout import Layout
+from .litho.simulator import LithographySimulator
+from .mask.cleanup import CleanupConfig, cleanup_mask
+from .metrics.score import contest_score
+from .opc.mosaic import MosaicResult
+
+_MODES = ("fast", "exact", "multires", "modelbased", "rulebased", "ilt", "levelset")
+
+
+@dataclass(frozen=True)
+class Recipe:
+    """A named, replayable solve configuration.
+
+    Attributes:
+        mode: solver mode (same names as the CLI).
+        optimizer: descent settings (None = the mode's defaults).
+        cleanup: post-OPC cleanup (None = no cleanup).
+        name: optional label for reports.
+    """
+
+    mode: str = "fast"
+    optimizer: Optional[OptimizerConfig] = None
+    cleanup: Optional[CleanupConfig] = None
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mode not in _MODES:
+            raise ReproError(f"unknown mode {self.mode!r}; choose from {_MODES}")
+
+
+def _build_dataclass(cls, data: dict, context: str):
+    valid = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(data) - valid
+    if unknown:
+        raise ReproError(
+            f"{context}: unknown key(s) {sorted(unknown)}; valid keys: {sorted(valid)}"
+        )
+    try:
+        return replace(cls(), **data)
+    except Exception as exc:
+        raise ReproError(f"{context}: {exc}") from exc
+
+
+def recipe_from_dict(data: dict) -> Recipe:
+    """Build a Recipe from parsed JSON, validating every key."""
+    if not isinstance(data, dict):
+        raise ReproError(f"recipe must be a JSON object, got {type(data).__name__}")
+    unknown = set(data) - {"mode", "optimizer", "cleanup", "name"}
+    if unknown:
+        raise ReproError(f"recipe: unknown key(s) {sorted(unknown)}")
+    optimizer = None
+    if "optimizer" in data:
+        optimizer = _build_dataclass(OptimizerConfig, data["optimizer"], "recipe.optimizer")
+    cleanup = None
+    if "cleanup" in data:
+        cleanup = _build_dataclass(CleanupConfig, data["cleanup"], "recipe.cleanup")
+    return Recipe(
+        mode=data.get("mode", "fast"),
+        optimizer=optimizer,
+        cleanup=cleanup,
+        name=data.get("name", ""),
+    )
+
+
+def load_recipe(path: Union[str, Path]) -> Recipe:
+    """Read a recipe from a JSON file."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except OSError as exc:
+        raise ReproError(f"cannot read recipe {path}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise ReproError(f"recipe {path} is not valid JSON: {exc}") from exc
+    return recipe_from_dict(data)
+
+
+def dump_recipe(recipe: Recipe, path: Union[str, Path]) -> None:
+    """Write a recipe to JSON (full settings, replayable)."""
+    data: dict = {"mode": recipe.mode}
+    if recipe.name:
+        data["name"] = recipe.name
+    if recipe.optimizer is not None:
+        data["optimizer"] = dataclasses.asdict(recipe.optimizer)
+    if recipe.cleanup is not None:
+        data["cleanup"] = dataclasses.asdict(recipe.cleanup)
+    Path(path).write_text(json.dumps(data, indent=2) + "\n")
+
+
+def solve_with_recipe(
+    recipe: Recipe,
+    layout: Layout,
+    litho_config: LithoConfig,
+    simulator: Optional[LithographySimulator] = None,
+) -> MosaicResult:
+    """Execute a recipe: solve, optionally clean up, re-score.
+
+    Returns a :class:`MosaicResult` whose mask has the recipe's cleanup
+    applied and whose score reflects the cleaned mask.
+    """
+    from .baselines import BasicILT, LevelSetILT, ModelBasedOPC, RuleBasedOPC
+    from .opc.mosaic import MosaicExact, MosaicFast
+    from .opc.multires import MultiResolutionSolver
+
+    sim = simulator or LithographySimulator(litho_config)
+    if recipe.mode == "multires":
+        solver = MultiResolutionSolver(
+            litho_config, solver_cls=MosaicFast, simulator=sim
+        )
+    else:
+        cls = {
+            "fast": MosaicFast,
+            "exact": MosaicExact,
+            "modelbased": ModelBasedOPC,
+            "rulebased": RuleBasedOPC,
+            "ilt": BasicILT,
+            "levelset": LevelSetILT,
+        }[recipe.mode]
+        if recipe.optimizer is not None and cls in (MosaicFast, MosaicExact, BasicILT):
+            solver = cls(litho_config, optimizer_config=recipe.optimizer, simulator=sim)
+        else:
+            solver = cls(litho_config, simulator=sim)
+    result = solver.solve(layout)
+
+    if recipe.cleanup is None:
+        return result
+    cleaned = cleanup_mask(result.mask, sim.grid, recipe.cleanup)
+    score = contest_score(sim, cleaned, layout, runtime_s=result.runtime_s)
+    optimization = dataclasses.replace(
+        result.optimization,
+        mask=cleaned,
+        binary_mask=(np.asarray(cleaned) > 0.5).astype(np.float64),
+    )
+    return MosaicResult(
+        layout_name=result.layout_name,
+        optimization=optimization,
+        score=score,
+        target=result.target,
+        runtime_s=result.runtime_s,
+    )

@@ -1,0 +1,137 @@
+"""Full verification report for an OPC result.
+
+Aggregates every analysis the library offers — contest score, EPE
+statistics, per-corner printing, CD gauges, mask rules, write cost,
+process window — into one structured object with a formatted text
+rendering.  This is the artifact a tapeout review would look at.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from .geometry.layout import Layout
+from .litho.simulator import LithographySimulator
+from .metrics.cd import CDMeasurement, gauges_for_layout, measure_gauges
+from .metrics.complexity import MaskComplexity, mask_complexity
+from .metrics.epe import EPEReport, measure_epe
+from .metrics.mrc import MRCReport, check_mask_rules
+from .metrics.score import ScoreBreakdown, contest_score
+from .process.window_analysis import ProcessWindowMap, sweep_process_window
+
+
+@dataclass
+class VerificationReport:
+    """Everything known about one optimized mask."""
+
+    layout_name: str
+    score: ScoreBreakdown
+    epe: EPEReport
+    cd: List[CDMeasurement]
+    mrc: MRCReport
+    complexity: MaskComplexity
+    window: Optional[ProcessWindowMap]
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing blocks tapeout: no EPE/shape violations and
+        every CD gauge printed."""
+        return (
+            self.score.epe_violations == 0
+            and self.score.shape_violations == 0
+            and all(m.cd_nm is not None for m in self.cd)
+        )
+
+    def render(self) -> str:
+        """Human-readable multi-section report."""
+        lines = [
+            f"=== Verification report: {self.layout_name} ===",
+            f"verdict: {'CLEAN' if self.clean else 'VIOLATIONS PRESENT'}",
+            "",
+            f"score      : {self.score}",
+            f"EPE        : {self.epe.num_violations}/{self.epe.num_samples} samples violate "
+            f"(max |EPE| = {self._fmt_nm(self.epe.max_abs_epe())}, "
+            f"mean |EPE| = {self._fmt_nm(self.epe.mean_abs_epe())})",
+        ]
+        printed_cds = [m for m in self.cd if m.cd_nm is not None]
+        missing = len(self.cd) - len(printed_cds)
+        if printed_cds:
+            worst = max(printed_cds, key=lambda m: abs(m.error_nm))
+            lines.append(
+                f"CD gauges  : {len(printed_cds)}/{len(self.cd)} printed; worst error "
+                f"{worst.error_nm:+.0f} nm at {worst.gauge.name}"
+            )
+        if missing:
+            lines.append(f"             {missing} gauge(s) DID NOT PRINT")
+        lines += [
+            f"mask rules : width {self.mrc.width_violation_px} px, "
+            f"space {self.mrc.space_violation_px} px violating "
+            f"({self.mrc.min_width_nm:g}/{self.mrc.min_space_nm:g} nm rules)",
+            f"write cost : {self.complexity.shot_count} shots, "
+            f"{self.complexity.figure_count} figures, "
+            f"{self.complexity.edge_length_nm:.0f} nm edge, "
+            f"{self.complexity.corner_count} corners",
+        ]
+        if self.window is not None:
+            lines.append(
+                f"window     : {self.window.pass_fraction() * 100:.0f}% of swept "
+                f"conditions pass; EL = {self.window.exposure_latitude() * 100:.1f}%, "
+                f"DOF = {self.window.depth_of_focus():.0f} nm"
+            )
+        return "\n".join(lines)
+
+    @staticmethod
+    def _fmt_nm(value: Optional[float]) -> str:
+        return "n/a" if value is None else f"{value:.0f} nm"
+
+
+def verify_mask(
+    sim: LithographySimulator,
+    mask: np.ndarray,
+    layout: Layout,
+    runtime_s: float = 0.0,
+    sweep_window: bool = True,
+    min_width_nm: float = 20.0,
+    min_space_nm: float = 20.0,
+) -> VerificationReport:
+    """Run the full verification suite on one mask.
+
+    Args:
+        sim: configured simulator.
+        mask: the optimized mask (binarized before checks).
+        layout: the design target.
+        runtime_s: optimizer wall-clock to charge to the score.
+        sweep_window: include the (slower) process-window sweep.
+        min_width_nm, min_space_nm: mask rules to check.
+
+    Returns:
+        The aggregated report; ``report.render()`` formats it.
+    """
+    grid = sim.grid
+    binary = (np.asarray(mask, dtype=np.float64) > 0.5).astype(np.float64)
+    printed = sim.print_binary(binary)
+    window = None
+    if sweep_window:
+        window = sweep_process_window(
+            sim,
+            binary,
+            layout,
+            defocus_values_nm=(0.0, sim.config.process.defocus_range_nm),
+            dose_values=(
+                1.0 - sim.config.process.dose_range,
+                1.0,
+                1.0 + sim.config.process.dose_range,
+            ),
+        )
+    return VerificationReport(
+        layout_name=layout.name,
+        score=contest_score(sim, binary, layout, runtime_s=runtime_s),
+        epe=measure_epe(printed, layout, grid),
+        cd=measure_gauges(printed, gauges_for_layout(layout), grid),
+        mrc=check_mask_rules(binary, grid, min_width_nm=min_width_nm, min_space_nm=min_space_nm),
+        complexity=mask_complexity(binary, grid),
+        window=window,
+    )

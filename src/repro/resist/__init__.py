@@ -1,0 +1,6 @@
+"""Photoresist models (paper Eqs. 3-4, plus Gaussian acid diffusion)."""
+
+from .threshold import ThresholdResist, hard_threshold, sigmoid_threshold
+from .diffusion import diffuse
+
+__all__ = ["ThresholdResist", "hard_threshold", "sigmoid_threshold", "diffuse"]

@@ -1,0 +1,17 @@
+"""Small shared utilities: timing, validation, array helpers."""
+
+from .timer import Timer
+from .validation import (
+    ensure_binary_image,
+    ensure_image,
+    ensure_same_shape,
+    sigmoid,
+)
+
+__all__ = [
+    "Timer",
+    "ensure_binary_image",
+    "ensure_image",
+    "ensure_same_shape",
+    "sigmoid",
+]

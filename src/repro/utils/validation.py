@@ -1,0 +1,60 @@
+"""Validation helpers and numerically safe primitives shared across modules."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import GridError
+
+#: Clamp for sigmoid exponents so ``exp`` never overflows float64.
+_EXP_CLAMP = 500.0
+
+
+def sigmoid(x: np.ndarray, steepness: float = 1.0, center: float = 0.0) -> np.ndarray:
+    """Numerically stable logistic sigmoid ``1 / (1 + exp(-steepness*(x-center)))``.
+
+    This is the workhorse of the whole paper: it approximates the resist
+    threshold (Eq. 4), relaxes the binary mask (Eq. 8), and smooths the
+    EPE-violation indicator (Eq. 11).
+
+    Args:
+        x: input array (any shape) or scalar.
+        steepness: sigmoid steepness (theta in the paper).
+        center: value of x at which the sigmoid crosses 0.5.
+
+    Returns:
+        Array of the same shape with values in (0, 1).
+    """
+    z = np.clip(steepness * (np.asarray(x, dtype=np.float64) - center), -_EXP_CLAMP, _EXP_CLAMP)
+    return 1.0 / (1.0 + np.exp(-z))
+
+
+def ensure_image(arr: np.ndarray, name: str = "image") -> np.ndarray:
+    """Check that ``arr`` is a finite 2-D float array; return it as float64."""
+    a = np.asarray(arr)
+    if a.ndim != 2:
+        raise GridError(f"{name} must be 2-D, got shape {a.shape}")
+    a = a.astype(np.float64, copy=False)
+    if not np.all(np.isfinite(a)):
+        raise GridError(f"{name} contains non-finite values")
+    return a
+
+
+def ensure_binary_image(arr: np.ndarray, name: str = "image") -> np.ndarray:
+    """Check that ``arr`` is 2-D and binary (only values 0 and 1); return bool array."""
+    a = np.asarray(arr)
+    if a.ndim != 2:
+        raise GridError(f"{name} must be 2-D, got shape {a.shape}")
+    if a.dtype == bool:
+        return a
+    vals = np.unique(a)
+    if not np.all(np.isin(vals, (0, 1))):
+        raise GridError(f"{name} must be binary, found values {vals[:5]}")
+    return a.astype(bool)
+
+
+def ensure_same_shape(*arrays: np.ndarray) -> None:
+    """Raise :class:`GridError` unless every array has the same shape."""
+    shapes = {np.asarray(a).shape for a in arrays}
+    if len(shapes) > 1:
+        raise GridError(f"shape mismatch: {sorted(shapes)}")

@@ -1,0 +1,39 @@
+"""Benchmark layout generation.
+
+``generator`` provides parametric M1-style pattern primitives;
+``iccad2013`` composes them into the ten deterministic clips B1-B10 that
+stand in for the IBM contest testcases (see DESIGN.md §3).
+"""
+
+from .generator import (
+    comb_structure,
+    contact_array,
+    dense_via_field,
+    isolated_line,
+    jog_line,
+    l_shape,
+    line_grating,
+    t_shape,
+    tip_to_tip,
+    u_shape,
+)
+from .iccad2013 import BENCHMARK_NAMES, load_benchmark, load_all_benchmarks
+from .random_layout import random_layout, random_layout_suite
+
+__all__ = [
+    "random_layout",
+    "random_layout_suite",
+    "tip_to_tip",
+    "dense_via_field",
+    "line_grating",
+    "isolated_line",
+    "l_shape",
+    "t_shape",
+    "u_shape",
+    "jog_line",
+    "contact_array",
+    "comb_structure",
+    "BENCHMARK_NAMES",
+    "load_benchmark",
+    "load_all_benchmarks",
+]

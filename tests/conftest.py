@@ -1,0 +1,65 @@
+"""Shared fixtures: configs and prewarmed simulators at test-friendly scales."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec, LithoConfig, OpticsConfig, ProcessConfig, ResistConfig
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.litho.simulator import LithographySimulator
+
+
+@pytest.fixture(scope="session")
+def reduced_config() -> LithoConfig:
+    """256 px @ 4 nm/px, 8 kernels — the CI-scale configuration."""
+    return LithoConfig.reduced()
+
+
+@pytest.fixture(scope="session")
+def tiny_config() -> LithoConfig:
+    """64 px @ 16 nm/px, 4 kernels — for gradient checks and fast loops."""
+    return LithoConfig(
+        grid=GridSpec(shape=(64, 64), pixel_nm=16.0),
+        optics=OpticsConfig(num_kernels=4),
+        resist=ResistConfig(),
+        process=ProcessConfig(),
+    )
+
+
+@pytest.fixture(scope="session")
+def sim(reduced_config: LithoConfig) -> LithographySimulator:
+    """Shared reduced-scale simulator with prewarmed kernels."""
+    simulator = LithographySimulator(reduced_config)
+    simulator.prewarm()
+    return simulator
+
+
+@pytest.fixture(scope="session")
+def tiny_sim(tiny_config: LithoConfig) -> LithographySimulator:
+    """Shared tiny simulator for gradient-check tests."""
+    simulator = LithographySimulator(tiny_config)
+    simulator.prewarm()
+    return simulator
+
+
+@pytest.fixture()
+def square_layout() -> Layout:
+    """One 256 x 256 nm square in the clip centre."""
+    layout = Layout("square")
+    layout.add(Rect(384, 384, 640, 640))
+    return layout
+
+
+@pytest.fixture()
+def line_layout() -> Layout:
+    """One 500 x 72 nm horizontal line."""
+    layout = Layout("line")
+    layout.add(Rect(262, 476, 762, 548))
+    return layout
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20140601)  # DAC 2014 conference date

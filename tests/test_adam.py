@@ -1,0 +1,99 @@
+"""Tests for the Adam descent mode."""
+
+import numpy as np
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.errors import ProcessError
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.opc.objectives import ImageDifferenceObjective
+from repro.opc.optimizer import GradientDescentOptimizer
+
+
+@pytest.fixture()
+def setup(tiny_sim):
+    layout = Layout.from_rects("sq", [Rect(384, 384, 640, 640)])
+    target = rasterize_layout(layout, tiny_sim.grid).astype(float)
+    return target, ImageDifferenceObjective(target, gamma=2)
+
+
+class TestAdamConfig:
+    def test_mode_validated(self):
+        with pytest.raises(ProcessError):
+            OptimizerConfig(descent_mode="sgd")
+
+    def test_betas_validated(self):
+        with pytest.raises(ProcessError):
+            OptimizerConfig(adam_beta1=1.0)
+        with pytest.raises(ProcessError):
+            OptimizerConfig(adam_beta2=-0.1)
+
+    def test_default_is_normalized(self):
+        assert OptimizerConfig().descent_mode == "normalized"
+
+
+class TestAdamDescent:
+    def _run(self, tiny_sim, objective, target, **kw):
+        defaults = dict(
+            max_iterations=10,
+            step_size=1.0,
+            use_jump=False,
+            descent_mode="adam",
+            use_line_search=True,
+        )
+        defaults.update(kw)
+        config = OptimizerConfig(**defaults)
+        return GradientDescentOptimizer(tiny_sim, objective, config).run(target)
+
+    def test_objective_decreases(self, tiny_sim, setup):
+        target, objective = setup
+        result = self._run(tiny_sim, objective, target)
+        objectives = result.history.objectives
+        assert objectives[-1] < objectives[0]
+
+    def test_with_line_search_mostly_monotone(self, tiny_sim, setup):
+        # The line search accepts its smallest step unconditionally after
+        # the backtracking budget, so strict monotonicity is not
+        # guaranteed — but increases must be rare.
+        target, objective = setup
+        result = self._run(tiny_sim, objective, target)
+        objectives = result.history.objectives
+        increases = sum(1 for a, b in zip(objectives, objectives[1:]) if b > a + 1e-9)
+        assert increases <= 2
+
+    def test_mask_stays_in_range(self, tiny_sim, setup):
+        target, objective = setup
+        result = self._run(tiny_sim, objective, target)
+        assert result.mask.min() >= 0.0
+        assert result.mask.max() <= 1.0
+
+    def test_reaches_comparable_quality(self, tiny_sim, setup):
+        target, objective = setup
+        adam = self._run(tiny_sim, objective, target, max_iterations=15)
+        normalized = GradientDescentOptimizer(
+            tiny_sim,
+            objective,
+            OptimizerConfig(
+                max_iterations=15, step_size=8.0, use_jump=False,
+                descent_mode="normalized",
+            ),
+        ).run(target)
+        # Within 2x of each other after equal iterations: both work.
+        a = adam.history.objectives[-1]
+        n = normalized.history.objectives[-1]
+        assert a <= 2.0 * max(n, 1e-9)
+
+    def test_solver_integration(self, reduced_config, sim):
+        from repro.opc.mosaic import MosaicFast
+        from repro.workloads.iccad2013 import load_benchmark
+
+        cfg = OptimizerConfig(
+            descent_mode="adam", step_size=1.0, use_line_search=True, max_iterations=30
+        )
+        result = MosaicFast(reduced_config, optimizer_config=cfg, simulator=sim).solve(
+            load_benchmark("B1")
+        )
+        assert result.score.epe_violations == 0
+        assert result.score.shape_violations == 0

@@ -1,0 +1,110 @@
+"""Tests for the baseline OPC implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BasicILT, LevelSetILT, ModelBasedOPC
+from repro.config import OptimizerConfig
+from repro.geometry.raster import rasterize_layout
+from repro.metrics.epe import measure_epe
+from repro.metrics.score import contest_score
+from repro.workloads.iccad2013 import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def b1(sim):
+    layout = load_benchmark("B1")
+    target = rasterize_layout(layout, sim.grid).astype(float)
+    return layout, target, contest_score(sim, target, layout)
+
+
+class TestModelBasedOPC:
+    def test_improves_epe(self, reduced_config, sim, b1):
+        layout, _, no_opc = b1
+        solver = ModelBasedOPC(reduced_config, max_iterations=6, simulator=sim)
+        result = solver.solve(layout)
+        assert result.score.epe_violations < no_opc.epe_violations
+
+    def test_mask_is_binary(self, reduced_config, sim, b1):
+        layout, _, _ = b1
+        result = ModelBasedOPC(reduced_config, max_iterations=3, simulator=sim).solve(layout)
+        assert set(np.unique(result.mask)) <= {0.0, 1.0}
+
+    def test_history_tracks_movement(self, reduced_config, sim, b1):
+        layout, _, _ = b1
+        result = ModelBasedOPC(reduced_config, max_iterations=4, simulator=sim).solve(layout)
+        movements = result.optimization.history.objectives
+        # Movement shrinks as fragments settle.
+        assert movements[-1] <= movements[0]
+
+    def test_movement_budget_respected(self, reduced_config, sim, b1):
+        layout, target, _ = b1
+        solver = ModelBasedOPC(
+            reduced_config, max_iterations=4, max_move_nm=20.0, simulator=sim
+        )
+        result = solver.solve(layout)
+        # Mask stays within a 20 nm dilation of the target.
+        from repro.mask.rules import apply_edge_bias
+
+        envelope = apply_edge_bias(target, 20.0, sim.grid)
+        assert not np.any((result.mask > 0.5) & (envelope < 0.5))
+
+
+class TestBasicILT:
+    def test_improves_nominal_epe(self, reduced_config, sim, b1):
+        layout, _, no_opc = b1
+        cfg = OptimizerConfig(max_iterations=12)
+        result = BasicILT(reduced_config, optimizer_config=cfg, simulator=sim).solve(layout)
+        assert result.score.epe_violations < no_opc.epe_violations
+
+    def test_no_sraf_seed(self, reduced_config, sim, b1):
+        layout, target, _ = b1
+        solver = BasicILT(reduced_config, simulator=sim)
+        assert np.array_equal(solver.initial_mask(layout) > 0.5, target > 0.5)
+
+    def test_single_objective_term(self, reduced_config, sim, b1):
+        layout, target, _ = b1
+        solver = BasicILT(reduced_config, simulator=sim)
+        objective = solver.build_objective(target, layout)
+        assert len(objective.terms) == 1
+
+
+class TestLevelSetILT:
+    def test_runs_and_improves(self, reduced_config, sim, b1):
+        layout, target, no_opc = b1
+        solver = LevelSetILT(reduced_config, max_iterations=10, simulator=sim)
+        result = solver.solve(layout)
+        printed = sim.print_binary(result.mask)
+        report = measure_epe(printed, layout, sim.grid)
+        assert report.num_violations < no_opc.epe_violations
+
+    def test_mask_binary_by_construction(self, reduced_config, sim, b1):
+        layout, _, _ = b1
+        result = LevelSetILT(reduced_config, max_iterations=4, simulator=sim).solve(layout)
+        assert set(np.unique(result.mask)) <= {0.0, 1.0}
+
+
+class TestSignedDistance:
+    def test_signs(self):
+        from repro.baselines.levelset import signed_distance
+
+        mask = np.zeros((16, 16))
+        mask[4:12, 4:12] = 1.0
+        phi = signed_distance(mask)
+        assert phi[8, 8] < 0  # inside
+        assert phi[0, 0] > 0  # outside
+        assert abs(phi[8, 8]) >= 3  # deep interior
+
+    def test_empty_and_full(self):
+        from repro.baselines.levelset import signed_distance
+
+        assert np.all(signed_distance(np.zeros((4, 4))) == np.inf)
+        assert np.all(signed_distance(np.ones((4, 4))) == -np.inf)
+
+    def test_zero_level_at_boundary(self):
+        from repro.baselines.levelset import signed_distance
+
+        mask = np.zeros((16, 16))
+        mask[4:12, 4:12] = 1.0
+        phi = signed_distance(mask)
+        assert np.array_equal(phi < 0, mask.astype(bool))

@@ -1,0 +1,120 @@
+"""Tests for critical-dimension metrics."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec
+from repro.errors import GridError
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.metrics.cd import (
+    Gauge,
+    cd_uniformity,
+    gauges_for_layout,
+    measure_cd,
+    measure_gauges,
+)
+
+GRID = GridSpec(shape=(128, 128), pixel_nm=1.0)
+CLIP = Rect(0, 0, 128, 128)
+
+
+def line_image(y0=40, y1=60, x0=20, x1=100):
+    img = np.zeros(GRID.shape, dtype=bool)
+    img[y0:y1, x0:x1] = True
+    return img
+
+
+class TestMeasureCD:
+    def test_vertical_cut_measures_height(self):
+        img = line_image()
+        gauge = Gauge("g", x=60, y=50, horizontal=False, target_cd_nm=20)
+        m = measure_cd(img, gauge, GRID)
+        assert m.cd_nm == 20
+        assert m.error_nm == 0
+
+    def test_horizontal_cut_measures_length(self):
+        img = line_image()
+        gauge = Gauge("g", x=60, y=50, horizontal=True, target_cd_nm=80)
+        assert measure_cd(img, gauge, GRID).cd_nm == 80
+
+    def test_unprinted_gauge_none(self):
+        img = np.zeros(GRID.shape, dtype=bool)
+        gauge = Gauge("g", x=60, y=50, horizontal=False, target_cd_nm=20)
+        m = measure_cd(img, gauge, GRID)
+        assert m.cd_nm is None
+        assert m.error_nm is None
+
+    def test_signed_error(self):
+        img = line_image(y0=42, y1=58)  # 16 printed vs 20 target
+        gauge = Gauge("g", x=60, y=50, horizontal=False, target_cd_nm=20)
+        assert measure_cd(img, gauge, GRID).error_nm == -4
+
+    def test_pixel_scaling(self):
+        grid = GridSpec(shape=(64, 64), pixel_nm=4.0)
+        img = np.zeros(grid.shape, dtype=bool)
+        img[10:15, 5:40] = True  # 5 px = 20 nm tall
+        gauge = Gauge("g", x=80, y=48, horizontal=False, target_cd_nm=20)
+        assert measure_cd(img, gauge, grid).cd_nm == 20
+
+    def test_shape_mismatch_rejected(self):
+        gauge = Gauge("g", x=1, y=1, horizontal=True, target_cd_nm=1)
+        with pytest.raises(GridError):
+            measure_cd(np.zeros((8, 8), dtype=bool), gauge, GRID)
+
+
+class TestUniformity:
+    def _m(self, cds):
+        gauge = Gauge("g", 0, 0, True, 10)
+        return [
+            [type("M", (), {"cd_nm": cd, "gauge": gauge})() for cd in row]
+            for row in cds
+        ]
+
+    def test_identical_conditions_zero(self):
+        measurements = self._m([[20, 30], [20, 30]])
+        assert cd_uniformity(measurements) == 0.0
+
+    def test_worst_gauge_reported(self):
+        measurements = self._m([[20, 30], [22, 38]])
+        assert cd_uniformity(measurements) == 8.0
+
+    def test_unprinted_is_infinite(self):
+        measurements = self._m([[20, 30], [None, 30]])
+        assert cd_uniformity(measurements) == float("inf")
+
+    def test_empty_rejected(self):
+        with pytest.raises(GridError):
+            cd_uniformity([])
+
+
+class TestAutoGauges:
+    def test_one_gauge_per_shape(self):
+        layout = Layout.from_rects(
+            "t", [Rect(10, 40, 90, 60), Rect(100, 10, 120, 90)], clip=CLIP
+        )
+        gauges = gauges_for_layout(layout)
+        assert len(gauges) == 2
+
+    def test_measures_narrow_axis(self):
+        layout = Layout.from_rects("t", [Rect(10, 40, 90, 60)], clip=CLIP)
+        gauge = gauges_for_layout(layout)[0]
+        assert not gauge.horizontal  # wide horizontal line: cut vertically
+        assert gauge.target_cd_nm == 20
+
+    def test_perfect_print_zero_error(self):
+        layout = Layout.from_rects("t", [Rect(10, 40, 90, 60)], clip=CLIP)
+        target = rasterize_layout(layout, GRID)
+        measurements = measure_gauges(target, gauges_for_layout(layout), GRID)
+        assert all(m.error_nm == 0 for m in measurements)
+
+    def test_cd_through_simulator(self, sim):
+        # End-to-end: CD of a printed wide line is below drawn (underprint).
+        layout = Layout.from_rects("wide", [Rect(256, 448, 768, 576)])
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        printed = sim.print_binary(target)
+        gauges = gauges_for_layout(layout)
+        m = measure_gauges(printed, gauges, sim.grid)[0]
+        assert m.cd_nm is not None
+        assert m.error_nm < 0

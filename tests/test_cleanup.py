@@ -1,0 +1,128 @@
+"""Unit tests for repro.mask.cleanup."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec
+from repro.errors import GridError
+from repro.mask.cleanup import (
+    CleanupConfig,
+    cleanup_mask,
+    enforce_min_width,
+    fill_pinholes,
+    remove_specks,
+    smooth_boundaries,
+)
+
+GRID = GridSpec(shape=(64, 64), pixel_nm=1.0)
+
+
+def base_mask():
+    mask = np.zeros(GRID.shape)
+    mask[20:44, 20:44] = 1.0
+    return mask
+
+
+class TestRemoveSpecks:
+    def test_small_speck_removed(self):
+        mask = base_mask()
+        mask[4, 4] = 1.0  # 1 px speck
+        out = remove_specks(mask, GRID, min_area_nm2=9.0)
+        assert out[4, 4] == 0.0
+        assert out[30, 30] == 1.0
+
+    def test_large_feature_kept(self):
+        mask = base_mask()
+        out = remove_specks(mask, GRID, min_area_nm2=9.0)
+        assert out.sum() == mask.sum()
+
+    def test_zero_threshold_noop(self):
+        mask = base_mask()
+        mask[4, 4] = 1.0
+        assert remove_specks(mask, GRID, 0.0).sum() == mask.sum()
+
+    def test_empty_mask(self):
+        assert remove_specks(np.zeros(GRID.shape), GRID, 9.0).sum() == 0
+
+    def test_threshold_is_exact(self):
+        mask = np.zeros(GRID.shape)
+        mask[4:7, 4:7] = 1.0  # 9 px square
+        assert remove_specks(mask, GRID, min_area_nm2=9.0).sum() == 9
+        assert remove_specks(mask, GRID, min_area_nm2=10.0).sum() == 0
+
+
+class TestFillPinholes:
+    def test_small_hole_filled(self):
+        mask = base_mask()
+        mask[30:32, 30:32] = 0.0  # 4 px pinhole
+        out = fill_pinholes(mask, GRID, max_area_nm2=16.0)
+        assert out[30, 30] == 1.0
+
+    def test_large_hole_kept(self):
+        mask = base_mask()
+        mask[26:38, 26:38] = 0.0  # 144 px hole
+        out = fill_pinholes(mask, GRID, max_area_nm2=16.0)
+        assert out[30, 30] == 0.0
+
+    def test_open_background_not_filled(self):
+        mask = base_mask()
+        out = fill_pinholes(mask, GRID, max_area_nm2=1e6)
+        assert out[0, 0] == 0.0  # outside region touches the border
+
+
+class TestSmoothBoundaries:
+    def test_removes_single_pixel_bump(self):
+        mask = base_mask()
+        mask[44, 30] = 1.0  # 1 px bump on the top edge
+        out = smooth_boundaries(mask, GRID)
+        assert out[44, 30] == 0.0
+
+    def test_fills_single_pixel_notch(self):
+        mask = base_mask()
+        mask[43, 30] = 0.0  # 1 px notch in the top edge
+        out = smooth_boundaries(mask, GRID)
+        assert out[43, 30] == 1.0
+
+    def test_flat_regions_untouched(self):
+        mask = base_mask()
+        out = smooth_boundaries(mask, GRID)
+        assert np.array_equal(out, mask)
+
+
+class TestEnforceMinWidth:
+    def test_thin_sliver_removed(self):
+        mask = base_mask()
+        mask[50:52, 10:40] = 1.0  # 2 px tall sliver
+        out = enforce_min_width(mask, GRID, min_width_nm=4.0)
+        assert out[50, 20] == 0.0
+        assert out[30, 30] == 1.0
+
+    def test_subpixel_rule_noop(self):
+        mask = base_mask()
+        assert np.array_equal(enforce_min_width(mask, GRID, 1.0), mask)
+
+
+class TestPipeline:
+    def test_full_pipeline(self):
+        mask = base_mask()
+        mask[4, 4] = 1.0           # speck
+        mask[30:32, 30:32] = 0.0   # pinhole
+        mask[44, 30] = 1.0         # bump
+        out = cleanup_mask(mask, GRID, CleanupConfig(min_width_nm=3.0))
+        assert out[4, 4] == 0.0
+        assert out[30, 30] == 1.0
+        assert out[44, 30] == 0.0
+
+    def test_default_config(self):
+        out = cleanup_mask(base_mask(), GRID)
+        assert out.sum() == base_mask().sum()
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(GridError):
+            CleanupConfig(min_figure_area_nm2=-1)
+        with pytest.raises(GridError):
+            CleanupConfig(min_width_nm=-5)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GridError):
+            cleanup_mask(np.zeros((8, 8)), GRID)

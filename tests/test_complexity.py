@@ -1,0 +1,115 @@
+"""Unit tests for repro.metrics.complexity."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec
+from repro.errors import GridError
+from repro.metrics.complexity import (
+    corner_count,
+    edge_length_nm,
+    mask_complexity,
+    shot_count,
+)
+
+GRID = GridSpec(shape=(32, 32), pixel_nm=1.0)
+
+
+def rect_mask(i0=8, i1=24, j0=8, j1=20):
+    mask = np.zeros(GRID.shape)
+    mask[i0:i1, j0:j1] = 1.0
+    return mask
+
+
+class TestEdgeLength:
+    def test_rectangle_perimeter(self):
+        assert edge_length_nm(rect_mask(), GRID) == 2 * (16 + 12)
+
+    def test_pixel_scaling(self):
+        grid = GridSpec(shape=(32, 32), pixel_nm=4.0)
+        assert edge_length_nm(rect_mask(), grid) == 4 * 2 * (16 + 12)
+
+    def test_empty(self):
+        assert edge_length_nm(np.zeros(GRID.shape), GRID) == 0.0
+
+    def test_jagged_longer_than_smooth(self):
+        smooth = rect_mask()
+        jagged = rect_mask()
+        jagged[24, 10] = 1.0  # bump adds edge length
+        assert edge_length_nm(jagged, GRID) > edge_length_nm(smooth, GRID)
+
+
+class TestCornerCount:
+    def test_rectangle_four_corners(self):
+        assert corner_count(rect_mask(), GRID) == 4
+
+    def test_l_shape_six_corners(self):
+        mask = np.zeros(GRID.shape)
+        mask[8:24, 8:12] = 1.0
+        mask[8:12, 8:24] = 1.0
+        assert corner_count(mask, GRID) == 6
+
+    def test_bump_adds_corners(self):
+        bumped = rect_mask()
+        bumped[24, 10] = 1.0
+        assert corner_count(bumped, GRID) == 8
+
+
+class TestShotCount:
+    def test_rectangle_one_shot(self):
+        assert shot_count(rect_mask(), GRID) == 1
+
+    def test_two_disjoint_rects_two_shots(self):
+        mask = rect_mask()
+        mask[2:6, 26:30] = 1.0
+        assert shot_count(mask, GRID) == 2
+
+    def test_l_shape_two_shots(self):
+        mask = np.zeros(GRID.shape)
+        mask[8:24, 8:12] = 1.0
+        mask[8:12, 8:24] = 1.0
+        assert shot_count(mask, GRID) == 2
+
+    def test_staircase_many_shots(self):
+        mask = np.zeros(GRID.shape)
+        for k in range(6):
+            mask[8 + k, 8: 10 + k] = 1.0  # widening staircase
+        assert shot_count(mask, GRID) == 6
+
+    def test_empty_zero(self):
+        assert shot_count(np.zeros(GRID.shape), GRID) == 0
+
+
+class TestMaskComplexity:
+    def test_summary_consistent(self):
+        mask = rect_mask()
+        summary = mask_complexity(mask, GRID)
+        assert summary.figure_count == 1
+        assert summary.edge_length_nm == edge_length_nm(mask, GRID)
+        assert summary.corner_count == 4
+        assert summary.shot_count == 1
+
+    def test_ilt_mask_more_complex_than_target(self, sim, reduced_config):
+        # An optimized ILT mask must cost more shots than the drawn target
+        # — the e-beam write-time concern the cleanup module addresses.
+        from repro.config import OptimizerConfig
+        from repro.geometry.raster import rasterize_layout
+        from repro.opc.mosaic import MosaicFast
+        from repro.workloads.iccad2013 import load_benchmark
+
+        layout = load_benchmark("B1")
+        grid = sim.grid
+        target = rasterize_layout(layout, grid).astype(float)
+        result = MosaicFast(
+            reduced_config,
+            optimizer_config=OptimizerConfig(max_iterations=8),
+            simulator=sim,
+        ).solve(layout)
+        assert (
+            mask_complexity(result.mask, grid).shot_count
+            > mask_complexity(target, grid).shot_count
+        )
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GridError):
+            mask_complexity(np.zeros((8, 8)), GRID)

@@ -1,0 +1,103 @@
+"""Tests for configuration dataclasses and their validation."""
+
+import pytest
+
+from repro.config import (
+    GridSpec,
+    LithoConfig,
+    OpticsConfig,
+    OptimizerConfig,
+    ProcessConfig,
+    ResistConfig,
+)
+from repro.errors import OpticsError, ProcessError
+
+
+class TestGridSpec:
+    def test_paper_grid(self):
+        g = GridSpec.paper()
+        assert g.shape == (1024, 1024)
+        assert g.pixel_nm == 1.0
+        assert g.extent_nm == (1024.0, 1024.0)
+
+    def test_reduced_same_extent(self):
+        assert GridSpec.reduced().extent_nm == GridSpec.paper().extent_nm
+
+    def test_nm_to_px(self):
+        g = GridSpec.reduced()  # 4 nm/px
+        assert g.nm_to_px(40) == 10
+        assert g.nm_to_px(41) == 10
+        assert g.nm_to_px(43) == 11
+
+    @pytest.mark.parametrize("bad", [((4, 4), 1.0), ((64, 64), 0.0), ((64, 64), -1.0)])
+    def test_invalid_rejected(self, bad):
+        shape, px = bad
+        with pytest.raises(OpticsError):
+            GridSpec(shape=shape, pixel_nm=px)
+
+
+class TestOpticsConfig:
+    def test_paper_values(self):
+        o = OpticsConfig.paper()
+        assert o.wavelength_nm == 193.0
+        assert o.numerical_aperture == 1.35
+        assert o.num_kernels == 24
+
+    def test_cutoff_frequency(self):
+        o = OpticsConfig(sigma_outer=0.9)
+        assert o.cutoff_frequency == pytest.approx(1.35 * 1.9 / 193.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"wavelength_nm": 0},
+            {"numerical_aperture": -1},
+            {"sigma_inner": 0.9, "sigma_outer": 0.6},
+            {"sigma_outer": 1.2},
+            {"num_kernels": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(OpticsError):
+            OpticsConfig(**kwargs)
+
+
+class TestOptimizerConfig:
+    def test_paper_defaults(self):
+        cfg = OptimizerConfig.paper()
+        assert cfg.gradient_rms_tol == 1e-5
+        assert cfg.gamma == 4.0
+
+    def test_with_weights(self):
+        cfg = OptimizerConfig().with_weights(alpha=9.0, beta=2.0)
+        assert (cfg.alpha, cfg.beta) == (9.0, 2.0)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_iterations": 0},
+            {"step_size": 0},
+            {"theta_m": -1},
+            {"alpha": -0.5},
+            {"gamma": 1},
+            {"jump_period": 0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ProcessError):
+            OptimizerConfig(**kwargs)
+
+
+class TestLithoConfig:
+    def test_paper_bundle(self):
+        cfg = LithoConfig.paper()
+        assert cfg.grid.shape == (1024, 1024)
+        assert cfg.optics.num_kernels == 24
+
+    def test_reduced_bundle(self):
+        cfg = LithoConfig.reduced()
+        assert cfg.grid.shape == (256, 256)
+        assert cfg.optics.num_kernels == 8
+        # Same physics otherwise.
+        assert cfg.optics.wavelength_nm == 193.0
+        assert cfg.process.defocus_range_nm == 25.0

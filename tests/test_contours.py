@@ -1,0 +1,101 @@
+"""Unit tests for repro.geometry.contours."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GridError
+from repro.geometry.contours import boundary_mask, edge_displacement, extract_contour_segments
+
+
+def square_image(lo=4, hi=12, size=16):
+    img = np.zeros((size, size), dtype=bool)
+    img[lo:hi, lo:hi] = True
+    return img
+
+
+class TestBoundaryMask:
+    def test_square_ring(self):
+        img = square_image()
+        b = boundary_mask(img)
+        # 8x8 block has a 28-pixel one-pixel ring boundary.
+        assert b.sum() == 28
+        assert b[4, 4] and b[11, 11]
+        assert not b[6, 6]  # interior
+
+    def test_single_pixel(self):
+        img = np.zeros((8, 8), dtype=bool)
+        img[3, 3] = True
+        assert boundary_mask(img).sum() == 1
+
+    def test_border_touching_pixels_are_boundary(self):
+        img = np.ones((4, 4), dtype=bool)
+        b = boundary_mask(img)
+        assert b[0, 0] and b[3, 3]
+        assert not b[1, 1] and not b[2, 2]
+
+    def test_empty(self):
+        assert boundary_mask(np.zeros((8, 8), dtype=bool)).sum() == 0
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(GridError):
+            boundary_mask(np.full((4, 4), 0.5))
+
+
+class TestContourSegments:
+    def test_square_perimeter_length(self):
+        img = square_image()
+        segments = extract_contour_segments(img, pixel_nm=1.0)
+        assert len(segments) == 32  # 8x8 block -> 32 unit segments
+
+    def test_pixel_scaling(self):
+        img = square_image()
+        segments = extract_contour_segments(img, pixel_nm=4.0)
+        lengths = [abs(x1 - x0) + abs(y1 - y0) for (x0, y0), (x1, y1) in segments]
+        assert all(l == 4.0 for l in lengths)
+
+    def test_empty_image_no_segments(self):
+        assert extract_contour_segments(np.zeros((8, 8), dtype=bool)) == []
+
+
+class TestEdgeDisplacement:
+    """Target boundary pixel at (4, 8) on the bottom edge of square_image:
+    rows 4..11 are inside, interior upward (axis 0, interior_sign +1)."""
+
+    def test_aligned_edge_zero(self):
+        img = square_image()
+        assert edge_displacement(img, 4, 8, axis=0, interior_sign=1, max_search=6) == 0
+
+    def test_printed_pulled_in(self):
+        img = np.zeros((16, 16), dtype=bool)
+        img[6:12, 4:12] = True  # bottom edge at row 6, two rows inside target
+        disp = edge_displacement(img, 4, 8, axis=0, interior_sign=1, max_search=6)
+        assert disp == -2
+
+    def test_printed_bulges_out(self):
+        img = np.zeros((16, 16), dtype=bool)
+        img[2:12, 4:12] = True  # bottom edge at row 2, two rows outside
+        disp = edge_displacement(img, 4, 8, axis=0, interior_sign=1, max_search=6)
+        assert disp == 2
+
+    def test_not_found_returns_none(self):
+        img = np.zeros((16, 16), dtype=bool)
+        assert edge_displacement(img, 4, 8, axis=0, interior_sign=1, max_search=3) is None
+
+    def test_horizontal_axis(self):
+        img = np.zeros((16, 16), dtype=bool)
+        img[4:12, 6:12] = True  # left edge at col 6 instead of 4
+        disp = edge_displacement(img, 8, 4, axis=1, interior_sign=1, max_search=6)
+        assert disp == -2
+
+    def test_interior_sign_flips_direction(self):
+        # Right edge of the square: boundary pixel (8, 11), interior leftward.
+        img = np.zeros((16, 16), dtype=bool)
+        img[4:12, 4:14] = True  # right edge pushed out by 2
+        disp = edge_displacement(img, 8, 11, axis=1, interior_sign=-1, max_search=6)
+        assert disp == 2
+
+    def test_search_at_image_border(self):
+        img = np.ones((8, 8), dtype=bool)
+        # Interior everywhere: no outward transition within range except border.
+        disp = edge_displacement(img, 4, 4, axis=0, interior_sign=1, max_search=10)
+        assert disp is not None  # border counts as unset

@@ -1,0 +1,62 @@
+"""Unit tests for repro.process.corners."""
+
+import pytest
+
+from repro.config import ProcessConfig
+from repro.errors import ProcessError
+from repro.process.corners import ProcessCorner, enumerate_corners, nominal_corner
+
+
+class TestProcessCorner:
+    def test_nominal(self):
+        c = nominal_corner()
+        assert c.is_nominal
+        assert c.defocus_nm == 0.0
+        assert c.dose == 1.0
+
+    def test_non_nominal(self):
+        assert not ProcessCorner("x", 25.0, 1.0).is_nominal
+        assert not ProcessCorner("x", 0.0, 0.98).is_nominal
+
+    def test_bad_dose_rejected(self):
+        with pytest.raises(ProcessError):
+            ProcessCorner("x", 0.0, 0.0)
+
+
+class TestEnumeration:
+    def test_paper_window_five_conditions(self):
+        corners = enumerate_corners(ProcessConfig())
+        assert len(corners) == 5
+        assert corners[0].is_nominal
+
+    def test_without_nominal(self):
+        corners = enumerate_corners(ProcessConfig(), include_nominal=False)
+        assert len(corners) == 4
+        assert not any(c.is_nominal for c in corners)
+
+    def test_corner_values(self):
+        corners = enumerate_corners(ProcessConfig(defocus_range_nm=25, dose_range=0.02))
+        pairs = {(c.defocus_nm, c.dose) for c in corners}
+        assert pairs == {
+            (0.0, 1.0),
+            (0.0, 0.98),
+            (0.0, 1.02),
+            (25.0, 0.98),
+            (25.0, 1.02),
+        }
+
+    def test_degenerate_dose_range_collapses(self):
+        corners = enumerate_corners(ProcessConfig(defocus_range_nm=25, dose_range=0.0))
+        pairs = {(c.defocus_nm, c.dose) for c in corners}
+        assert pairs == {(0.0, 1.0), (25.0, 1.0)}
+
+    def test_fully_degenerate_window(self):
+        corners = enumerate_corners(ProcessConfig(defocus_range_nm=0, dose_range=0.0))
+        assert len(corners) == 1
+        assert corners[0].is_nominal
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(ProcessError):
+            ProcessConfig(defocus_range_nm=-1)
+        with pytest.raises(ProcessError):
+            ProcessConfig(dose_range=1.0)

@@ -1,0 +1,131 @@
+"""Tests for the Gaussian acid-diffusion resist extension."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec, LithoConfig, OpticsConfig, ResistConfig
+from repro.errors import GridError, ProcessError
+from repro.litho.simulator import LithographySimulator
+from repro.resist.diffusion import diffuse
+from repro.resist.threshold import ThresholdResist
+
+
+class TestDiffuse:
+    def test_zero_sigma_identity(self):
+        img = np.random.default_rng(0).uniform(size=(16, 16))
+        out = diffuse(img, 0.0, 4.0)
+        assert np.array_equal(out, img)
+        out[0, 0] = 9.0
+        assert img[0, 0] != 9.0  # a copy, not a view
+
+    def test_preserves_mean(self):
+        img = np.random.default_rng(1).uniform(size=(32, 32))
+        out = diffuse(img, 10.0, 4.0)
+        assert out.mean() == pytest.approx(img.mean())
+
+    def test_reduces_contrast(self):
+        img = np.zeros((32, 32))
+        img[12:20, 12:20] = 1.0
+        out = diffuse(img, 12.0, 4.0)
+        assert out.max() < 1.0
+        assert out.min() > 0.0 or out.std() < img.std()
+
+    def test_larger_sigma_blurs_more(self):
+        img = np.zeros((32, 32))
+        img[12:20, 12:20] = 1.0
+        mild = diffuse(img, 4.0, 4.0)
+        strong = diffuse(img, 16.0, 4.0)
+        assert strong.max() < mild.max()
+
+    def test_validation(self):
+        with pytest.raises(GridError):
+            diffuse(np.zeros(5), 1.0, 1.0)
+        with pytest.raises(GridError):
+            diffuse(np.zeros((4, 4)), -1.0, 1.0)
+        with pytest.raises(GridError):
+            diffuse(np.zeros((4, 4)), 1.0, 0.0)
+
+    def test_config_validation(self):
+        with pytest.raises(ProcessError):
+            ResistConfig(diffusion_nm=-1.0)
+
+
+class TestDiffusedResist:
+    def test_facade_applies_diffusion(self):
+        model = ThresholdResist(ResistConfig(diffusion_nm=8.0), pixel_nm=4.0)
+        assert model.has_diffusion
+        img = np.zeros((32, 32))
+        img[12:20, 12:20] = 1.0
+        plain = ThresholdResist(ResistConfig(), pixel_nm=4.0)
+        # Diffusion shrinks a hot square below threshold at its fringe.
+        assert model.develop(img).sum() <= plain.develop(img).sum()
+
+    def test_diffused_print_smaller_for_narrow_feature(self, reduced_config):
+        from dataclasses import replace
+
+        diffused_cfg = replace(
+            reduced_config, resist=ResistConfig(diffusion_nm=12.0)
+        )
+        plain_sim = LithographySimulator(reduced_config)
+        diff_sim = LithographySimulator(diffused_cfg)
+        mask = np.zeros(plain_sim.grid.shape)
+        mask[96:160, 64:192] = 1.0  # 256 nm wide block
+        plain_px = plain_sim.print_binary(mask).sum()
+        diff_px = diff_sim.print_binary(mask).sum()
+        assert 0 < diff_px <= plain_px
+
+    def test_gradient_chain_with_diffusion(self):
+        """Finite-difference check through imaging + diffusion + sigmoid."""
+        from repro.geometry.layout import Layout
+        from repro.geometry.raster import rasterize_layout
+        from repro.geometry.rect import Rect
+        from repro.opc.objectives import ImageDifferenceObjective
+        from repro.opc.state import ForwardContext
+
+        config = LithoConfig(
+            grid=GridSpec(shape=(64, 64), pixel_nm=16.0),
+            optics=OpticsConfig(num_kernels=4),
+            resist=ResistConfig(diffusion_nm=24.0),
+        )
+        sim = LithographySimulator(config)
+        layout = Layout.from_rects("sq", [Rect(384, 384, 640, 640)])
+        target = rasterize_layout(layout, config.grid).astype(float)
+        rng = np.random.default_rng(5)
+        mask = np.clip(target + rng.uniform(-0.2, 0.4, config.grid.shape), 0.05, 0.95)
+
+        objective = ImageDifferenceObjective(target, gamma=2)
+        value, grad = objective.value_and_gradient(ForwardContext(mask, sim))
+        eps = 1e-6
+        checked = 0
+        for _ in range(30):
+            i, j = rng.integers(0, 64), rng.integers(0, 64)
+            if abs(grad[i, j]) < 1e-9:
+                continue
+            bumped = mask.copy()
+            bumped[i, j] += eps
+            fd = (
+                objective.value(ForwardContext(bumped, sim)) - value
+            ) / eps
+            assert fd == pytest.approx(grad[i, j], rel=5e-3, abs=1e-7)
+            checked += 1
+            if checked >= 6:
+                break
+        assert checked > 0
+
+    def test_opc_compensates_diffusion(self, reduced_config, sim):
+        """MOSAIC still reaches zero violations with a diffused resist."""
+        from dataclasses import replace
+
+        from repro.config import OptimizerConfig
+        from repro.opc.mosaic import MosaicFast
+        from repro.workloads.iccad2013 import load_benchmark
+
+        diffused_cfg = replace(reduced_config, resist=ResistConfig(diffusion_nm=8.0))
+        diff_sim = LithographySimulator(diffused_cfg)
+        result = MosaicFast(
+            diffused_cfg,
+            optimizer_config=OptimizerConfig(max_iterations=30),
+            simulator=diff_sim,
+        ).solve(load_benchmark("B1"))
+        assert result.score.epe_violations == 0
+        assert result.score.shape_violations == 0

@@ -1,0 +1,96 @@
+"""Unit tests for repro.geometry.edges (edge extraction, EPE samples)."""
+
+import pytest
+
+from repro.config import GridSpec
+from repro.geometry.edges import (
+    EdgeOrientation,
+    extract_edges,
+    generate_sample_points,
+    split_samples,
+)
+from repro.geometry.layout import Layout
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+GRID = GridSpec(shape=(128, 128), pixel_nm=1.0)
+
+
+class TestExtractEdges:
+    def test_rect_has_four_edges(self):
+        edges = extract_edges(Polygon.from_rect(Rect(10, 10, 50, 30)))
+        assert len(edges) == 4
+        horizontals = [e for e in edges if e.orientation is EdgeOrientation.HORIZONTAL]
+        verticals = [e for e in edges if e.orientation is EdgeOrientation.VERTICAL]
+        assert len(horizontals) == 2
+        assert len(verticals) == 2
+
+    def test_interior_signs(self):
+        edges = extract_edges(Polygon.from_rect(Rect(10, 10, 50, 30)))
+        by_key = {(e.orientation, e.fixed): e for e in edges}
+        # Bottom edge (y=10): interior above -> +1.
+        assert by_key[(EdgeOrientation.HORIZONTAL, 10)].interior_sign == 1
+        # Top edge (y=30): interior below -> -1.
+        assert by_key[(EdgeOrientation.HORIZONTAL, 30)].interior_sign == -1
+        # Left edge (x=10): interior to the right -> +1.
+        assert by_key[(EdgeOrientation.VERTICAL, 10)].interior_sign == 1
+        # Right edge (x=50): interior to the left -> -1.
+        assert by_key[(EdgeOrientation.VERTICAL, 50)].interior_sign == -1
+
+    def test_edge_lengths(self):
+        edges = extract_edges(Polygon.from_rect(Rect(0, 0, 40, 20)))
+        assert sorted(e.length for e in edges) == [20, 20, 40, 40]
+
+    def test_l_shape_has_six_edges(self):
+        poly = Polygon([(0, 0), (30, 0), (30, 30), (20, 30), (20, 10), (0, 10)])
+        assert len(extract_edges(poly)) == 6
+
+
+class TestSamplePoints:
+    def _layout(self, rect: Rect) -> Layout:
+        return Layout.from_rects("t", [rect], clip=Rect(0, 0, 128, 128))
+
+    def test_short_edges_get_midpoint_sample(self):
+        layout = self._layout(Rect(10, 10, 40, 40))  # 30 nm edges < 40 nm spacing
+        samples = generate_sample_points(layout, GRID, spacing_nm=40)
+        assert len(samples) == 4
+        xs = sorted(s.x for s in samples)
+        assert xs == [10, 25, 25, 40]
+
+    def test_long_edges_ladder(self):
+        layout = self._layout(Rect(4, 4, 124, 44))  # 120 nm horizontal edges
+        samples = generate_sample_points(layout, GRID, spacing_nm=40)
+        hs, vs = split_samples(samples)
+        assert len(hs) == 6  # 3 per horizontal edge (120/40)
+        assert len(vs) == 2  # midpoint on each 40 nm vertical edge
+
+    def test_sample_pixels_inside_pattern(self):
+        layout = self._layout(Rect(10, 10, 90, 90))
+        from repro.geometry.raster import rasterize_layout
+
+        target = rasterize_layout(layout, GRID)
+        for s in generate_sample_points(layout, GRID):
+            assert target[s.row, s.col], f"sample pixel ({s.row},{s.col}) not inside"
+
+    def test_orientation_split(self):
+        layout = self._layout(Rect(10, 10, 90, 90))
+        samples = generate_sample_points(layout, GRID)
+        hs, vs = split_samples(samples)
+        assert all(s.orientation is EdgeOrientation.HORIZONTAL for s in hs)
+        assert all(s.orientation is EdgeOrientation.VERTICAL for s in vs)
+        assert len(hs) == len(vs)  # square is symmetric
+
+    def test_spacing_respected(self):
+        layout = self._layout(Rect(4, 4, 124, 44))
+        samples = generate_sample_points(layout, GRID, spacing_nm=40)
+        bottom = sorted(s.x for s in samples if s.orientation is EdgeOrientation.HORIZONTAL and s.y == 4)
+        diffs = [b - a for a, b in zip(bottom, bottom[1:])]
+        assert all(d == pytest.approx(40) for d in diffs)
+
+    def test_coarse_grid_clamps_pixels(self):
+        grid = GridSpec(shape=(16, 16), pixel_nm=8.0)
+        layout = self._layout(Rect(0, 0, 128, 128))  # fills the clip
+        samples = generate_sample_points(layout, grid)
+        for s in samples:
+            assert 0 <= s.row < 16
+            assert 0 <= s.col < 16

@@ -1,0 +1,117 @@
+"""Tests for sub-pixel EPE measurement from aerial intensity."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec
+from repro.errors import GridError
+from repro.geometry.edges import generate_sample_points
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.metrics.epe import measure_epe, measure_epe_subpixel, subpixel_edge_position
+
+GRID = GridSpec(shape=(64, 64), pixel_nm=4.0)
+CLIP = Rect(0, 0, 256, 256)
+
+
+def ramp_image(edge_at_nm: float, horizontal_edge: bool = True, slope=0.01):
+    """Synthetic intensity: 1 inside, ramping through 0.5 exactly at
+    ``edge_at_nm`` along the relevant axis."""
+    coords = (np.arange(64) + 0.5) * 4.0
+    profile = 0.5 + slope * (edge_at_nm - coords)  # decreasing outward (up)
+    profile = np.clip(profile, 0.0, 1.0)
+    if horizontal_edge:
+        return np.tile(profile[:, None], (1, 64))
+    return np.tile(profile[None, :], (64, 1))
+
+
+@pytest.fixture()
+def layout():
+    return Layout.from_rects("sq", [Rect(64, 64, 192, 192)], clip=CLIP)
+
+
+class TestSubpixelEdgePosition:
+    def test_exact_fractional_edge(self, layout):
+        samples = generate_sample_points(layout, GRID)
+        top = next(s for s in samples if s.orientation.value == "H" and s.y == 192)
+        aerial = ramp_image(edge_at_nm=194.7)
+        pos = subpixel_edge_position(aerial, top, GRID, 0.5, max_search_nm=40)
+        assert pos == pytest.approx(194.7, abs=0.05)
+
+    def test_vertical_edge(self, layout):
+        samples = generate_sample_points(layout, GRID)
+        right = next(s for s in samples if s.orientation.value == "V" and s.x == 192)
+        coords = (np.arange(64) + 0.5) * 4.0
+        profile = np.clip(0.5 + 0.01 * (190.2 - coords), 0, 1)
+        aerial = np.tile(profile[None, :], (64, 1))
+        pos = subpixel_edge_position(aerial, right, GRID, 0.5, max_search_nm=40)
+        assert pos == pytest.approx(190.2, abs=0.05)
+
+    def test_no_crossing_returns_none(self, layout):
+        samples = generate_sample_points(layout, GRID)
+        aerial = np.full(GRID.shape, 0.1)  # never reaches threshold
+        assert subpixel_edge_position(aerial, samples[0], GRID, 0.5, 40) is None
+
+    def test_shape_checked(self, layout):
+        samples = generate_sample_points(layout, GRID)
+        with pytest.raises(GridError):
+            subpixel_edge_position(np.zeros((8, 8)), samples[0], GRID, 0.5, 40)
+
+
+class TestMeasureEPESubpixel:
+    def test_fractional_epe_reported(self, layout):
+        # Top edge printed 2.7 nm outside the 192 nm target line: the
+        # binary measurement can only say 0 or 4 nm at this grid.
+        aerial = ramp_image(edge_at_nm=194.7)
+        report = measure_epe_subpixel(aerial, layout, GRID)
+        top = [
+            m for m in report.measurements
+            if m.sample.orientation.value == "H" and m.sample.y == 192
+        ]
+        assert all(m.epe_nm == pytest.approx(2.7, abs=0.1) for m in top)
+        assert all(not m.violation for m in top)
+
+    def test_sign_convention_matches_binary_path(self, sim):
+        """On a real simulation both paths agree within a pixel."""
+        layout = Layout.from_rects("big", [Rect(256, 256, 768, 768)])
+        from repro.geometry.raster import rasterize_layout
+        from repro.mask.rules import apply_edge_bias
+
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        mask = apply_edge_bias(target, 12.0, sim.grid)
+        aerial = sim.aerial(mask)
+        printed = sim.print_binary(mask)
+        binary_report = measure_epe(printed, layout, sim.grid)
+        subpixel_report = measure_epe_subpixel(
+            aerial, layout, sim.grid, threshold=sim.config.resist.threshold
+        )
+        for b, s in zip(binary_report.measurements, subpixel_report.measurements):
+            assert b.epe_nm is not None and s.epe_nm is not None
+            assert abs(b.epe_nm - s.epe_nm) <= sim.grid.pixel_nm
+
+    def test_unprintable_feature_all_violations(self, sim):
+        layout = Layout.from_rects("thin", [Rect(262, 476, 762, 548)])
+        from repro.geometry.raster import rasterize_layout
+
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        aerial = sim.aerial(target)  # 72 nm line never reaches threshold
+        report = measure_epe_subpixel(aerial, layout, sim.grid)
+        assert report.num_violations == report.num_samples
+
+    def test_subpixel_resolution_finer_than_grid(self, sim):
+        """The headline: sub-pixel EPE varies continuously while the
+        binary path quantizes to multiples of the pixel size."""
+        layout = Layout.from_rects("big", [Rect(256, 256, 768, 768)])
+        from repro.geometry.raster import rasterize_layout
+        from repro.mask.rules import apply_edge_bias
+
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        mask = apply_edge_bias(target, 12.0, sim.grid)
+        report = measure_epe_subpixel(
+            sim.aerial(mask), layout, sim.grid, threshold=0.5
+        )
+        values = {round(m.epe_nm, 3) for m in report.measurements}
+        quantized = {
+            v for v in values if abs(v / sim.grid.pixel_nm - round(v / sim.grid.pixel_nm)) < 1e-9
+        }
+        assert len(quantized) < len(values)  # most values are fractional

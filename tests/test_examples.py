@@ -1,0 +1,61 @@
+"""Smoke tests: the example scripts must run end to end.
+
+Each example is executed as a subprocess exactly as a user would run it
+(fast variants where the script accepts arguments).  The slow studies
+(hotspot_analysis, batch_study) are exercised through their component
+unit tests instead.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py", "B1")
+        assert "Without OPC" in out
+        assert "MOSAIC_fast" in out
+        assert "Score improvement" in out
+
+    def test_contest_flow_single_case(self):
+        out = run_example("contest_flow.py", "B1")
+        assert "MOSAIC_exact" in out
+        assert "ratio vs best" in out
+
+    def test_custom_layout(self, tmp_path):
+        out = run_example("custom_layout.py", str(tmp_path))
+        assert "Round-tripped" in out
+        assert (tmp_path / "custom_cell_results.npz").exists()
+        assert (tmp_path / "custom_cell_mask.pgm").exists()
+
+    def test_process_window(self):
+        out = run_example("process_window.py", "B1")
+        assert "per-corner printed behaviour" in out
+        assert "PV band" in out
+        assert "Dose sensitivity" in out
+
+    @pytest.mark.parametrize(
+        "script",
+        ["quickstart.py", "contest_flow.py", "process_window.py",
+         "custom_layout.py", "hotspot_analysis.py", "batch_study.py"],
+    )
+    def test_scripts_compile(self, script):
+        # All six examples must at least be syntactically valid.
+        source = (EXAMPLES / script).read_text()
+        compile(source, script, "exec")

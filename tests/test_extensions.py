@@ -1,0 +1,68 @@
+"""Tests for the process-window-EPE extension solver."""
+
+import numpy as np
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.opc.extensions import MosaicExactPW
+from repro.opc.objectives.epe_objective import EPEObjective
+from repro.opc.state import ForwardContext
+from repro.process.corners import ProcessCorner
+from repro.workloads.iccad2013 import load_benchmark
+
+
+class TestCornerEPEObjective:
+    def test_corner_changes_evaluation(self, sim):
+        from repro.geometry.raster import rasterize_layout
+
+        layout = load_benchmark("B4")
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        nominal = EPEObjective(target, layout, sim.grid)
+        defocused = EPEObjective(
+            target, layout, sim.grid, corner=ProcessCorner("df", 25.0, 0.98)
+        )
+        mask = np.clip(target + 0.1, 0, 1)
+        ctx = ForwardContext(mask, sim)
+        v_nom = nominal.value(ctx)
+        v_df = defocused.value(ForwardContext(mask, sim))
+        assert v_nom != v_df
+        # The defocused/underdosed corner prints worse: more violations.
+        assert v_df >= v_nom
+
+    def test_default_is_nominal(self, sim):
+        from repro.geometry.raster import rasterize_layout
+
+        layout = load_benchmark("B1")
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        obj = EPEObjective(target, layout, sim.grid)
+        assert obj.corner is None
+
+
+class TestMosaicExactPW:
+    def test_objective_has_corner_terms(self, reduced_config, sim):
+        from repro.geometry.raster import rasterize_layout
+
+        layout = load_benchmark("B1")
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        solver = MosaicExactPW(reduced_config, simulator=sim)
+        objective = solver.build_objective(target, layout)
+        # nominal EPE + 4 corner EPE + PVB = 6 terms.
+        assert len(objective.terms) == 6
+
+    def test_pw_weight_scaling(self, reduced_config, sim):
+        from repro.geometry.raster import rasterize_layout
+
+        layout = load_benchmark("B1")
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        solver = MosaicExactPW(reduced_config, simulator=sim, pw_weight_fraction=0.5)
+        objective = solver.build_objective(target, layout)
+        alpha = objective.terms[0][0]
+        assert objective.terms[1][0] == pytest.approx(0.5 * alpha)
+
+    def test_solves_cleanly(self, reduced_config, sim):
+        cfg = OptimizerConfig(max_iterations=25, theta_epe=1.0)
+        result = MosaicExactPW(
+            reduced_config, optimizer_config=cfg, simulator=sim
+        ).solve(load_benchmark("B1"))
+        assert result.score.epe_violations <= 1
+        assert result.score.shape_violations == 0

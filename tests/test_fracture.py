@@ -1,0 +1,108 @@
+"""Tests for mask fracturing (rectangle decomposition)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.config import GridSpec
+from repro.errors import GridError
+from repro.geometry.raster import rasterize_layout, rasterize_rect
+from repro.mask.fracture import fracture_mask, fractured_layout
+from repro.metrics.complexity import shot_count
+
+GRID = GridSpec(shape=(32, 32), pixel_nm=1.0)
+
+
+def refine(rects, grid=GRID):
+    out = np.zeros(grid.shape, dtype=bool)
+    for r in rects:
+        rasterize_rect(r, grid, out=out)
+    return out
+
+
+class TestFracture:
+    def test_rectangle_single_shot(self):
+        mask = np.zeros(GRID.shape)
+        mask[8:24, 8:20] = 1.0
+        rects = fracture_mask(mask, GRID)
+        assert len(rects) == 1
+        assert rects[0].area == 16 * 12
+
+    def test_roundtrip_identity(self):
+        mask = np.zeros(GRID.shape)
+        mask[8:24, 8:12] = 1.0
+        mask[8:12, 8:24] = 1.0  # L-shape
+        rects = fracture_mask(mask, GRID)
+        assert np.array_equal(refine(rects), mask.astype(bool))
+
+    def test_count_matches_shot_proxy(self):
+        rng = np.random.default_rng(9)
+        mask = (rng.uniform(size=GRID.shape) > 0.6).astype(float)
+        rects = fracture_mask(mask, GRID)
+        assert len(rects) == shot_count(mask, GRID)
+
+    def test_rects_disjoint(self):
+        mask = np.zeros(GRID.shape)
+        mask[4:28, 4:10] = 1.0
+        mask[4:10, 4:28] = 1.0
+        rects = fracture_mask(mask, GRID)
+        total_area = sum(r.area for r in rects)
+        assert total_area == mask.sum()  # disjoint implies areas add up
+
+    def test_pixel_scaling(self):
+        grid = GridSpec(shape=(32, 32), pixel_nm=4.0)
+        mask = np.zeros(grid.shape)
+        mask[8:16, 8:16] = 1.0
+        rects = fracture_mask(mask, grid)
+        assert rects[0].area == (8 * 4) ** 2
+
+    def test_empty_mask(self):
+        assert fracture_mask(np.zeros(GRID.shape), GRID) == []
+
+    def test_shape_checked(self):
+        with pytest.raises(GridError):
+            fracture_mask(np.zeros((8, 8)), GRID)
+
+    @settings(max_examples=30, deadline=None)
+    @given(hnp.arrays(np.bool_, (16, 16)))
+    def test_property_roundtrip(self, mask):
+        grid = GridSpec(shape=(16, 16), pixel_nm=1.0)
+        rects = fracture_mask(mask.astype(float), grid)
+        assert np.array_equal(refine(rects, grid), mask)
+
+
+class TestFracturedLayout:
+    def test_layout_exportable(self, tmp_path):
+        from repro.io.gds_lite import read_gds, write_gds
+
+        mask = np.zeros(GRID.shape)
+        mask[8:24, 8:12] = 1.0
+        mask[8:12, 8:24] = 1.0
+        layout = fractured_layout(mask, GRID, name="FRAC")
+        assert layout.name == "FRAC"
+        path = tmp_path / "frac.gds"
+        write_gds(layout, path)
+        again = read_gds(path, clip=layout.clip)
+        assert again.pattern_area == layout.pattern_area
+
+    def test_full_flow_mask_to_gds(self, tmp_path, reduced_config, sim):
+        """The real MDP handoff: optimize, fracture, export, reload."""
+        from repro.config import OptimizerConfig
+        from repro.io.gds_lite import read_gds, write_gds
+        from repro.opc.mosaic import MosaicFast
+        from repro.workloads.iccad2013 import load_benchmark
+
+        result = MosaicFast(
+            reduced_config,
+            optimizer_config=OptimizerConfig(max_iterations=8),
+            simulator=sim,
+        ).solve(load_benchmark("B1"))
+        layout = fractured_layout(result.mask, sim.grid, name="B1_OPC")
+        assert layout.num_shapes == shot_count(result.mask, sim.grid)
+        path = tmp_path / "b1_opc.gds"
+        write_gds(layout, path)
+        again = read_gds(path, clip=layout.clip)
+        assert again.pattern_area == pytest.approx(
+            result.mask.sum() * sim.grid.pixel_nm**2
+        )

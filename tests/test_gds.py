@@ -1,0 +1,118 @@
+"""Tests for the minimal GDSII reader/writer."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import LayoutIOError
+from repro.geometry.layout import Layout
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.io.gds_lite import _gds_real8, _parse_real8, read_gds, write_gds
+from repro.workloads.iccad2013 import load_all_benchmarks
+
+
+class TestReal8:
+    @pytest.mark.parametrize("value", [1e-9, 1e-3, 0.25, 1.0, 2.0, 1024.0, 1e9])
+    def test_roundtrip(self, value):
+        assert _parse_real8(_gds_real8(value)) == pytest.approx(value, rel=1e-12)
+
+    def test_zero(self):
+        assert _parse_real8(_gds_real8(0.0)) == 0.0
+
+    def test_negative(self):
+        assert _parse_real8(_gds_real8(-3.5)) == pytest.approx(-3.5)
+
+    @settings(max_examples=50)
+    @given(st.floats(min_value=1e-12, max_value=1e12))
+    def test_property_roundtrip(self, value):
+        assert _parse_real8(_gds_real8(value)) == pytest.approx(value, rel=1e-12)
+
+
+class TestGDSRoundtrip:
+    def test_simple_layout(self, tmp_path):
+        layout = Layout.from_rects(
+            "CELL", [Rect(100, 100, 300, 200), Rect(400, 500, 500, 900)]
+        )
+        path = tmp_path / "cell.gds"
+        write_gds(layout, path)
+        again = read_gds(path)
+        assert again.name == "CELL"
+        assert again.num_shapes == 2
+        assert again.pattern_area == layout.pattern_area
+
+    def test_polygon_vertices_preserved(self, tmp_path):
+        poly = Polygon([(0, 0), (300, 0), (300, 300), (200, 300), (200, 100), (0, 100)])
+        layout = Layout("L", clip=Rect(0, 0, 1024, 1024))
+        layout.add(poly)
+        path = tmp_path / "l.gds"
+        write_gds(layout, path)
+        again = read_gds(path)
+        assert set(again.polygons[0].vertices) == set(poly.vertices)
+
+    def test_all_benchmarks_roundtrip(self, tmp_path):
+        for name, layout in load_all_benchmarks().items():
+            path = tmp_path / f"{name}.gds"
+            write_gds(layout, path)
+            again = read_gds(path)
+            assert again.num_shapes == layout.num_shapes
+            assert again.pattern_area == pytest.approx(layout.pattern_area)
+
+    def test_header_structure(self, tmp_path):
+        layout = Layout.from_rects("T", [Rect(0, 0, 10, 10)])
+        path = tmp_path / "t.gds"
+        write_gds(layout, path)
+        data = path.read_bytes()
+        length, rectype = struct.unpack(">HH", data[:4])
+        assert rectype == 0x0002  # HEADER
+        version = struct.unpack(">h", data[4:6])[0]
+        assert version == 600
+
+    def test_records_even_length(self, tmp_path):
+        layout = Layout.from_rects("ODD", [Rect(0, 0, 10, 10)])  # 3-char name
+        path = tmp_path / "odd.gds"
+        write_gds(layout, path)
+        data = path.read_bytes()
+        offset = 0
+        while offset < len(data):
+            length = struct.unpack(">H", data[offset: offset + 2])[0]
+            assert length % 2 == 0
+            offset += length
+        assert offset == len(data)
+
+
+class TestGDSErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(LayoutIOError):
+            read_gds(tmp_path / "nope.gds")
+
+    def test_empty_gds_rejected(self, tmp_path):
+        path = tmp_path / "empty.gds"
+        path.write_bytes(b"")
+        with pytest.raises(LayoutIOError):
+            read_gds(path)
+
+    def test_no_boundaries_rejected(self, tmp_path):
+        # Write then truncate the boundary records away.
+        layout = Layout.from_rects("T", [Rect(0, 0, 10, 10)])
+        path = tmp_path / "t.gds"
+        write_gds(layout, path)
+        data = path.read_bytes()
+        # Keep only HEADER..STRNAME (find first BOUNDARY record).
+        offset = 0
+        while offset < len(data):
+            length, rectype = struct.unpack(">HH", data[offset: offset + 4])
+            if rectype == 0x0800:
+                break
+            offset += length
+        path.write_bytes(data[:offset])
+        with pytest.raises(LayoutIOError):
+            read_gds(path)
+
+    def test_custom_clip(self, tmp_path):
+        layout = Layout.from_rects("T", [Rect(0, 0, 10, 10)])
+        path = tmp_path / "t.gds"
+        write_gds(layout, path)
+        again = read_gds(path, clip=Rect(0, 0, 64, 64))
+        assert again.clip == Rect(0, 0, 64, 64)

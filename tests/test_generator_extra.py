@@ -1,0 +1,82 @@
+"""Tests for the tip-to-tip and dense-via-field generators."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.metrics.epe import measure_epe
+from repro.geometry.raster import rasterize_layout
+from repro.workloads.generator import dense_via_field, tip_to_tip
+
+
+class TestTipToTip:
+    def test_geometry(self):
+        left, right = tip_to_tip(100, 400, gap=90, width=70, length=300)
+        assert left.x1 == 400
+        assert right.x0 == 490
+        assert right.x0 - left.x1 == 90
+        assert left.height == right.height == 70
+
+    def test_bad_gap_rejected(self):
+        with pytest.raises(GeometryError):
+            tip_to_tip(0, 0, gap=0)
+
+    def test_line_end_pullback_is_real(self, sim):
+        """The physics the pattern exists for: printed line ends pull back
+        from the drawn tips, widening the gap."""
+        layout = Layout("t2t")
+        layout.extend(tip_to_tip(150, 480, gap=100, width=80, length=300))
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        from repro.mask.rules import apply_edge_bias
+
+        # Bias so the lines print at all, then inspect the gap region.
+        mask = apply_edge_bias(target, 16.0, sim.grid)
+        printed = sim.print_binary(mask)
+        # Drawn gap columns: x in (450, 550) nm -> cols 112..137 at 4 nm.
+        row = int(520 / 4)  # line centre
+        drawn_gap_px = 100 / 4
+        printed_row = printed[row, :]
+        # Printed gap: unset run around the drawn gap centre.
+        center = int(500 / 4)
+        left_edge = center
+        while left_edge > 0 and not printed_row[left_edge]:
+            left_edge -= 1
+        right_edge = center
+        while right_edge < 255 and not printed_row[right_edge]:
+            right_edge += 1
+        printed_gap_px = right_edge - left_edge - 1
+        assert printed_gap_px > drawn_gap_px  # the pullback
+
+    def test_opc_recovers_the_gap(self, reduced_config, sim):
+        from repro.config import OptimizerConfig
+        from repro.opc.mosaic import MosaicFast
+
+        layout = Layout("t2t")
+        layout.extend(tip_to_tip(150, 480, gap=100, width=80, length=300))
+        result = MosaicFast(
+            reduced_config,
+            optimizer_config=OptimizerConfig(max_iterations=40),
+            simulator=sim,
+        ).solve(layout)
+        report = measure_epe(sim.print_binary(result.mask), layout, sim.grid)
+        assert report.num_violations <= 1
+
+
+class TestDenseViaField:
+    def test_count_and_pitch(self):
+        vias = dense_via_field(100, 100, nx=3, ny=4, size=70, pitch=140)
+        assert len(vias) == 12
+        assert vias[1].y0 - vias[0].y0 == 140  # column-major order
+
+    def test_validation(self):
+        with pytest.raises(GeometryError):
+            dense_via_field(0, 0, nx=1, ny=2)
+        with pytest.raises(GeometryError):
+            dense_via_field(0, 0, nx=2, ny=2, size=100, pitch=90)
+
+    def test_fits_in_clip(self):
+        layout = Layout("vias")
+        layout.extend(dense_via_field(200, 200, nx=4, ny=4, size=70, pitch=150))
+        assert layout.num_shapes == 16
+        assert layout.clip.contains_rect(layout.bbox())

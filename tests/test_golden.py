@@ -1,0 +1,80 @@
+"""Golden-file regression test: pins the physics against silent drift.
+
+The fingerprint in ``tests/golden/b1_reduced.json`` was produced by a
+verified build (optics cross-checked against the Abbe reference,
+gradients against finite differences).  Everything in the pipeline is
+deterministic, so any mismatch means the numerical behaviour changed —
+either an intentional model change (regenerate the golden file and say
+so in the commit) or a bug.
+
+Float tolerances are tight (1e-6 relative) rather than exact to allow
+benign BLAS/FFT library variation across platforms.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.geometry.raster import rasterize_layout
+from repro.opc.mosaic import MosaicFast
+from repro.workloads.iccad2013 import load_benchmark
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "b1_reduced.json"
+
+
+@pytest.fixture(scope="module")
+def golden():
+    return json.loads(GOLDEN_PATH.read_text())
+
+
+@pytest.fixture(scope="module")
+def setup(sim):
+    layout = load_benchmark("B1")
+    target = rasterize_layout(layout, sim.grid).astype(float)
+    return layout, target
+
+
+class TestForwardModelGolden:
+    def test_target_raster(self, golden, setup, sim):
+        _, target = setup
+        assert int(target.sum()) == golden["target_pixels"]
+
+    def test_aerial_statistics(self, golden, setup, sim):
+        _, target = setup
+        intensity = sim.aerial(target)
+        assert float(intensity.max()) == pytest.approx(golden["aerial_max"], rel=1e-6)
+        assert float(intensity.mean()) == pytest.approx(golden["aerial_mean"], rel=1e-6)
+
+    def test_unprintable_without_opc(self, golden, setup, sim):
+        _, target = setup
+        assert int(sim.print_binary(target).sum()) == golden["printed_pixels"] == 0
+
+    def test_kernel_spectrum(self, golden, sim):
+        weights = sim.kernels_at(0.0).weights
+        assert len(weights) == len(golden["kernel_weights"])
+        for measured, expected in zip(weights, golden["kernel_weights"]):
+            assert float(measured) == pytest.approx(expected, rel=1e-6)
+
+    def test_pv_band(self, golden, setup, sim):
+        _, target = setup
+        assert sim.pv_band_area(target) == golden["pv_band_area"]
+
+
+class TestOptimizerGolden:
+    @pytest.fixture(scope="class")
+    def result(self, reduced_config, sim, setup):
+        layout, _ = setup
+        config = OptimizerConfig(max_iterations=10, use_jump=False)
+        return MosaicFast(reduced_config, optimizer_config=config, simulator=sim).solve(layout)
+
+    def test_objective_trajectory(self, golden, result):
+        objectives = result.optimization.history.objectives
+        assert objectives[0] == pytest.approx(golden["opc"]["first_objective"], rel=1e-6)
+        assert objectives[-1] == pytest.approx(golden["opc"]["last_objective"], rel=1e-6)
+
+    def test_final_mask(self, golden, result):
+        assert int(result.mask.sum()) == golden["opc"]["mask_pixels"]
+        assert result.score.epe_violations == golden["opc"]["epe_violations"]
+        assert result.score.pv_band_nm2 == golden["opc"]["pv_band_nm2"]

@@ -1,0 +1,77 @@
+"""Tests for the batch experiment harness."""
+
+import csv
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.errors import ReproError
+from repro.harness import run_experiment
+from repro.opc.mosaic import MosaicFast
+from repro.baselines import ModelBasedOPC
+from repro.workloads.iccad2013 import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def small_experiment(reduced_config, sim):
+    solvers = [
+        ("mb", lambda: ModelBasedOPC(reduced_config, max_iterations=3, simulator=sim)),
+        (
+            "fast",
+            lambda: MosaicFast(
+                reduced_config,
+                optimizer_config=OptimizerConfig(max_iterations=10),
+                simulator=sim,
+            ),
+        ),
+    ]
+    layouts = [load_benchmark("B1"), load_benchmark("B4")]
+    return run_experiment(solvers, layouts)
+
+
+class TestRunExperiment:
+    def test_all_cells_filled(self, small_experiment):
+        assert len(small_experiment.scores) == 4
+        for label in ("mb", "fast"):
+            for name in ("B1", "B4"):
+                assert (label, name) in small_experiment.scores
+
+    def test_totals_and_ranking(self, small_experiment):
+        totals = small_experiment.totals()
+        assert set(totals) == {"mb", "fast"}
+        ranking = small_experiment.ranking()
+        assert totals[ranking[0]] <= totals[ranking[1]]
+
+    def test_format_table(self, small_experiment):
+        table = small_experiment.format_table()
+        assert "B1" in table and "B4" in table
+        assert "ratio" in table
+        assert "1.000" in table  # the best solver's ratio
+
+    def test_csv_export(self, small_experiment, tmp_path):
+        path = tmp_path / "results.csv"
+        small_experiment.to_csv(path)
+        with open(path) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 4
+        assert {row["solver"] for row in rows} == {"mb", "fast"}
+        assert all(float(row["score"]) > 0 for row in rows)
+
+    def test_progress_callback(self, reduced_config, sim):
+        seen = []
+        run_experiment(
+            [("mb", lambda: ModelBasedOPC(reduced_config, max_iterations=2, simulator=sim))],
+            [load_benchmark("B1")],
+            progress=seen.append,
+        )
+        assert seen == ["mb on B1"]
+
+    def test_validation(self, reduced_config, sim):
+        layout = load_benchmark("B1")
+        factory = lambda: ModelBasedOPC(reduced_config, max_iterations=2, simulator=sim)
+        with pytest.raises(ReproError):
+            run_experiment([], [layout])
+        with pytest.raises(ReproError):
+            run_experiment([("a", factory)], [])
+        with pytest.raises(ReproError):
+            run_experiment([("a", factory), ("a", factory)], [layout])

@@ -1,0 +1,51 @@
+"""Unit tests for repro.opc.history."""
+
+from repro.opc.history import IterationRecord, OptimizationHistory
+
+
+def record(i, objective=1.0, **kw):
+    defaults = dict(gradient_rms=0.1, step_size=1.0)
+    defaults.update(kw)
+    return IterationRecord(iteration=i, objective=objective, **defaults)
+
+
+class TestOptimizationHistory:
+    def test_empty(self):
+        history = OptimizationHistory()
+        assert len(history) == 0
+        assert history.final is None
+        assert history.objectives == []
+
+    def test_append_and_iterate(self):
+        history = OptimizationHistory()
+        for i in range(3):
+            history.append(record(i, objective=10.0 - i))
+        assert len(history) == 3
+        assert [r.iteration for r in history] == [0, 1, 2]
+        assert history.final.objective == 8.0
+
+    def test_series_extraction(self):
+        history = OptimizationHistory()
+        history.append(record(0, objective=5.0, step_size=2.0))
+        history.append(record(1, objective=3.0, step_size=6.0))
+        assert history.objectives == [5.0, 3.0]
+        assert history.series("step_size") == [2.0, 6.0]
+        assert history.series("gradient_rms") == [0.1, 0.1]
+
+    def test_optional_metrics_default_none(self):
+        r = record(0)
+        assert r.epe_violations is None
+        assert r.pv_band_nm2 is None
+        assert r.score is None
+
+    def test_term_values_default_empty(self):
+        assert record(0).term_values == {}
+
+    def test_records_frozen(self):
+        import dataclasses
+
+        import pytest
+
+        r = record(0)
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            r.objective = 2.0

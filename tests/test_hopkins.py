@@ -1,0 +1,107 @@
+"""Unit tests for repro.optics.hopkins, including the adjoint gradient check."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec, OpticsConfig
+from repro.errors import GridError
+from repro.optics.hopkins import aerial_image, backproject_fields, field_stack
+from repro.optics.kernels import build_socs_kernels
+
+GRID = GridSpec(shape=(64, 64), pixel_nm=16.0)
+OPTICS = OpticsConfig(num_kernels=4)
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return build_socs_kernels(GRID, OPTICS)
+
+
+@pytest.fixture()
+def mask():
+    m = np.zeros(GRID.shape)
+    m[24:40, 28:36] = 1.0
+    return m
+
+
+class TestAerialImage:
+    def test_non_negative(self, kernels, mask):
+        assert aerial_image(mask, kernels).min() >= 0.0
+
+    def test_dose_scales_linearly(self, kernels, mask):
+        base = aerial_image(mask, kernels, dose=1.0)
+        hot = aerial_image(mask, kernels, dose=1.02)
+        assert np.allclose(hot, 1.02 * base)
+
+    def test_shift_invariance(self, kernels, mask):
+        shifted_mask = np.roll(mask, (5, -3), axis=(0, 1))
+        base = aerial_image(mask, kernels)
+        shifted = aerial_image(shifted_mask, kernels)
+        assert np.allclose(np.roll(base, (5, -3), axis=(0, 1)), shifted, atol=1e-10)
+
+    def test_reuses_precomputed_fields(self, kernels, mask):
+        fields = field_stack(mask, kernels)
+        direct = aerial_image(mask, kernels)
+        reused = aerial_image(mask, kernels, fields=fields)
+        assert np.array_equal(direct, reused)
+
+    def test_shape_mismatch_rejected(self, kernels):
+        with pytest.raises(GridError):
+            aerial_image(np.zeros((32, 32)), kernels)
+
+    def test_intensity_additive_for_disjoint_far_features(self, kernels):
+        # Features far beyond the coherence length image independently.
+        a = np.zeros(GRID.shape)
+        a[4:8, 4:8] = 1.0
+        b = np.zeros(GRID.shape)
+        b[56:60, 56:60] = 1.0
+        together = aerial_image(a + b, kernels)
+        separate = aerial_image(a, kernels) + aerial_image(b, kernels)
+        # Compare near feature a only (far from cross-terms).
+        assert np.allclose(together[:16, :16], separate[:16, :16], atol=5e-3)
+
+
+class TestFieldStack:
+    def test_shape(self, kernels, mask):
+        fields = field_stack(mask, kernels)
+        assert fields.shape == (kernels.num_kernels,) + GRID.shape
+
+    def test_intensity_consistency(self, kernels, mask):
+        fields = field_stack(mask, kernels)
+        manual = np.einsum("k,kij->ij", kernels.weights, np.abs(fields) ** 2)
+        assert np.allclose(manual, aerial_image(mask, kernels))
+
+
+class TestAdjointGradient:
+    """Finite-difference check of the imaging-operator adjoint — the
+    foundation of every objective gradient in the library."""
+
+    def test_gradient_matches_finite_difference(self, kernels, mask):
+        target = np.roll(mask, 1, axis=0)
+
+        def objective(m: np.ndarray) -> float:
+            return float(np.sum((aerial_image(m, kernels) - target) ** 2))
+
+        # Analytic gradient: dF/dI = 2 (I - target); backproject.
+        fields = field_stack(mask, kernels)
+        intensity = aerial_image(mask, kernels, fields=fields)
+        df_di = 2.0 * (intensity - target)
+        grad = backproject_fields(df_di[None] * fields, kernels)
+
+        rng = np.random.default_rng(7)
+        eps = 1e-6
+        for _ in range(8):
+            i, j = rng.integers(0, GRID.shape[0]), rng.integers(0, GRID.shape[1])
+            bumped = mask.copy()
+            bumped[i, j] += eps
+            fd = (objective(bumped) - objective(mask)) / eps
+            assert fd == pytest.approx(grad[i, j], rel=1e-3, abs=1e-8)
+
+    def test_weighted_fields_shape_checked(self, kernels, mask):
+        with pytest.raises(GridError):
+            backproject_fields(np.zeros((2,) + GRID.shape, dtype=complex), kernels)
+
+    def test_backprojection_is_real(self, kernels, mask):
+        fields = field_stack(mask, kernels)
+        out = backproject_fields(fields, kernels)
+        assert out.dtype == np.float64

@@ -1,0 +1,116 @@
+"""Unit tests for repro.metrics.imagequality (ILS / NILS / contrast)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec
+from repro.errors import GridError
+from repro.geometry.edges import generate_sample_points
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.metrics.imagequality import (
+    edge_slopes,
+    hotspot_samples,
+    image_contrast,
+    image_log_slope,
+)
+
+GRID = GridSpec(shape=(64, 64), pixel_nm=4.0)
+CLIP = Rect(0, 0, 256, 256)
+
+
+@pytest.fixture()
+def layout():
+    return Layout.from_rects("sq", [Rect(64, 64, 192, 192)], clip=CLIP)
+
+
+@pytest.fixture()
+def samples(layout):
+    return generate_sample_points(layout, GRID)
+
+
+class TestImageLogSlope:
+    def test_sharp_edge_high_ils(self, layout, samples):
+        target = rasterize_layout(layout, GRID).astype(float)
+        slope = image_log_slope(target, samples[0], GRID, feature_width_nm=128)
+        assert slope.ils > 0
+        assert slope.nils == pytest.approx(slope.ils * 128)
+
+    def test_flat_image_zero_ils(self, samples):
+        flat = np.full(GRID.shape, 0.7)
+        slope = image_log_slope(flat, samples[0], GRID, feature_width_nm=128)
+        assert slope.ils == 0.0
+
+    def test_blurred_edge_lower_than_sharp(self, layout, samples):
+        from scipy import ndimage
+
+        target = rasterize_layout(layout, GRID).astype(float)
+        blurred = ndimage.gaussian_filter(target, sigma=3)
+        sharp = image_log_slope(target, samples[0], GRID, 128)
+        soft = image_log_slope(blurred, samples[0], GRID, 128)
+        assert soft.ils < sharp.ils
+
+    def test_shape_mismatch_rejected(self, samples):
+        with pytest.raises(GridError):
+            image_log_slope(np.zeros((8, 8)), samples[0], GRID, 128)
+
+
+class TestEdgeSlopesAndHotspots:
+    def test_all_samples_measured(self, layout, samples):
+        target = rasterize_layout(layout, GRID).astype(float)
+        slopes = edge_slopes(target, samples, GRID)
+        assert len(slopes) == len(samples)
+
+    def test_hotspot_threshold_filters(self, layout, samples):
+        from scipy import ndimage
+
+        target = rasterize_layout(layout, GRID).astype(float)
+        blurred = ndimage.gaussian_filter(target, sigma=5)
+        slopes = edge_slopes(blurred, samples, GRID, feature_width_nm=128)
+        nils_values = sorted(s.nils for s in slopes)
+        mid = nils_values[len(nils_values) // 2]
+        hot = hotspot_samples(slopes, nils_threshold=mid)
+        assert 0 < len(hot) < len(slopes)
+
+    def test_opc_moves_edge_intensity_to_threshold(self, sim, reduced_config):
+        # After OPC the aerial intensity at the target edges sits near the
+        # resist threshold (that is what places the printed edge there);
+        # before OPC the unprintable line's edges are far below it.
+        from repro.config import OptimizerConfig
+        from repro.opc.mosaic import MosaicFast
+        from repro.workloads.iccad2013 import load_benchmark
+
+        layout = load_benchmark("B1")
+        grid = sim.grid
+        target = rasterize_layout(layout, grid).astype(float)
+        pts = generate_sample_points(layout, grid)
+        threshold = reduced_config.resist.threshold
+
+        def mean_edge_gap(intensity):
+            return float(
+                np.mean([abs(intensity[s.row, s.col] - threshold) for s in pts])
+            )
+
+        before = mean_edge_gap(sim.aerial(target))
+        result = MosaicFast(
+            reduced_config,
+            optimizer_config=OptimizerConfig(max_iterations=10),
+            simulator=sim,
+        ).solve(layout)
+        after = mean_edge_gap(sim.aerial(result.mask))
+        assert after < before
+
+
+class TestImageContrast:
+    def test_perfect_binary_full_contrast(self, layout):
+        target = rasterize_layout(layout, GRID).astype(float)
+        assert image_contrast(target, target) == pytest.approx(1.0)
+
+    def test_flat_image_zero_contrast(self, layout):
+        target = rasterize_layout(layout, GRID).astype(float)
+        assert image_contrast(np.full(GRID.shape, 0.5), target) == pytest.approx(0.0)
+
+    def test_empty_target_rejected(self):
+        with pytest.raises(GridError):
+            image_contrast(np.zeros(GRID.shape), np.zeros(GRID.shape))

@@ -1,0 +1,142 @@
+"""Cross-module integration tests: full user workflows end to end."""
+
+import numpy as np
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.io.gds_lite import read_gds, write_gds
+from repro.io.glp import read_glp, write_glp
+from repro.mask.cleanup import CleanupConfig, cleanup_mask
+from repro.metrics.cd import gauges_for_layout, measure_gauges
+from repro.metrics.mrc import check_mask_rules
+from repro.metrics.score import contest_score
+from repro.opc.mosaic import MosaicFast
+from repro.process.window_analysis import sweep_process_window
+from repro.workloads.iccad2013 import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def solved_b1(reduced_config, sim):
+    solver = MosaicFast(
+        reduced_config, optimizer_config=OptimizerConfig(max_iterations=20), simulator=sim
+    )
+    return solver.solve(load_benchmark("B1"))
+
+
+class TestFullFlow:
+    def test_glp_to_optimized_mask(self, tmp_path, reduced_config, sim, solved_b1):
+        """Persist a layout, reload it, optimize, and verify the same score
+        components come out (determinism across the I/O boundary)."""
+        layout = load_benchmark("B1")
+        path = tmp_path / "b1.glp"
+        write_glp(layout, path)
+        reloaded = read_glp(path)
+        result = MosaicFast(
+            reduced_config,
+            optimizer_config=OptimizerConfig(max_iterations=20),
+            simulator=sim,
+        ).solve(reloaded)
+        assert result.score.epe_violations == solved_b1.score.epe_violations
+        assert result.score.pv_band_nm2 == solved_b1.score.pv_band_nm2
+        assert np.array_equal(result.mask, solved_b1.mask)
+
+    def test_gds_to_optimized_mask(self, tmp_path, reduced_config, sim, solved_b1):
+        layout = load_benchmark("B1")
+        path = tmp_path / "b1.gds"
+        write_gds(layout, path)
+        reloaded = read_gds(path)
+        result = MosaicFast(
+            reduced_config,
+            optimizer_config=OptimizerConfig(max_iterations=20),
+            simulator=sim,
+        ).solve(reloaded)
+        assert np.array_equal(result.mask, solved_b1.mask)
+
+    def test_score_recomposition(self, sim, solved_b1):
+        """contest_score must be reproducible from the stored mask."""
+        layout = load_benchmark("B1")
+        again = contest_score(
+            sim, solved_b1.mask, layout, runtime_s=solved_b1.runtime_s
+        )
+        assert again.epe_violations == solved_b1.score.epe_violations
+        assert again.pv_band_nm2 == solved_b1.score.pv_band_nm2
+        assert again.total == pytest.approx(solved_b1.score.total)
+
+    def test_optimize_cleanup_recheck(self, sim, solved_b1):
+        """Post-OPC manufacturability flow: cleanup then re-verify."""
+        layout = load_benchmark("B1")
+        grid = sim.grid
+        cleaned = cleanup_mask(
+            solved_b1.mask,
+            grid,
+            CleanupConfig(min_figure_area_nm2=300, max_pinhole_area_nm2=300, smooth=False),
+        )
+        score = contest_score(sim, cleaned, layout)
+        assert score.epe_violations <= solved_b1.score.epe_violations
+        report = check_mask_rules(cleaned, grid, min_width_nm=8, min_space_nm=8)
+        assert report.width_violation_px <= check_mask_rules(
+            solved_b1.mask, grid, min_width_nm=8, min_space_nm=8
+        ).width_violation_px
+
+    def test_cd_and_window_after_opc(self, sim, solved_b1):
+        """Analysis flow: CDs on gauges + process-window sweep."""
+        layout = load_benchmark("B1")
+        grid = sim.grid
+        printed = sim.print_binary(solved_b1.mask)
+        gauges = gauges_for_layout(layout)
+        measurements = measure_gauges(printed, gauges, grid)
+        assert all(m.cd_nm is not None for m in measurements)
+        assert all(abs(m.error_nm) <= 20 for m in measurements)
+
+        window = sweep_process_window(
+            sim, solved_b1.mask, layout,
+            defocus_values_nm=(0.0, 25.0), dose_values=(0.98, 1.0, 1.02),
+        )
+        assert window.pass_fraction() == 1.0  # the contest window passes
+
+
+class TestDeterminism:
+    def test_same_inputs_same_mask(self, reduced_config, sim):
+        layout = load_benchmark("B2")
+        cfg = OptimizerConfig(max_iterations=6)
+        a = MosaicFast(reduced_config, optimizer_config=cfg, simulator=sim).solve(layout)
+        b = MosaicFast(reduced_config, optimizer_config=cfg, simulator=sim).solve(layout)
+        assert np.array_equal(a.mask, b.mask)
+        assert a.score.total - a.score.runtime_s == pytest.approx(
+            b.score.total - b.score.runtime_s
+        )
+
+    def test_fresh_simulator_same_result(self, reduced_config, sim):
+        from repro.litho.simulator import LithographySimulator
+
+        layout = load_benchmark("B2")
+        cfg = OptimizerConfig(max_iterations=4)
+        shared = MosaicFast(reduced_config, optimizer_config=cfg, simulator=sim).solve(layout)
+        fresh_sim = LithographySimulator(reduced_config)
+        fresh = MosaicFast(reduced_config, optimizer_config=cfg, simulator=fresh_sim).solve(layout)
+        assert np.array_equal(shared.mask, fresh.mask)
+
+
+class TestGridScaleConsistency:
+    def test_epe_free_mask_transfers_qualitatively(self, reduced_config, sim):
+        """A layout whose biased mask prints cleanly at 4 nm/px also does
+        at 8 nm/px — the physics, not the grid, determines the result."""
+        from repro.config import GridSpec, LithoConfig
+        from repro.litho.simulator import LithographySimulator
+        from repro.mask.rules import apply_edge_bias
+
+        layout = Layout.from_rects("big", [Rect(256, 256, 768, 768)])
+        coarse_cfg = LithoConfig(
+            grid=GridSpec(shape=(128, 128), pixel_nm=8.0),
+            optics=reduced_config.optics,
+        )
+        coarse_sim = LithographySimulator(coarse_cfg)
+        for simulator in (sim, coarse_sim):
+            target = rasterize_layout(layout, simulator.grid).astype(float)
+            biased = apply_edge_bias(target, 16.0, simulator.grid)
+            score = contest_score(simulator, biased, layout, grid=simulator.grid)
+            assert score.epe_violations == 0
+            assert score.shape_violations == 0

@@ -1,0 +1,130 @@
+"""Tests for layout (GLP) and image I/O."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GridError, LayoutIOError
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.io.glp import dumps_glp, loads_glp, read_glp, write_glp
+from repro.io.images import ascii_render, save_npz_images, save_pgm
+from repro.workloads.iccad2013 import load_all_benchmarks
+
+SAMPLE = """
+# comment line
+CLIP demo 0 0 1024 1024
+RECT 100 100 300 200
+POLY 400 400 700 400 700 700 600 700 600 500 400 500
+END
+"""
+
+
+class TestGLPParse:
+    def test_sample_roundtrip_semantics(self):
+        layout = loads_glp(SAMPLE)
+        assert layout.name == "demo"
+        assert layout.num_shapes == 2
+        assert layout.pattern_area == 200 * 100 + (300 * 100 + 100 * 200)
+
+    def test_dumps_then_loads(self):
+        layout = loads_glp(SAMPLE)
+        again = loads_glp(dumps_glp(layout))
+        assert again.name == layout.name
+        assert [p.vertices for p in again.polygons] == [p.vertices for p in layout.polygons]
+
+    def test_benchmarks_roundtrip(self):
+        for layout in load_all_benchmarks().values():
+            again = loads_glp(dumps_glp(layout))
+            assert again.pattern_area == pytest.approx(layout.pattern_area)
+
+    def test_file_roundtrip(self, tmp_path):
+        layout = loads_glp(SAMPLE)
+        path = tmp_path / "demo.glp"
+        write_glp(layout, path)
+        assert read_glp(path).pattern_area == layout.pattern_area
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "RECT 0 0 10 10",                        # shape before CLIP
+            "CLIP a 0 0 10 10\nCLIP b 0 0 10 10",    # duplicate clip
+            "CLIP a 0 0 10 10\nRECT 1 2 3",           # short RECT
+            "CLIP a 0 0 10 10\nPOLY 0 0 5 0 5 5",     # short POLY
+            "CLIP a 0 0 10 10\nBLOB 1 2 3 4",         # unknown keyword
+            "CLIP a 0 0 10 x",                        # bad number
+            "CLIP a 0 0 10 10\nEND\nRECT 0 0 5 5",    # content after END
+            "# only comments",                          # no clip at all
+        ],
+    )
+    def test_malformed_rejected(self, text):
+        with pytest.raises(LayoutIOError):
+            loads_glp(text)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(LayoutIOError):
+            read_glp(tmp_path / "nope.glp")
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=900),
+                st.integers(min_value=0, max_value=900),
+                st.integers(min_value=1, max_value=100),
+                st.integers(min_value=1, max_value=100),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_property_roundtrip(self, rect_specs):
+        layout = Layout("prop", clip=Rect(0, 0, 1024, 1024))
+        for x, y, w, h in rect_specs:
+            layout.add(Rect.from_size(x, y, w, h))
+        again = loads_glp(dumps_glp(layout))
+        assert again.num_shapes == layout.num_shapes
+        assert again.pattern_area == pytest.approx(layout.pattern_area)
+
+
+class TestImages:
+    def test_npz_roundtrip(self, tmp_path):
+        path = tmp_path / "bundle.npz"
+        a = np.arange(12).reshape(3, 4)
+        save_npz_images(path, {"a": a})
+        loaded = np.load(path)
+        assert np.array_equal(loaded["a"], a)
+
+    def test_npz_empty_rejected(self, tmp_path):
+        with pytest.raises(GridError):
+            save_npz_images(tmp_path / "x.npz", {})
+
+    def test_pgm_header_and_size(self, tmp_path):
+        path = tmp_path / "img.pgm"
+        save_pgm(path, np.random.default_rng(0).uniform(size=(10, 20)))
+        data = path.read_bytes()
+        assert data.startswith(b"P5\n20 10\n255\n")
+        assert len(data) == len(b"P5\n20 10\n255\n") + 200
+
+    def test_pgm_constant_image(self, tmp_path):
+        path = tmp_path / "flat.pgm"
+        save_pgm(path, np.full((4, 4), 3.0))
+        assert path.exists()
+
+    def test_pgm_rejects_1d(self, tmp_path):
+        with pytest.raises(GridError):
+            save_pgm(tmp_path / "x.pgm", np.arange(5))
+
+    def test_ascii_render_dimensions(self):
+        img = np.zeros((64, 64))
+        img[20:40, 20:40] = 1.0
+        text = ascii_render(img, width=32)
+        lines = text.splitlines()
+        assert len(lines[0]) == 32
+        assert len(lines) == 16  # half aspect for character height
+
+    def test_ascii_render_shows_feature(self):
+        img = np.zeros((64, 64))
+        img[28:36, 28:36] = 1.0
+        text = ascii_render(img, width=32)
+        assert "@" in text
+        assert " " in text

@@ -1,0 +1,108 @@
+"""Unit tests for repro.optics.kernels (SOCS kernel sets)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec, OpticsConfig
+from repro.errors import OpticsError
+from repro.optics.hopkins import aerial_image
+from repro.optics.kernels import SOCSKernels, build_socs_kernels
+
+GRID = GridSpec(shape=(128, 128), pixel_nm=8.0)
+OPTICS = OpticsConfig(num_kernels=8)
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return build_socs_kernels(GRID, OPTICS)
+
+
+class TestBuild:
+    def test_kernel_count(self, kernels):
+        assert kernels.num_kernels == 8
+
+    def test_open_frame_normalization(self, kernels):
+        intensity = aerial_image(np.ones(GRID.shape), kernels)
+        assert intensity.mean() == pytest.approx(1.0, abs=1e-9)
+        assert intensity.std() == pytest.approx(0.0, abs=1e-9)
+
+    def test_dark_frame_zero(self, kernels):
+        intensity = aerial_image(np.zeros(GRID.shape), kernels)
+        assert np.allclose(intensity, 0.0)
+
+    def test_weights_descending(self, kernels):
+        assert np.all(np.diff(kernels.weights) <= 1e-15)
+
+    def test_defocus_changes_kernels(self):
+        nominal = build_socs_kernels(GRID, OPTICS, defocus_nm=0.0)
+        defocused = build_socs_kernels(GRID, OPTICS, defocus_nm=25.0)
+        assert not np.allclose(
+            np.abs(nominal.spectra[0]), np.abs(defocused.spectra[0])
+        ) or not np.allclose(nominal.weights, defocused.weights)
+
+    def test_inconsistent_shapes_rejected(self, kernels):
+        with pytest.raises(OpticsError):
+            SOCSKernels(
+                support=kernels.support,
+                weights=kernels.weights[:3],
+                spectra=kernels.spectra,
+                defocus_nm=0.0,
+            )
+
+
+class TestDerivedSets:
+    def test_truncated(self, kernels):
+        small = kernels.truncated(3)
+        assert small.num_kernels == 3
+        assert np.array_equal(small.weights, kernels.weights[:3])
+
+    def test_truncated_bounds(self, kernels):
+        with pytest.raises(OpticsError):
+            kernels.truncated(0)
+        with pytest.raises(OpticsError):
+            kernels.truncated(99)
+
+    def test_truncation_loses_little_open_frame_energy(self, kernels):
+        # Eigenvalues decay fast: half the kernels keep ~all the DC energy.
+        full = aerial_image(np.ones(GRID.shape), kernels).mean()
+        half = aerial_image(np.ones(GRID.shape), kernels.truncated(4)).mean()
+        assert 0.9 * full <= half <= full + 1e-12
+
+    def test_dominant_is_first_kernel(self, kernels):
+        dom = kernels.dominant()
+        assert dom.num_kernels == 1
+        assert np.array_equal(dom.spectra[0], kernels.spectra[0])
+
+    def test_combined_single_kernel_normalized(self, kernels):
+        combined = kernels.combined()
+        assert combined.num_kernels == 1
+        intensity = aerial_image(np.ones(GRID.shape), combined)
+        assert intensity.mean() == pytest.approx(1.0, abs=1e-9)
+
+    def test_combined_exact_for_coherent_system(self, kernels):
+        # For a 1-kernel system Eq. 21 is exact: combining is a no-op.
+        coherent = kernels.truncated(1)
+        mask = np.zeros(GRID.shape)
+        mask[40:88, 56:72] = 1.0
+        direct = aerial_image(mask, coherent)
+        via_combined = aerial_image(mask, coherent.combined())
+        # Up to the DC re-normalization both images are proportional.
+        ratio = direct[64, 64] / via_combined[64, 64]
+        assert np.allclose(direct, via_combined * ratio, atol=1e-9)
+
+    def test_combined_approximates_full(self, kernels):
+        # Eq. 21 is an approximation for h > 1 — close but not exact.
+        mask = np.zeros(GRID.shape)
+        mask[40:88, 56:72] = 1.0
+        full = aerial_image(mask, kernels)
+        approx = aerial_image(mask, kernels.combined())
+        err = np.abs(full - approx).max()
+        assert 0 < err < 0.5
+
+    def test_spatial_kernel_centered(self, kernels):
+        spatial = kernels.spatial_kernel(0)
+        energy = np.abs(spatial) ** 2
+        peak = np.unravel_index(np.argmax(energy), energy.shape)
+        center = (GRID.shape[0] // 2, GRID.shape[1] // 2)
+        assert abs(peak[0] - center[0]) <= 2
+        assert abs(peak[1] - center[1]) <= 2

@@ -1,0 +1,76 @@
+"""Unit tests for repro.geometry.layout."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.layout import Layout
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+class TestLayout:
+    def test_empty(self):
+        layout = Layout("empty")
+        assert layout.num_shapes == 0
+        assert layout.pattern_area == 0
+        assert layout.bbox() is None
+
+    def test_add_rect_becomes_polygon(self):
+        layout = Layout("a")
+        layout.add(Rect(10, 10, 60, 60))
+        assert layout.num_shapes == 1
+        assert isinstance(layout.polygons[0], Polygon)
+        assert layout.pattern_area == 2500
+
+    def test_add_polygon(self):
+        layout = Layout("a")
+        layout.add(Polygon([(0, 0), (50, 0), (50, 50), (0, 50)]))
+        assert layout.pattern_area == 2500
+
+    def test_shape_outside_clip_rejected(self):
+        layout = Layout("a", clip=Rect(0, 0, 100, 100))
+        with pytest.raises(GeometryError):
+            layout.add(Rect(50, 50, 150, 80))
+
+    def test_constructor_validates_shapes(self):
+        poly = Polygon([(0, 0), (200, 0), (200, 50), (0, 50)])
+        with pytest.raises(GeometryError):
+            Layout("a", clip=Rect(0, 0, 100, 100), polygons=[poly])
+
+    def test_from_rects(self):
+        layout = Layout.from_rects("grid", [Rect(0, 0, 10, 10), Rect(20, 0, 30, 10)],
+                                   clip=Rect(0, 0, 100, 100))
+        assert layout.num_shapes == 2
+        assert layout.pattern_area == 200
+
+    def test_bbox_spans_all(self):
+        layout = Layout.from_rects(
+            "b", [Rect(10, 10, 20, 20), Rect(50, 60, 80, 90)], clip=Rect(0, 0, 100, 100)
+        )
+        assert layout.bbox() == Rect(10, 10, 80, 90)
+
+    def test_total_perimeter(self):
+        layout = Layout.from_rects("p", [Rect(0, 0, 10, 20)], clip=Rect(0, 0, 100, 100))
+        assert layout.total_perimeter == 60
+
+    def test_contains_point(self):
+        layout = Layout.from_rects("c", [Rect(10, 10, 20, 20)], clip=Rect(0, 0, 100, 100))
+        assert layout.contains_point(15, 15)
+        assert not layout.contains_point(50, 50)
+
+    def test_translated(self):
+        layout = Layout.from_rects("t", [Rect(10, 10, 20, 20)], clip=Rect(0, 0, 100, 100))
+        moved = layout.translated(5, 5)
+        assert moved.contains_point(24, 24)
+        assert not moved.contains_point(11, 11)
+        assert moved.pattern_area == layout.pattern_area
+
+    def test_translated_out_of_clip_rejected(self):
+        layout = Layout.from_rects("t", [Rect(80, 80, 99, 99)], clip=Rect(0, 0, 100, 100))
+        with pytest.raises(GeometryError):
+            layout.translated(10, 0)
+
+    def test_extend(self):
+        layout = Layout("e", clip=Rect(0, 0, 100, 100))
+        layout.extend([Rect(0, 0, 10, 10), Rect(20, 20, 30, 30)])
+        assert layout.num_shapes == 2

@@ -1,0 +1,65 @@
+"""Tests for the optimizer's backtracking line-search mode (ref [12])."""
+
+import numpy as np
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.errors import ProcessError
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.opc.objectives import ImageDifferenceObjective
+from repro.opc.optimizer import GradientDescentOptimizer
+
+
+@pytest.fixture()
+def setup(tiny_sim):
+    layout = Layout.from_rects("sq", [Rect(384, 384, 640, 640)])
+    target = rasterize_layout(layout, tiny_sim.grid).astype(float)
+    return target, ImageDifferenceObjective(target, gamma=2)
+
+
+class TestLineSearch:
+    def test_objective_monotone_with_line_search(self, tiny_sim, setup):
+        target, objective = setup
+        config = OptimizerConfig(
+            max_iterations=8,
+            step_size=64.0,  # absurdly large on purpose
+            use_jump=False,
+            use_line_search=True,
+        )
+        result = GradientDescentOptimizer(tiny_sim, objective, config).run(target)
+        objectives = result.history.objectives
+        # Line search tames the huge step: values never increase.
+        assert all(b <= a + 1e-9 for a, b in zip(objectives, objectives[1:]))
+
+    def test_huge_step_without_line_search_oscillates(self, tiny_sim, setup):
+        target, objective = setup
+        config = OptimizerConfig(
+            max_iterations=8, step_size=64.0, use_jump=False, use_line_search=False
+        )
+        result = GradientDescentOptimizer(tiny_sim, objective, config).run(target)
+        objectives = result.history.objectives
+        increases = sum(1 for a, b in zip(objectives, objectives[1:]) if b > a)
+        assert increases > 0  # the pathological step really is pathological
+
+    def test_line_search_result_quality(self, tiny_sim, setup):
+        target, objective = setup
+        base = dict(max_iterations=8, step_size=64.0, use_jump=False)
+        plain = GradientDescentOptimizer(
+            tiny_sim, objective, OptimizerConfig(**base)
+        ).run(target)
+        searched = GradientDescentOptimizer(
+            tiny_sim, objective, OptimizerConfig(use_line_search=True, **base)
+        ).run(target)
+        assert (
+            searched.history.objectives[-1] <= plain.history.objectives[-1] + 1e-9
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(ProcessError):
+            OptimizerConfig(line_search_shrink=0.0)
+        with pytest.raises(ProcessError):
+            OptimizerConfig(line_search_shrink=1.0)
+        with pytest.raises(ProcessError):
+            OptimizerConfig(line_search_max_steps=0)

@@ -1,0 +1,57 @@
+"""Unit tests for repro.mask.mask (MaskPlane container)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec
+from repro.errors import GridError
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.mask.mask import MaskPlane, binarize
+
+GRID = GridSpec(shape=(64, 64), pixel_nm=16.0)
+
+
+class TestBinarize:
+    def test_threshold(self):
+        out = binarize(np.array([[0.2, 0.5, 0.7]]))
+        assert out.tolist() == [[0.0, 0.0, 1.0]]
+
+    def test_idempotent(self):
+        m = np.random.default_rng(1).uniform(0, 1, (8, 8))
+        once = binarize(m)
+        assert np.array_equal(binarize(once), once)
+
+
+class TestMaskPlane:
+    def test_from_layout(self):
+        layout = Layout.from_rects("sq", [Rect(256, 256, 512, 512)])
+        plane = MaskPlane.from_layout(layout, GRID)
+        assert plane.pixels.sum() == (256 / 16) ** 2
+
+    def test_area_nm2(self):
+        layout = Layout.from_rects("sq", [Rect(256, 256, 512, 512)])
+        plane = MaskPlane.from_layout(layout, GRID)
+        assert plane.area_nm2 == 256 * 256
+
+    def test_empty(self):
+        assert MaskPlane.empty(GRID).pixels.sum() == 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GridError):
+            MaskPlane(np.zeros((32, 32)), GRID)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(GridError):
+            MaskPlane(np.full(GRID.shape, 1.5), GRID)
+
+    def test_binary_copy(self):
+        plane = MaskPlane(np.full(GRID.shape, 0.7), GRID)
+        assert plane.binary().pixels.max() == 1.0
+        assert plane.pixels.max() == 0.7  # original untouched
+
+    def test_copy_independent(self):
+        plane = MaskPlane.empty(GRID)
+        clone = plane.copy()
+        clone.pixels[0, 0] = 1.0
+        assert plane.pixels[0, 0] == 0.0

@@ -1,0 +1,66 @@
+"""Unit and property tests for repro.mask.transform (sigmoid relaxation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mask.transform import (
+    mask_from_params,
+    mask_param_derivative,
+    params_from_mask,
+)
+
+
+class TestRoundTrip:
+    @given(
+        hnp.arrays(
+            np.float64,
+            (6, 6),
+            elements=st.floats(min_value=0.01, max_value=0.99),
+        )
+    )
+    def test_soft_mask_roundtrip_exact(self, mask):
+        recovered = mask_from_params(params_from_mask(mask))
+        assert np.allclose(recovered, mask, atol=1e-12)
+
+    def test_binary_mask_roundtrip_close(self):
+        mask = np.array([[0.0, 1.0], [1.0, 0.0]])
+        recovered = mask_from_params(params_from_mask(mask))
+        assert np.allclose(recovered, mask, atol=2e-3)
+        assert np.array_equal(recovered > 0.5, mask > 0.5)
+
+    def test_zero_params_give_half(self):
+        assert mask_from_params(np.zeros((3, 3)))[1, 1] == pytest.approx(0.5)
+
+    def test_theta_m_steepness(self):
+        p = np.array([[0.5]])
+        shallow = mask_from_params(p, theta_m=1.0)
+        steep = mask_from_params(p, theta_m=8.0)
+        assert steep[0, 0] > shallow[0, 0]
+
+
+class TestDerivative:
+    def test_matches_finite_difference(self):
+        params = np.linspace(-1.5, 1.5, 13).reshape(1, -1)
+        eps = 1e-7
+        mask = mask_from_params(params)
+        analytic = mask_param_derivative(mask)
+        numeric = (mask_from_params(params + eps) - mask) / eps
+        assert np.allclose(analytic, numeric, rtol=1e-4)
+
+    def test_vanishes_at_saturation(self):
+        assert mask_param_derivative(np.array([[0.0, 1.0]])).max() == 0.0
+
+    def test_peak_at_half(self):
+        masks = np.array([[0.2, 0.5, 0.8]])
+        d = mask_param_derivative(masks)
+        assert d[0, 1] == d.max()
+
+    @given(
+        hnp.arrays(
+            np.float64, (4, 4), elements=st.floats(min_value=0.0, max_value=1.0)
+        )
+    )
+    def test_non_negative(self, mask):
+        assert np.all(mask_param_derivative(mask) >= 0)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.metrics.epe."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.metrics.epe import measure_epe
+
+GRID = GridSpec(shape=(256, 256), pixel_nm=1.0)
+CLIP = Rect(0, 0, 256, 256)
+
+
+def layout_and_target(rect=Rect(48, 88, 208, 168)):
+    layout = Layout.from_rects("t", [rect], clip=CLIP)
+    return layout, rasterize_layout(layout, GRID)
+
+
+class TestPerfectPrint:
+    def test_zero_violations(self):
+        layout, target = layout_and_target()
+        report = measure_epe(target, layout, GRID)
+        assert report.num_violations == 0
+        assert report.max_abs_epe() == 0.0
+
+    def test_sample_count_matches_geometry(self):
+        layout, target = layout_and_target()
+        # 160 nm edges -> 4 samples each; 80 nm edges -> 2 samples each.
+        report = measure_epe(target, layout, GRID)
+        assert report.num_samples == 2 * 4 + 2 * 2
+
+
+class TestDisplacedPrint:
+    def test_uniform_shrink_measured(self):
+        layout, _ = layout_and_target()
+        shrunk = rasterize_layout(
+            Layout.from_rects("s", [Rect(58, 98, 198, 158)], clip=CLIP), GRID
+        )
+        report = measure_epe(shrunk, layout, GRID, threshold_nm=15)
+        values = [m.epe_nm for m in report.measurements]
+        assert all(v == -10 for v in values)
+        assert report.num_violations == 0  # 10 < 15
+
+    def test_shrink_beyond_threshold_violates_everywhere(self):
+        layout, _ = layout_and_target()
+        shrunk = rasterize_layout(
+            Layout.from_rects("s", [Rect(68, 108, 188, 148)], clip=CLIP), GRID
+        )
+        report = measure_epe(shrunk, layout, GRID, threshold_nm=15)
+        assert report.num_violations == report.num_samples  # 20 > 15
+
+    def test_bulge_positive_epe(self):
+        layout, _ = layout_and_target()
+        grown = rasterize_layout(
+            Layout.from_rects("g", [Rect(40, 80, 216, 176)], clip=CLIP), GRID
+        )
+        report = measure_epe(grown, layout, GRID)
+        assert all(m.epe_nm == 8 for m in report.measurements)
+
+    def test_one_sided_displacement(self):
+        layout, _ = layout_and_target()
+        # Only the top edge moves down by 20.
+        moved = rasterize_layout(
+            Layout.from_rects("m", [Rect(48, 88, 208, 148)], clip=CLIP), GRID
+        )
+        report = measure_epe(moved, layout, GRID, threshold_nm=15)
+        # 4 samples on the top edge violate by -20 nm, and the two side-edge
+        # samples at y = 148 sit above the shrunken feature entirely (no
+        # printed edge exists at their height -> hard violations).
+        assert report.num_violations == 6
+        missing = [m for m in report.violations if m.epe_nm is None]
+        measured = [m for m in report.violations if m.epe_nm is not None]
+        assert len(missing) == 2
+        assert len(measured) == 4
+        assert all(m.epe_nm == -20 for m in measured)
+
+    def test_missing_feature_counts_all_violations(self):
+        layout, _ = layout_and_target()
+        empty = np.zeros(GRID.shape, dtype=bool)
+        report = measure_epe(empty, layout, GRID)
+        assert report.num_violations == report.num_samples
+        assert all(m.epe_nm is None for m in report.measurements)
+        assert report.max_abs_epe() is None
+
+
+class TestReportHelpers:
+    def test_mean_abs_epe(self):
+        layout, _ = layout_and_target()
+        shrunk = rasterize_layout(
+            Layout.from_rects("s", [Rect(53, 93, 203, 163)], clip=CLIP), GRID
+        )
+        report = measure_epe(shrunk, layout, GRID)
+        assert report.mean_abs_epe() == pytest.approx(5.0)
+
+    def test_violations_list(self):
+        layout, _ = layout_and_target()
+        empty = np.zeros(GRID.shape, dtype=bool)
+        report = measure_epe(empty, layout, GRID)
+        assert len(report.violations) == report.num_samples
+
+    def test_coarse_grid_quantizes(self):
+        grid = GridSpec(shape=(64, 64), pixel_nm=4.0)
+        layout = Layout.from_rects("t", [Rect(48, 88, 208, 168)], clip=CLIP)
+        target = rasterize_layout(layout, grid)
+        report = measure_epe(target, layout, grid)
+        assert report.num_violations == 0

@@ -1,0 +1,80 @@
+"""Unit tests for repro.metrics.shapes (hole / shape-violation detection)."""
+
+import numpy as np
+
+from repro.metrics.shapes import count_holes, count_shape_violations
+
+
+def donut(size=24, outer=(4, 20), inner=(10, 14)):
+    img = np.zeros((size, size), dtype=bool)
+    img[outer[0]:outer[1], outer[0]:outer[1]] = True
+    img[inner[0]:inner[1], inner[0]:inner[1]] = False
+    return img
+
+
+class TestCountHoles:
+    def test_solid_block_no_holes(self):
+        img = np.zeros((16, 16), dtype=bool)
+        img[4:12, 4:12] = True
+        assert count_holes(img) == 0
+
+    def test_donut_one_hole(self):
+        assert count_holes(donut()) == 1
+
+    def test_two_holes(self):
+        img = np.zeros((24, 24), dtype=bool)
+        img[2:22, 2:22] = True
+        img[5:8, 5:8] = False
+        img[14:18, 14:18] = False
+        assert count_holes(img) == 2
+
+    def test_open_notch_not_a_hole(self):
+        img = np.zeros((16, 16), dtype=bool)
+        img[4:12, 4:12] = True
+        img[6:10, 10:16] = False  # notch reaches the border region
+        assert count_holes(img) == 0
+
+    def test_empty_image(self):
+        assert count_holes(np.zeros((8, 8), dtype=bool)) == 0
+
+    def test_full_image(self):
+        assert count_holes(np.ones((8, 8), dtype=bool)) == 0
+
+    def test_diagonal_gap_is_still_a_hole(self):
+        # Background uses 4-connectivity: a diagonal-only escape route
+        # does not connect the enclosed region to the outside.
+        img = np.ones((7, 7), dtype=bool)
+        img[3, 3] = False
+        img[0:3, 0:3] = False  # corner background touching border
+        assert count_holes(img) == 1
+
+
+class TestShapeViolations:
+    def test_healthy_print(self):
+        target = np.zeros((16, 16), dtype=bool)
+        target[4:12, 4:12] = True
+        assert count_shape_violations(target, target) == 0
+
+    def test_hole_counts(self):
+        assert count_shape_violations(donut()) == 1
+
+    def test_extra_component_counts(self):
+        target = np.zeros((24, 24), dtype=bool)
+        target[4:10, 4:10] = True
+        printed = target.copy()
+        printed[16:20, 16:20] = True  # spurious printed SRAF
+        assert count_shape_violations(printed, target) == 1
+
+    def test_merged_components_not_counted(self):
+        # Two target features bridging into one printed component is not
+        # counted by the component check (printed <= target components).
+        target = np.zeros((24, 24), dtype=bool)
+        target[4:8, 4:20] = True
+        target[12:16, 4:20] = True
+        printed = np.zeros((24, 24), dtype=bool)
+        printed[4:16, 4:20] = True
+        assert count_shape_violations(printed, target) == 0
+
+    def test_without_target_only_holes(self):
+        printed = donut()
+        assert count_shape_violations(printed) == 1

@@ -1,0 +1,96 @@
+"""Unit tests for ModelBasedOPC's fragment/strip machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.modelbased import ModelBasedOPC, _Fragment, _fragment_edges
+from repro.geometry.edges import EdgeOrientation, extract_edges
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+@pytest.fixture()
+def solver(reduced_config, sim):
+    return ModelBasedOPC(reduced_config, simulator=sim)
+
+
+class TestFragmentation:
+    def test_fragment_count(self):
+        edges = extract_edges(Polygon.from_rect(Rect(100, 100, 300, 180)))
+        fragments = _fragment_edges(edges, fragment_nm=40.0)
+        # 200 nm edges -> 5 fragments; 80 nm edges -> 2 fragments.
+        assert len(fragments) == 2 * 5 + 2 * 2
+
+    def test_fragments_tile_edges(self):
+        edges = extract_edges(Polygon.from_rect(Rect(0, 0, 100, 100)))
+        fragments = _fragment_edges(edges, fragment_nm=40.0)
+        for edge in edges:
+            covering = [
+                f for f in fragments
+                if f.orientation is edge.orientation and f.fixed == edge.fixed
+            ]
+            total = sum(f.hi - f.lo for f in covering)
+            assert total == pytest.approx(edge.length)
+
+    def test_short_edge_single_fragment(self):
+        edges = extract_edges(Polygon.from_rect(Rect(0, 0, 30, 30)))
+        fragments = _fragment_edges(edges, fragment_nm=40.0)
+        assert len(fragments) == 4
+
+
+class TestStripBoxes:
+    def test_outward_strip_for_positive_bias(self, solver):
+        # Bottom edge of a feature (interior above, +1): positive bias
+        # extends the mask downward (outward).
+        frag = _Fragment(
+            orientation=EdgeOrientation.HORIZONTAL,
+            fixed=400.0, lo=200.0, hi=280.0, interior_sign=1, bias_nm=12.0,
+        )
+        i0, i1, j0, j1 = solver._strip_box(frag)
+        dx = solver.sim.grid.pixel_nm
+        assert i1 == int(400 / dx)       # ends at the edge
+        assert i0 == int((400 - 12) / dx)  # starts 12 nm outside
+        assert (j0, j1) == (int(200 / dx), int(280 / dx))
+
+    def test_inward_strip_for_negative_bias(self, solver):
+        frag = _Fragment(
+            orientation=EdgeOrientation.HORIZONTAL,
+            fixed=400.0, lo=200.0, hi=280.0, interior_sign=1, bias_nm=-8.0,
+        )
+        i0, i1, j0, j1 = solver._strip_box(frag)
+        dx = solver.sim.grid.pixel_nm
+        assert i0 == int(400 / dx)       # starts at the edge
+        assert i1 == int(np.ceil((400 + 8) / dx))  # reaches inward
+
+    def test_zero_bias_no_strip(self, solver):
+        frag = _Fragment(
+            orientation=EdgeOrientation.VERTICAL,
+            fixed=100.0, lo=0.0, hi=50.0, interior_sign=1, bias_nm=0.0,
+        )
+        assert solver._strip_box(frag) is None
+
+
+class TestBuildMask:
+    def test_erosion_before_dilation(self, solver):
+        """A fragment moving out next to one moving in must keep its
+        outward strip (dilations are applied after erosions)."""
+        grid = solver.sim.grid
+        target = np.zeros(grid.shape)
+        target[50:80, 50:100] = 1.0
+        frag_out = _Fragment(
+            orientation=EdgeOrientation.HORIZONTAL,
+            fixed=320.0, lo=200.0, hi=280.0, interior_sign=-1, bias_nm=8.0,
+        )  # top edge at y=320 nm (row 80), pushes up
+        frag_in = _Fragment(
+            orientation=EdgeOrientation.HORIZONTAL,
+            fixed=320.0, lo=280.0, hi=400.0, interior_sign=-1, bias_nm=-8.0,
+        )  # neighbouring top-edge span pulls in
+        mask = solver.build_mask(target, [frag_in, frag_out])
+        assert mask[80, 55]   # outward strip survives above the old edge
+        assert not mask[79, 95]  # pulled-in span is carved away
+
+    def test_no_fragments_identity(self, solver):
+        grid = solver.sim.grid
+        target = np.zeros(grid.shape)
+        target[50:80, 50:100] = 1.0
+        assert np.array_equal(solver.build_mask(target, []), target)

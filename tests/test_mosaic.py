@@ -1,0 +1,103 @@
+"""Integration-level tests for the MOSAIC solvers (reduced scale, few iters)."""
+
+import numpy as np
+import pytest
+
+from repro import constants
+from repro.config import OptimizerConfig
+from repro.metrics.score import contest_score
+from repro.opc.mosaic import MosaicExact, MosaicFast
+from repro.workloads.iccad2013 import load_benchmark
+
+FAST_CFG = OptimizerConfig(max_iterations=12)
+
+
+@pytest.fixture(scope="module")
+def b1_result(reduced_config, sim):
+    solver = MosaicFast(reduced_config, optimizer_config=FAST_CFG, simulator=sim)
+    return solver.solve(load_benchmark("B1"))
+
+
+class TestMosaicFast:
+    def test_beats_no_opc(self, sim, b1_result):
+        from repro.geometry.raster import rasterize_layout
+
+        layout = load_benchmark("B1")
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        no_opc = contest_score(sim, target, layout)
+        assert b1_result.score.total < no_opc.total
+
+    def test_reduces_epe_violations(self, b1_result):
+        assert b1_result.score.epe_violations <= 3
+
+    def test_no_shape_violations(self, b1_result):
+        assert b1_result.score.shape_violations == 0
+
+    def test_mask_is_binary(self, b1_result):
+        assert set(np.unique(b1_result.mask)) <= {0.0, 1.0}
+
+    def test_history_recorded(self, b1_result):
+        assert len(b1_result.optimization.history) >= 1
+
+    def test_runtime_positive(self, b1_result):
+        assert b1_result.runtime_s > 0
+        assert b1_result.score.runtime_s == pytest.approx(b1_result.runtime_s)
+
+    def test_layout_name_propagated(self, b1_result):
+        assert b1_result.layout_name == "B1"
+
+
+class TestWeightResolution:
+    def test_fast_defaults_scaled_by_pixel_area(self, reduced_config, sim):
+        solver = MosaicFast(reduced_config, simulator=sim)
+        pixel_area = sim.grid.pixel_nm**2
+        assert solver.optimizer_config.beta == pytest.approx(
+            constants.SCORE_PVB_WEIGHT * pixel_area
+        )
+        assert solver.optimizer_config.alpha > solver.optimizer_config.beta
+
+    def test_exact_uses_score_weights(self, reduced_config, sim):
+        solver = MosaicExact(reduced_config, simulator=sim)
+        assert solver.optimizer_config.alpha == constants.SCORE_EPE_WEIGHT
+
+    def test_explicit_weights_respected(self, reduced_config, sim):
+        cfg = OptimizerConfig(alpha=7.0, beta=3.0)
+        solver = MosaicFast(reduced_config, optimizer_config=cfg, simulator=sim)
+        assert solver.optimizer_config.alpha == 7.0
+        assert solver.optimizer_config.beta == 3.0
+
+    def test_mode_iteration_defaults(self, reduced_config, sim):
+        fast = MosaicFast(reduced_config, simulator=sim)
+        exact = MosaicExact(reduced_config, simulator=sim)
+        assert fast.optimizer_config.max_iterations == constants.MOSAIC_FAST_ITERATIONS
+        assert exact.optimizer_config.max_iterations == constants.MOSAIC_EXACT_ITERATIONS
+
+
+class TestSeeding:
+    def test_sraf_seed_larger_than_target(self, reduced_config, sim):
+        from repro.geometry.raster import rasterize_layout
+
+        layout = load_benchmark("B1")
+        target = rasterize_layout(layout, sim.grid)
+        with_sraf = MosaicFast(reduced_config, simulator=sim).initial_mask(layout)
+        without = MosaicFast(
+            reduced_config, simulator=sim, use_sraf=False
+        ).initial_mask(layout)
+        assert with_sraf.sum() > without.sum()
+        assert np.array_equal(without > 0.5, target)
+
+
+class TestMosaicExact:
+    def test_solves_b1(self, reduced_config, sim):
+        cfg = OptimizerConfig(max_iterations=12)
+        solver = MosaicExact(reduced_config, optimizer_config=cfg, simulator=sim)
+        result = solver.solve(load_benchmark("B1"))
+        assert result.score.epe_violations <= 3
+        assert result.score.shape_violations == 0
+
+    def test_term_values_in_history(self, reduced_config, sim):
+        cfg = OptimizerConfig(max_iterations=3)
+        solver = MosaicExact(reduced_config, optimizer_config=cfg, simulator=sim)
+        result = solver.solve(load_benchmark("B1"))
+        record = result.optimization.history.records[0]
+        assert set(record.term_values) == {0, 1}  # F_epe and F_pvb

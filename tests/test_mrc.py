@@ -1,0 +1,81 @@
+"""Unit tests for repro.metrics.mrc (mask rule checking)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec
+from repro.errors import GridError
+from repro.metrics.mrc import check_mask_rules, space_violations, width_violations
+
+GRID = GridSpec(shape=(64, 64), pixel_nm=1.0)
+
+
+class TestWidthViolations:
+    def test_wide_feature_clean(self):
+        mask = np.zeros(GRID.shape)
+        mask[20:40, 20:40] = 1.0
+        assert width_violations(mask, GRID, min_width_nm=5.0).sum() == 0
+
+    def test_thin_line_flagged(self):
+        mask = np.zeros(GRID.shape)
+        mask[20:23, 10:50] = 1.0  # 3 px wide
+        violations = width_violations(mask, GRID, min_width_nm=5.0)
+        assert violations.sum() == mask.sum()
+
+    def test_mixed_mask_flags_only_thin_part(self):
+        mask = np.zeros(GRID.shape)
+        mask[20:40, 20:40] = 1.0   # big block: fine
+        mask[5:7, 5:30] = 1.0      # thin bar: violation
+        violations = width_violations(mask, GRID, min_width_nm=5.0)
+        assert violations[5, 10]
+        assert not violations[30, 30]
+
+    def test_rule_below_pixel_noop(self):
+        mask = np.zeros(GRID.shape)
+        mask[5, 5] = 1.0
+        assert width_violations(mask, GRID, min_width_nm=1.0).sum() == 0
+
+
+class TestSpaceViolations:
+    def test_wide_gap_clean(self):
+        mask = np.zeros(GRID.shape)
+        mask[10:20, 10:50] = 1.0
+        mask[40:50, 10:50] = 1.0  # 20 px gap
+        assert space_violations(mask, GRID, min_space_nm=5.0).sum() == 0
+
+    def test_narrow_gap_flagged(self):
+        mask = np.zeros(GRID.shape)
+        mask[10:20, 10:50] = 1.0
+        mask[23:33, 10:50] = 1.0  # 3 px gap
+        violations = space_violations(mask, GRID, min_space_nm=6.0)
+        assert violations[21, 30]
+
+    def test_border_not_a_gap(self):
+        mask = np.zeros(GRID.shape)
+        mask[0:10, 0:64] = 1.0  # feature hugging the border
+        assert space_violations(mask, GRID, min_space_nm=6.0).sum() == 0
+
+
+class TestReport:
+    def test_clean_mask(self):
+        mask = np.zeros(GRID.shape)
+        mask[20:40, 20:40] = 1.0
+        report = check_mask_rules(mask, GRID, min_width_nm=5, min_space_nm=5)
+        assert report.clean
+        assert report.width_violation_px == 0
+        assert report.space_violation_px == 0
+
+    def test_dirty_mask(self):
+        mask = np.zeros(GRID.shape)
+        mask[20:22, 10:50] = 1.0  # thin
+        mask[25:45, 10:50] = 1.0
+        report = check_mask_rules(mask, GRID, min_width_nm=5, min_space_nm=5)
+        assert not report.clean
+        assert report.width_violation_px > 0
+        assert report.space_violation_px > 0
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GridError):
+            width_violations(np.zeros((8, 8)), GRID, 5.0)
+        with pytest.raises(GridError):
+            space_violations(np.zeros((8, 8)), GRID, 5.0)

@@ -1,0 +1,93 @@
+"""Tests for the multiresolution (coarse-to-fine) solver."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec, LithoConfig, OptimizerConfig
+from repro.errors import OptimizationError
+from repro.opc.multires import MultiResolutionSolver, coarsen_config, upsample_mask
+from repro.opc.mosaic import MosaicFast
+from repro.workloads.iccad2013 import load_benchmark
+
+
+class TestUpsample:
+    def test_pixel_replication(self):
+        mask = np.array([[0.0, 1.0], [0.5, 0.25]])
+        up = upsample_mask(mask, 2)
+        assert up.shape == (4, 4)
+        assert np.all(up[0:2, 2:4] == 1.0)
+        assert np.all(up[2:4, 0:2] == 0.5)
+
+    def test_factor_one_is_copy(self):
+        mask = np.random.default_rng(0).uniform(size=(4, 4))
+        up = upsample_mask(mask, 1)
+        assert np.array_equal(up, mask)
+        up[0, 0] = 9.0
+        assert mask[0, 0] != 9.0
+
+    def test_bad_factor_rejected(self):
+        with pytest.raises(OptimizationError):
+            upsample_mask(np.zeros((2, 2)), 0)
+
+    def test_preserves_mean(self):
+        mask = np.random.default_rng(1).uniform(size=(8, 8))
+        assert upsample_mask(mask, 4).mean() == pytest.approx(mask.mean())
+
+
+class TestCoarsenConfig:
+    def test_same_physical_extent(self, reduced_config):
+        coarse = coarsen_config(reduced_config, 2)
+        assert coarse.grid.extent_nm == reduced_config.grid.extent_nm
+        assert coarse.grid.shape == (128, 128)
+        assert coarse.grid.pixel_nm == 8.0
+
+    def test_other_configs_untouched(self, reduced_config):
+        coarse = coarsen_config(reduced_config, 2)
+        assert coarse.optics == reduced_config.optics
+        assert coarse.resist == reduced_config.resist
+
+    def test_indivisible_grid_rejected(self):
+        config = LithoConfig(grid=GridSpec(shape=(250, 250), pixel_nm=4.0))
+        with pytest.raises(OptimizationError):
+            coarsen_config(config, 4)
+
+
+class TestMultiResolutionSolver:
+    def test_bad_factor_rejected(self, reduced_config):
+        with pytest.raises(OptimizationError):
+            MultiResolutionSolver(reduced_config, factor=1)
+
+    def test_solves_with_quality(self, reduced_config, sim):
+        solver = MultiResolutionSolver(
+            reduced_config,
+            solver_cls=MosaicFast,
+            factor=2,
+            simulator=sim,
+        )
+        result = solver.solve(load_benchmark("B1"))
+        assert result.score.epe_violations <= 2
+        assert result.score.shape_violations == 0
+        assert result.mask.shape == sim.grid.shape
+
+    def test_runtime_includes_both_stages(self, reduced_config, sim):
+        solver = MultiResolutionSolver(
+            reduced_config, solver_cls=MosaicFast, factor=2, simulator=sim
+        )
+        result = solver.solve(load_benchmark("B1"))
+        assert result.runtime_s == pytest.approx(result.score.runtime_s)
+        assert result.runtime_s > 0
+
+    def test_faster_than_full_resolution(self, reduced_config, sim):
+        # The headline claim: warm-started refinement needs far fewer
+        # fine-grid iterations, so wall-clock drops.
+        full = MosaicFast(reduced_config, simulator=sim)
+        multires = MultiResolutionSolver(
+            reduced_config, solver_cls=MosaicFast, factor=2, simulator=sim
+        )
+        layout = load_benchmark("B4")
+        full_result = full.solve(layout)
+        multi_result = multires.solve(layout)
+        assert multi_result.runtime_s < full_result.runtime_s
+        # Quality stays comparable (within 40% on score, no violations).
+        assert multi_result.score.epe_violations <= 1
+        assert multi_result.score.total <= 1.4 * full_result.score.total

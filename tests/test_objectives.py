@@ -1,0 +1,220 @@
+"""Unit tests for the ILT objectives, including end-to-end gradient checks
+through the full chain: mask -> SOCS imaging -> sigmoid resist -> objective."""
+
+import numpy as np
+import pytest
+
+from repro.errors import OptimizationError
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.opc.objectives import (
+    CompositeObjective,
+    EPEObjective,
+    ImageDifferenceObjective,
+    PVBandObjective,
+)
+from repro.opc.state import ForwardContext
+
+
+@pytest.fixture()
+def tiny_setup(tiny_sim):
+    """A 256 nm square target plus a perturbed mask on the tiny grid."""
+    grid = tiny_sim.grid
+    layout = Layout.from_rects("sq", [Rect(384, 384, 640, 640)])
+    target = rasterize_layout(layout, grid).astype(float)
+    rng = np.random.default_rng(3)
+    mask = np.clip(target + rng.uniform(-0.2, 0.4, grid.shape), 0.05, 0.95)
+    return layout, target, mask
+
+
+def finite_diff_check(objective, mask, sim, points=6, eps=1e-6, rel=2e-3):
+    """Assert the analytic dF/dM matches finite differences at random pixels."""
+    value, grad = objective.value_and_gradient(ForwardContext(mask, sim))
+    rng = np.random.default_rng(11)
+    checked = 0
+    for _ in range(points * 4):
+        i = int(rng.integers(0, mask.shape[0]))
+        j = int(rng.integers(0, mask.shape[1]))
+        if abs(grad[i, j]) < 1e-9:
+            continue  # flat spots: fd is noise-dominated
+        bumped = mask.copy()
+        bumped[i, j] += eps
+        value_b = objective.value(ForwardContext(bumped, sim))
+        fd = (value_b - value) / eps
+        assert fd == pytest.approx(grad[i, j], rel=rel, abs=1e-7)
+        checked += 1
+        if checked >= points:
+            return
+    assert checked > 0, "gradient was zero at every probed pixel"
+
+
+class TestImageDifference:
+    def test_gradient_matches_finite_difference(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        finite_diff_check(ImageDifferenceObjective(target, gamma=4), mask, tiny_sim)
+
+    def test_quadratic_gradient_too(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        finite_diff_check(ImageDifferenceObjective(target, gamma=2), mask, tiny_sim)
+
+    def test_value_nonnegative(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        obj = ImageDifferenceObjective(target, gamma=4)
+        assert obj.value(ForwardContext(mask, tiny_sim)) >= 0
+
+    def test_normalization(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        raw = ImageDifferenceObjective(target, gamma=2)
+        norm = ImageDifferenceObjective(target, gamma=2, normalize=True)
+        ctx = ForwardContext(mask, tiny_sim)
+        assert norm.value(ctx) == pytest.approx(raw.value(ctx) / target.size)
+
+    @pytest.mark.parametrize("gamma", [1, 3, 2.5, 0])
+    def test_bad_gamma_rejected(self, tiny_setup, gamma):
+        _, target, _ = tiny_setup
+        with pytest.raises(OptimizationError):
+            ImageDifferenceObjective(target, gamma=gamma)
+
+    def test_shape_mismatch_rejected(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        obj = ImageDifferenceObjective(target[:32, :32], gamma=2)
+        with pytest.raises(OptimizationError):
+            obj.value_and_gradient(ForwardContext(mask, tiny_sim))
+
+
+class TestPVBand:
+    def test_gradient_matches_finite_difference(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        finite_diff_check(PVBandObjective(target), mask, tiny_sim)
+
+    def test_default_corners_exclude_nominal(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        obj = PVBandObjective(target)
+        corners = obj.corners_for(ForwardContext(mask, tiny_sim))
+        assert len(corners) == 4
+        assert not any(c.is_nominal for c in corners)
+
+    def test_explicit_corner_list(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        from repro.process.corners import ProcessCorner
+
+        corners = [ProcessCorner("d", 25.0, 1.0)]
+        obj = PVBandObjective(target, corners=corners)
+        assert obj.corners_for(ForwardContext(mask, tiny_sim)) == corners
+
+    def test_empty_corner_list_rejected(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        obj = PVBandObjective(target, corners=[])
+        with pytest.raises(OptimizationError):
+            obj.value_and_gradient(ForwardContext(mask, tiny_sim))
+
+    def test_value_grows_with_corner_count(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        ctx = ForwardContext(mask, tiny_sim)
+        all_corners = tiny_sim.corners(include_nominal=False)
+        one = PVBandObjective(target, corners=all_corners[:1]).value(ctx)
+        four = PVBandObjective(target, corners=all_corners).value(ctx)
+        assert four > one
+
+
+class TestEPE:
+    def test_gradient_matches_finite_difference(self, tiny_sim, tiny_setup):
+        layout, target, mask = tiny_setup
+        obj = EPEObjective(target, layout, tiny_sim.grid, theta_epe=1.0)
+        finite_diff_check(obj, mask, tiny_sim, rel=5e-3)
+
+    def test_dsum_zero_for_perfect_image(self, tiny_sim, tiny_setup):
+        layout, target, _ = tiny_setup
+        obj = EPEObjective(target, layout, tiny_sim.grid)
+        assert np.allclose(obj.dsums(target), 0.0)
+
+    def test_dsum_counts_displacement(self, tiny_sim):
+        # 1 nm/px grid for exact pixel arithmetic.
+        from repro.config import GridSpec
+
+        grid = GridSpec(shape=(256, 256), pixel_nm=1.0)
+        layout = Layout.from_rects("sq", [Rect(48, 88, 208, 168)], clip=Rect(0, 0, 256, 256))
+        target = rasterize_layout(layout, grid).astype(float)
+        shrunk = rasterize_layout(
+            Layout.from_rects("s", [Rect(48, 98, 208, 158)], clip=Rect(0, 0, 256, 256)),
+            grid,
+        ).astype(float)  # top and bottom edges pulled in by 10 px
+        obj = EPEObjective(target, layout, grid)
+        dsums = obj.dsums(shrunk)
+        horizontal = [
+            d
+            for d, s in zip(dsums, obj.samples)
+            if s.orientation.value == "H"
+        ]
+        # Horizontal-edge samples see ~10 px of displacement.
+        assert all(8.0 <= d <= 12.0 for d in horizontal)
+
+    def test_value_counts_violations_smoothly(self, sim):
+        # On the reduced grid (4 nm/px, threshold 3.75 px) a perfect image
+        # has every Dsum at zero, so the smooth violation count collapses
+        # to n_samples * sigmoid(-theta * threshold) — below one count.
+        from repro.config import GridSpec
+
+        grid = sim.grid
+        layout = Layout.from_rects("sq", [Rect(384, 384, 640, 640)])
+        target = rasterize_layout(layout, grid).astype(float)
+        obj = EPEObjective(target, layout, grid)
+        assert obj.dsums(target).max() == 0.0
+        floor = len(obj.samples) / (1.0 + np.exp(obj.theta_epe * obj.threshold_px))
+        assert floor < 1.0
+
+    def test_empty_layout_rejected(self, tiny_sim):
+        layout = Layout("empty")
+        target = np.zeros(tiny_sim.grid.shape)
+        with pytest.raises(OptimizationError):
+            EPEObjective(target, layout, tiny_sim.grid)
+
+    def test_paper_window_mode(self, tiny_sim, tiny_setup):
+        layout, target, mask = tiny_setup
+        obj = EPEObjective(
+            target, layout, tiny_sim.grid, tangent_halfwidth_px=0
+        )
+        assert obj._window_flat.shape[1] < 32  # thin line window
+        value, grad = obj.value_and_gradient(ForwardContext(mask, tiny_sim))
+        assert np.isfinite(value)
+
+
+class TestComposite:
+    def test_weighted_sum(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        f_id = ImageDifferenceObjective(target, gamma=2)
+        f_pvb = PVBandObjective(target)
+        ctx = ForwardContext(mask, tiny_sim)
+        v1, g1 = f_id.value_and_gradient(ctx)
+        v2, g2 = f_pvb.value_and_gradient(ctx)
+        comp = CompositeObjective([(2.0, f_id), (0.5, f_pvb)])
+        v, g = comp.value_and_gradient(ForwardContext(mask, tiny_sim))
+        assert v == pytest.approx(2.0 * v1 + 0.5 * v2)
+        assert np.allclose(g, 2.0 * g1 + 0.5 * g2)
+
+    def test_term_values_recorded(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        comp = CompositeObjective(
+            [(1.0, ImageDifferenceObjective(target, gamma=2)), (1.0, PVBandObjective(target))]
+        )
+        comp.value_and_gradient(ForwardContext(mask, tiny_sim))
+        assert set(comp.last_term_values) == {0, 1}
+
+    def test_zero_weight_term_skipped_in_total(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        f_id = ImageDifferenceObjective(target, gamma=2)
+        single = CompositeObjective([(1.0, f_id)])
+        with_zero = CompositeObjective([(1.0, f_id), (0.0, PVBandObjective(target))])
+        ctx1 = ForwardContext(mask, tiny_sim)
+        ctx2 = ForwardContext(mask, tiny_sim)
+        assert single.value(ctx1) == pytest.approx(with_zero.value(ctx2))
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(OptimizationError):
+            CompositeObjective([])
+
+    def test_negative_weight_rejected(self, tiny_setup):
+        _, target, _ = tiny_setup
+        with pytest.raises(OptimizationError):
+            CompositeObjective([(-1.0, ImageDifferenceObjective(target, gamma=2))])

@@ -1,0 +1,125 @@
+"""Physics property tests of the optical model.
+
+These encode invariances any correct partially coherent imaging
+implementation must satisfy, independent of parameter values.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GridSpec, OpticsConfig
+from repro.optics.hopkins import aerial_image, field_stack
+from repro.optics.kernels import build_socs_kernels
+
+GRID = GridSpec(shape=(64, 64), pixel_nm=16.0)
+OPTICS = OpticsConfig(num_kernels=6)
+
+
+@pytest.fixture(scope="module")
+def kernels():
+    return build_socs_kernels(GRID, OPTICS)
+
+
+def random_mask(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    mask = np.zeros(GRID.shape)
+    for _ in range(3):
+        i, j = rng.integers(4, 44, size=2)
+        h, w = rng.integers(4, 16, size=2)
+        mask[i: i + h, j: j + w] = 1.0
+    return mask
+
+
+class TestImagingInvariances:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_intensity_bounded_by_open_frame(self, seed):
+        # A binary mask can never image brighter than the open frame
+        # (1.0) by more than diffraction ringing allows (~small overshoot).
+        kernels = build_socs_kernels(GRID, OPTICS)
+        intensity = aerial_image(random_mask(seed), kernels)
+        assert intensity.min() >= 0.0
+        assert intensity.max() <= 1.5
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(min_value=-20, max_value=20),
+        st.integers(min_value=-20, max_value=20),
+    )
+    def test_shift_equivariance(self, seed, dy, dx):
+        kernels = build_socs_kernels(GRID, OPTICS)
+        mask = random_mask(seed)
+        shifted = np.roll(mask, (dy, dx), axis=(0, 1))
+        assert np.allclose(
+            np.roll(aerial_image(mask, kernels), (dy, dx), axis=(0, 1)),
+            aerial_image(shifted, kernels),
+            atol=1e-10,
+        )
+
+    def test_180_rotation_symmetry(self, kernels):
+        # Annular sources and ideal pupils are inversion-symmetric, so a
+        # 180-degree-rotated mask images to the rotated image.
+        mask = random_mask(3)
+        rotated = np.roll(mask[::-1, ::-1], (1, 1), axis=(0, 1))  # proper grid inversion
+        base = aerial_image(mask, kernels)
+        rotated_image = aerial_image(rotated, kernels)
+        expected = np.roll(base[::-1, ::-1], (1, 1), axis=(0, 1))
+        assert np.allclose(rotated_image, expected, atol=1e-9)
+
+    def test_intensity_scales_quadratically(self, kernels):
+        # I is quadratic in the mask amplitude: half transmission -> 1/4 I.
+        mask = random_mask(5)
+        full = aerial_image(mask, kernels)
+        half = aerial_image(0.5 * mask, kernels)
+        assert np.allclose(half, 0.25 * full, atol=1e-12)
+
+    def test_superposition_fails_for_intensity(self, kernels):
+        # Imaging is NOT linear in intensity: cross-terms exist for
+        # nearby features (the whole reason OPC is hard).
+        a = np.zeros(GRID.shape)
+        a[28:36, 24:28] = 1.0
+        b = np.zeros(GRID.shape)
+        b[28:36, 32:36] = 1.0  # 4 px away: strongly interacting
+        together = aerial_image(a + b, kernels)
+        separate = aerial_image(a, kernels) + aerial_image(b, kernels)
+        assert not np.allclose(together, separate, atol=1e-3)
+
+    def test_fields_linear_in_mask(self, kernels):
+        # The *fields* are linear even though intensity is not.
+        a = random_mask(7)
+        b = random_mask(8)
+        fa = field_stack(a, kernels)
+        fb = field_stack(b, kernels)
+        fab = field_stack(a + b, kernels)
+        assert np.allclose(fab, fa + fb, atol=1e-10)
+
+
+class TestEnergyConservation:
+    def test_mask_area_monotonicity_for_large_features(self, kernels):
+        # Total imaged energy grows with transmitting area for features
+        # much larger than the resolution.
+        small = np.zeros(GRID.shape)
+        small[24:40, 24:40] = 1.0
+        large = np.zeros(GRID.shape)
+        large[16:48, 16:48] = 1.0
+        assert aerial_image(large, kernels).sum() > aerial_image(small, kernels).sum()
+
+    def test_defocus_preserves_total_energy_at_full_rank(self):
+        # An aberration only redistributes energy (unit-modulus pupil):
+        # at full kernel rank total intensity is conserved to numerical
+        # precision; truncation breaks the identity only slightly.
+        mask = random_mask(11)
+        full = OpticsConfig(num_kernels=100_000)
+        nominal = build_socs_kernels(GRID, full, defocus_nm=0.0)
+        defocused = build_socs_kernels(GRID, full, defocus_nm=25.0)
+        e0 = aerial_image(mask, nominal).sum()
+        e1 = aerial_image(mask, defocused).sum()
+        assert e1 == pytest.approx(e0, rel=1e-10)
+
+        truncated_n = build_socs_kernels(GRID, OPTICS, defocus_nm=0.0)
+        truncated_d = build_socs_kernels(GRID, OPTICS, defocus_nm=25.0)
+        t0 = aerial_image(mask, truncated_n).sum()
+        t1 = aerial_image(mask, truncated_d).sum()
+        assert t1 == pytest.approx(t0, rel=1e-3)

@@ -1,0 +1,146 @@
+"""Unit tests for repro.opc.optimizer (the Alg. 1 engine)."""
+
+import numpy as np
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.errors import OptimizationError
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.opc.objectives import ImageDifferenceObjective
+from repro.opc.objectives.base import Objective
+from repro.opc.optimizer import GradientDescentOptimizer
+from repro.opc.state import ForwardContext
+
+
+@pytest.fixture()
+def setup(tiny_sim):
+    layout = Layout.from_rects("sq", [Rect(384, 384, 640, 640)])
+    target = rasterize_layout(layout, tiny_sim.grid).astype(float)
+    return target, ImageDifferenceObjective(target, gamma=2)
+
+
+def run(tiny_sim, objective, target, **config_kwargs):
+    defaults = dict(max_iterations=8, step_size=8.0, use_jump=False)
+    defaults.update(config_kwargs)
+    config = OptimizerConfig(**defaults)
+    optimizer = GradientDescentOptimizer(tiny_sim, objective, config)
+    return optimizer.run(target)
+
+
+class TestDescent:
+    def test_objective_decreases(self, tiny_sim, setup):
+        target, objective = setup
+        result = run(tiny_sim, objective, target)
+        objectives = result.history.objectives
+        assert objectives[-1] < objectives[0]
+
+    def test_history_length(self, tiny_sim, setup):
+        target, objective = setup
+        result = run(tiny_sim, objective, target, max_iterations=5)
+        assert len(result.history) == 5
+        assert result.iterations == 5
+
+    def test_binary_mask_is_binary(self, tiny_sim, setup):
+        target, objective = setup
+        result = run(tiny_sim, objective, target)
+        assert set(np.unique(result.binary_mask)) <= {0.0, 1.0}
+
+    def test_continuous_mask_in_range(self, tiny_sim, setup):
+        target, objective = setup
+        result = run(tiny_sim, objective, target)
+        assert result.mask.min() >= 0.0
+        assert result.mask.max() <= 1.0
+
+    def test_wrong_initial_shape_rejected(self, tiny_sim, setup):
+        _, objective = setup
+        optimizer = GradientDescentOptimizer(tiny_sim, objective, OptimizerConfig())
+        with pytest.raises(OptimizationError):
+            optimizer.run(np.zeros((8, 8)))
+
+
+class TestKeepBest:
+    def test_best_not_worse_than_final(self, tiny_sim, setup):
+        target, objective = setup
+        result = run(tiny_sim, objective, target, keep_best=True, max_iterations=10)
+        best_value = objective.value(ForwardContext(result.mask, tiny_sim))
+        for record in result.history:
+            assert best_value <= record.objective + 1e-9
+
+    def test_best_iteration_recorded(self, tiny_sim, setup):
+        target, objective = setup
+        result = run(tiny_sim, objective, target, keep_best=True)
+        assert 0 <= result.best_iteration <= result.iterations
+
+
+class TestConvergence:
+    def test_converges_on_flat_objective(self, tiny_sim):
+        class Flat(Objective):
+            def value_and_gradient(self, ctx):
+                return 0.0, np.zeros_like(ctx.mask)
+
+        config = OptimizerConfig(max_iterations=50)
+        optimizer = GradientDescentOptimizer(tiny_sim, Flat(), config)
+        result = optimizer.run(np.full(tiny_sim.grid.shape, 0.5))
+        assert result.converged
+        assert result.iterations == 1
+
+    def test_non_finite_gradient_raises(self, tiny_sim):
+        class Broken(Objective):
+            def value_and_gradient(self, ctx):
+                g = np.zeros_like(ctx.mask)
+                g[0, 0] = np.nan
+                return 1.0, g
+
+        optimizer = GradientDescentOptimizer(tiny_sim, Broken(), OptimizerConfig())
+        with pytest.raises(OptimizationError):
+            optimizer.run(np.full(tiny_sim.grid.shape, 0.5))
+
+
+class TestJump:
+    def test_jump_boosts_step_periodically(self, tiny_sim, setup):
+        target, objective = setup
+        result = run(
+            tiny_sim, objective, target,
+            use_jump=True, jump_period=3, jump_factor=5.0, step_size=2.0,
+            max_iterations=7,
+        )
+        steps = result.history.series("step_size")
+        assert steps[0] == 2.0
+        assert steps[3] == 10.0
+        assert steps[6] == 10.0
+        assert steps[4] == 2.0
+
+    def test_no_jump_constant_steps(self, tiny_sim, setup):
+        target, objective = setup
+        result = run(tiny_sim, objective, target, use_jump=False, max_iterations=6)
+        assert set(result.history.series("step_size")) == {8.0}
+
+
+class TestCallback:
+    def test_callback_invoked_each_iteration(self, tiny_sim, setup):
+        target, objective = setup
+        seen = []
+
+        def callback(iteration, mask, record):
+            seen.append(iteration)
+            return record
+
+        config = OptimizerConfig(max_iterations=4, use_jump=False)
+        optimizer = GradientDescentOptimizer(tiny_sim, objective, config, callback)
+        optimizer.run(target)
+        assert seen == [0, 1, 2, 3]
+
+    def test_callback_can_annotate_record(self, tiny_sim, setup):
+        from dataclasses import replace
+
+        target, objective = setup
+
+        def callback(iteration, mask, record):
+            return replace(record, epe_violations=iteration)
+
+        config = OptimizerConfig(max_iterations=3, use_jump=False)
+        optimizer = GradientDescentOptimizer(tiny_sim, objective, config, callback)
+        result = optimizer.run(target)
+        assert result.history.series("epe_violations") == [0, 1, 2]

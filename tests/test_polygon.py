@@ -1,0 +1,102 @@
+"""Unit and property tests for repro.geometry.polygon."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+
+
+L_SHAPE = [(0, 0), (30, 0), (30, 30), (20, 30), (20, 10), (0, 10)]
+
+
+class TestConstruction:
+    def test_square(self):
+        p = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        assert p.area == 100
+        assert p.perimeter == 40
+
+    def test_clockwise_normalized_to_ccw(self):
+        ccw = Polygon([(0, 0), (10, 0), (10, 10), (0, 10)])
+        cw = Polygon([(0, 0), (0, 10), (10, 10), (10, 0)])
+        assert cw.vertices[0] in ccw.vertices
+        # Signed area positive for both after normalization.
+        assert cw.area == ccw.area == 100
+
+    def test_from_rect(self):
+        p = Polygon.from_rect(Rect(1, 2, 4, 6))
+        assert p.area == 12
+        assert p.bbox == Rect(1, 2, 4, 6)
+
+    def test_collinear_vertices_merged(self):
+        p = Polygon([(0, 0), (5, 0), (10, 0), (10, 10), (0, 10)])
+        assert len(p.vertices) == 4
+
+    def test_duplicate_vertices_removed(self):
+        p = Polygon([(0, 0), (10, 0), (10, 0), (10, 10), (0, 10), (0, 0)])
+        assert len(p.vertices) == 4
+
+    def test_non_rectilinear_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (10, 5), (0, 10)])
+
+    def test_too_few_vertices_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (10, 0), (10, 10)])
+
+    def test_zero_area_rejected(self):
+        with pytest.raises(GeometryError):
+            Polygon([(0, 0), (10, 0), (10, 0), (0, 0)])
+
+
+class TestLShape:
+    def test_area(self):
+        # 30x10 bottom bar + 10x20 right column.
+        assert Polygon(L_SHAPE).area == 300 + 200
+
+    def test_perimeter(self):
+        p = Polygon(L_SHAPE)
+        assert p.perimeter == 2 * (30 + 30)
+
+    def test_bbox(self):
+        assert Polygon(L_SHAPE).bbox == Rect(0, 0, 30, 30)
+
+    def test_segments_closed_loop(self):
+        p = Polygon(L_SHAPE)
+        segs = list(p.segments())
+        assert len(segs) == len(p.vertices)
+        for (a, b), (c, d) in zip(segs, segs[1:] + segs[:1]):
+            assert b == c  # consecutive segments chain
+
+    def test_contains_point(self):
+        p = Polygon(L_SHAPE)
+        assert p.contains_point(5, 5)       # in bottom bar
+        assert p.contains_point(25, 25)     # in right column
+        assert not p.contains_point(5, 20)  # in the notch
+        assert p.contains_point(0, 0)       # corner counts as inside
+        assert p.contains_point(20, 20)     # on inner boundary
+
+    def test_translated(self):
+        p = Polygon(L_SHAPE).translated(100, 50)
+        assert p.area == 500
+        assert p.bbox == Rect(100, 50, 130, 80)
+
+
+class TestProperties:
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=1, max_value=50),
+        st.floats(min_value=1, max_value=50),
+    )
+    def test_rect_roundtrip_area(self, x, y, w, h):
+        r = Rect.from_size(x, y, w, h)
+        assert Polygon.from_rect(r).area == pytest.approx(r.area)
+
+    @given(st.floats(min_value=-50, max_value=50), st.floats(min_value=-50, max_value=50))
+    def test_translation_preserves_area_perimeter(self, dx, dy):
+        p = Polygon(L_SHAPE)
+        q = p.translated(dx, dy)
+        assert q.area == pytest.approx(p.area)
+        assert q.perimeter == pytest.approx(p.perimeter)

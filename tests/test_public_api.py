@@ -1,0 +1,121 @@
+"""Public API surface tests: the import contract downstream users rely on."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.__all__ lists missing name {name}"
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_quickstart_names(self):
+        # The README quickstart must keep working.
+        from repro import LithoConfig, MosaicFast, load_benchmark  # noqa: F401
+
+    def test_solver_contract(self):
+        # Every solver class exposes mode_name and solve().
+        from repro.baselines import BasicILT, LevelSetILT, ModelBasedOPC, RuleBasedOPC
+        from repro.opc.extensions import MosaicExactPW
+        from repro.opc.mosaic import MosaicExact, MosaicFast
+        from repro.opc.multires import MultiResolutionSolver
+
+        for cls in (
+            MosaicFast, MosaicExact, MosaicExactPW, MultiResolutionSolver,
+            BasicILT, LevelSetILT, ModelBasedOPC, RuleBasedOPC,
+        ):
+            assert hasattr(cls, "solve")
+            assert isinstance(cls.mode_name, str) and cls.mode_name
+
+
+class TestSubpackageImports:
+    @pytest.mark.parametrize(
+        "module",
+        [
+            "repro.geometry",
+            "repro.optics",
+            "repro.resist",
+            "repro.process",
+            "repro.litho",
+            "repro.mask",
+            "repro.opc",
+            "repro.opc.objectives",
+            "repro.baselines",
+            "repro.metrics",
+            "repro.workloads",
+            "repro.io",
+            "repro.utils",
+            "repro.cli",
+            "repro.report",
+            "repro.harness",
+        ],
+    )
+    def test_importable(self, module):
+        mod = importlib.import_module(module)
+        if hasattr(mod, "__all__"):
+            for name in mod.__all__:
+                assert hasattr(mod, name), f"{module}.__all__ lists missing {name}"
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_base(self):
+        from repro.errors import (
+            GeometryError,
+            GridError,
+            LayoutIOError,
+            OpticsError,
+            OptimizationError,
+            ProcessError,
+            ReproError,
+        )
+
+        for exc in (
+            GeometryError, GridError, OpticsError, ProcessError,
+            OptimizationError, LayoutIOError,
+        ):
+            assert issubclass(exc, ReproError)
+
+    def test_catchable_as_base(self):
+        from repro.errors import ReproError
+        from repro.geometry.rect import Rect
+
+        with pytest.raises(ReproError):
+            Rect(0, 0, 0, 0)
+
+
+class TestPaperConstants:
+    """The numbers the paper states, pinned so refactors cannot drift them."""
+
+    def test_optics(self):
+        from repro import constants
+
+        assert constants.WAVELENGTH_NM == 193.0
+        assert constants.NUM_KERNELS == 24
+        assert constants.CLIP_SIZE_NM == 1024.0
+        assert constants.PIXEL_SIZE_NM == 1.0
+
+    def test_resist_and_epe(self):
+        from repro import constants
+
+        assert constants.RESIST_THRESHOLD == 0.5
+        assert constants.THETA_Z == 50.0
+        assert constants.EPE_THRESHOLD_NM == 15.0
+        assert constants.EPE_SAMPLE_SPACING_NM == 40.0
+
+    def test_process_window(self):
+        from repro import constants
+
+        assert constants.DEFOCUS_RANGE_NM == 25.0
+        assert constants.DOSE_RANGE == 0.02
+
+    def test_score_weights(self):
+        from repro import constants
+
+        assert constants.SCORE_PVB_WEIGHT == 4.0
+        assert constants.SCORE_EPE_WEIGHT == 5000.0

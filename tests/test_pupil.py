@@ -1,0 +1,64 @@
+"""Unit tests for repro.optics.pupil."""
+
+import numpy as np
+import pytest
+
+from repro.config import OpticsConfig
+from repro.optics.pupil import defocus_phase, pupil_values
+
+OPTICS = OpticsConfig()
+
+
+class TestPupil:
+    def test_dc_passes(self):
+        assert pupil_values(np.array(0.0), np.array(0.0), OPTICS) == 1.0
+
+    def test_cutoff(self):
+        cutoff = OPTICS.numerical_aperture / OPTICS.wavelength_nm
+        inside = pupil_values(np.array(cutoff * 0.99), np.array(0.0), OPTICS)
+        outside = pupil_values(np.array(cutoff * 1.01), np.array(0.0), OPTICS)
+        assert inside == 1.0
+        assert outside == 0.0
+
+    def test_nominal_pupil_is_real(self):
+        fx = np.linspace(-0.01, 0.01, 21)
+        p = pupil_values(fx, np.zeros_like(fx), OPTICS, defocus_nm=0.0)
+        assert np.allclose(p.imag, 0.0)
+
+    def test_defocus_unit_modulus_inside(self):
+        fx = np.linspace(-0.005, 0.005, 11)
+        p = pupil_values(fx, np.zeros_like(fx), OPTICS, defocus_nm=25.0)
+        assert np.allclose(np.abs(p), 1.0)
+
+    def test_defocus_zero_outside_cutoff(self):
+        p = pupil_values(np.array(0.02), np.array(0.0), OPTICS, defocus_nm=25.0)
+        assert p == 0.0
+
+    def test_broadcast_shapes(self):
+        fx = np.zeros((4, 5))
+        fy = np.zeros((4, 5))
+        assert pupil_values(fx, fy, OPTICS).shape == (4, 5)
+
+
+class TestDefocusPhase:
+    def test_zero_defocus_zero_phase(self):
+        assert defocus_phase(np.array(0.003), np.array(0.0), 193.0, 0.0) == 0.0
+
+    def test_zero_at_dc(self):
+        assert defocus_phase(np.array(0.0), np.array(0.0), 193.0, 25.0) == pytest.approx(0.0)
+
+    def test_sign_flips_with_defocus(self):
+        plus = defocus_phase(np.array(0.005), np.array(0.0), 193.0, 25.0)
+        minus = defocus_phase(np.array(0.005), np.array(0.0), 193.0, -25.0)
+        assert plus == pytest.approx(-minus)
+
+    def test_monotone_in_frequency(self):
+        f = np.linspace(0, 0.007, 20)
+        phases = defocus_phase(f, np.zeros_like(f), 193.0, 25.0)
+        # Defocus phase magnitude grows with radial frequency.
+        assert np.all(np.diff(np.abs(phases)) >= 0)
+
+    def test_evanescent_clamped(self):
+        # Beyond n/lambda the sqrt argument goes negative; must stay finite.
+        phase = defocus_phase(np.array(0.02), np.array(0.0), 193.0, 25.0)
+        assert np.isfinite(phase)

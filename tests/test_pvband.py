@@ -1,0 +1,79 @@
+"""Unit tests for repro.process.pvband."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import GridError, ProcessError
+from repro.process.pvband import pv_band, pv_band_area
+
+
+def block(lo, hi, size=16):
+    img = np.zeros((size, size), dtype=bool)
+    img[lo:hi, lo:hi] = True
+    return img
+
+
+class TestPVBand:
+    def test_identical_images_empty_band(self):
+        band = pv_band([block(4, 12), block(4, 12), block(4, 12)])
+        assert band.sum() == 0
+
+    def test_nested_images_ring(self):
+        outer = block(3, 13)
+        inner = block(5, 11)
+        band = pv_band([outer, inner])
+        assert band.sum() == outer.sum() - inner.sum()
+        assert band[3, 3]
+        assert not band[6, 6]
+
+    def test_band_is_union_minus_intersection(self):
+        a = block(2, 8)
+        b = block(6, 12)
+        band = pv_band([a, b])
+        assert np.array_equal(band, (a | b) & ~(a & b))
+
+    def test_order_invariant(self):
+        imgs = [block(3, 13), block(5, 11), block(4, 12)]
+        assert np.array_equal(pv_band(imgs), pv_band(imgs[::-1]))
+
+    def test_single_image_empty_band(self):
+        assert pv_band([block(4, 12)]).sum() == 0
+
+    def test_no_images_rejected(self):
+        with pytest.raises(ProcessError):
+            pv_band([])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GridError):
+            pv_band([block(4, 12, size=16), block(4, 12, size=32)])
+
+    def test_non_binary_rejected(self):
+        with pytest.raises(GridError):
+            pv_band([np.full((4, 4), 0.5)])
+
+    @given(
+        st.lists(
+            hnp.arrays(np.bool_, (8, 8)),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    def test_band_excludes_always_and_never_printed(self, images):
+        band = pv_band(images)
+        union = np.logical_or.reduce(images)
+        intersection = np.logical_and.reduce(images)
+        assert not np.any(band & ~union)
+        assert not np.any(band & intersection)
+
+
+class TestPVBandArea:
+    def test_area_scales_with_pixel(self):
+        imgs = [block(3, 13), block(5, 11)]
+        assert pv_band_area(imgs, pixel_nm=1.0) == 100 - 36
+        assert pv_band_area(imgs, pixel_nm=4.0) == (100 - 36) * 16
+
+    def test_bad_pixel_rejected(self):
+        with pytest.raises(ProcessError):
+            pv_band_area([block(3, 13)], pixel_nm=0.0)

@@ -1,0 +1,82 @@
+"""Tests for the seeded random layout generator."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GeometryError
+from repro.workloads.random_layout import random_layout, random_layout_suite
+
+
+class TestRandomLayout:
+    def test_deterministic(self):
+        a = random_layout(42, num_shapes=5)
+        b = random_layout(42, num_shapes=5)
+        assert [p.vertices for p in a.polygons] == [p.vertices for p in b.polygons]
+
+    def test_different_seeds_differ(self):
+        a = random_layout(1, num_shapes=5)
+        b = random_layout(2, num_shapes=5)
+        assert [p.vertices for p in a.polygons] != [p.vertices for p in b.polygons]
+
+    def test_name_embeds_seed(self):
+        assert random_layout(17).name == "rand17"
+
+    def test_shapes_inside_clip(self):
+        layout = random_layout(3, num_shapes=8)
+        assert layout.clip.contains_rect(layout.bbox())
+
+    def test_spacing_respected(self):
+        layout = random_layout(4, num_shapes=8, min_spacing_nm=100.0)
+        boxes = [p.bbox for p in layout.polygons]
+        for i, a in enumerate(boxes):
+            for b in boxes[i + 1:]:
+                assert a.distance_to(b) >= 100.0 - 1e-9
+
+    def test_invalid_count_rejected(self):
+        with pytest.raises(GeometryError):
+            random_layout(0, num_shapes=0)
+
+    def test_too_small_clip_rejected(self):
+        with pytest.raises(GeometryError):
+            random_layout(5, num_shapes=3, clip_nm=300.0)
+
+    def test_zero_attempts_raises(self):
+        with pytest.raises(GeometryError):
+            random_layout(5, num_shapes=3, max_attempts=0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_any_seed_yields_valid_layout(self, seed):
+        layout = random_layout(seed, num_shapes=4)
+        assert 1 <= layout.num_shapes <= 4
+        assert layout.pattern_area > 0
+        for poly in layout.polygons:
+            bbox = poly.bbox
+            assert min(bbox.width, bbox.height) >= 60.0  # printable scale
+
+
+class TestSuite:
+    def test_count(self):
+        suite = random_layout_suite(100, 3)
+        assert len(suite) == 3
+        assert [l.name for l in suite] == ["rand100", "rand101", "rand102"]
+
+    def test_invalid_count(self):
+        with pytest.raises(GeometryError):
+            random_layout_suite(0, 0)
+
+    def test_opc_works_on_random_clip(self, reduced_config, sim):
+        # End-to-end robustness: the solver converges on generated
+        # geometry it has never seen (random clips are harder than the
+        # curated benchmarks, so give it the exact-mode budget).
+        from repro.config import OptimizerConfig
+        from repro.opc.mosaic import MosaicFast
+
+        layout = random_layout(7, num_shapes=4)
+        result = MosaicFast(
+            reduced_config,
+            optimizer_config=OptimizerConfig(max_iterations=60),
+            simulator=sim,
+        ).solve(layout)
+        assert result.score.shape_violations == 0
+        assert result.score.epe_violations <= 1

@@ -1,0 +1,111 @@
+"""Unit and property tests for repro.geometry.raster."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import GridSpec
+from repro.errors import GridError
+from repro.geometry.layout import Layout
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import rasterize_layout, rasterize_polygon, rasterize_rect
+from repro.geometry.rect import Rect
+
+GRID = GridSpec(shape=(64, 64), pixel_nm=1.0)
+
+
+class TestRectRaster:
+    def test_exact_pixel_count(self):
+        img = rasterize_rect(Rect(10, 20, 30, 25), GRID)
+        assert img.sum() == 20 * 5
+
+    def test_pixel_location(self):
+        img = rasterize_rect(Rect(10, 20, 30, 25), GRID)
+        assert img[22, 15]          # inside (row=y, col=x)
+        assert not img[22, 9]       # left of the rect
+        assert not img[19, 15]      # below the rect
+
+    def test_clips_to_grid(self):
+        img = rasterize_rect(Rect(-10, -10, 5, 5), GRID)
+        assert img.sum() == 25
+
+    def test_fully_outside_is_empty(self):
+        img = rasterize_rect(Rect(100, 100, 120, 120), GRID)
+        assert img.sum() == 0
+
+    def test_accumulates_into_out(self):
+        out = rasterize_rect(Rect(0, 0, 4, 4), GRID)
+        rasterize_rect(Rect(10, 10, 14, 14), GRID, out=out)
+        assert out.sum() == 32
+
+    def test_out_shape_mismatch_raises(self):
+        with pytest.raises(GridError):
+            rasterize_rect(Rect(0, 0, 4, 4), GRID, out=np.zeros((8, 8), dtype=bool))
+
+    def test_coarse_pixels(self):
+        grid = GridSpec(shape=(16, 16), pixel_nm=4.0)
+        img = rasterize_rect(Rect(0, 0, 16, 8), grid)
+        assert img.sum() == 4 * 2
+
+    def test_subpixel_rect_centered_on_no_centers(self):
+        # A sliver between pixel centers rasterizes to nothing.
+        img = rasterize_rect(Rect(10.6, 10.6, 10.9, 20), GRID)
+        assert img.sum() == 0
+
+
+class TestPolygonRaster:
+    def test_matches_rect_raster(self):
+        rect = Rect(5, 7, 20, 31)
+        assert np.array_equal(
+            rasterize_polygon(Polygon.from_rect(rect), GRID),
+            rasterize_rect(rect, GRID),
+        )
+
+    def test_l_shape_area(self):
+        poly = Polygon([(0, 0), (30, 0), (30, 30), (20, 30), (20, 10), (0, 10)])
+        img = rasterize_polygon(poly, GRID)
+        assert img.sum() == poly.area
+
+    def test_notch_is_empty(self):
+        poly = Polygon([(0, 0), (30, 0), (30, 30), (20, 30), (20, 10), (0, 10)])
+        img = rasterize_polygon(poly, GRID)
+        assert not img[20, 5]  # inside the notch
+        assert img[5, 5]
+
+    def test_u_shape_interior_gap(self):
+        poly = Polygon(
+            [(0, 0), (30, 0), (30, 30), (20, 30), (20, 10), (10, 10), (10, 30), (0, 30)]
+        )
+        img = rasterize_polygon(poly, GRID)
+        assert img.sum() == poly.area
+        assert not img[20, 15]  # inside the U's mouth
+
+
+class TestLayoutRaster:
+    def test_union_of_shapes(self):
+        layout = Layout.from_rects(
+            "two", [Rect(0, 0, 10, 10), Rect(20, 20, 30, 30)], clip=Rect(0, 0, 64, 64)
+        )
+        img = rasterize_layout(layout, GRID)
+        assert img.sum() == 200
+
+    def test_overlapping_shapes_not_double_counted(self):
+        layout = Layout.from_rects(
+            "ovl", [Rect(0, 0, 10, 10), Rect(5, 5, 15, 15)], clip=Rect(0, 0, 64, 64)
+        )
+        img = rasterize_layout(layout, GRID)
+        assert img.sum() == 100 + 100 - 25
+
+    def test_empty_layout(self):
+        img = rasterize_layout(Layout("e", clip=Rect(0, 0, 64, 64)), GRID)
+        assert img.sum() == 0
+
+    @given(
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=0, max_value=40),
+        st.integers(min_value=1, max_value=20),
+        st.integers(min_value=1, max_value=20),
+    )
+    def test_grid_aligned_rect_area_exact(self, x, y, w, h):
+        img = rasterize_rect(Rect(x, y, x + w, y + h), GRID)
+        assert img.sum() == w * h

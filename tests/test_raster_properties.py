@@ -1,0 +1,84 @@
+"""Property tests: rasterization agrees with exact polygon area for
+grid-aligned staircase polygons of any shape."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GridSpec
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import rasterize_polygon
+
+GRID = GridSpec(shape=(96, 96), pixel_nm=1.0)
+
+
+@st.composite
+def staircase_polygons(draw):
+    """A random y-monotone staircase: columns of varying height above y=0.
+
+    Vertices trace the top profile right-to-left after walking the base,
+    producing a valid rectilinear polygon for any height sequence.
+    """
+    num_cols = draw(st.integers(min_value=2, max_value=8))
+    widths = draw(
+        st.lists(
+            st.integers(min_value=2, max_value=8),
+            min_size=num_cols, max_size=num_cols,
+        )
+    )
+    heights = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=30),
+            min_size=num_cols, max_size=num_cols,
+        )
+    )
+    x0, y0 = 4, 4
+    # Base: left to right along y = y0.
+    points = [(x0, y0)]
+    x = x0
+    for w in widths:
+        x += w
+    points.append((x, y0))
+    # Top profile: right to left.
+    for w, h in zip(reversed(widths), reversed(heights)):
+        points.append((x, y0 + h))
+        x -= w
+        points.append((x, y0 + h))
+    return Polygon(points), widths, heights
+
+
+class TestStaircaseRaster:
+    @settings(max_examples=60, deadline=None)
+    @given(staircase_polygons())
+    def test_raster_matches_exact_area(self, data):
+        poly, widths, heights = data
+        image = rasterize_polygon(poly, GRID)
+        expected = sum(w * h for w, h in zip(widths, heights))
+        assert image.sum() == expected
+        assert image.sum() == poly.area
+
+    @settings(max_examples=30, deadline=None)
+    @given(staircase_polygons())
+    def test_raster_inside_bbox(self, data):
+        poly, _, _ = data
+        image = rasterize_polygon(poly, GRID)
+        ys, xs = np.nonzero(image)
+        if len(ys):
+            bbox = poly.bbox
+            assert xs.min() >= bbox.x0
+            assert xs.max() < bbox.x1
+            assert ys.min() >= bbox.y0
+            assert ys.max() < bbox.y1
+
+    @settings(max_examples=30, deadline=None)
+    @given(staircase_polygons())
+    def test_edges_consistent_with_raster_boundary(self, data):
+        """Perimeter from edge extraction equals the raster's boundary
+        transitions (valid for 1 nm/px grid-aligned polygons)."""
+        from repro.geometry.edges import extract_edges
+        from repro.metrics.complexity import edge_length_nm
+
+        poly, _, _ = data
+        image = rasterize_polygon(poly, GRID)
+        perimeter_exact = sum(e.length for e in extract_edges(poly))
+        perimeter_raster = edge_length_nm(image, GRID)
+        assert perimeter_raster == perimeter_exact

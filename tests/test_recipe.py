@@ -1,0 +1,124 @@
+"""Tests for OPC recipes (JSON-replayable solve configurations)."""
+
+import json
+
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.errors import ReproError
+from repro.mask.cleanup import CleanupConfig
+from repro.recipe import (
+    Recipe,
+    dump_recipe,
+    load_recipe,
+    recipe_from_dict,
+    solve_with_recipe,
+)
+from repro.workloads.iccad2013 import load_benchmark
+
+
+class TestRecipeParsing:
+    def test_minimal(self):
+        recipe = recipe_from_dict({})
+        assert recipe.mode == "fast"
+        assert recipe.optimizer is None
+        assert recipe.cleanup is None
+
+    def test_full(self):
+        recipe = recipe_from_dict(
+            {
+                "name": "tuned",
+                "mode": "exact",
+                "optimizer": {"max_iterations": 40, "step_size": 10.0},
+                "cleanup": {"min_figure_area_nm2": 300.0, "smooth": False},
+            }
+        )
+        assert recipe.mode == "exact"
+        assert recipe.optimizer.max_iterations == 40
+        assert recipe.optimizer.step_size == 10.0
+        assert recipe.cleanup.min_figure_area_nm2 == 300.0
+        assert not recipe.cleanup.smooth
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ReproError):
+            recipe_from_dict({"mode": "magic"})
+
+    def test_typo_key_rejected(self):
+        with pytest.raises(ReproError, match="max_iteration"):
+            recipe_from_dict({"optimizer": {"max_iteration": 40}})
+
+    def test_unknown_top_level_rejected(self):
+        with pytest.raises(ReproError):
+            recipe_from_dict({"solver": "fast"})
+
+    def test_invalid_value_rejected(self):
+        with pytest.raises(ReproError):
+            recipe_from_dict({"optimizer": {"max_iterations": 0}})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ReproError):
+            recipe_from_dict(["fast"])
+
+
+class TestRecipeIO:
+    def test_roundtrip(self, tmp_path):
+        recipe = Recipe(
+            mode="exact",
+            optimizer=OptimizerConfig(max_iterations=33),
+            cleanup=CleanupConfig(min_width_nm=8.0),
+            name="rt",
+        )
+        path = tmp_path / "recipe.json"
+        dump_recipe(recipe, path)
+        again = load_recipe(path)
+        assert again.mode == "exact"
+        assert again.name == "rt"
+        assert again.optimizer.max_iterations == 33
+        assert again.cleanup.min_width_nm == 8.0
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_recipe(tmp_path / "nope.json")
+
+    def test_bad_json(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("{not json")
+        with pytest.raises(ReproError):
+            load_recipe(path)
+
+
+class TestSolveWithRecipe:
+    def test_plain_solve(self, reduced_config, sim):
+        recipe = Recipe(mode="fast", optimizer=OptimizerConfig(max_iterations=10))
+        result = solve_with_recipe(recipe, load_benchmark("B1"), reduced_config, simulator=sim)
+        assert result.score.shape_violations == 0
+        assert result.layout_name == "B1"
+
+    def test_cleanup_applied(self, reduced_config, sim):
+        recipe = Recipe(
+            mode="fast",
+            optimizer=OptimizerConfig(max_iterations=20),
+            cleanup=CleanupConfig(
+                min_figure_area_nm2=300.0, max_pinhole_area_nm2=300.0, smooth=False
+            ),
+        )
+        plain = solve_with_recipe(
+            Recipe(mode="fast", optimizer=OptimizerConfig(max_iterations=20)),
+            load_benchmark("B1"), reduced_config, simulator=sim,
+        )
+        cleaned = solve_with_recipe(recipe, load_benchmark("B1"), reduced_config, simulator=sim)
+        from repro.metrics.complexity import mask_complexity
+
+        assert (
+            mask_complexity(cleaned.mask, sim.grid).shot_count
+            <= mask_complexity(plain.mask, sim.grid).shot_count
+        )
+
+    def test_cli_recipe_path(self, tmp_path, capsys):
+        from repro.cli import main
+
+        recipe_path = tmp_path / "r.json"
+        recipe_path.write_text(json.dumps({"mode": "modelbased", "name": "quick"}))
+        code = main(["solve", "B1", "--recipe", str(recipe_path)])
+        assert code == 0
+        assert "recipe quick" in capsys.readouterr().out

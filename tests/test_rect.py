@@ -1,0 +1,113 @@
+"""Unit and property tests for repro.geometry.rect."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import GeometryError
+from repro.geometry.rect import Rect
+
+coords = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False, allow_infinity=False)
+sizes = st.floats(min_value=0.5, max_value=1e3)
+
+
+def rects():
+    return st.builds(
+        lambda x, y, w, h: Rect.from_size(x, y, w, h), coords, coords, sizes, sizes
+    )
+
+
+class TestConstruction:
+    def test_basic(self):
+        r = Rect(0, 0, 10, 20)
+        assert r.width == 10
+        assert r.height == 20
+        assert r.area == 200
+
+    def test_from_size(self):
+        r = Rect.from_size(5, 5, 10, 20)
+        assert (r.x1, r.y1) == (15, 25)
+
+    @pytest.mark.parametrize("bad", [(0, 0, 0, 10), (0, 0, 10, 0), (5, 5, 4, 6), (5, 5, 6, 4)])
+    def test_degenerate_rejected(self, bad):
+        with pytest.raises(GeometryError):
+            Rect(*bad)
+
+    def test_center(self):
+        assert Rect(0, 0, 10, 20).center == (5, 10)
+
+
+class TestQueries:
+    def test_contains_point_inside(self):
+        assert Rect(0, 0, 10, 10).contains_point(5, 5)
+
+    def test_contains_point_boundary(self):
+        assert Rect(0, 0, 10, 10).contains_point(0, 10)
+
+    def test_contains_point_outside(self):
+        assert not Rect(0, 0, 10, 10).contains_point(11, 5)
+
+    def test_contains_rect(self):
+        assert Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 8, 8))
+        assert not Rect(0, 0, 10, 10).contains_rect(Rect(2, 2, 12, 8))
+
+    def test_touching_edges_do_not_intersect(self):
+        assert not Rect(0, 0, 10, 10).intersects(Rect(10, 0, 20, 10))
+
+    def test_overlap_intersects(self):
+        assert Rect(0, 0, 10, 10).intersects(Rect(5, 5, 15, 15))
+
+    def test_intersection_box(self):
+        inter = Rect(0, 0, 10, 10).intersection(Rect(5, 5, 15, 15))
+        assert inter == Rect(5, 5, 10, 10)
+
+    def test_intersection_disjoint_is_none(self):
+        assert Rect(0, 0, 1, 1).intersection(Rect(5, 5, 6, 6)) is None
+
+    def test_distance_overlapping_zero(self):
+        assert Rect(0, 0, 10, 10).distance_to(Rect(5, 5, 15, 15)) == 0.0
+
+    def test_distance_axis_gap(self):
+        assert Rect(0, 0, 10, 10).distance_to(Rect(13, 0, 20, 10)) == 3.0
+
+    def test_distance_diagonal(self):
+        assert Rect(0, 0, 1, 1).distance_to(Rect(4, 5, 6, 7)) == 5.0
+
+
+class TestTransforms:
+    def test_expanded(self):
+        assert Rect(0, 0, 10, 10).expanded(2) == Rect(-2, -2, 12, 12)
+
+    def test_expanded_negative_shrinks(self):
+        assert Rect(0, 0, 10, 10).expanded(-2) == Rect(2, 2, 8, 8)
+
+    def test_translated(self):
+        assert Rect(0, 0, 10, 10).translated(3, -4) == Rect(3, -4, 13, 6)
+
+    def test_corners_ccw(self):
+        assert list(Rect(0, 0, 2, 3).corners()) == [(0, 0), (2, 0), (2, 3), (0, 3)]
+
+
+class TestProperties:
+    @given(rects())
+    def test_area_positive(self, r):
+        assert r.area > 0
+
+    @given(rects(), rects())
+    def test_intersects_commutes(self, a, b):
+        assert a.intersects(b) == b.intersects(a)
+
+    @given(rects(), rects())
+    def test_intersection_within_both(self, a, b):
+        inter = a.intersection(b)
+        if inter is not None:
+            assert a.contains_rect(inter)
+            assert b.contains_rect(inter)
+            assert inter.area <= min(a.area, b.area) + 1e-9
+
+    @given(rects(), coords, coords)
+    def test_translate_preserves_area(self, r, dx, dy):
+        assert r.translated(dx, dy).area == pytest.approx(r.area, rel=1e-9)
+
+    @given(rects(), rects())
+    def test_distance_symmetric(self, a, b):
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))

@@ -1,0 +1,137 @@
+"""Tests for mask regularization objectives."""
+
+import numpy as np
+import pytest
+
+from repro.opc.objectives.regularization import DiscretizationPenalty, TotalVariationPenalty
+from repro.opc.state import ForwardContext
+
+
+def ctx_for(mask, tiny_sim):
+    return ForwardContext(np.asarray(mask, dtype=float), tiny_sim)
+
+
+class TestDiscretizationPenalty:
+    def test_zero_for_binary(self, tiny_sim):
+        mask = np.zeros(tiny_sim.grid.shape)
+        mask[10:20, 10:20] = 1.0
+        value, _ = DiscretizationPenalty().value_and_gradient(ctx_for(mask, tiny_sim))
+        assert value == 0.0
+
+    def test_maximal_at_half(self, tiny_sim):
+        mask = np.full(tiny_sim.grid.shape, 0.5)
+        value, grad = DiscretizationPenalty().value_and_gradient(ctx_for(mask, tiny_sim))
+        assert value == pytest.approx(mask.size)  # 4 * 0.25 per pixel
+        assert np.allclose(grad, 0.0)  # symmetric saddle at 0.5
+
+    def test_gradient_pushes_to_extremes(self, tiny_sim):
+        mask = np.full(tiny_sim.grid.shape, 0.6)
+        _, grad = DiscretizationPenalty().value_and_gradient(ctx_for(mask, tiny_sim))
+        # Descent (M -= grad) must push 0.6 upward to 1: gradient < 0.
+        assert np.all(grad < 0)
+        mask = np.full(tiny_sim.grid.shape, 0.4)
+        _, grad = DiscretizationPenalty().value_and_gradient(ctx_for(mask, tiny_sim))
+        assert np.all(grad > 0)
+
+    def test_gradient_matches_finite_difference(self, tiny_sim, rng):
+        mask = rng.uniform(0.1, 0.9, tiny_sim.grid.shape)
+        obj = DiscretizationPenalty()
+        value, grad = obj.value_and_gradient(ctx_for(mask, tiny_sim))
+        eps = 1e-7
+        for _ in range(5):
+            i, j = rng.integers(0, mask.shape[0]), rng.integers(0, mask.shape[1])
+            bumped = mask.copy()
+            bumped[i, j] += eps
+            fd = (obj.value(ctx_for(bumped, tiny_sim)) - value) / eps
+            assert fd == pytest.approx(grad[i, j], rel=1e-4, abs=1e-6)
+
+
+class TestTotalVariationPenalty:
+    def test_zero_for_constant(self, tiny_sim):
+        value, grad = TotalVariationPenalty().value_and_gradient(
+            ctx_for(np.full(tiny_sim.grid.shape, 0.7), tiny_sim)
+        )
+        assert value == 0.0
+        assert np.allclose(grad, 0.0)
+
+    def test_counts_boundary(self, tiny_sim):
+        mask = np.zeros(tiny_sim.grid.shape)
+        mask[10:20, 10:20] = 1.0  # 10x10 binary block
+        value, _ = TotalVariationPenalty().value_and_gradient(ctx_for(mask, tiny_sim))
+        # Interior boundary transitions: 2 axes x 2 sides x 10 pixels.
+        assert value == pytest.approx(40.0)
+
+    def test_jagged_costs_more(self, tiny_sim):
+        smooth = np.zeros(tiny_sim.grid.shape)
+        smooth[10:20, 10:20] = 1.0
+        jagged = smooth.copy()
+        jagged[20, 12] = 1.0  # bump
+        obj = TotalVariationPenalty()
+        assert obj.value(ctx_for(jagged, tiny_sim)) > obj.value(ctx_for(smooth, tiny_sim))
+
+    def test_gradient_matches_finite_difference(self, tiny_sim, rng):
+        mask = rng.uniform(0.1, 0.9, tiny_sim.grid.shape)
+        obj = TotalVariationPenalty()
+        value, grad = obj.value_and_gradient(ctx_for(mask, tiny_sim))
+        eps = 1e-7
+        for _ in range(5):
+            i, j = rng.integers(0, mask.shape[0]), rng.integers(0, mask.shape[1])
+            bumped = mask.copy()
+            bumped[i, j] += eps
+            fd = (obj.value(ctx_for(bumped, tiny_sim)) - value) / eps
+            assert fd == pytest.approx(grad[i, j], rel=1e-3, abs=1e-6)
+
+
+class TestDescentOnPenaltiesAlone:
+    """Pure-optimizer sanity: descending each penalty does what it claims."""
+
+    def _descend(self, tiny_sim, objective, mask, iterations=30, step=2.0):
+        from repro.config import OptimizerConfig
+        from repro.opc.optimizer import GradientDescentOptimizer
+
+        config = OptimizerConfig(
+            max_iterations=iterations, step_size=step, use_jump=False, keep_best=False
+        )
+        return GradientDescentOptimizer(tiny_sim, objective, config).run(mask)
+
+    def test_discretization_descent_binarizes(self, tiny_sim, rng):
+        mask = rng.uniform(0.3, 0.7, tiny_sim.grid.shape)
+        obj = DiscretizationPenalty()
+        result = self._descend(tiny_sim, obj, mask)
+        before = obj.value(ctx_for(mask, tiny_sim))
+        after = obj.value(ctx_for(result.mask, tiny_sim))
+        assert after < 0.2 * before  # mask driven strongly toward {0, 1}
+
+    def test_tv_descent_smooths(self, tiny_sim, rng):
+        mask = np.clip(
+            0.5 + 0.3 * rng.standard_normal(tiny_sim.grid.shape), 0.05, 0.95
+        )
+        obj = TotalVariationPenalty()
+        result = self._descend(tiny_sim, obj, mask)
+        before = obj.value(ctx_for(mask, tiny_sim))
+        after = obj.value(ctx_for(result.mask, tiny_sim))
+        assert after < before
+
+    def test_composes_with_design_objective(self, reduced_config, sim):
+        """A regularized MOSAIC solve still converges to a working mask
+        and leaves the continuous iterate more binary."""
+        from repro.config import OptimizerConfig
+        from repro.opc.mosaic import MosaicFast
+        from repro.opc.objectives import CompositeObjective
+        from repro.workloads.iccad2013 import load_benchmark
+
+        layout = load_benchmark("B1")
+        quad = DiscretizationPenalty()
+
+        class RegularizedFast(MosaicFast):
+            def build_objective(self, target, layout):
+                base = super().build_objective(target, layout)
+                return CompositeObjective(list(base.terms) + [(5.0, quad)])
+
+        cfg = OptimizerConfig(max_iterations=20)
+        plain = MosaicFast(reduced_config, optimizer_config=cfg, simulator=sim).solve(layout)
+        regular = RegularizedFast(reduced_config, optimizer_config=cfg, simulator=sim).solve(layout)
+        assert regular.score.epe_violations <= plain.score.epe_violations + 2
+        plain_grey = quad.value(ctx_for(plain.optimization.mask, sim))
+        regular_grey = quad.value(ctx_for(regular.optimization.mask, sim))
+        assert regular_grey < plain_grey

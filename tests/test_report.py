@@ -1,0 +1,62 @@
+"""Tests for the verification-report aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.geometry.raster import rasterize_layout
+from repro.opc.mosaic import MosaicFast
+from repro.report import verify_mask
+from repro.workloads.iccad2013 import load_benchmark
+
+
+@pytest.fixture(scope="module")
+def good_report(reduced_config, sim):
+    layout = load_benchmark("B1")
+    result = MosaicFast(
+        reduced_config, optimizer_config=OptimizerConfig(max_iterations=25), simulator=sim
+    ).solve(layout)
+    return verify_mask(sim, result.mask, layout, runtime_s=result.runtime_s)
+
+
+class TestVerifyMask:
+    def test_good_mask_is_clean(self, good_report):
+        assert good_report.clean
+        assert good_report.score.epe_violations == 0
+        assert good_report.score.shape_violations == 0
+
+    def test_window_included_by_default(self, good_report):
+        assert good_report.window is not None
+        assert good_report.window.pass_fraction() > 0.5
+
+    def test_cd_gauges_present(self, good_report):
+        assert len(good_report.cd) == 1  # B1 has one shape
+        assert good_report.cd[0].cd_nm is not None
+
+    def test_complexity_reported(self, good_report):
+        assert good_report.complexity.shot_count > 1  # ILT mask, not a rect
+
+    def test_render_sections(self, good_report):
+        text = good_report.render()
+        assert "CLEAN" in text
+        assert "score" in text
+        assert "EPE" in text
+        assert "CD gauges" in text
+        assert "write cost" in text
+        assert "window" in text
+
+    def test_bad_mask_flagged(self, sim):
+        layout = load_benchmark("B1")
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        report = verify_mask(sim, target, layout, sweep_window=False)
+        assert not report.clean
+        assert report.window is None
+        text = report.render()
+        assert "VIOLATIONS PRESENT" in text
+        assert "DID NOT PRINT" in text  # B1's line fails entirely un-OPC'd
+
+    def test_runtime_charged(self, sim):
+        layout = load_benchmark("B1")
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        report = verify_mask(sim, target, layout, runtime_s=3.5, sweep_window=False)
+        assert report.score.runtime_s == 3.5

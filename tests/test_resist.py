@@ -1,0 +1,98 @@
+"""Unit tests for repro.resist.threshold."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.config import ResistConfig
+from repro.errors import ProcessError
+from repro.resist.threshold import (
+    ThresholdResist,
+    hard_threshold,
+    sigmoid_threshold,
+    sigmoid_threshold_derivative,
+)
+
+CFG = ResistConfig()
+
+
+class TestHardThreshold:
+    def test_step_at_threshold(self):
+        intensity = np.array([[0.49, 0.5, 0.51]])
+        printed = hard_threshold(intensity, CFG)
+        assert printed.tolist() == [[False, False, True]]
+
+    def test_dtype_bool(self):
+        assert hard_threshold(np.zeros((2, 2)), CFG).dtype == bool
+
+
+class TestSigmoidThreshold:
+    def test_half_at_threshold(self):
+        z = sigmoid_threshold(np.array([[CFG.threshold]]), CFG)
+        assert z[0, 0] == pytest.approx(0.5)
+
+    def test_paper_figure_values(self):
+        # Paper Fig. 2: theta_Z = 50, th_r = 0.5 — steep but smooth.
+        z = sigmoid_threshold(np.array([[0.3, 0.5, 0.7]]), CFG)
+        assert z[0, 0] < 0.01
+        assert z[0, 2] > 0.99
+
+    def test_monotone(self):
+        intensity = np.linspace(0, 1, 101).reshape(1, -1)
+        z = sigmoid_threshold(intensity, CFG)
+        assert np.all(np.diff(z[0]) > 0)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            (4, 4),
+            elements=st.floats(min_value=0.0, max_value=2.0),
+        )
+    )
+    def test_bounded(self, intensity):
+        # Closed bounds: float64 rounds the sigmoid to exactly 1.0 for
+        # intensities far above threshold.
+        z = sigmoid_threshold(intensity, CFG)
+        assert np.all((z >= 0) & (z <= 1))
+
+    def test_agreement_with_hard_threshold_away_from_edge(self):
+        intensity = np.array([[0.2, 0.8]])
+        soft = sigmoid_threshold(intensity, CFG) > 0.5
+        hard = hard_threshold(intensity, CFG)
+        assert np.array_equal(soft, hard)
+
+
+class TestDerivative:
+    def test_matches_finite_difference(self):
+        intensity = np.linspace(0.3, 0.7, 9).reshape(1, -1)
+        eps = 1e-7
+        z = sigmoid_threshold(intensity, CFG)
+        analytic = sigmoid_threshold_derivative(z, CFG)
+        numeric = (sigmoid_threshold(intensity + eps, CFG) - z) / eps
+        assert np.allclose(analytic, numeric, rtol=1e-4)
+
+    def test_peak_at_threshold(self):
+        z = sigmoid_threshold(np.array([[0.4, 0.5, 0.6]]), CFG)
+        d = sigmoid_threshold_derivative(z, CFG)
+        assert d[0, 1] == d.max()
+        assert d[0, 1] == pytest.approx(CFG.theta_z / 4.0)
+
+
+class TestFacadeAndConfig:
+    def test_facade_paths_agree(self):
+        model = ThresholdResist(CFG)
+        intensity = np.random.default_rng(0).uniform(0, 1, (8, 8))
+        assert np.array_equal(model.develop(intensity), hard_threshold(intensity, CFG))
+        assert np.array_equal(
+            model.develop_soft(intensity), sigmoid_threshold(intensity, CFG)
+        )
+
+    @pytest.mark.parametrize("threshold", [0.0, 1.0, -0.1, 1.5])
+    def test_bad_threshold_rejected(self, threshold):
+        with pytest.raises(ProcessError):
+            ResistConfig(threshold=threshold)
+
+    def test_bad_steepness_rejected(self):
+        with pytest.raises(ProcessError):
+            ResistConfig(theta_z=0.0)

@@ -1,0 +1,55 @@
+"""Tests for the pure rule-based OPC baseline."""
+
+import numpy as np
+
+from repro.baselines.rulebased import RuleBasedOPC
+from repro.geometry.raster import rasterize_layout
+from repro.metrics.score import contest_score
+from repro.workloads.iccad2013 import load_benchmark
+
+
+class TestRuleBasedOPC:
+    def test_improves_over_no_opc(self, reduced_config, sim):
+        layout = load_benchmark("B1")
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        no_opc = contest_score(sim, target, layout)
+        result = RuleBasedOPC(reduced_config, simulator=sim).solve(layout)
+        assert result.score.epe_violations < no_opc.epe_violations
+
+    def test_calibration_picks_nonzero_bias(self, reduced_config, sim):
+        # The drawn mask underprints, so calibration must choose a bias.
+        layout = load_benchmark("B1")
+        target = rasterize_layout(layout, sim.grid).astype(float)
+        solver = RuleBasedOPC(reduced_config, simulator=sim)
+        assert solver.calibrate_bias(layout, target) > 0
+
+    def test_calibrated_bias_recorded_in_history(self, reduced_config, sim):
+        result = RuleBasedOPC(reduced_config, simulator=sim).solve(load_benchmark("B1"))
+        assert result.optimization.history.records[0].objective > 0
+
+    def test_fast_single_pass(self, reduced_config, sim):
+        result = RuleBasedOPC(reduced_config, simulator=sim).solve(load_benchmark("B1"))
+        assert result.optimization.iterations == 1
+        assert result.optimization.converged
+
+    def test_mask_contains_target(self, reduced_config, sim):
+        layout = load_benchmark("B1")
+        target = rasterize_layout(layout, sim.grid)
+        result = RuleBasedOPC(reduced_config, simulator=sim).solve(layout)
+        assert np.all(result.mask[target] == 1.0)  # bias only grows
+
+    def test_weaker_than_ilt_on_hard_clip(self, reduced_config, sim):
+        # The paper's motivation: rule-based OPC cannot handle aggressive
+        # 2-D patterns; MOSAIC must beat it decisively on a jog clip.
+        from repro.opc.mosaic import MosaicFast
+
+        layout = load_benchmark("B6")
+        rule = RuleBasedOPC(reduced_config, simulator=sim).solve(layout)
+        ilt = MosaicFast(reduced_config, simulator=sim).solve(layout)
+        assert ilt.score.total < rule.score.total
+
+    def test_sraf_disabled(self, reduced_config, sim):
+        layout = load_benchmark("B1")
+        with_sraf = RuleBasedOPC(reduced_config, simulator=sim, use_sraf=True).solve(layout)
+        without = RuleBasedOPC(reduced_config, simulator=sim, use_sraf=False).solve(layout)
+        assert with_sraf.mask.sum() >= without.mask.sum()

@@ -1,0 +1,82 @@
+"""Unit tests for repro.mask.rules (edge bias, corner serifs)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec
+from repro.errors import GridError
+from repro.geometry.layout import Layout
+from repro.geometry.polygon import Polygon
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.mask.rules import add_corner_serifs, apply_edge_bias, rule_based_opc
+
+GRID = GridSpec(shape=(128, 128), pixel_nm=1.0)
+
+
+def square_layout(lo=40, hi=80):
+    return Layout.from_rects("sq", [Rect(lo, lo, hi, hi)], clip=Rect(0, 0, 128, 128))
+
+
+class TestEdgeBias:
+    def test_positive_bias_grows(self):
+        target = rasterize_layout(square_layout(), GRID).astype(float)
+        grown = apply_edge_bias(target, 3.0, GRID)
+        assert grown.sum() == 46 * 46  # 40x40 grown by 3 per side
+
+    def test_negative_bias_shrinks(self):
+        target = rasterize_layout(square_layout(), GRID).astype(float)
+        shrunk = apply_edge_bias(target, -3.0, GRID)
+        assert shrunk.sum() == 34 * 34
+
+    def test_subpixel_bias_noop(self):
+        grid = GridSpec(shape=(32, 32), pixel_nm=4.0)
+        target = np.zeros(grid.shape)
+        target[8:16, 8:16] = 1.0
+        assert np.array_equal(apply_edge_bias(target, 1.0, grid), target)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(GridError):
+            apply_edge_bias(np.zeros((16, 16)), 2.0, GRID)
+
+
+class TestSerifs:
+    def test_rect_gets_four_serifs(self):
+        layout = square_layout()
+        target = rasterize_layout(layout, GRID).astype(float)
+        with_serifs = add_corner_serifs(layout, target, GRID, serif_nm=8.0)
+        added = with_serifs.sum() - target.sum()
+        # Each serif is an 8x8 square centred on a corner; 3/4 of it falls
+        # outside the pattern (48 px per corner).
+        assert added == 4 * 48
+
+    def test_concave_corner_skipped(self):
+        # L-shape has 5 convex and 1 concave corner.
+        poly = Polygon([(30, 30), (90, 30), (90, 90), (70, 90), (70, 50), (30, 50)])
+        layout = Layout("l", clip=Rect(0, 0, 128, 128))
+        layout.add(poly)
+        target = rasterize_layout(layout, GRID).astype(float)
+        with_serifs = add_corner_serifs(layout, target, GRID, serif_nm=8.0)
+        added = with_serifs.sum() - target.sum()
+        assert added == 5 * 48  # concave corner at (70, 50) gets nothing
+
+    def test_serifs_clipped_at_grid_border(self):
+        layout = Layout.from_rects("edge", [Rect(0, 0, 40, 40)], clip=Rect(0, 0, 128, 128))
+        target = rasterize_layout(layout, GRID).astype(float)
+        out = add_corner_serifs(layout, target, GRID, serif_nm=8.0)
+        assert out.shape == GRID.shape  # no exception, stays in bounds
+
+
+class TestRuleBasedOPC:
+    def test_combined_pipeline(self):
+        layout = square_layout()
+        out = rule_based_opc(layout, GRID, bias_nm=2.0, serif_nm=6.0)
+        target = rasterize_layout(layout, GRID)
+        assert out.sum() > target.sum()
+        # Original pattern fully covered.
+        assert np.all(out[target] == 1.0)
+
+    def test_no_options_is_plain_raster(self):
+        layout = square_layout()
+        out = rule_based_opc(layout, GRID)
+        assert np.array_equal(out, rasterize_layout(layout, GRID).astype(float))

@@ -1,0 +1,83 @@
+"""Unit tests for repro.optics.source."""
+
+import numpy as np
+import pytest
+
+from repro.config import OpticsConfig
+from repro.errors import OpticsError
+from repro.optics.source import (
+    AnnularSource,
+    CircularSource,
+    QuadrupoleSource,
+    default_source,
+)
+
+OPTICS = OpticsConfig()
+#: Frequency lattice step of a 1024 nm clip.
+STEP = 1.0 / 1024.0
+
+
+def radius_norm(pt) -> float:
+    na_over_lambda = OPTICS.numerical_aperture / OPTICS.wavelength_nm
+    return float(np.hypot(pt.fx, pt.fy)) / na_over_lambda
+
+
+class TestAnnularSource:
+    def test_weights_normalized(self):
+        pts = AnnularSource(0.6, 0.9).sample(OPTICS, STEP)
+        assert sum(p.weight for p in pts) == pytest.approx(1.0)
+
+    def test_points_within_annulus(self):
+        pts = AnnularSource(0.6, 0.9).sample(OPTICS, STEP)
+        for p in pts:
+            assert 0.6 - 1e-9 <= radius_norm(p) <= 0.9 + 1e-9
+
+    def test_enough_points(self):
+        assert len(AnnularSource(0.6, 0.9).sample(OPTICS, STEP)) >= 8
+
+    def test_invalid_sigmas_rejected(self):
+        with pytest.raises(OpticsError):
+            AnnularSource(0.9, 0.6)
+        with pytest.raises(OpticsError):
+            AnnularSource(-0.1, 0.5)
+
+    def test_refinement_for_coarse_step(self):
+        # A very coarse lattice forces subdivision rather than failure.
+        pts = AnnularSource(0.6, 0.9).sample(OPTICS, STEP * 8)
+        assert len(pts) >= 8
+
+    def test_default_source_matches_config(self):
+        src = default_source(OPTICS)
+        assert src.sigma_inner == OPTICS.sigma_inner
+        assert src.sigma_outer == OPTICS.sigma_outer
+
+
+class TestCircularSource:
+    def test_disc_includes_centerish_points(self):
+        pts = CircularSource(0.5).sample(OPTICS, STEP)
+        assert min(radius_norm(p) for p in pts) < 0.2
+
+    def test_radius_bound(self):
+        pts = CircularSource(0.5).sample(OPTICS, STEP)
+        assert max(radius_norm(p) for p in pts) <= 0.5 + 1e-9
+
+
+class TestQuadrupoleSource:
+    def test_poles_on_diagonals(self):
+        pts = QuadrupoleSource(0.6, 0.9, opening_deg=20).sample(OPTICS, STEP)
+        for p in pts:
+            angle = np.degrees(np.arctan2(p.fy, p.fx)) % 90.0
+            assert abs(angle - 45.0) <= 20 + 1e-9
+
+    def test_four_fold_symmetric_count(self):
+        pts = QuadrupoleSource(0.6, 0.9, opening_deg=20).sample(OPTICS, STEP)
+        quadrants = [0, 0, 0, 0]
+        for p in pts:
+            quadrants[(p.fx < 0) * 2 + (p.fy < 0)] += 1
+        assert len(set(quadrants)) == 1
+
+    def test_bad_opening_rejected(self):
+        with pytest.raises(OpticsError):
+            QuadrupoleSource(0.6, 0.9, opening_deg=0)
+        with pytest.raises(OpticsError):
+            QuadrupoleSource(0.6, 0.9, opening_deg=60)

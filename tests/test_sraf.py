@@ -1,0 +1,82 @@
+"""Unit tests for repro.mask.sraf (assist-feature insertion)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.mask.sraf import initial_mask_with_srafs, insert_srafs
+from repro.workloads.generator import line_grating
+
+GRID = GridSpec(shape=(256, 256), pixel_nm=4.0)
+CLIP = Rect(0, 0, 1024, 1024)
+
+
+def iso_line_layout():
+    return Layout.from_rects("iso", [Rect(262, 476, 762, 548)], clip=CLIP)
+
+
+class TestInsertSrafs:
+    def test_isolated_line_gets_bars(self):
+        srafs = insert_srafs(iso_line_layout(), GRID)
+        assert srafs.sum() > 0
+
+    def test_bars_do_not_touch_target(self):
+        layout = iso_line_layout()
+        target = rasterize_layout(layout, GRID)
+        srafs = insert_srafs(layout, GRID)
+        assert not np.any(srafs & target)
+
+    def test_clearance_respected(self):
+        layout = iso_line_layout()
+        target = rasterize_layout(layout, GRID)
+        srafs = insert_srafs(layout, GRID, clearance_nm=40.0)
+        from scipy import ndimage
+
+        # Distance from every SRAF pixel to the target exceeds clearance.
+        dist = ndimage.distance_transform_edt(~target) * GRID.pixel_nm
+        assert dist[srafs].min() >= 40.0 - GRID.pixel_nm
+
+    def test_dense_grating_interior_gets_no_bars(self):
+        layout = Layout("dense", clip=CLIP)
+        layout.extend(line_grating(212, 232, num_lines=5, width=60, pitch=130, length=600))
+        srafs = insert_srafs(layout, GRID)
+        # Edges between grating lines are not isolated: bars may only
+        # appear outside the grating envelope.
+        envelope_rows = (slice(int(232 / 4) + 2, int((232 + 4 * 130 + 60) / 4) - 2),)
+        interior = srafs[envelope_rows[0], int(240 / 4): int(780 / 4)]
+        assert interior.sum() == 0
+
+    def test_short_edges_skipped(self):
+        layout = Layout.from_rects("dot", [Rect(500, 500, 530, 530)], clip=CLIP)
+        srafs = insert_srafs(layout, GRID, min_edge_nm=50.0)
+        assert srafs.sum() == 0
+
+    def test_srafs_do_not_print(self, sim):
+        # Sub-resolution property: the assist bars alone stay below the
+        # resist threshold at every process corner.
+        layout = iso_line_layout()
+        srafs = insert_srafs(layout, GRID).astype(float)
+        for corner in sim.corners():
+            printed = sim.print_binary(srafs, corner)
+            assert printed.sum() == 0
+
+
+class TestInitialMask:
+    def test_contains_target(self):
+        layout = iso_line_layout()
+        target = rasterize_layout(layout, GRID)
+        seed = initial_mask_with_srafs(layout, GRID)
+        assert np.all(seed[target] == 1.0)
+
+    def test_adds_assist_area(self):
+        layout = iso_line_layout()
+        target = rasterize_layout(layout, GRID)
+        seed = initial_mask_with_srafs(layout, GRID)
+        assert seed.sum() > target.sum()
+
+    def test_float_binary_values(self):
+        seed = initial_mask_with_srafs(iso_line_layout(), GRID)
+        assert set(np.unique(seed)) <= {0.0, 1.0}

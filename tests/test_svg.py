@@ -1,0 +1,99 @@
+"""Tests for SVG rendering."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec
+from repro.errors import GridError
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.io.svg import render_svg, save_svg
+
+GRID = GridSpec(shape=(64, 64), pixel_nm=16.0)
+
+
+@pytest.fixture()
+def layout():
+    return Layout.from_rects("sq", [Rect(256, 256, 512, 640)])
+
+
+def square_image():
+    img = np.zeros(GRID.shape, dtype=bool)
+    img[16:40, 16:32] = True
+    return img
+
+
+class TestRenderSVG:
+    def test_minimal_document(self):
+        svg = render_svg((1024, 1024))
+        assert svg.startswith("<svg")
+        assert svg.endswith("</svg>")
+        assert 'viewBox="0 0 1024 1024"' in svg
+
+    def test_layout_layer(self, layout):
+        svg = render_svg((1024, 1024), layout=layout)
+        assert "<polygon" in svg
+
+    def test_mask_layer_uses_fractured_rects(self):
+        svg = render_svg((1024, 1024), mask=square_image().astype(float), grid=GRID)
+        # One rectangle: the mask is a single rect, fracturing is exact.
+        assert svg.count("<rect") == 2  # background + the mask rect
+
+    def test_printed_contours(self):
+        svg = render_svg((1024, 1024), printed=square_image(), grid=GRID)
+        assert "<line" in svg
+        assert "stroke=" in svg
+
+    def test_pv_band_layer(self):
+        band = np.zeros(GRID.shape, dtype=bool)
+        band[10:12, 10:30] = True
+        svg = render_svg((1024, 1024), pv_band=band, grid=GRID)
+        assert "#dc2626" in svg
+
+    def test_title(self):
+        svg = render_svg((1024, 1024), title="B1 result")
+        assert "B1 result" in svg
+
+    def test_y_axis_flipped(self, layout):
+        # The polygon's lowest drawn y (256) must map near the bottom of
+        # the 1024-tall viewBox (y_svg = 1024 - 256 = 768).
+        svg = render_svg((1024, 1024), layout=layout)
+        assert "768.00" in svg
+
+    def test_image_layer_without_grid_rejected(self):
+        with pytest.raises(GridError):
+            render_svg((1024, 1024), mask=square_image().astype(float))
+
+
+class TestSaveSVG:
+    def test_writes_file(self, tmp_path, layout):
+        path = tmp_path / "fig.svg"
+        save_svg(path, (1024, 1024), layout=layout, title="demo")
+        text = path.read_text()
+        assert text.startswith("<svg")
+        assert "demo" in text
+
+    def test_full_stack_render(self, tmp_path, sim, reduced_config):
+        from repro.config import OptimizerConfig
+        from repro.opc.mosaic import MosaicFast
+        from repro.workloads.iccad2013 import load_benchmark
+
+        layout = load_benchmark("B1")
+        result = MosaicFast(
+            reduced_config,
+            optimizer_config=OptimizerConfig(max_iterations=8),
+            simulator=sim,
+        ).solve(layout)
+        path = tmp_path / "b1.svg"
+        save_svg(
+            path,
+            (1024, 1024),
+            layout=layout,
+            mask=result.mask,
+            printed=sim.print_binary(result.mask),
+            pv_band=sim.pv_band(result.mask),
+            grid=sim.grid,
+            title="B1 MOSAIC_fast",
+        )
+        text = path.read_text()
+        assert "<polygon" in text and "<line" in text and "<rect" in text

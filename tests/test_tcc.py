@@ -1,0 +1,99 @@
+"""Unit tests for repro.optics.tcc (Hopkins TCC and its decomposition)."""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec, OpticsConfig
+from repro.errors import OpticsError
+from repro.optics.source import AnnularSource
+from repro.optics.tcc import (
+    build_amplitude_matrix,
+    build_frequency_support,
+    decompose_amplitude,
+    tcc_matrix,
+)
+
+GRID = GridSpec(shape=(128, 128), pixel_nm=8.0)
+OPTICS = OpticsConfig(num_kernels=8)
+
+
+@pytest.fixture(scope="module")
+def support():
+    return build_frequency_support(GRID, OPTICS)
+
+
+@pytest.fixture(scope="module")
+def amplitude(support):
+    points = AnnularSource(0.6, 0.9).sample(OPTICS, support.freq_step)
+    return build_amplitude_matrix(support, OPTICS, points)
+
+
+class TestFrequencySupport:
+    def test_within_cutoff(self, support):
+        radius = np.hypot(support.fx, support.fy)
+        assert np.all(radius <= OPTICS.cutoff_frequency + 1e-12)
+
+    def test_contains_dc(self, support):
+        dc = support.zero_index()
+        assert support.fx[dc] == 0.0
+        assert support.fy[dc] == 0.0
+
+    def test_scatter_gather_roundtrip(self, support):
+        values = np.arange(support.size, dtype=np.complex128)
+        assert np.array_equal(support.gather(support.scatter(values)), values)
+
+    def test_scatter_zero_elsewhere(self, support):
+        full = support.scatter(np.ones(support.size, dtype=np.complex128))
+        assert np.count_nonzero(full) == support.size
+
+    def test_too_coarse_grid_rejected(self):
+        tiny = GridSpec(shape=(8, 8), pixel_nm=1.0)  # 8 nm clip: no optics fits
+        with pytest.raises(OpticsError):
+            build_frequency_support(tiny, OPTICS)
+
+    def test_freq_step_matches_extent(self, support):
+        assert support.freq_step == pytest.approx(1.0 / 1024.0)
+
+
+class TestAmplitudeAndTCC:
+    def test_amplitude_shape(self, amplitude, support):
+        assert amplitude.shape[1] == support.size
+
+    def test_tcc_hermitian(self, amplitude):
+        t = tcc_matrix(amplitude)
+        assert np.allclose(t, t.conj().T)
+
+    def test_tcc_positive_semidefinite(self, amplitude):
+        t = tcc_matrix(amplitude)
+        eigvals = np.linalg.eigvalsh(t)
+        assert eigvals.min() >= -1e-10 * eigvals.max()
+
+    def test_empty_source_rejected(self, support):
+        with pytest.raises(OpticsError):
+            build_amplitude_matrix(support, OPTICS, [])
+
+
+class TestDecomposition:
+    def test_weights_descending_positive(self, amplitude):
+        weights, _ = decompose_amplitude(amplitude, 8)
+        assert np.all(np.diff(weights) <= 1e-12)
+        assert np.all(weights >= 0)
+
+    def test_kernel_count_capped_by_rank(self, amplitude):
+        weights, vectors = decompose_amplitude(amplitude, 10_000)
+        assert len(weights) == vectors.shape[0] <= min(amplitude.shape)
+
+    def test_vectors_orthonormal(self, amplitude):
+        _, vectors = decompose_amplitude(amplitude, 6)
+        gram = vectors @ vectors.conj().T
+        assert np.allclose(gram, np.eye(6), atol=1e-10)
+
+    def test_reconstruction_improves_with_kernels(self, amplitude):
+        t = tcc_matrix(amplitude)
+        errs = []
+        for h in (1, 4, 12):
+            w, v = decompose_amplitude(amplitude, h)
+            # T ~= sum_k w_k v_k v_k^H with v_k = v[k] as column vectors.
+            approx = (v.T * w) @ v.conj()
+            errs.append(np.linalg.norm(t - approx))
+        assert errs[0] > errs[1] > errs[2]

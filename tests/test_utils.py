@@ -1,0 +1,105 @@
+"""Tests for repro.utils (sigmoid, validation, timer)."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.errors import GridError
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    ensure_binary_image,
+    ensure_image,
+    ensure_same_shape,
+    sigmoid,
+)
+
+
+class TestSigmoid:
+    def test_center(self):
+        assert sigmoid(np.array(0.0)) == pytest.approx(0.5)
+        assert sigmoid(np.array(0.3), center=0.3) == pytest.approx(0.5)
+
+    def test_steepness(self):
+        shallow = sigmoid(np.array(1.0), steepness=1.0)
+        steep = sigmoid(np.array(1.0), steepness=10.0)
+        assert steep > shallow
+
+    def test_extreme_values_do_not_overflow(self):
+        # The exponent clamp keeps exp() finite; results saturate smoothly.
+        out = sigmoid(np.array([-1e10, 1e10]), steepness=50.0)
+        assert np.all(np.isfinite(out))
+        assert out[0] < 1e-100
+        assert out[1] == 1.0
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            (3, 3),
+            elements=st.floats(min_value=-1e6, max_value=1e6),
+        ),
+        st.floats(min_value=0.1, max_value=100.0),
+    )
+    def test_bounded_and_monotone(self, x, steepness):
+        out = sigmoid(x, steepness)
+        assert np.all((out >= 0) & (out <= 1))
+        flat = np.sort(x.ravel())
+        assert np.all(np.diff(sigmoid(flat, steepness)) >= 0)
+
+    def test_symmetry(self):
+        x = np.linspace(-3, 3, 13)
+        assert np.allclose(sigmoid(x) + sigmoid(-x), 1.0)
+
+
+class TestEnsureImage:
+    def test_passes_float(self):
+        out = ensure_image(np.zeros((3, 3), dtype=np.float32))
+        assert out.dtype == np.float64
+
+    def test_rejects_1d(self):
+        with pytest.raises(GridError):
+            ensure_image(np.zeros(5))
+
+    def test_rejects_nan(self):
+        bad = np.zeros((2, 2))
+        bad[0, 0] = np.nan
+        with pytest.raises(GridError):
+            ensure_image(bad)
+
+
+class TestEnsureBinary:
+    def test_bool_passthrough(self):
+        img = np.zeros((2, 2), dtype=bool)
+        assert ensure_binary_image(img) is img
+
+    def test_int_01_accepted(self):
+        out = ensure_binary_image(np.array([[0, 1], [1, 0]]))
+        assert out.dtype == bool
+
+    def test_fractional_rejected(self):
+        with pytest.raises(GridError):
+            ensure_binary_image(np.array([[0.5, 1.0]]))
+
+
+class TestEnsureSameShape:
+    def test_matching(self):
+        ensure_same_shape(np.zeros((2, 2)), np.ones((2, 2)))
+
+    def test_mismatch(self):
+        with pytest.raises(GridError):
+            ensure_same_shape(np.zeros((2, 2)), np.zeros((3, 3)))
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.01
+
+    def test_lap_monotone(self):
+        with Timer() as t:
+            first = t.lap()
+            second = t.lap()
+        assert second >= first

@@ -1,0 +1,79 @@
+"""Tests for repro.process.window_analysis (exposure latitude / DOF)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ProcessError
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.mask.rules import apply_edge_bias
+from repro.process.window_analysis import ProcessWindowMap, WindowPoint, sweep_process_window
+
+
+@pytest.fixture(scope="module")
+def biased_square(sim):
+    """A big square with the 16 nm bias that makes it print cleanly."""
+    layout = Layout.from_rects("big", [Rect(256, 256, 768, 768)])
+    target = rasterize_layout(layout, sim.grid).astype(float)
+    return layout, apply_edge_bias(target, 16.0, sim.grid)
+
+
+class TestSweep:
+    def test_grid_size(self, sim, biased_square):
+        layout, mask = biased_square
+        window = sweep_process_window(
+            sim, mask, layout,
+            defocus_values_nm=(0.0, 25.0), dose_values=(0.98, 1.0, 1.02),
+        )
+        assert len(window.points) == 6
+
+    def test_nominal_condition_passes(self, sim, biased_square):
+        layout, mask = biased_square
+        window = sweep_process_window(
+            sim, mask, layout, defocus_values_nm=(0.0,), dose_values=(1.0,)
+        )
+        assert window.points[0].passes
+
+    def test_extreme_dose_fails(self, sim, biased_square):
+        layout, mask = biased_square
+        window = sweep_process_window(
+            sim, mask, layout, defocus_values_nm=(0.0,), dose_values=(0.5, 1.0, 2.0)
+        )
+        outcomes = {p.dose: p.passes for p in window.points}
+        assert outcomes[1.0]
+        assert not outcomes[0.5]
+        assert not outcomes[2.0]
+
+    def test_empty_sweep_rejected(self, sim, biased_square):
+        layout, mask = biased_square
+        with pytest.raises(ProcessError):
+            sweep_process_window(sim, mask, layout, defocus_values_nm=())
+
+
+class TestWindowMap:
+    def _map(self, spec):
+        return ProcessWindowMap(
+            points=[WindowPoint(d, dose, epe) for d, dose, epe in spec]
+        )
+
+    def test_exposure_latitude(self):
+        window = self._map(
+            [(0.0, 0.96, 1), (0.0, 0.98, 0), (0.0, 1.0, 0), (0.0, 1.02, 0), (0.0, 1.04, 3)]
+        )
+        assert window.exposure_latitude() == pytest.approx(0.04)
+
+    def test_exposure_latitude_nothing_passes(self):
+        window = self._map([(0.0, 0.98, 2), (0.0, 1.0, 1)])
+        assert window.exposure_latitude() == 0.0
+
+    def test_depth_of_focus(self):
+        window = self._map([(0.0, 1.0, 0), (10.0, 1.0, 0), (25.0, 1.0, 0), (40.0, 1.0, 5)])
+        assert window.depth_of_focus() == 25.0
+
+    def test_pass_fraction(self):
+        window = self._map([(0.0, 1.0, 0), (0.0, 1.02, 0), (25.0, 1.0, 4), (25.0, 1.02, 6)])
+        assert window.pass_fraction() == 0.5
+
+    def test_empty_map(self):
+        assert ProcessWindowMap(points=[]).pass_fraction() == 0.0

@@ -1,0 +1,132 @@
+"""Tests for benchmark layouts and the pattern generators."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.rect import Rect
+from repro.workloads.generator import (
+    comb_structure,
+    contact_array,
+    isolated_line,
+    jog_line,
+    l_shape,
+    line_grating,
+    t_shape,
+    u_shape,
+)
+from repro.workloads.iccad2013 import BENCHMARK_NAMES, load_all_benchmarks, load_benchmark
+
+
+class TestGenerators:
+    def test_line_grating_count_and_pitch(self):
+        lines = line_grating(0, 0, num_lines=4, width=60, pitch=140, length=600)
+        assert len(lines) == 4
+        assert lines[1].y0 - lines[0].y0 == 140
+        assert all(r.height == 60 and r.width == 600 for r in lines)
+
+    def test_line_grating_vertical(self):
+        lines = line_grating(0, 0, num_lines=3, width=60, pitch=140, length=500, vertical=True)
+        assert all(r.width == 60 and r.height == 500 for r in lines)
+        assert lines[2].x0 == 280
+
+    def test_line_grating_bad_pitch(self):
+        with pytest.raises(GeometryError):
+            line_grating(0, 0, num_lines=2, width=100, pitch=90)
+
+    def test_isolated_line_orientations(self):
+        h = isolated_line(0, 0, width=70, length=500)
+        v = isolated_line(0, 0, width=70, length=500, vertical=True)
+        assert (h.width, h.height) == (500, 70)
+        assert (v.width, v.height) == (70, 500)
+
+    def test_l_shape_area(self):
+        poly = l_shape(0, 0, arm=300, width=70)
+        # Two 300x70 arms sharing a 70x70 corner.
+        assert poly.area == 2 * 300 * 70 - 70 * 70
+
+    def test_t_shape_area(self):
+        poly = t_shape(0, 0, bar=400, stem=260, width=70)
+        assert poly.area == 400 * 70 + 260 * 70
+
+    def test_u_shape_area(self):
+        poly = u_shape(0, 0, span=360, height=300, width=70)
+        # Bottom bar + two legs above it.
+        assert poly.area == 360 * 70 + 2 * (300 - 70) * 70
+
+    def test_jog_line_area(self):
+        poly = jog_line(0, 0, length=600, width=70, jog_offset=100, jog_at=0.5)
+        # Lower run + connector + upper run telescope to width*(length+offset).
+        assert poly.area == pytest.approx(70 * (600 + 100))
+
+    def test_contact_array_count(self):
+        contacts = contact_array(0, 0, nx=3, ny=2, size=80, pitch=200)
+        assert len(contacts) == 6
+        assert all(r.area == 6400 for r in contacts)
+
+    def test_comb_area(self):
+        poly = comb_structure(
+            0, 0, num_fingers=3, finger_length=300, finger_width=70,
+            finger_pitch=160, spine_width=80,
+        )
+        spine_height = 2 * 160 + 70
+        assert poly.area == 80 * spine_height + 3 * 300 * 70
+
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            lambda: l_shape(0, 0, arm=50, width=70),
+            lambda: u_shape(0, 0, span=100, width=70),
+            lambda: jog_line(0, 0, jog_at=0.05),
+            lambda: comb_structure(0, 0, num_fingers=1),
+            lambda: contact_array(0, 0, nx=0, ny=2),
+        ],
+    )
+    def test_invalid_parameters_rejected(self, factory):
+        with pytest.raises(GeometryError):
+            factory()
+
+
+class TestBenchmarks:
+    def test_all_ten_load(self):
+        benchmarks = load_all_benchmarks()
+        assert list(benchmarks) == list(BENCHMARK_NAMES)
+
+    def test_names_match(self):
+        for name in BENCHMARK_NAMES:
+            assert load_benchmark(name).name == name
+
+    def test_clip_is_contest_size(self):
+        for layout in load_all_benchmarks().values():
+            assert layout.clip == Rect(0, 0, 1024, 1024)
+
+    def test_shapes_inside_clip(self):
+        for layout in load_all_benchmarks().values():
+            bbox = layout.bbox()
+            assert layout.clip.contains_rect(bbox)
+
+    def test_deterministic(self):
+        a = load_benchmark("B4")
+        b = load_benchmark("B4")
+        assert [p.vertices for p in a.polygons] == [p.vertices for p in b.polygons]
+
+    def test_nonzero_areas_span_range(self):
+        areas = [l.pattern_area for l in load_all_benchmarks().values()]
+        assert min(areas) > 10_000
+        assert max(areas) > 3 * min(areas)  # difficulty spread
+
+    def test_b10_has_largest_pattern_area(self):
+        benchmarks = load_all_benchmarks()
+        areas = {name: l.pattern_area for name, l in benchmarks.items()}
+        assert areas["B10"] == max(areas.values())
+        assert areas["B1"] == min(areas.values())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(GeometryError):
+            load_benchmark("B11")
+
+    def test_min_feature_width_printable_scale(self):
+        # All features are >= 60 nm wide (32 nm-node M1 drawn scale).
+        for layout in load_all_benchmarks().values():
+            for poly in layout.polygons:
+                bbox = poly.bbox
+                assert min(bbox.width, bbox.height) >= 60
