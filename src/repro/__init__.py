@@ -17,6 +17,7 @@ Quickstart::
 from .config import (
     GridSpec,
     LithoConfig,
+    ObservabilityConfig,
     OpticsConfig,
     OptimizerConfig,
     ProcessConfig,
@@ -44,6 +45,7 @@ from .opc import (
     PVBandObjective,
 )
 from .harness import ExperimentResult, run_experiment
+from .obs import EventEmitter, Instrumentation, MetricsRegistry, Tracer
 from .process import ProcessCorner, enumerate_corners, pv_band, pv_band_area
 from .recipe import Recipe, dump_recipe, load_recipe, solve_with_recipe
 from .report import VerificationReport, verify_mask
@@ -59,6 +61,7 @@ __all__ = [
     "ProcessConfig",
     "OptimizerConfig",
     "LithoConfig",
+    "ObservabilityConfig",
     # errors
     "ReproError",
     "GeometryError",
@@ -98,6 +101,11 @@ __all__ = [
     "load_recipe",
     "dump_recipe",
     "solve_with_recipe",
+    # observability
+    "Instrumentation",
+    "Tracer",
+    "MetricsRegistry",
+    "EventEmitter",
     # workloads
     "BENCHMARK_NAMES",
     "load_benchmark",

@@ -19,12 +19,15 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from pathlib import Path
 from typing import Optional
 
-from .config import LithoConfig
+from .config import LithoConfig, ObservabilityConfig
 from .errors import ReproError
+from .obs import Instrumentation
 from .geometry.layout import Layout
 from .geometry.raster import rasterize_layout
 from .io.glp import read_glp, write_glp
@@ -53,6 +56,78 @@ def _config_for(scale: str) -> LithoConfig:
     return LithoConfig.paper() if scale == "paper" else LithoConfig.reduced()
 
 
+def _add_obs_args(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by the solve/simulate/verify commands."""
+    group = parser.add_argument_group("observability")
+    group.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log progress via Python logging (-v info, -vv debug)",
+    )
+    group.add_argument(
+        "--trace", action="store_true",
+        help="record hierarchical spans and print the per-phase time breakdown",
+    )
+    group.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the metrics registry snapshot to this JSON file",
+    )
+    group.add_argument(
+        "--log-json", metavar="PATH",
+        help="stream JSONL run events (one per iteration) to this file",
+    )
+
+
+def _obs_config_from_args(args: argparse.Namespace) -> ObservabilityConfig:
+    return ObservabilityConfig(
+        trace=getattr(args, "trace", False),
+        metrics=bool(getattr(args, "trace", False) or getattr(args, "metrics_out", None)),
+        events_path=getattr(args, "log_json", None),
+        verbose=getattr(args, "verbose", 0),
+    )
+
+
+def _check_output_path(flag: str, value: Optional[str]) -> None:
+    if value is not None:
+        parent = Path(value).resolve().parent
+        if not parent.is_dir():
+            raise SystemExit(f"error: {flag}: directory {parent} does not exist")
+
+
+def _setup_observability(args: argparse.Namespace) -> Instrumentation:
+    """Configure logging from -v and build the instrumentation bundle."""
+    _check_output_path("--metrics-out", getattr(args, "metrics_out", None))
+    _check_output_path("--log-json", getattr(args, "log_json", None))
+    cfg = _obs_config_from_args(args)
+    level = {0: logging.WARNING, 1: logging.INFO}.get(cfg.verbose, logging.DEBUG)
+    logging.basicConfig(
+        level=level, format="%(levelname)s %(name)s: %(message)s", stream=sys.stderr
+    )
+    logging.getLogger("repro").setLevel(level)
+    return Instrumentation.from_config(cfg)
+
+
+def _finalize_observability(
+    args: argparse.Namespace,
+    obs: Instrumentation,
+    printed_in_report: bool = False,
+) -> None:
+    """Print/write the collected telemetry after a command finishes."""
+    if getattr(args, "trace", False) and not printed_in_report:
+        print()
+        print(obs.tracer.report())
+        print()
+        print(obs.metrics.summary())
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        with open(metrics_out, "w") as handle:
+            json.dump(obs.metrics.as_dict(), handle, indent=2)
+        print(f"Wrote metrics to {metrics_out}")
+    log_json = getattr(args, "log_json", None)
+    obs.close()
+    if log_json:
+        print(f"Wrote JSONL events to {log_json}")
+
+
 def _solver_for(mode: str, config: LithoConfig, sim: LithographySimulator):
     from .baselines import BasicILT, LevelSetILT, ModelBasedOPC, RuleBasedOPC
     from .opc.mosaic import MosaicExact, MosaicFast
@@ -74,7 +149,8 @@ def _solver_for(mode: str, config: LithoConfig, sim: LithographySimulator):
 def cmd_solve(args: argparse.Namespace) -> int:
     layout = _load_layout(args.layout)
     config = _config_for(args.scale)
-    sim = LithographySimulator(config)
+    obs = _setup_observability(args)
+    sim = LithographySimulator(config, obs=obs)
     if args.recipe:
         from .recipe import load_recipe, solve_with_recipe
 
@@ -105,13 +181,15 @@ def cmd_solve(args: argparse.Namespace) -> int:
             },
         )
         print(f"Wrote {bundle}")
+    _finalize_observability(args, obs)
     return 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
     layout = _load_layout(args.layout)
     config = _config_for(args.scale)
-    sim = LithographySimulator(config)
+    obs = _setup_observability(args)
+    sim = LithographySimulator(config, obs=obs)
     target = rasterize_layout(layout, config.grid).astype(float)
     score = contest_score(sim, target, layout)
     print(f"{layout.name}: drawn-mask print (no OPC)")
@@ -119,6 +197,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     if args.render:
         print("\n--- printed image at nominal condition ---")
         print(ascii_render(sim.print_binary(target).astype(float), width=args.render_width))
+    _finalize_observability(args, obs)
     return 0
 
 
@@ -127,13 +206,17 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
     layout = _load_layout(args.layout)
     config = _config_for(args.scale)
-    sim = LithographySimulator(config)
+    obs = _setup_observability(args)
+    sim = LithographySimulator(config, obs=obs)
     solver = _solver_for(args.mode, config, sim)
     print(f"Solving {layout.name} with {solver.mode_name}...")
     result = solver.solve(layout)
-    report = verify_mask(sim, result.mask, layout, runtime_s=result.runtime_s)
+    report = verify_mask(
+        sim, result.mask, layout, runtime_s=result.runtime_s, obs=obs
+    )
     print()
     print(report.render())
+    _finalize_observability(args, obs, printed_in_report=True)
     if args.svg:
         from .io.svg import save_svg
 
@@ -184,6 +267,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--out", help="directory for the NPZ result bundle")
     solve.add_argument("--render", action="store_true", help="ASCII-render the mask")
     solve.add_argument("--render-width", type=int, default=56)
+    _add_obs_args(solve)
     solve.set_defaults(func=cmd_solve)
 
     simulate = sub.add_parser("simulate", help="print a layout without OPC")
@@ -191,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
     simulate.add_argument("--render", action="store_true")
     simulate.add_argument("--render-width", type=int, default=56)
+    _add_obs_args(simulate)
     simulate.set_defaults(func=cmd_simulate)
 
     verify = sub.add_parser(
@@ -200,6 +285,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--mode", choices=_MODES, default="fast")
     verify.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
     verify.add_argument("--svg", help="write a layered SVG figure to this path")
+    _add_obs_args(verify)
     verify.set_defaults(func=cmd_verify)
 
     benchmarks = sub.add_parser("benchmarks", help="list bundled clips")

@@ -11,7 +11,7 @@ all qualitative behaviour; only resolution and runtime change.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Tuple
+from typing import Optional, Tuple
 
 from . import constants
 from .errors import OpticsError, ProcessError
@@ -235,6 +235,45 @@ class OptimizerConfig:
     def with_weights(self, alpha: float, beta: float) -> "OptimizerConfig":
         """Return a copy with different objective weights."""
         return replace(self, alpha=alpha, beta=beta)
+
+
+@dataclass(frozen=True)
+class ObservabilityConfig:
+    """What run telemetry to collect (see :mod:`repro.obs`).
+
+    Attributes:
+        trace: record hierarchical spans (per-phase time breakdown).
+        metrics: record counters/gauges/histograms.
+        events_path: JSONL file receiving one event per optimizer
+            iteration and run-lifecycle event (None = no event stream).
+        verbose: logging verbosity level (0 = warnings, 1 = info,
+            2+ = debug), applied by the CLI via ``logging``.
+
+    ``ObservabilityConfig()`` is fully disabled — the no-op default the
+    rest of the stack assumes, so timing-sensitive benches pay nothing.
+    """
+
+    trace: bool = False
+    metrics: bool = False
+    events_path: Optional[str] = None
+    verbose: int = 0
+
+    def __post_init__(self) -> None:
+        if self.verbose < 0:
+            raise ProcessError(f"verbose must be >= 0, got {self.verbose}")
+
+    @property
+    def any_enabled(self) -> bool:
+        return bool(self.trace or self.metrics or self.events_path)
+
+    @classmethod
+    def disabled(cls) -> "ObservabilityConfig":
+        return cls()
+
+    @classmethod
+    def full(cls, events_path: Optional[str] = None) -> "ObservabilityConfig":
+        """Everything on (events only when a path is given)."""
+        return cls(trace=True, metrics=True, events_path=events_path)
 
 
 @dataclass(frozen=True)

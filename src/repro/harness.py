@@ -9,13 +9,17 @@ text table, and export CSV for spreadsheet analysis.
 from __future__ import annotations
 
 import csv
+import logging
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, List, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from .errors import ReproError
 from .geometry.layout import Layout
 from .metrics.score import ScoreBreakdown
+from .obs import Instrumentation
+
+logger = logging.getLogger(__name__)
 
 #: A solver factory: () -> object with .solve(layout) -> MosaicResult.
 SolverFactory = Callable[[], object]
@@ -87,6 +91,7 @@ def run_experiment(
     solvers: Sequence[Tuple[str, SolverFactory]],
     layouts: Sequence[Layout],
     progress: Callable[[str], None] = lambda msg: None,
+    obs: Optional[Instrumentation] = None,
 ) -> ExperimentResult:
     """Run every solver on every layout.
 
@@ -96,6 +101,10 @@ def run_experiment(
             factory closure to reuse kernel caches).
         layouts: the layouts to solve.
         progress: optional callback receiving one message per cell.
+        obs: optional instrumentation; records one ``experiment`` span
+            with a child span per (solver, layout) cell, a
+            ``harness_cells_total`` counter, and a ``cell`` event per
+            solved cell.
 
     Returns:
         The filled result matrix.
@@ -107,14 +116,29 @@ def run_experiment(
     labels = [label for label, _ in solvers]
     if len(set(labels)) != len(labels):
         raise ReproError(f"duplicate solver labels: {labels}")
+    obs = obs or Instrumentation.disabled()
     result = ExperimentResult(
         solver_labels=labels,
         layout_names=[layout.name for layout in layouts],
     )
-    for layout in layouts:
-        for label, factory in solvers:
-            progress(f"{label} on {layout.name}")
-            solved = factory().solve(layout)
-            result.scores[(label, layout.name)] = solved.score
-            result.runtimes[(label, layout.name)] = solved.runtime_s
+    cells = obs.metrics.counter("harness_cells_total")
+    with obs.tracer.span("experiment"):
+        for layout in layouts:
+            for label, factory in solvers:
+                progress(f"{label} on {layout.name}")
+                logger.info("solving %s with %s", layout.name, label)
+                with obs.tracer.span(f"cell:{label}:{layout.name}"):
+                    solved = factory().solve(layout)
+                cells.inc()
+                result.scores[(label, layout.name)] = solved.score
+                result.runtimes[(label, layout.name)] = solved.runtime_s
+                obs.events.emit(
+                    "cell",
+                    solver=label,
+                    layout=layout.name,
+                    score=solved.score.total,
+                    epe_violations=solved.score.epe_violations,
+                    pv_band_nm2=solved.score.pv_band_nm2,
+                    runtime_s=solved.runtime_s,
+                )
     return result

@@ -3,21 +3,45 @@
 ``LithographySimulator`` glues together the optical SOCS model, the resist
 threshold model and the process corners into the forward map ``Z = f(M)``
 (paper Eq. 5).  Kernel sets are built lazily per focus condition and
-cached, since TCC decomposition is the expensive setup step.
+cached, since TCC decomposition is the expensive setup step; the cache
+is observable through :meth:`LithographySimulator.cache_info` and the
+``kernel_cache_hits`` / ``kernel_cache_misses`` metrics.
 """
 
 from __future__ import annotations
 
+import logging
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from ..config import LithoConfig
+from ..obs import Instrumentation
 from ..optics.hopkins import aerial_image, field_stack
 from ..optics.kernels import SOCSKernels, build_socs_kernels
 from ..process.corners import ProcessCorner, enumerate_corners, nominal_corner
 from ..process.pvband import pv_band, pv_band_area
 from ..resist.threshold import ThresholdResist
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class KernelCacheInfo:
+    """Snapshot of the SOCS kernel cache (mirrors ``functools.cache_info``).
+
+    Attributes:
+        hits: lookups served from the cache.
+        misses: lookups that triggered a kernel build.
+        size: kernel sets currently cached.
+        defocus_values_nm: the cached focus conditions.
+    """
+
+    hits: int
+    misses: int
+    size: int
+    defocus_values_nm: tuple
 
 
 class LithographySimulator:
@@ -37,25 +61,54 @@ class LithographySimulator:
         config: full lithography configuration.
         source: optional illumination source overriding the default
             annular source built from ``config.optics``.
+        obs: optional instrumentation bundle; disabled (no-op) when
+            omitted.  Downstream components (optimizer, objectives,
+            harness) inherit the simulator's bundle by default.
     """
 
-    def __init__(self, config: LithoConfig, source: Optional[object] = None) -> None:
+    def __init__(
+        self,
+        config: LithoConfig,
+        source: Optional[object] = None,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
         self.config = config
         self.grid = config.grid
         self.resist = ThresholdResist(config.resist, pixel_nm=config.grid.pixel_nm)
+        self.obs = obs or Instrumentation.disabled()
         self._source = source
         self._kernel_cache: Dict[float, SOCSKernels] = {}
+        self._cache_hits = 0
+        self._cache_misses = 0
 
     # -- kernel management ---------------------------------------------------
 
     def kernels_at(self, defocus_nm: float = 0.0) -> SOCSKernels:
         """SOCS kernel set at the given focus (built once, then cached)."""
         key = float(defocus_nm)
-        if key not in self._kernel_cache:
-            self._kernel_cache[key] = build_socs_kernels(
+        cached = self._kernel_cache.get(key)
+        if cached is not None:
+            self._cache_hits += 1
+            self.obs.metrics.counter("kernel_cache_hits").inc()
+            return cached
+        self._cache_misses += 1
+        self.obs.metrics.counter("kernel_cache_misses").inc()
+        logger.debug("building SOCS kernels at defocus %.1f nm", key)
+        with self.obs.tracer.span("kernel_build"):
+            kernels = build_socs_kernels(
                 self.grid, self.config.optics, defocus_nm=key, source=self._source
             )
-        return self._kernel_cache[key]
+        self._kernel_cache[key] = kernels
+        return kernels
+
+    def cache_info(self) -> KernelCacheInfo:
+        """Hit/miss statistics of the kernel cache since construction."""
+        return KernelCacheInfo(
+            hits=self._cache_hits,
+            misses=self._cache_misses,
+            size=len(self._kernel_cache),
+            defocus_values_nm=tuple(sorted(self._kernel_cache)),
+        )
 
     def corners(self, include_nominal: bool = True) -> List[ProcessCorner]:
         """Process corners for the configured process window."""
@@ -72,12 +125,16 @@ class LithographySimulator:
         """Aerial intensity image at a process condition (default nominal)."""
         corner = corner or nominal_corner()
         kernels = self.kernels_at(corner.defocus_nm)
-        return aerial_image(mask, kernels, dose=corner.dose)
+        self.obs.metrics.counter("forward_evals_total").inc()
+        with self.obs.tracer.span("aerial"):
+            return aerial_image(mask, kernels, dose=corner.dose)
 
     def fields(self, mask: np.ndarray, corner: Optional[ProcessCorner] = None) -> np.ndarray:
         """Per-kernel coherent fields at a condition (for gradient reuse)."""
         corner = corner or nominal_corner()
-        return field_stack(mask, self.kernels_at(corner.defocus_nm))
+        kernels = self.kernels_at(corner.defocus_nm)
+        with self.obs.tracer.span("fields"):
+            return field_stack(mask, kernels)
 
     def print_binary(self, mask: np.ndarray, corner: Optional[ProcessCorner] = None) -> np.ndarray:
         """Hard-threshold printed image Z (paper Eq. 3)."""
@@ -98,8 +155,10 @@ class LithographySimulator:
 
     def pv_band(self, mask: np.ndarray) -> np.ndarray:
         """Boolean PV-band mask across all configured corners."""
-        return pv_band(self.print_all_corners(mask))
+        with self.obs.tracer.span("pv_band"):
+            return pv_band(self.print_all_corners(mask))
 
     def pv_band_area(self, mask: np.ndarray) -> float:
         """PV-band area in nm^2 across all configured corners."""
-        return pv_band_area(self.print_all_corners(mask), self.grid.pixel_nm)
+        with self.obs.tracer.span("pv_band"):
+            return pv_band_area(self.print_all_corners(mask), self.grid.pixel_nm)

@@ -1,0 +1,113 @@
+"""Structured JSONL event stream for run telemetry.
+
+One JSON object per line, each with an ``"event"`` type plus free-form
+fields — one record per optimizer iteration and per run-lifecycle event
+(``run_start`` / ``run_end`` / harness cells).  The sink is a file path,
+an open text stream, or a callback receiving the event dict; the same
+schema is produced by ``OptimizationHistory.to_jsonl`` so trajectories
+round-trip between live streams and saved histories.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Callable, Dict, IO, Optional, Union
+
+__all__ = ["EventEmitter", "NullEventEmitter", "NULL_EMITTER"]
+
+#: Anything an emitter can write to.
+EventSink = Union[str, Path, IO[str], Callable[[Dict[str, object]], None]]
+
+
+def _jsonable(value: object) -> object:
+    """Coerce numpy scalars and other oddballs into plain JSON types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    item = getattr(value, "item", None)  # numpy scalar -> python scalar
+    if callable(item):
+        return item()
+    return str(value)
+
+
+class EventEmitter:
+    """Streams structured events to a file, stream, or callback.
+
+    Args:
+        sink: destination — a path (opened lazily, line-buffered), an
+            open text stream (``write`` is used, never closed), or a
+            callable invoked with each event dict.
+
+    Example:
+        >>> seen = []
+        >>> emitter = EventEmitter(seen.append)
+        >>> emitter.emit("run_start", shape=[4, 4])
+        >>> seen[0]["event"]
+        'run_start'
+    """
+
+    enabled = True
+
+    def __init__(self, sink: EventSink) -> None:
+        self._callback: Optional[Callable[[Dict[str, object]], None]] = None
+        self._stream: Optional[IO[str]] = None
+        self._path: Optional[Path] = None
+        self._owns_stream = False
+        if callable(sink):
+            self._callback = sink
+        elif hasattr(sink, "write"):
+            self._stream = sink  # type: ignore[assignment]
+        else:
+            self._path = Path(sink)  # type: ignore[arg-type]
+
+    def emit(self, event: str, **fields: object) -> None:
+        """Record one event (the ``event`` key is always first)."""
+        record: Dict[str, object] = {"event": event}
+        for key, value in fields.items():
+            record[key] = _jsonable(value)
+        if self._callback is not None:
+            self._callback(record)
+            return
+        if self._stream is None:
+            self._stream = open(self._path, "a", buffering=1)
+            self._owns_stream = True
+        self._stream.write(json.dumps(record) + "\n")
+
+    def close(self) -> None:
+        """Flush and close a lazily opened file sink (idempotent)."""
+        if self._owns_stream and self._stream is not None:
+            self._stream.close()
+            self._stream = None
+            self._owns_stream = False
+
+    def __enter__(self) -> "EventEmitter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+class NullEventEmitter:
+    """No-op emitter: the default when observability is disabled."""
+
+    enabled = False
+
+    def emit(self, event: str, **fields: object) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "NullEventEmitter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+#: Shared no-op emitter instance for disabled-observability defaults.
+NULL_EMITTER = NullEventEmitter()

@@ -1,0 +1,278 @@
+"""Metrics registry: counters, gauges, and fixed-bucket histograms.
+
+Instruments are created on demand and identified by name, so call sites
+stay one-liners::
+
+    registry.counter("forward_evals_total").inc()
+    registry.gauge("best_objective").set(value)
+    registry.histogram("gradient_rms").observe(rms)
+
+A process-global :func:`default_registry` exists for convenience wiring;
+tests and the CLI inject their own :class:`MetricsRegistry` instances.
+:class:`NullMetricsRegistry` returns shared no-op instruments, so
+instrumented hot paths cost one method call when metrics are disabled.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullMetricsRegistry",
+    "NULL_REGISTRY",
+    "default_registry",
+    "set_default_registry",
+    "DEFAULT_GRADIENT_RMS_BUCKETS",
+]
+
+#: Log-spaced upper bounds suited to gradient-RMS magnitudes (paper th_g = 1e-5).
+DEFAULT_GRADIENT_RMS_BUCKETS = (
+    1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
+)
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def as_dict(self) -> Dict[str, Union[str, int]]:
+        return {"type": "counter", "value": self._value}
+
+
+class Gauge:
+    """Last-written value (e.g. the current best objective)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def as_dict(self) -> Dict[str, Union[str, Optional[float]]]:
+        return {"type": "gauge", "value": self._value}
+
+
+class Histogram:
+    """Fixed-bucket histogram with cumulative-friendly summary stats.
+
+    Buckets are upper bounds (inclusive); one implicit overflow bucket
+    catches everything above the last bound.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, buckets: Sequence[float]) -> None:
+        if not buckets or list(buckets) != sorted(buckets):
+            raise ValueError(f"histogram {name!r} needs ascending bucket bounds")
+        self.name = name
+        self.buckets: List[float] = [float(b) for b in buckets]
+        self.counts: List[int] = [0] * (len(self.buckets) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self._count += 1
+        self._sum += value
+        self._min = value if self._min is None else min(self._min, value)
+        self._max = value if self._max is None else max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> Optional[float]:
+        return self._sum / self._count if self._count else None
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "type": "histogram",
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "count": self._count,
+            "sum": self._sum,
+            "min": self._min,
+            "max": self._max,
+        }
+
+
+class MetricsRegistry:
+    """Named instrument store with a JSON-friendly snapshot."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    def _get(self, name: str, cls, *args):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name, *args)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise ValueError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}"
+            )
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(
+        self, name: str, buckets: Sequence[float] = DEFAULT_GRADIENT_RMS_BUCKETS
+    ) -> Histogram:
+        return self._get(name, Histogram, buckets)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __len__(self) -> int:
+        return len(self._instruments)
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        """Snapshot of every instrument, ready for ``json.dump``."""
+        return {name: self._instruments[name].as_dict() for name in self.names()}
+
+    def reset(self) -> None:
+        self._instruments.clear()
+
+    def summary(self, title: str = "metrics") -> str:
+        """Compact text rendering (used by reports and ``--trace`` output)."""
+        if not self._instruments:
+            return f"--- {title} ---\n(no metrics recorded)"
+        lines = [f"--- {title} ---"]
+        for name in self.names():
+            instrument = self._instruments[name]
+            if isinstance(instrument, Counter):
+                lines.append(f"{name:36s} {instrument.value}")
+            elif isinstance(instrument, Gauge):
+                value = instrument.value
+                lines.append(
+                    f"{name:36s} {'n/a' if value is None else f'{value:g}'}"
+                )
+            else:
+                mean = instrument.mean
+                lines.append(
+                    f"{name:36s} n={instrument.count} "
+                    f"mean={'n/a' if mean is None else f'{mean:.3g}'} "
+                    f"min={'n/a' if instrument._min is None else f'{instrument._min:.3g}'} "
+                    f"max={'n/a' if instrument._max is None else f'{instrument._max:.3g}'}"
+                )
+        return "\n".join(lines)
+
+
+class _NullInstrument:
+    """Shared sink accepted anywhere a Counter/Gauge/Histogram is."""
+
+    __slots__ = ()
+    name = "null"
+    value = None
+    count = 0
+    sum = 0.0
+    mean = None
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"type": "null"}
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullMetricsRegistry:
+    """No-op registry: the default when observability is disabled."""
+
+    enabled = False
+
+    def counter(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str, buckets: Sequence[float] = ()) -> _NullInstrument:
+        return _NULL_INSTRUMENT
+
+    def __contains__(self, name: str) -> bool:
+        return False
+
+    def __len__(self) -> int:
+        return 0
+
+    def names(self) -> List[str]:
+        return []
+
+    def as_dict(self) -> Dict[str, Dict[str, object]]:
+        return {}
+
+    def reset(self) -> None:
+        pass
+
+    def summary(self, title: str = "metrics") -> str:
+        return "(metrics disabled)"
+
+
+#: Shared no-op registry instance for disabled-observability defaults.
+NULL_REGISTRY = NullMetricsRegistry()
+
+_default_registry = MetricsRegistry()
+
+
+def default_registry() -> MetricsRegistry:
+    """The process-global registry (for wiring-free instrumentation)."""
+    return _default_registry
+
+
+def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-global registry (tests); returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous

@@ -1,0 +1,187 @@
+"""Hierarchical span tracer for per-phase runtime breakdowns.
+
+``Tracer.span("name")`` opens a context-managed span; spans nest, and
+each unique root-to-leaf *path* (``optimize/iteration/objective``)
+accumulates a call count and total monotonic time.  ``Tracer.report()``
+renders the aggregated tree with total, self (total minus child) and
+percent-of-root columns — the per-phase table behind the Table 3 /
+Fig. 6 runtime analyses.
+
+The module also provides :class:`NullTracer`, a no-op stand-in whose
+``span()`` returns a shared do-nothing context manager, so instrumented
+code pays only one attribute lookup and one method call when tracing is
+disabled.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+__all__ = ["SpanStats", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+@dataclass(frozen=True)
+class SpanStats:
+    """Aggregated timing of every span recorded under one path.
+
+    Attributes:
+        path: slash-joined ancestry, e.g. ``"optimize/iteration"``.
+        count: number of spans completed at this path.
+        total_s: wall-clock seconds summed over those spans.
+        self_s: ``total_s`` minus time spent in child spans.
+    """
+
+    path: str
+    count: int
+    total_s: float
+    self_s: float
+
+    @property
+    def name(self) -> str:
+        return self.path.rsplit("/", 1)[-1]
+
+    @property
+    def depth(self) -> int:
+        return self.path.count("/")
+
+
+class _Span:
+    """One live span; created by ``Tracer.span`` and closed on ``__exit__``."""
+
+    __slots__ = ("_tracer", "_name", "_path", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str) -> None:
+        self._tracer = tracer
+        self._name = name
+
+    def __enter__(self) -> "_Span":
+        tracer = self._tracer
+        tracer._stack.append(self._name)
+        self._path = "/".join(tracer._stack)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        elapsed = time.perf_counter() - self._start
+        tracer = self._tracer
+        tracer._totals[self._path] = tracer._totals.get(self._path, 0.0) + elapsed
+        tracer._counts[self._path] = tracer._counts.get(self._path, 0) + 1
+        tracer._stack.pop()
+        if tracer._stack:
+            parent = "/".join(tracer._stack)
+            tracer._child_time[parent] = tracer._child_time.get(parent, 0.0) + elapsed
+
+
+class _NullSpan:
+    """Shared do-nothing span (returned by :class:`NullTracer`)."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """No-op tracer: the default when observability is disabled."""
+
+    enabled = False
+
+    def span(self, name: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def stats(self) -> Dict[str, SpanStats]:
+        return {}
+
+    def total(self, path: str) -> float:
+        return 0.0
+
+    def root_total(self) -> float:
+        return 0.0
+
+    def reset(self) -> None:
+        pass
+
+    def report(self) -> str:
+        return "(tracing disabled)"
+
+
+class Tracer:
+    """Collecting tracer: nestable spans aggregated by path.
+
+    Example:
+        >>> tracer = Tracer()
+        >>> with tracer.span("outer"):
+        ...     with tracer.span("inner"):
+        ...         pass
+        >>> sorted(tracer.stats())
+        ['outer', 'outer/inner']
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._stack: List[str] = []
+        self._totals: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._child_time: Dict[str, float] = {}
+
+    def span(self, name: str) -> _Span:
+        """Open a nestable span; use as a context manager."""
+        return _Span(self, name)
+
+    def stats(self) -> Dict[str, SpanStats]:
+        """Snapshot of every recorded path's aggregate timing."""
+        return {
+            path: SpanStats(
+                path=path,
+                count=self._counts[path],
+                total_s=total,
+                self_s=max(total - self._child_time.get(path, 0.0), 0.0),
+            )
+            for path, total in self._totals.items()
+        }
+
+    def total(self, path: str) -> float:
+        """Total seconds recorded under one exact path (0.0 if unseen)."""
+        return self._totals.get(path, 0.0)
+
+    def root_total(self) -> float:
+        """Summed time of all root (depth-0) spans."""
+        return sum(t for path, t in self._totals.items() if "/" not in path)
+
+    def reset(self) -> None:
+        """Drop all recorded spans (open spans keep nesting correctly)."""
+        self._totals.clear()
+        self._counts.clear()
+        self._child_time.clear()
+
+    def report(self, title: str = "phase breakdown") -> str:
+        """Fixed-width per-phase table, children indented under parents."""
+        stats = self.stats()
+        if not stats:
+            return f"--- {title} ---\n(no spans recorded)"
+        root_total = self.root_total() or 1e-12
+        lines = [
+            f"--- {title} ---",
+            f"{'span':40s} {'count':>7s} {'total s':>9s} {'self s':>9s} {'%root':>6s}",
+        ]
+        for path in sorted(stats):
+            s = stats[path]
+            label = "  " * s.depth + s.name
+            lines.append(
+                f"{label:40s} {s.count:7d} {s.total_s:9.3f} {s.self_s:9.3f} "
+                f"{100.0 * s.total_s / root_total:6.1f}"
+            )
+        return "\n".join(lines)
+
+
+#: Shared no-op tracer instance for disabled-observability defaults.
+NULL_TRACER = NullTracer()

@@ -1,9 +1,17 @@
-"""Optimization trajectory recording (used by the Fig. 6 convergence bench)."""
+"""Optimization trajectory recording (used by the Fig. 6 convergence bench).
+
+Histories serialize to the same JSONL schema the observability event
+emitter streams live (one ``{"event": "iteration", ...}`` object per
+line), so a saved trajectory and a captured event stream are
+interchangeable: ``OptimizationHistory.from_jsonl`` reads either.
+"""
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
 
 
 @dataclass(frozen=True)
@@ -14,8 +22,10 @@ class IterationRecord:
         iteration: 0-based iteration index.
         objective: total objective F at the start of the iteration.
         gradient_rms: RMS of the parameter-space gradient.
-        step_size: step actually applied (reflects jump boosts).
-        term_values: per-term objective values of a composite objective.
+        step_size: step actually applied — after jump boosts *and* after
+            any line-search backtracking shrank it.
+        term_values: per-term objective values of a composite objective,
+            keyed by term name (see ``CompositeObjective.term_names``).
         epe_violations: optional evaluated metric (convergence studies).
         pv_band_nm2: optional evaluated metric.
         score: optional evaluated contest score.
@@ -25,10 +35,24 @@ class IterationRecord:
     objective: float
     gradient_rms: float
     step_size: float
-    term_values: Dict[int, float] = field(default_factory=dict)
+    term_values: Dict[str, float] = field(default_factory=dict)
     epe_violations: Optional[int] = None
     pv_band_nm2: Optional[float] = None
     score: Optional[float] = None
+
+    def to_event(self) -> Dict[str, object]:
+        """The record as a JSONL iteration event (emitter-compatible)."""
+        event: Dict[str, object] = {"event": "iteration"}
+        event.update(asdict(self))
+        return event
+
+    @classmethod
+    def from_event(cls, event: Dict[str, object]) -> "IterationRecord":
+        """Rebuild a record from one parsed iteration event."""
+        known = {f for f in cls.__dataclass_fields__}
+        fields = {k: v for k, v in event.items() if k in known}
+        fields["term_values"] = dict(fields.get("term_values") or {})
+        return cls(**fields)
 
 
 @dataclass
@@ -57,3 +81,43 @@ class OptimizationHistory:
     @property
     def final(self) -> Optional[IterationRecord]:
         return self.records[-1] if self.records else None
+
+    def to_jsonl(self, path: Optional[Union[str, Path]] = None) -> str:
+        """Serialize as JSONL iteration events (optionally writing a file).
+
+        Returns:
+            The JSONL text (one event per line, trailing newline when
+            non-empty) — identical to what the event emitter streams for
+            the same trajectory.
+        """
+        text = "".join(json.dumps(r.to_event()) + "\n" for r in self.records)
+        if path is not None:
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_jsonl(cls, source: Union[str, Path, Iterable[str]]) -> "OptimizationHistory":
+        """Rebuild a history from JSONL text, a file path, or lines.
+
+        Non-iteration events (``run_start``, ``run_end``, harness cells)
+        are skipped, so a raw ``--log-json`` capture loads directly.
+        """
+        if isinstance(source, Path):
+            lines: Iterable[str] = source.read_text().splitlines()
+        elif isinstance(source, str):
+            path = Path(source)
+            if "\n" not in source and path.is_file():
+                lines = path.read_text().splitlines()
+            else:
+                lines = source.splitlines()
+        else:
+            lines = source
+        history = cls()
+        for line in lines:
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if event.get("event") == "iteration":
+                history.append(IterationRecord.from_event(event))
+        return history

@@ -140,19 +140,22 @@ class MosaicSolver:
         Returns:
             Result with the optimized mask and its contest score.
         """
-        with Timer() as total:
+        obs = self.sim.obs
+        with Timer() as total, obs.tracer.span("solve"):
             grid = self.sim.grid
-            target = rasterize_layout(layout, grid).astype(np.float64)
-            objective = self.build_objective(target, layout)
-            optimizer = GradientDescentOptimizer(
-                self.sim, objective, self.optimizer_config, iteration_callback
-            )
-            if initial_mask is None:
-                initial_mask = self.initial_mask(layout)
+            with obs.tracer.span("setup"):
+                target = rasterize_layout(layout, grid).astype(np.float64)
+                objective = self.build_objective(target, layout)
+                optimizer = GradientDescentOptimizer(
+                    self.sim, objective, self.optimizer_config, iteration_callback
+                )
+                if initial_mask is None:
+                    initial_mask = self.initial_mask(layout)
             optimization = optimizer.run(initial_mask)
-        score = contest_score(
-            self.sim, optimization.binary_mask, layout, runtime_s=total.elapsed
-        )
+        with obs.tracer.span("score"):
+            score = contest_score(
+                self.sim, optimization.binary_mask, layout, runtime_s=total.elapsed
+            )
         return MosaicResult(
             layout_name=layout.name,
             optimization=optimization,

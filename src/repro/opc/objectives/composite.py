@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -11,31 +12,65 @@ from ..state import ForwardContext
 from .base import Objective
 
 
+def _term_name(objective: Objective) -> str:
+    """Stable snake_case label for one term, e.g. ``image_difference``."""
+    name = type(objective).__name__
+    if name.endswith("Objective") and len(name) > len("Objective"):
+        name = name[: -len("Objective")]
+    return re.sub(r"(?<=[a-z0-9])(?=[A-Z])", "_", name).lower()
+
+
 class CompositeObjective(Objective):
     """F = sum_i weight_i * F_i, with one shared forward context.
+
+    Per-term values of the latest evaluation are exposed through
+    ``last_term_values``, keyed by a stable snake_case term name derived
+    from the objective class (``names`` overrides; duplicates get a
+    positional suffix).  Per-term evaluation spans are recorded on the
+    simulator's tracer when observability is enabled.
 
     Example:
         >>> # F_fast = alpha * F_id + beta * F_pvb   (paper Eq. 20)
         >>> # composite = CompositeObjective([(alpha, f_id), (beta, f_pvb)])
     """
 
-    def __init__(self, terms: Sequence[Tuple[float, Objective]]) -> None:
+    def __init__(
+        self,
+        terms: Sequence[Tuple[float, Objective]],
+        names: Optional[Sequence[str]] = None,
+    ) -> None:
         if not terms:
             raise OptimizationError("composite objective needs at least one term")
         for weight, _ in terms:
             if weight < 0:
                 raise OptimizationError(f"term weights must be >= 0, got {weight}")
         self.terms: List[Tuple[float, Objective]] = list(terms)
+        if names is not None:
+            if len(names) != len(self.terms):
+                raise OptimizationError(
+                    f"got {len(names)} names for {len(self.terms)} terms"
+                )
+            self.term_names: List[str] = list(names)
+        else:
+            self.term_names = [_term_name(obj) for _, obj in self.terms]
+            # Disambiguate repeated objective types positionally.
+            for i, name in enumerate(self.term_names):
+                if self.term_names.count(name) > 1:
+                    self.term_names[i] = f"{name}_{i}"
+        if len(set(self.term_names)) != len(self.term_names):
+            raise OptimizationError(f"duplicate term names: {self.term_names}")
         #: Per-term values from the latest evaluation, for logging/history.
-        self.last_term_values: Dict[int, float] = {}
+        self.last_term_values: Dict[str, float] = {}
 
     def value_and_gradient(self, ctx: ForwardContext) -> Tuple[float, np.ndarray]:
+        tracer = ctx.sim.obs.tracer
         total = 0.0
         grad = np.zeros_like(ctx.mask)
         self.last_term_values = {}
-        for i, (weight, objective) in enumerate(self.terms):
-            value, g = objective.value_and_gradient(ctx)
-            self.last_term_values[i] = value
+        for name, (weight, objective) in zip(self.term_names, self.terms):
+            with tracer.span(f"term:{name}"):
+                value, g = objective.value_and_gradient(ctx)
+            self.last_term_values[name] = value
             if weight:
                 total += weight * value
                 grad += weight * g

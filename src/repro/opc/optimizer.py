@@ -13,12 +13,19 @@ The step is normalized by the gradient's max magnitude, which makes one
 ``step_size`` work across grids, kernel counts and objective scales.  The
 "jump technique" (ref [12]) periodically boosts the step to hop between
 local minima of the nonconvex landscape.
+
+The engine is instrumented: iteration/objective/line-search spans on the
+tracer, ``line_search_backtracks`` / ``jump_activations`` counters and a
+gradient-RMS histogram on the metrics registry, and one JSONL event per
+iteration plus run-lifecycle events on the emitter.  All of it is no-op
+when the simulator's instrumentation is disabled (the default).
 """
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Callable, Optional, Tuple
 
 import numpy as np
 
@@ -27,11 +34,14 @@ from ..errors import OptimizationError
 from ..litho.simulator import LithographySimulator
 from ..mask.mask import binarize
 from ..mask.transform import mask_from_params, mask_param_derivative, params_from_mask
+from ..obs import Instrumentation
 from ..utils.timer import Timer
 from .history import IterationRecord, OptimizationHistory
 from .objectives.base import Objective
 from .objectives.composite import CompositeObjective
 from .state import ForwardContext
+
+logger = logging.getLogger(__name__)
 
 #: Guards against division by a vanishing gradient when normalizing steps.
 _GRAD_EPS = 1e-12
@@ -71,6 +81,8 @@ class GradientDescentOptimizer:
         iteration_callback: optional hook ``f(iteration, mask, record)``
             called after each iteration — used by convergence benches to
             attach evaluated metrics to the history.
+        obs: optional instrumentation bundle; defaults to the
+            simulator's (which itself defaults to disabled).
     """
 
     def __init__(
@@ -79,17 +91,20 @@ class GradientDescentOptimizer:
         objective: Objective,
         config: Optional[OptimizerConfig] = None,
         iteration_callback: Optional[Callable[[int, np.ndarray, IterationRecord], IterationRecord]] = None,
+        obs: Optional[Instrumentation] = None,
     ) -> None:
         self.sim = sim
         self.objective = objective
         self.config = config or OptimizerConfig()
         self.iteration_callback = iteration_callback
+        self.obs = obs or sim.obs
 
     def _step_size_at(self, iteration: int) -> float:
         cfg = self.config
         step = cfg.step_size
         if cfg.use_jump and iteration > 0 and iteration % cfg.jump_period == 0:
             step *= cfg.jump_factor
+            self.obs.metrics.counter("jump_activations").inc()
         return step
 
     def _line_search(
@@ -98,24 +113,32 @@ class GradientDescentOptimizer:
         direction: np.ndarray,
         step: float,
         current_value: float,
-    ):
+    ) -> Tuple[np.ndarray, np.ndarray, float]:
         """Backtracking line search (ref [12]): shrink the step until the
-        objective decreases, accepting the smallest step if nothing does."""
+        objective decreases, accepting the smallest step if nothing does.
+
+        Returns:
+            ``(params, mask, accepted_step)`` — the accepted iterate and
+            the step size actually taken after backtracking.
+        """
         cfg = self.config
+        backtracks = self.obs.metrics.counter("line_search_backtracks")
         trial_params = params - step * direction
         trial_mask = mask_from_params(trial_params, cfg.theta_m)
         for _ in range(cfg.line_search_max_steps - 1):
             trial_value = self.objective.value(ForwardContext(trial_mask, self.sim))
             if trial_value < current_value:
                 break
+            backtracks.inc()
             step *= cfg.line_search_shrink
             trial_params = params - step * direction
             trial_mask = mask_from_params(trial_params, cfg.theta_m)
-        return trial_params, trial_mask
+        return trial_params, trial_mask, step
 
     def run(self, initial_mask: np.ndarray) -> OptimizationResult:
         """Optimize starting from ``initial_mask`` (binary or continuous)."""
         cfg = self.config
+        obs = self.obs
         initial_mask = np.asarray(initial_mask, dtype=np.float64)
         if initial_mask.shape != self.sim.grid.shape:
             raise OptimizationError(
@@ -134,77 +157,124 @@ class GradientDescentOptimizer:
         best_iteration = 0
         converged = False
 
-        with Timer() as timer:
+        obs.events.emit(
+            "run_start",
+            grid_shape=list(self.sim.grid.shape),
+            max_iterations=cfg.max_iterations,
+            descent_mode=cfg.descent_mode,
+            use_line_search=cfg.use_line_search,
+        )
+        rms_hist = obs.metrics.histogram("gradient_rms")
+        iterations_total = obs.metrics.counter("iterations_total")
+        # Register the loop counters up front so a metrics dump always
+        # carries them, even when the run never backtracks or jumps.
+        obs.metrics.counter("line_search_backtracks")
+        obs.metrics.counter("jump_activations")
+
+        with Timer() as timer, obs.tracer.span("optimize"):
             iteration = 0
             for iteration in range(cfg.max_iterations):
-                ctx = ForwardContext(mask, self.sim)
-                value, grad_mask = self.objective.value_and_gradient(ctx)
-                if not np.isfinite(value) or not np.all(np.isfinite(grad_mask)):
-                    raise OptimizationError(
-                        f"non-finite objective/gradient at iteration {iteration}"
+                with obs.tracer.span("iteration"):
+                    ctx = ForwardContext(mask, self.sim)
+                    with obs.tracer.span("objective"):
+                        value, grad_mask = self.objective.value_and_gradient(ctx)
+                    if not np.isfinite(value) or not np.all(np.isfinite(grad_mask)):
+                        raise OptimizationError(
+                            f"non-finite objective/gradient at iteration {iteration}"
+                        )
+                    grad_params = grad_mask * mask_param_derivative(mask, cfg.theta_m)
+                    rms = float(np.sqrt(np.mean(grad_params**2)))
+                    step = self._step_size_at(iteration)
+                    iterations_total.inc()
+                    rms_hist.observe(rms)
+
+                    # Capture per-term values now: a line search re-evaluates
+                    # the composite and would overwrite them.
+                    term_values = (
+                        dict(self.objective.last_term_values)
+                        if isinstance(self.objective, CompositeObjective)
+                        else {}
                     )
-                grad_params = grad_mask * mask_param_derivative(mask, cfg.theta_m)
-                rms = float(np.sqrt(np.mean(grad_params**2)))
-                step = self._step_size_at(iteration)
+                    current_mask = mask
+                    converged = rms < cfg.gradient_rms_tol
+                    accepted_step = step
 
-                term_values = (
-                    dict(self.objective.last_term_values)
-                    if isinstance(self.objective, CompositeObjective)
-                    else {}
-                )
-                record = IterationRecord(
-                    iteration=iteration,
-                    objective=value,
-                    gradient_rms=rms,
-                    step_size=step,
-                    term_values=term_values,
-                )
-                if self.iteration_callback is not None:
-                    record = self.iteration_callback(iteration, mask, record)
-                history.append(record)
+                    if not converged:
+                        if cfg.descent_mode == "adam":
+                            # Adaptive-moment direction.  Adam's per-pixel
+                            # normalization turns noise-scale gradients into
+                            # full-size steps, so pixels whose raw gradient is
+                            # negligible (< 0.1% of the max) are gated out —
+                            # otherwise the background fills with mask texture.
+                            adam_m = cfg.adam_beta1 * adam_m + (1 - cfg.adam_beta1) * grad_params
+                            adam_v = cfg.adam_beta2 * adam_v + (1 - cfg.adam_beta2) * grad_params**2
+                            m_hat = adam_m / (1 - cfg.adam_beta1 ** (iteration + 1))
+                            v_hat = adam_v / (1 - cfg.adam_beta2 ** (iteration + 1))
+                            direction = m_hat / (np.sqrt(v_hat) + _GRAD_EPS)
+                            gate = np.abs(grad_params) > 1e-3 * float(np.max(np.abs(grad_params)))
+                            direction = direction * gate
+                            direction /= max(float(np.max(np.abs(direction))), 1.0)
+                        else:
+                            # Paper-style max-normalized step: scale-free across
+                            # objectives.
+                            max_grad = float(np.max(np.abs(grad_params)))
+                            direction = grad_params / (max_grad + _GRAD_EPS)
+                        if cfg.use_line_search:
+                            with obs.tracer.span("line_search"):
+                                params, mask, accepted_step = self._line_search(
+                                    params, direction, step, value
+                                )
+                        else:
+                            params = params - step * direction
+                            mask = mask_from_params(params, cfg.theta_m)
 
-                if cfg.keep_best and value < best_value:
-                    best_value = value
-                    best_mask = mask.copy()
-                    best_iteration = iteration
+                    record = IterationRecord(
+                        iteration=iteration,
+                        objective=value,
+                        gradient_rms=rms,
+                        step_size=accepted_step,
+                        term_values=term_values,
+                    )
+                    if self.iteration_callback is not None:
+                        record = self.iteration_callback(iteration, current_mask, record)
+                    history.append(record)
+                    obs.events.emit(**record.to_event())
+                    logger.debug(
+                        "iteration %d: F=%.6g rms=%.3g step=%.3g",
+                        iteration, value, rms, accepted_step,
+                    )
 
-                if rms < cfg.gradient_rms_tol:
-                    converged = True
+                    if cfg.keep_best and value < best_value:
+                        best_value = value
+                        best_mask = current_mask.copy()
+                        best_iteration = iteration
+
+                if converged:
                     break
 
-                if cfg.descent_mode == "adam":
-                    # Adaptive-moment direction.  Adam's per-pixel
-                    # normalization turns noise-scale gradients into
-                    # full-size steps, so pixels whose raw gradient is
-                    # negligible (< 0.1% of the max) are gated out —
-                    # otherwise the background fills with mask texture.
-                    adam_m = cfg.adam_beta1 * adam_m + (1 - cfg.adam_beta1) * grad_params
-                    adam_v = cfg.adam_beta2 * adam_v + (1 - cfg.adam_beta2) * grad_params**2
-                    m_hat = adam_m / (1 - cfg.adam_beta1 ** (iteration + 1))
-                    v_hat = adam_v / (1 - cfg.adam_beta2 ** (iteration + 1))
-                    direction = m_hat / (np.sqrt(v_hat) + _GRAD_EPS)
-                    gate = np.abs(grad_params) > 1e-3 * float(np.max(np.abs(grad_params)))
-                    direction = direction * gate
-                    direction /= max(float(np.max(np.abs(direction))), 1.0)
-                else:
-                    # Paper-style max-normalized step: scale-free across
-                    # objectives.
-                    max_grad = float(np.max(np.abs(grad_params)))
-                    direction = grad_params / (max_grad + _GRAD_EPS)
-                if cfg.use_line_search:
-                    params, mask = self._line_search(params, direction, step, value)
-                else:
-                    params = params - step * direction
-                    mask = mask_from_params(params, cfg.theta_m)
-
             # Consider the final iterate too (the loop records pre-update values).
-            final_ctx = ForwardContext(mask, self.sim)
-            final_value = self.objective.value(final_ctx)
+            with obs.tracer.span("final_eval"):
+                final_ctx = ForwardContext(mask, self.sim)
+                final_value = self.objective.value(final_ctx)
             if not cfg.keep_best or final_value < best_value:
                 best_value = final_value
                 best_mask = mask
                 best_iteration = len(history)
 
+        obs.metrics.gauge("best_objective").set(best_value)
+        obs.events.emit(
+            "run_end",
+            iterations=len(history),
+            converged=converged,
+            best_iteration=best_iteration,
+            best_objective=best_value,
+            runtime_s=timer.elapsed,
+        )
+        logger.info(
+            "optimization finished: %d iterations, converged=%s, best F=%.6g "
+            "at iteration %d (%.2f s)",
+            len(history), converged, best_value, best_iteration, timer.elapsed,
+        )
         return OptimizationResult(
             mask=best_mask,
             binary_mask=binarize(best_mask),

@@ -51,9 +51,12 @@ class ForwardContext:
         key = (float(corner.defocus_nm), float(corner.dose))
         if key not in self._aerial:
             kernels = self.sim.kernels_at(corner.defocus_nm)
-            self._aerial[key] = aerial_image(
-                self.mask, kernels, dose=corner.dose, fields=self.fields(corner)
-            )
+            obs = self.sim.obs
+            obs.metrics.counter("forward_evals_total").inc()
+            with obs.tracer.span("aerial"):
+                self._aerial[key] = aerial_image(
+                    self.mask, kernels, dose=corner.dose, fields=self.fields(corner)
+                )
         return self._aerial[key]
 
     def soft_image(self, corner: Optional[ProcessCorner] = None) -> np.ndarray:
@@ -78,6 +81,7 @@ class ForwardContext:
         corner = corner or self.nominal
         kernels = self.sim.kernels_at(corner.defocus_nm)
         fields = self.fields(corner)
-        dF_dI = self.sim.resist.diffuse(np.asarray(dF_dI, dtype=np.float64))
-        weighted = dF_dI[None, :, :] * fields
-        return corner.dose * backproject_fields(weighted, kernels)
+        with self.sim.obs.tracer.span("backproject"):
+            dF_dI = self.sim.resist.diffuse(np.asarray(dF_dI, dtype=np.float64))
+            weighted = dF_dI[None, :, :] * fields
+            return corner.dose * backproject_fields(weighted, kernels)

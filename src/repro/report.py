@@ -34,6 +34,10 @@ class VerificationReport:
     mrc: MRCReport
     complexity: MaskComplexity
     window: Optional[ProcessWindowMap]
+    #: Rendered per-phase span breakdown (``Tracer.report()``), when traced.
+    trace_report: Optional[str] = None
+    #: Rendered metrics summary (``MetricsRegistry.summary()``), when collected.
+    metrics_summary: Optional[str] = None
 
     @property
     def clean(self) -> bool:
@@ -81,6 +85,10 @@ class VerificationReport:
                 f"conditions pass; EL = {self.window.exposure_latitude() * 100:.1f}%, "
                 f"DOF = {self.window.depth_of_focus():.0f} nm"
             )
+        if self.trace_report is not None:
+            lines += ["", self.trace_report]
+        if self.metrics_summary is not None:
+            lines += ["", self.metrics_summary]
         return "\n".join(lines)
 
     @staticmethod
@@ -96,6 +104,7 @@ def verify_mask(
     sweep_window: bool = True,
     min_width_nm: float = 20.0,
     min_space_nm: float = 20.0,
+    obs=None,
 ) -> VerificationReport:
     """Run the full verification suite on one mask.
 
@@ -106,6 +115,8 @@ def verify_mask(
         runtime_s: optimizer wall-clock to charge to the score.
         sweep_window: include the (slower) process-window sweep.
         min_width_nm, min_space_nm: mask rules to check.
+        obs: optional :class:`repro.obs.Instrumentation` whose collected
+            phase breakdown and metrics are rendered into the report.
 
     Returns:
         The aggregated report; ``report.render()`` formats it.
@@ -126,6 +137,13 @@ def verify_mask(
                 1.0 + sim.config.process.dose_range,
             ),
         )
+    trace_report = None
+    metrics_summary = None
+    if obs is not None:
+        if getattr(obs.tracer, "enabled", False):
+            trace_report = obs.tracer.report()
+        if getattr(obs.metrics, "enabled", False):
+            metrics_summary = obs.metrics.summary()
     return VerificationReport(
         layout_name=layout.name,
         score=contest_score(sim, binary, layout, runtime_s=runtime_s),
@@ -134,4 +152,6 @@ def verify_mask(
         mrc=check_mask_rules(binary, grid, min_width_nm=min_width_nm, min_space_nm=min_space_nm),
         complexity=mask_complexity(binary, grid),
         window=window,
+        trace_report=trace_report,
+        metrics_summary=metrics_summary,
     )

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (python -m repro)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -25,6 +27,27 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_observability_defaults_off(self):
+        args = build_parser().parse_args(["solve", "B1"])
+        assert args.trace is False
+        assert args.metrics_out is None
+        assert args.log_json is None
+        assert args.verbose == 0
+
+    def test_observability_flags(self):
+        args = build_parser().parse_args(
+            ["solve", "B1", "-vv", "--trace",
+             "--metrics-out", "m.json", "--log-json", "e.jsonl"]
+        )
+        assert args.trace is True
+        assert args.metrics_out == "m.json"
+        assert args.log_json == "e.jsonl"
+        assert args.verbose == 2
+
+    def test_observability_flags_on_simulate_and_verify(self):
+        assert build_parser().parse_args(["simulate", "B1", "--trace"]).trace
+        assert build_parser().parse_args(["verify", "B1", "--trace"]).trace
 
 
 class TestCommands:
@@ -62,3 +85,36 @@ class TestCommands:
         assert set(data.files) == {"target", "mask", "printed", "pv_band"}
         out = capsys.readouterr().out
         assert "optimized mask" in out
+
+    def test_solve_with_observability_outputs(self, tmp_path, capsys):
+        metrics_path = tmp_path / "metrics.json"
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            ["solve", "B1", "--mode", "fast", "--trace",
+             "--metrics-out", str(metrics_path), "--log-json", str(events_path)]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Per-phase breakdown printed with the core optimizer phases.
+        assert "phase breakdown" in out
+        assert "optimize" in out and "iteration" in out
+        # Metrics dump carries the headline counters.
+        metrics = json.loads(metrics_path.read_text())
+        for name in ("forward_evals_total", "kernel_cache_hits",
+                     "line_search_backtracks"):
+            assert name in metrics, f"missing metric {name}"
+        assert metrics["forward_evals_total"]["value"] > 0
+        # Event stream: lifecycle + one record per iteration, loadable
+        # as a history.
+        from repro.opc.history import OptimizationHistory
+
+        events = [json.loads(line) for line in events_path.read_text().splitlines()]
+        kinds = [e["event"] for e in events]
+        assert kinds[0] == "run_start" and kinds[-1] == "run_end"
+        history = OptimizationHistory.from_jsonl(events_path)
+        assert len(history) == kinds.count("iteration") > 0
+
+    def test_simulate_trace_counts_forward_evals(self, capsys):
+        assert main(["simulate", "B1", "--trace"]) == 0
+        out = capsys.readouterr().out
+        assert "forward_evals_total" in out

@@ -57,6 +57,30 @@ class TestRunExperiment:
         assert {row["solver"] for row in rows} == {"mb", "fast"}
         assert all(float(row["score"]) > 0 for row in rows)
 
+    def test_csv_export_accepts_string_path(self, small_experiment, tmp_path):
+        path = str(tmp_path / "results.csv")
+        small_experiment.to_csv(path)
+        with open(path) as handle:
+            header = next(csv.reader(handle))
+        assert header == [
+            "solver", "layout", "epe_violations", "pv_band_nm2",
+            "shape_violations", "runtime_s", "score",
+        ]
+
+    def test_csv_rows_match_score_matrix(self, small_experiment, tmp_path):
+        path = tmp_path / "results.csv"
+        small_experiment.to_csv(path)
+        with open(path) as handle:
+            rows = {(r["solver"], r["layout"]): r for r in csv.DictReader(handle)}
+        for (label, name), breakdown in small_experiment.scores.items():
+            row = rows[(label, name)]
+            assert int(row["epe_violations"]) == breakdown.epe_violations
+            assert float(row["pv_band_nm2"]) == breakdown.pv_band_nm2
+            assert float(row["score"]) == pytest.approx(breakdown.total, abs=0.05)
+            assert float(row["runtime_s"]) == pytest.approx(
+                breakdown.runtime_s, abs=0.001
+            )
+
     def test_progress_callback(self, reduced_config, sim):
         seen = []
         run_experiment(
@@ -65,6 +89,26 @@ class TestRunExperiment:
             progress=seen.append,
         )
         assert seen == ["mb on B1"]
+
+    def test_progress_callback_order_solver_major_per_layout(
+        self, reduced_config, sim
+    ):
+        factory = lambda: ModelBasedOPC(reduced_config, max_iterations=2, simulator=sim)
+        seen = []
+        run_experiment(
+            [("a", factory), ("b", factory)],
+            [load_benchmark("B1"), load_benchmark("B4")],
+            progress=seen.append,
+        )
+        # One message per cell, layouts outer, solvers inner.
+        assert seen == ["a on B1", "b on B1", "a on B4", "b on B4"]
+
+    def test_duplicate_solver_labels_named_in_error(self, reduced_config, sim):
+        factory = lambda: ModelBasedOPC(reduced_config, max_iterations=2, simulator=sim)
+        with pytest.raises(ReproError, match="duplicate solver labels"):
+            run_experiment(
+                [("same", factory), ("same", factory)], [load_benchmark("B1")]
+            )
 
     def test_validation(self, reduced_config, sim):
         layout = load_benchmark("B1")

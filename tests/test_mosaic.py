@@ -100,4 +100,4 @@ class TestMosaicExact:
         solver = MosaicExact(reduced_config, optimizer_config=cfg, simulator=sim)
         result = solver.solve(load_benchmark("B1"))
         record = result.optimization.history.records[0]
-        assert set(record.term_values) == {0, 1}  # F_epe and F_pvb
+        assert set(record.term_values) == {"epe", "pvband"}  # F_epe and F_pvb

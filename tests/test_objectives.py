@@ -199,7 +199,7 @@ class TestComposite:
             [(1.0, ImageDifferenceObjective(target, gamma=2)), (1.0, PVBandObjective(target))]
         )
         comp.value_and_gradient(ForwardContext(mask, tiny_sim))
-        assert set(comp.last_term_values) == {0, 1}
+        assert set(comp.last_term_values) == {"image_difference", "pvband"}
 
     def test_zero_weight_term_skipped_in_total(self, tiny_sim, tiny_setup):
         _, target, mask = tiny_setup

@@ -1,0 +1,113 @@
+"""Unit tests for the JSONL event emitter and the Instrumentation bundle."""
+
+import io
+import json
+
+import numpy as np
+
+from repro.config import ObservabilityConfig
+from repro.obs import EventEmitter, Instrumentation, NullEventEmitter
+
+
+class TestEventEmitter:
+    def test_callback_sink(self):
+        seen = []
+        emitter = EventEmitter(seen.append)
+        emitter.emit("run_start", grid=[4, 4])
+        assert seen == [{"event": "run_start", "grid": [4, 4]}]
+
+    def test_stream_sink_writes_jsonl(self):
+        stream = io.StringIO()
+        emitter = EventEmitter(stream)
+        emitter.emit("iteration", iteration=0, objective=1.5)
+        emitter.emit("iteration", iteration=1, objective=0.5)
+        lines = stream.getvalue().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"event": "iteration", "iteration": 0, "objective": 1.5}
+
+    def test_file_sink_lazily_opened_and_closed(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventEmitter(path) as emitter:
+            emitter.emit("run_end", converged=True)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert records == [{"event": "run_end", "converged": True}]
+        emitter.close()  # idempotent
+
+    def test_numpy_values_coerced_to_json(self):
+        seen = []
+        emitter = EventEmitter(seen.append)
+        emitter.emit(
+            "iteration",
+            objective=np.float64(2.5),
+            iteration=np.int64(3),
+            term_values={"pvband": np.float32(1.0)},
+            flags=(np.bool_(True),),
+        )
+        text = json.dumps(seen[0])  # must not raise
+        parsed = json.loads(text)
+        assert parsed["objective"] == 2.5
+        assert parsed["iteration"] == 3
+        assert parsed["term_values"] == {"pvband": 1.0}
+        assert parsed["flags"] == [True]
+
+    def test_null_emitter_noop(self):
+        emitter = NullEventEmitter()
+        emitter.emit("anything", x=1)
+        emitter.close()
+        assert not emitter.enabled
+
+
+class TestInstrumentation:
+    def test_default_is_disabled_and_shared(self):
+        obs = Instrumentation.disabled()
+        assert obs is Instrumentation.disabled()
+        assert not obs.is_enabled
+        with obs.tracer.span("x"):
+            obs.metrics.counter("c").inc()
+            obs.events.emit("e")
+        assert obs.tracer.stats() == {}
+
+    def test_collecting_enables_pillars(self):
+        obs = Instrumentation.collecting()
+        assert obs.is_enabled
+        assert obs.tracer.enabled and obs.metrics.enabled
+        assert not obs.events.enabled  # no sink given
+
+    def test_collecting_with_events(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        obs = Instrumentation.collecting(trace=False, metrics=False, events_sink=path)
+        assert obs.is_enabled
+        obs.events.emit("ping")
+        obs.close()
+        assert "ping" in path.read_text()
+
+    def test_from_config(self, tmp_path):
+        assert not Instrumentation.from_config(ObservabilityConfig()).is_enabled
+        assert Instrumentation.from_config(
+            ObservabilityConfig()
+        ) is Instrumentation.disabled()
+        path = str(tmp_path / "events.jsonl")
+        obs = Instrumentation.from_config(ObservabilityConfig.full(events_path=path))
+        assert obs.tracer.enabled and obs.metrics.enabled and obs.events.enabled
+        obs.close()
+
+
+class TestObservabilityConfig:
+    def test_defaults_disabled(self):
+        config = ObservabilityConfig()
+        assert not config.any_enabled
+        assert ObservabilityConfig.disabled() == config
+
+    def test_full(self):
+        config = ObservabilityConfig.full(events_path="x.jsonl")
+        assert config.trace and config.metrics and config.events_path == "x.jsonl"
+        assert config.any_enabled
+
+    def test_verbose_validation(self):
+        import pytest
+
+        from repro.errors import ProcessError
+
+        with pytest.raises(ProcessError):
+            ObservabilityConfig(verbose=-1)

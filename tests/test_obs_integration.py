@@ -1,0 +1,263 @@
+"""Integration tests: instrumentation threaded through the ILT stack."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.config import LithoConfig, OptimizerConfig
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.litho.simulator import LithographySimulator
+from repro.obs import EventEmitter, Instrumentation
+from repro.opc.history import OptimizationHistory
+from repro.opc.objectives import ImageDifferenceObjective
+from repro.opc.optimizer import GradientDescentOptimizer
+from repro.workloads.iccad2013 import load_benchmark
+
+
+@pytest.fixture()
+def obs_sim(tiny_config):
+    """Fresh instrumented simulator (cold kernel cache)."""
+    return LithographySimulator(tiny_config, obs=Instrumentation.collecting())
+
+
+@pytest.fixture()
+def square_setup(tiny_config):
+    layout = Layout.from_rects("sq", [Rect(384, 384, 640, 640)])
+    grid = tiny_config.grid
+    return layout, rasterize_layout(layout, grid).astype(float)
+
+
+def run_optimizer(sim, target, events_sink=None, **overrides):
+    config = OptimizerConfig(
+        max_iterations=overrides.pop("max_iterations", 5),
+        use_jump=overrides.pop("use_jump", False),
+        **overrides,
+    )
+    if events_sink is not None:
+        sim.obs.events = EventEmitter(events_sink)
+    objective = ImageDifferenceObjective(target, gamma=2)
+    return GradientDescentOptimizer(sim, objective, config).run(target)
+
+
+class TestKernelCacheObservability:
+    def test_two_corner_pv_band_builds_each_kernel_set_once(self, tiny_config):
+        """A PV-band evaluation across the focus/dose corners must build
+        exactly one kernel set per distinct defocus value — never more."""
+        sim = LithographySimulator(tiny_config, obs=Instrumentation.collecting())
+        mask = np.zeros(sim.grid.shape)
+        mask[24:40, 24:40] = 1.0
+        distinct_defocus = {c.defocus_nm for c in sim.corners()}
+        assert len(distinct_defocus) == 2  # nominal focus + full defocus
+
+        sim.pv_band(mask)
+        info = sim.cache_info()
+        assert info.misses == len(distinct_defocus)
+        assert info.size == len(distinct_defocus)
+        assert info.defocus_values_nm == tuple(sorted(distinct_defocus))
+        assert info.hits == len(sim.corners()) - info.misses
+
+        # A second evaluation is served entirely from the cache.
+        sim.pv_band(mask)
+        info2 = sim.cache_info()
+        assert info2.misses == info.misses
+        assert info2.hits == info.hits + len(sim.corners())
+
+    def test_cache_metrics_mirror_cache_info(self, tiny_config):
+        sim = LithographySimulator(tiny_config, obs=Instrumentation.collecting())
+        sim.prewarm()
+        sim.kernels_at(0.0)
+        info = sim.cache_info()
+        metrics = sim.obs.metrics
+        assert metrics.counter("kernel_cache_hits").value == info.hits
+        assert metrics.counter("kernel_cache_misses").value == info.misses
+
+    def test_cache_info_works_without_obs(self, tiny_config):
+        sim = LithographySimulator(tiny_config)
+        sim.kernels_at(0.0)
+        sim.kernels_at(0.0)
+        info = sim.cache_info()
+        assert (info.hits, info.misses, info.size) == (1, 1, 1)
+
+
+class TestOptimizerInstrumentation:
+    def test_span_total_covers_runtime(self, obs_sim, square_setup):
+        _, target = square_setup
+        result = run_optimizer(obs_sim, target)
+        tracer = obs_sim.obs.tracer
+        optimize_total = tracer.total("optimize")
+        assert optimize_total >= 0.9 * result.runtime_s
+        assert optimize_total <= 1.1 * result.runtime_s
+        stats = tracer.stats()
+        assert stats["optimize/iteration"].count == result.iterations
+        assert "optimize/iteration/objective" in stats
+        assert "optimize/final_eval" in stats
+
+    def test_counters_and_histogram(self, obs_sim, square_setup):
+        _, target = square_setup
+        result = run_optimizer(obs_sim, target)
+        metrics = obs_sim.obs.metrics
+        assert metrics.counter("iterations_total").value == result.iterations
+        assert metrics.counter("forward_evals_total").value > 0
+        assert metrics.histogram("gradient_rms").count == result.iterations
+        assert metrics.gauge("best_objective").value is not None
+        # Registered even though this run neither jumped nor backtracked.
+        assert "line_search_backtracks" in metrics
+        assert "jump_activations" in metrics
+
+    def test_jump_activations_counted(self, obs_sim, square_setup):
+        _, target = square_setup
+        run_optimizer(
+            obs_sim, target, max_iterations=7, use_jump=True,
+            jump_period=3, jump_factor=2.0,
+        )
+        # Jumps at iterations 3 and 6.
+        assert obs_sim.obs.metrics.counter("jump_activations").value == 2
+
+    def test_one_event_per_iteration_plus_lifecycle(self, obs_sim, square_setup):
+        _, target = square_setup
+        seen = []
+        result = run_optimizer(obs_sim, target, events_sink=seen.append)
+        kinds = [e["event"] for e in seen]
+        assert kinds[0] == "run_start"
+        assert kinds[-1] == "run_end"
+        assert kinds.count("iteration") == result.iterations
+        iteration_events = [e for e in seen if e["event"] == "iteration"]
+        assert [e["iteration"] for e in iteration_events] == list(
+            range(result.iterations)
+        )
+        assert seen[-1]["converged"] == result.converged
+        assert seen[-1]["runtime_s"] == pytest.approx(result.runtime_s)
+
+    def test_event_stream_round_trips_into_history(
+        self, obs_sim, square_setup, tmp_path
+    ):
+        _, target = square_setup
+        path = tmp_path / "events.jsonl"
+        result = run_optimizer(obs_sim, target, events_sink=path)
+        obs_sim.obs.events.close()
+        restored = OptimizationHistory.from_jsonl(path)
+        assert restored.records == result.history.records
+
+    def test_disabled_obs_same_trajectory(self, tiny_sim, square_setup):
+        """Instrumentation must not perturb the optimization itself."""
+        _, target = square_setup
+        plain = run_optimizer(tiny_sim, target)
+        instrumented_sim = LithographySimulator(
+            tiny_sim.config, obs=Instrumentation.collecting()
+        )
+        traced = run_optimizer(instrumented_sim, target)
+        assert plain.history.objectives == traced.history.objectives
+        assert plain.history.series("step_size") == traced.history.series("step_size")
+
+
+class TestLineSearchStepRecording:
+    def test_recorded_step_is_post_backtrack(self, tiny_sim, square_setup):
+        """Satellite fix: history must show the *accepted* step size."""
+        _, target = square_setup
+        sim = LithographySimulator(tiny_sim.config, obs=Instrumentation.collecting())
+        config = OptimizerConfig(
+            max_iterations=6,
+            step_size=64.0,  # absurd on purpose: forces backtracking
+            use_jump=False,
+            use_line_search=True,
+            line_search_shrink=0.5,
+            line_search_max_steps=4,
+        )
+        objective = ImageDifferenceObjective(target, gamma=2)
+        result = GradientDescentOptimizer(sim, objective, config).run(target)
+        steps = result.history.series("step_size")
+        backtracks = sim.obs.metrics.counter("line_search_backtracks").value
+        assert backtracks > 0
+        # Every recorded step is one of the discrete backtracking levels.
+        levels = {64.0 * 0.5**k for k in range(config.line_search_max_steps)}
+        assert set(steps) <= levels
+        # At least one step was actually shrunk below the configured size.
+        assert min(steps) < 64.0
+
+    def test_no_line_search_records_configured_step(self, tiny_sim, square_setup):
+        _, target = square_setup
+        config = OptimizerConfig(
+            max_iterations=3, step_size=8.0, use_jump=False, use_line_search=False
+        )
+        objective = ImageDifferenceObjective(target, gamma=2)
+        result = GradientDescentOptimizer(tiny_sim, objective, config).run(target)
+        assert set(result.history.series("step_size")) == {8.0}
+
+
+class TestHistoryJsonl:
+    def test_to_jsonl_round_trip(self, tmp_path):
+        from repro.opc.history import IterationRecord
+
+        history = OptimizationHistory()
+        history.append(
+            IterationRecord(
+                iteration=0, objective=2.0, gradient_rms=0.5, step_size=1.0,
+                term_values={"image_difference": 1.5, "pvband": 0.5},
+            )
+        )
+        history.append(
+            IterationRecord(
+                iteration=1, objective=1.0, gradient_rms=0.1, step_size=0.5,
+                epe_violations=3, pv_band_nm2=12.5, score=65.0,
+            )
+        )
+        text = history.to_jsonl()
+        assert OptimizationHistory.from_jsonl(text).records == history.records
+
+        path = tmp_path / "history.jsonl"
+        history.to_jsonl(path)
+        assert OptimizationHistory.from_jsonl(path).records == history.records
+        assert OptimizationHistory.from_jsonl(str(path)).records == history.records
+
+    def test_from_jsonl_skips_lifecycle_events(self):
+        lines = [
+            json.dumps({"event": "run_start", "max_iterations": 5}),
+            json.dumps(
+                {
+                    "event": "iteration", "iteration": 0, "objective": 1.0,
+                    "gradient_rms": 0.2, "step_size": 2.0, "term_values": {},
+                    "epe_violations": None, "pv_band_nm2": None, "score": None,
+                }
+            ),
+            "",
+            json.dumps({"event": "run_end", "converged": False}),
+        ]
+        history = OptimizationHistory.from_jsonl(lines)
+        assert len(history) == 1
+        assert history.records[0].objective == 1.0
+
+    def test_empty_history(self):
+        assert OptimizationHistory().to_jsonl() == ""
+        assert len(OptimizationHistory.from_jsonl("")) == 0
+
+
+class TestHarnessObservability:
+    def test_per_cell_spans_and_events(self, reduced_config, sim):
+        from repro.harness import run_experiment
+        from repro.opc.mosaic import MosaicFast
+
+        events = []
+        obs = Instrumentation.collecting(events_sink=events.append)
+        solvers = [
+            (
+                "fast",
+                lambda: MosaicFast(
+                    reduced_config,
+                    optimizer_config=OptimizerConfig(max_iterations=2),
+                    simulator=sim,
+                ),
+            )
+        ]
+        result = run_experiment(solvers, [load_benchmark("B1")], obs=obs)
+        assert ("fast", "B1") in result.scores
+        stats = obs.tracer.stats()
+        assert "experiment" in stats
+        assert "experiment/cell:fast:B1" in stats
+        assert obs.metrics.counter("harness_cells_total").value == 1
+        cell_events = [e for e in events if e["event"] == "cell"]
+        assert len(cell_events) == 1
+        assert cell_events[0]["solver"] == "fast"
+        assert cell_events[0]["layout"] == "B1"

@@ -1,0 +1,125 @@
+"""Unit tests for the metrics registry."""
+
+import pytest
+
+from repro.obs import (
+    MetricsRegistry,
+    NullMetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+
+
+class TestCounter:
+    def test_inc(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("evals")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        assert registry.counter("evals") is counter  # get-or-create
+
+    def test_as_dict(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(2)
+        assert registry.as_dict()["n"] == {"type": "counter", "value": 2}
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("best")
+        assert gauge.value is None
+        gauge.set(3.5)
+        gauge.set(1.25)
+        assert gauge.value == 1.25
+        assert registry.as_dict()["best"]["value"] == 1.25
+
+
+class TestHistogram:
+    def test_bucket_assignment(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("rms", buckets=[1.0, 10.0])
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        # 0.5 and 1.0 fall in the <=1 bucket; 5 in <=10; 100 overflows.
+        assert hist.counts == [2, 1, 1]
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(106.5)
+        assert hist.mean == pytest.approx(106.5 / 4)
+
+    def test_empty_histogram(self):
+        hist = MetricsRegistry().histogram("h", buckets=[1.0])
+        assert hist.count == 0
+        assert hist.mean is None
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().histogram("bad", buckets=[2.0, 1.0])
+
+    def test_default_buckets_cover_gradient_scales(self):
+        hist = MetricsRegistry().histogram("gradient_rms")
+        hist.observe(1e-7)
+        hist.observe(50.0)
+        assert hist.count == 2
+        assert hist.counts[0] == 1  # tiny value in the first bucket
+        assert hist.counts[-1] == 1  # huge value in the overflow bucket
+
+
+class TestRegistry:
+    def test_type_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(ValueError):
+            registry.gauge("x")
+
+    def test_names_and_len_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+        assert len(registry) == 2
+        assert "a" in registry and "zzz" not in registry
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.reset()
+        assert len(registry) == 0
+
+    def test_summary_renders_all_kinds(self):
+        registry = MetricsRegistry()
+        registry.counter("forward_evals_total").inc(7)
+        registry.gauge("best_objective").set(42.0)
+        registry.histogram("gradient_rms").observe(0.5)
+        summary = registry.summary()
+        assert "forward_evals_total" in summary and "7" in summary
+        assert "best_objective" in summary and "42" in summary
+        assert "gradient_rms" in summary and "n=1" in summary
+
+    def test_default_registry_is_global_and_swappable(self):
+        original = default_registry()
+        try:
+            mine = MetricsRegistry()
+            previous = set_default_registry(mine)
+            assert previous is original
+            assert default_registry() is mine
+            default_registry().counter("seen").inc()
+            assert mine.counter("seen").value == 1
+        finally:
+            set_default_registry(original)
+
+
+class TestNullRegistry:
+    def test_everything_is_noop(self):
+        registry = NullMetricsRegistry()
+        registry.counter("a").inc(10)
+        registry.gauge("b").set(1.0)
+        registry.histogram("c").observe(2.0)
+        assert not registry.enabled
+        assert registry.as_dict() == {}
+        assert len(registry) == 0
+        assert "a" not in registry
+        assert registry.counter("a").value is None
+        # Shared instruments: no allocation per lookup.
+        assert registry.counter("a") is registry.histogram("b")

@@ -1,0 +1,116 @@
+"""Unit tests for the hierarchical span tracer."""
+
+import time
+
+from repro.obs import NULL_TRACER, NullTracer, Tracer
+
+
+class TestTracer:
+    def test_single_span_records_time(self):
+        tracer = Tracer()
+        with tracer.span("work"):
+            time.sleep(0.01)
+        stats = tracer.stats()
+        assert set(stats) == {"work"}
+        assert stats["work"].count == 1
+        assert stats["work"].total_s >= 0.01
+        assert stats["work"].self_s == stats["work"].total_s
+
+    def test_nested_spans_build_paths(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("inner"):
+                pass
+        stats = tracer.stats()
+        assert set(stats) == {"outer", "outer/inner"}
+        assert stats["outer/inner"].count == 2
+        assert stats["outer"].count == 1
+
+    def test_self_time_excludes_children(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.02)
+        stats = tracer.stats()
+        assert stats["outer"].self_s < stats["outer"].total_s
+        assert stats["outer"].total_s >= stats["outer/inner"].total_s
+
+    def test_sibling_roots_aggregate_independently(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        with tracer.span("a"):
+            pass
+        assert tracer.stats()["a"].count == 2
+        assert tracer.stats()["b"].count == 1
+        assert tracer.root_total() > 0.0
+
+    def test_same_name_at_different_depths_is_distinct(self):
+        tracer = Tracer()
+        with tracer.span("phase"):
+            with tracer.span("phase"):
+                pass
+        assert set(tracer.stats()) == {"phase", "phase/phase"}
+
+    def test_total_lookup_and_reset(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert tracer.total("x") > 0.0
+        assert tracer.total("unseen") == 0.0
+        tracer.reset()
+        assert tracer.stats() == {}
+
+    def test_report_renders_tree(self):
+        tracer = Tracer()
+        with tracer.span("optimize"):
+            with tracer.span("iteration"):
+                pass
+        report = tracer.report()
+        assert "optimize" in report
+        assert "  iteration" in report
+        assert "%root" in report
+
+    def test_report_empty(self):
+        assert "no spans" in Tracer().report()
+
+    def test_span_survives_exception(self):
+        tracer = Tracer()
+        try:
+            with tracer.span("outer"):
+                with tracer.span("fails"):
+                    raise ValueError("boom")
+        except ValueError:
+            pass
+        # Both spans closed and the stack unwound cleanly.
+        assert set(tracer.stats()) == {"outer", "outer/fails"}
+        with tracer.span("after"):
+            pass
+        assert "after" in tracer.stats()
+
+    def test_span_stats_properties(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        stats = tracer.stats()["a/b"]
+        assert stats.name == "b"
+        assert stats.depth == 1
+
+
+class TestNullTracer:
+    def test_noop_and_shared(self):
+        tracer = NullTracer()
+        with tracer.span("anything"):
+            pass
+        assert tracer.stats() == {}
+        assert tracer.total("anything") == 0.0
+        assert tracer.root_total() == 0.0
+        assert not tracer.enabled
+        assert "disabled" in tracer.report()
+        # span() returns a shared instance: no per-call allocation.
+        assert tracer.span("a") is tracer.span("b") is NULL_TRACER.span("c")
