@@ -29,7 +29,6 @@ from ..opc.history import IterationRecord, OptimizationHistory
 from ..opc.mosaic import MosaicResult
 from ..opc.objectives.image_diff import ImageDifferenceObjective
 from ..opc.optimizer import OptimizationResult
-from ..opc.state import ForwardContext
 from ..utils.timer import Timer
 
 
@@ -93,7 +92,7 @@ class LevelSetILT:
 
             for iteration in range(self.max_iterations):
                 mask = (phi < 0).astype(np.float64)
-                ctx = ForwardContext(mask, self.sim)
+                ctx = self.sim.context(mask)
                 value, grad = objective.value_and_gradient(ctx)
                 if value < best_value:
                     best_value = value
@@ -115,7 +114,7 @@ class LevelSetILT:
                     phi = signed_distance(phi < 0)
 
             final_mask = (phi < 0).astype(np.float64)
-            final_ctx = ForwardContext(final_mask, self.sim)
+            final_ctx = self.sim.context(final_mask)
             final_value = objective.value(final_ctx)
             if final_value < best_value:
                 best_mask = final_mask

@@ -6,19 +6,35 @@ threshold model and the process corners into the forward map ``Z = f(M)``
 cached, since TCC decomposition is the expensive setup step; the cache
 is observable through :meth:`LithographySimulator.cache_info` and the
 ``kernel_cache_hits`` / ``kernel_cache_misses`` metrics.
+
+Multi-corner evaluation is batched by default (``batch_forward=True``):
+:meth:`simulate_all_corners` computes ``fft2(M)`` once, stacks every
+(focus x kernel) spectrum and runs a single vectorized inverse FFT, and
+:meth:`gradient_all_corners` folds the whole multi-corner adjoint into
+one batched forward FFT plus a single inverse FFT.  Passing
+``batch_forward=False`` restores the historical one-FFT-per-kernel path,
+kept as the A/B reference for the equivalence tests and the
+``benchmarks/test_perf_forward_batching.py`` benchmark.
 """
 
 from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..config import LithoConfig
 from ..obs import Instrumentation
-from ..optics.hopkins import aerial_image, field_stack
+from ..optics.hopkins import (
+    ForwardCache,
+    accumulate_backprojection,
+    aerial_image,
+    backproject_fields,
+    batched_field_stacks,
+    field_stack,
+)
 from ..optics.kernels import SOCSKernels, build_socs_kernels
 from ..process.corners import ProcessCorner, enumerate_corners, nominal_corner
 from ..process.pvband import pv_band, pv_band_area
@@ -64,6 +80,10 @@ class LithographySimulator:
         obs: optional instrumentation bundle; disabled (no-op) when
             omitted.  Downstream components (optimizer, objectives,
             harness) inherit the simulator's bundle by default.
+        batch_forward: evaluate multi-corner forward models and adjoints
+            through the batched shared-FFT engine (the default).  False
+            restores the per-corner, one-FFT-per-kernel legacy path —
+            numerically equivalent, kept as the A/B reference.
     """
 
     def __init__(
@@ -71,11 +91,13 @@ class LithographySimulator:
         config: LithoConfig,
         source: Optional[object] = None,
         obs: Optional[Instrumentation] = None,
+        batch_forward: bool = True,
     ) -> None:
         self.config = config
         self.grid = config.grid
         self.resist = ThresholdResist(config.resist, pixel_nm=config.grid.pixel_nm)
         self.obs = obs or Instrumentation.disabled()
+        self.batch_forward = batch_forward
         self._source = source
         self._kernel_cache: Dict[float, SOCSKernels] = {}
         self._cache_hits = 0
@@ -149,7 +171,117 @@ class LithographySimulator:
     ) -> List[np.ndarray]:
         """Binary printed images at every process condition."""
         corners = list(corners) if corners is not None else self.corners()
-        return [self.print_binary(mask, c) for c in corners]
+        return [
+            self.resist.develop(image)
+            for image in self.simulate_all_corners(mask, corners)
+        ]
+
+    # -- batched multi-corner engine -------------------------------------------
+
+    def context(self, mask: np.ndarray, batched: Optional[bool] = None):
+        """A :class:`repro.opc.ForwardContext` wired to this simulator.
+
+        The context inherits the simulator's forward engine
+        (``batch_forward``) unless ``batched`` overrides it.
+        """
+        from ..opc.state import ForwardContext  # deferred: opc imports litho
+
+        return ForwardContext(mask, self, batched=batched)
+
+    def simulate_all_corners(
+        self, mask: np.ndarray, corners: Optional[Sequence[ProcessCorner]] = None
+    ) -> List[np.ndarray]:
+        """Aerial images at every corner from one batched evaluation.
+
+        Computes ``fft2(M)`` once, stacks all (focus x kernel) spectra
+        into a single array and runs one vectorized ``ifft2`` over the
+        leading axis, then applies each corner's dose.  Corners sharing
+        a focus share one intensity image.  Falls back to per-corner
+        :meth:`aerial` calls when ``batch_forward`` is off.
+
+        Returns:
+            Aerial intensity images aligned with ``corners``
+            (default: :meth:`corners`).
+        """
+        corners = list(corners) if corners is not None else self.corners()
+        if not self.batch_forward:
+            return [self.aerial(mask, c) for c in corners]
+        # Per-corner lookups keep kernel-cache accounting identical to
+        # the legacy path: one hit/miss per corner, not per focus.
+        kernel_by_corner = [self.kernels_at(c.defocus_nm) for c in corners]
+        focus_kernels: Dict[float, SOCSKernels] = {}
+        for corner, kernels in zip(corners, kernel_by_corner):
+            focus_kernels.setdefault(float(corner.defocus_nm), kernels)
+        cache = ForwardCache(mask, obs=self.obs)
+        with self.obs.tracer.span("forward.batched"):
+            stacks = batched_field_stacks(cache, list(focus_kernels.values()))
+            intensity: Dict[float, np.ndarray] = {}
+            for (focus, kernels), fields in zip(focus_kernels.items(), stacks):
+                intensity[focus] = aerial_image(mask, kernels, fields=fields)
+        self.obs.metrics.counter("forward_evals_total").inc(len(corners))
+        return [c.dose * intensity[float(c.defocus_nm)] for c in corners]
+
+    def gradient_all_corners(
+        self,
+        mask: np.ndarray,
+        contributions: Sequence[Tuple[ProcessCorner, np.ndarray]],
+        fields_by_focus: Optional[Dict[float, np.ndarray]] = None,
+        batched: Optional[bool] = None,
+    ) -> np.ndarray:
+        """Mask-plane gradient accumulated across corners in one adjoint pass.
+
+        Each contribution is a ``(corner, dF/dI_eff)`` pair (``I_eff`` is
+        the post-diffusion intensity the resist thresholds, exactly as in
+        :meth:`repro.opc.ForwardContext.intensity_gradient_to_mask`).
+        Same-focus corners are dose-combined *before* the adjoint — FFTs
+        are linear — so the whole set costs one batched forward FFT plus
+        a single inverse FFT.
+
+        Args:
+            mask: the mask iterate the fields belong to.
+            contributions: per-corner intensity-space gradients.
+            fields_by_focus: optional precomputed field stacks keyed by
+                defocus (e.g. a ForwardContext's) to reuse.
+            batched: override the simulator's ``batch_forward`` setting.
+
+        Returns:
+            ``dF/dM`` summed over all contributions.
+        """
+        contributions = [
+            (corner if corner is not None else nominal_corner(), df_di)
+            for corner, df_di in contributions
+        ]
+        if not contributions:
+            return np.zeros(self.grid.shape)
+        batched = self.batch_forward if batched is None else batched
+        # Dose-combine per focus BEFORE the diffusion blur: both are
+        # linear, so the whole corner set costs one blur per focus.
+        combined: Dict[float, np.ndarray] = {}
+        for corner, df_di in contributions:
+            key = float(corner.defocus_nm)
+            scaled = corner.dose * np.asarray(df_di, dtype=np.float64)
+            combined[key] = combined[key] + scaled if key in combined else scaled
+        combined = {key: self.resist.diffuse(value) for key, value in combined.items()}
+        if fields_by_focus is None or any(f not in fields_by_focus for f in combined):
+            cache = ForwardCache(mask, obs=self.obs)
+            kernel_sets = [self.kernels_at(f) for f in combined]
+            with self.obs.tracer.span("forward.batched"):
+                stacks = batched_field_stacks(cache, kernel_sets)
+            fields_by_focus = dict(zip(combined, stacks))
+        with self.obs.tracer.span("backproject.batched"):
+            if batched:
+                groups = [
+                    (combined[f][None, :, :] * fields_by_focus[f], self.kernels_at(f))
+                    for f in combined
+                ]
+                return accumulate_backprojection(groups)
+            total = np.zeros(self.grid.shape)
+            for focus, df_di in combined.items():
+                kernels = self.kernels_at(focus)
+                total += backproject_fields(
+                    df_di[None, :, :] * fields_by_focus[focus], kernels
+                )
+            return total
 
     # -- process-window evaluation ----------------------------------------------
 

@@ -18,6 +18,7 @@ from .objectives import (
     CompositeObjective,
     EPEObjective,
     ImageDifferenceObjective,
+    ImagingObjective,
     Objective,
     PVBandObjective,
 )
@@ -37,6 +38,7 @@ __all__ = [
     "GradientDescentOptimizer",
     "OptimizationResult",
     "Objective",
+    "ImagingObjective",
     "CompositeObjective",
     "ImageDifferenceObjective",
     "EPEObjective",

@@ -1,6 +1,6 @@
 """Differentiable ILT objectives (paper Sec. 3)."""
 
-from .base import Objective
+from .base import ImagingObjective, Objective
 from .composite import CompositeObjective
 from .image_diff import ImageDifferenceObjective
 from .epe_objective import EPEObjective
@@ -8,6 +8,7 @@ from .pvband_objective import PVBandObjective
 
 __all__ = [
     "Objective",
+    "ImagingObjective",
     "CompositeObjective",
     "ImageDifferenceObjective",
     "EPEObjective",

@@ -3,10 +3,11 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
+from ...process.corners import ProcessCorner
 from ..state import ForwardContext
 
 
@@ -30,3 +31,55 @@ class Objective(ABC):
     def value(self, ctx: ForwardContext) -> float:
         """Objective value only (default: discards the gradient)."""
         return self.value_and_gradient(ctx)[0]
+
+
+class ImagingObjective(Objective):
+    """An objective whose gradient flows through the imaging adjoint.
+
+    Every MOSAIC data term (EPE, image difference, PV band) has the same
+    gradient structure: a scalar value plus one intensity-space gradient
+    ``dF/dI_eff`` per evaluated process corner, all back-projected
+    through the resist-diffusion and SOCS adjoints.  Splitting the
+    interface at that seam lets the composite objective merge *every*
+    term's contributions into one batched adjoint pass per iteration
+    instead of one back-projection per (term x corner).
+
+    Subclasses implement :meth:`intensity_contributions` (and
+    :meth:`required_corners` so callers can prefetch fields);
+    :meth:`value_and_gradient` comes for free.
+    """
+
+    @abstractmethod
+    def required_corners(self, ctx: ForwardContext) -> List[ProcessCorner]:
+        """Process corners this objective evaluates on ``ctx``.
+
+        Used to prefetch all corners' fields in one batched forward
+        evaluation before any term runs.
+        """
+
+    @abstractmethod
+    def intensity_contributions(
+        self, ctx: ForwardContext
+    ) -> Tuple[float, List[Tuple[ProcessCorner, np.ndarray]]]:
+        """Value and per-corner intensity-space gradients.
+
+        Returns:
+            ``(value, contributions)`` where each contribution is a
+            ``(corner, dF/dI_eff)`` pair ready for
+            :meth:`repro.opc.ForwardContext.accumulate_intensity_gradients`
+            (``I_eff`` is the post-diffusion intensity the resist
+            thresholds; the corner's dose factor is applied by the
+            adjoint, not by the objective).
+        """
+
+    def value_and_gradient(self, ctx: ForwardContext) -> Tuple[float, np.ndarray]:
+        value, contributions = self.intensity_contributions(ctx)
+        return value, ctx.accumulate_intensity_gradients(contributions)
+
+    def value(self, ctx: ForwardContext) -> float:
+        """Objective value without the adjoint back-projection.
+
+        Value-only evaluations (line search, final eval) don't need
+        dF/dM, and the adjoint is the expensive half of an iteration.
+        """
+        return self.intensity_contributions(ctx)[0]

@@ -8,8 +8,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ...errors import OptimizationError
+from ...process.corners import ProcessCorner
 from ..state import ForwardContext
-from .base import Objective
+from .base import ImagingObjective, Objective
 
 
 def _term_name(objective: Objective) -> str:
@@ -67,11 +68,48 @@ class CompositeObjective(Objective):
         total = 0.0
         grad = np.zeros_like(ctx.mask)
         self.last_term_values = {}
+
+        # Prefetch fields for every imaging term's corners in one batched
+        # forward evaluation, so no term triggers its own FFT round-trip.
+        wanted: List[ProcessCorner] = []
+        for _, objective in self.terms:
+            if isinstance(objective, ImagingObjective):
+                wanted.extend(objective.required_corners(ctx))
+        if wanted:
+            ctx.ensure_fields(wanted)
+
+        # Imaging terms hand back intensity-space gradients; merging them
+        # lets the whole composite cost one adjoint pass (FFTs are linear,
+        # so weighting dF/dI before the adjoint equals weighting dF/dM).
+        merged: List[Tuple[ProcessCorner, np.ndarray]] = []
         for name, (weight, objective) in zip(self.term_names, self.terms):
             with tracer.span(f"term:{name}"):
-                value, g = objective.value_and_gradient(ctx)
+                if isinstance(objective, ImagingObjective):
+                    value, contributions = objective.intensity_contributions(ctx)
+                    if weight:
+                        merged.extend(
+                            (corner, weight * df_di) for corner, df_di in contributions
+                        )
+                else:
+                    value, g = objective.value_and_gradient(ctx)
+                    if weight:
+                        grad += weight * g
             self.last_term_values[name] = value
             if weight:
                 total += weight * value
-                grad += weight * g
+        if merged:
+            grad += ctx.accumulate_intensity_gradients(merged)
         return total, grad
+
+    def value(self, ctx: ForwardContext) -> float:
+        """Composite value without any gradient work (line search path)."""
+        tracer = ctx.sim.obs.tracer
+        total = 0.0
+        self.last_term_values = {}
+        for name, (weight, objective) in zip(self.term_names, self.terms):
+            with tracer.span(f"term:{name}"):
+                value = objective.value(ctx)
+            self.last_term_values[name] = value
+            if weight:
+                total += weight * value
+        return total

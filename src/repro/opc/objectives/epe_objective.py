@@ -42,10 +42,10 @@ from ...geometry.layout import Layout
 from ...process.corners import ProcessCorner
 from ...utils.validation import sigmoid
 from ..state import ForwardContext
-from .base import Objective
+from .base import ImagingObjective
 
 
-class EPEObjective(Objective):
+class EPEObjective(ImagingObjective):
     """Differentiable EPE-violation count at target boundary samples.
 
     Args:
@@ -136,7 +136,12 @@ class EPEObjective(Objective):
         d_flat = ((np.asarray(z_nominal, dtype=np.float64) - self.target) ** 2).ravel()
         return d_flat[self._window_flat].sum(axis=1) / self._window_norm
 
-    def value_and_gradient(self, ctx: ForwardContext) -> Tuple[float, np.ndarray]:
+    def required_corners(self, ctx: ForwardContext) -> List[ProcessCorner]:
+        return [self.corner if self.corner is not None else ctx.nominal]
+
+    def intensity_contributions(
+        self, ctx: ForwardContext
+    ) -> Tuple[float, List[Tuple[ProcessCorner, np.ndarray]]]:
         corner = self.corner if self.corner is not None else ctx.nominal
         z = ctx.soft_image(corner)
         dsum = self.dsums(z)
@@ -155,5 +160,4 @@ class EPEObjective(Objective):
         accum = accum.reshape(self.target.shape)
         df_dz = accum * 2.0 * (z - self.target)
         df_di = df_dz * ctx.sim.resist.soft_derivative(z)
-        grad = ctx.intensity_gradient_to_mask(df_di, corner)
-        return value, grad
+        return value, [(corner, df_di)]

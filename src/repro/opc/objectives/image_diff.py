@@ -20,17 +20,18 @@ variant is available through the simulator's kernel modes.
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import List, Tuple
 
 import numpy as np
 
 from ... import constants
 from ...errors import OptimizationError
+from ...process.corners import ProcessCorner
 from ..state import ForwardContext
-from .base import Objective
+from .base import ImagingObjective
 
 
-class ImageDifferenceObjective(Objective):
+class ImageDifferenceObjective(ImagingObjective):
     """gamma-power nominal-image error against a target image.
 
     Args:
@@ -52,7 +53,12 @@ class ImageDifferenceObjective(Objective):
         self.gamma = int(gamma)
         self.normalize = normalize
 
-    def value_and_gradient(self, ctx: ForwardContext) -> Tuple[float, np.ndarray]:
+    def required_corners(self, ctx: ForwardContext) -> List[ProcessCorner]:
+        return [ctx.nominal]
+
+    def intensity_contributions(
+        self, ctx: ForwardContext
+    ) -> Tuple[float, List[Tuple[ProcessCorner, np.ndarray]]]:
         if ctx.mask.shape != self.target.shape:
             raise OptimizationError(
                 f"mask {ctx.mask.shape} vs target {self.target.shape} shape mismatch"
@@ -66,5 +72,4 @@ class ImageDifferenceObjective(Objective):
         # dF/dI = gamma * diff^(gamma-1) * dZ/dI, with dZ/dI = theta_Z Z (1-Z).
         dz_di = ctx.sim.resist.soft_derivative(z)
         df_di = scale * self.gamma * diff ** (self.gamma - 1) * dz_di
-        grad = ctx.intensity_gradient_to_mask(df_di, corner)
-        return value, grad
+        return value, [(corner, df_di)]

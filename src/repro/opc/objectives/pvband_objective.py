@@ -20,10 +20,10 @@ import numpy as np
 from ...errors import OptimizationError
 from ...process.corners import ProcessCorner
 from ..state import ForwardContext
-from .base import Objective
+from .base import ImagingObjective
 
 
-class PVBandObjective(Objective):
+class PVBandObjective(ImagingObjective):
     """Quadratic image error summed over process corners.
 
     Args:
@@ -50,7 +50,12 @@ class PVBandObjective(Objective):
             return self._corners
         return [c for c in ctx.sim.corners() if not c.is_nominal]
 
-    def value_and_gradient(self, ctx: ForwardContext) -> Tuple[float, np.ndarray]:
+    def required_corners(self, ctx: ForwardContext) -> List[ProcessCorner]:
+        return self.corners_for(ctx)
+
+    def intensity_contributions(
+        self, ctx: ForwardContext
+    ) -> Tuple[float, List[Tuple[ProcessCorner, np.ndarray]]]:
         if ctx.mask.shape != self.target.shape:
             raise OptimizationError(
                 f"mask {ctx.mask.shape} vs target {self.target.shape} shape mismatch"
@@ -60,12 +65,11 @@ class PVBandObjective(Objective):
             raise OptimizationError("PVBandObjective needs at least one process corner")
         scale = 1.0 / self.target.size if self.normalize else 1.0
         value = 0.0
-        grad = np.zeros_like(ctx.mask)
-        for corner in corners:
-            z = ctx.soft_image(corner)
+        contributions: List[Tuple[ProcessCorner, np.ndarray]] = []
+        for corner, z in zip(corners, ctx.soft_images(corners)):
             diff = z - self.target
             value += float(np.sum(diff**2)) * scale
             dz_di = ctx.sim.resist.soft_derivative(z)
             df_di = scale * 2.0 * diff * dz_di
-            grad += ctx.intensity_gradient_to_mask(df_di, corner)
-        return value, grad
+            contributions.append((corner, df_di))
+        return value, contributions

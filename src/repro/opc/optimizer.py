@@ -39,7 +39,6 @@ from ..utils.timer import Timer
 from .history import IterationRecord, OptimizationHistory
 from .objectives.base import Objective
 from .objectives.composite import CompositeObjective
-from .state import ForwardContext
 
 logger = logging.getLogger(__name__)
 
@@ -126,7 +125,7 @@ class GradientDescentOptimizer:
         trial_params = params - step * direction
         trial_mask = mask_from_params(trial_params, cfg.theta_m)
         for _ in range(cfg.line_search_max_steps - 1):
-            trial_value = self.objective.value(ForwardContext(trial_mask, self.sim))
+            trial_value = self.objective.value(self.sim.context(trial_mask))
             if trial_value < current_value:
                 break
             backtracks.inc()
@@ -175,7 +174,7 @@ class GradientDescentOptimizer:
             iteration = 0
             for iteration in range(cfg.max_iterations):
                 with obs.tracer.span("iteration"):
-                    ctx = ForwardContext(mask, self.sim)
+                    ctx = self.sim.context(mask)
                     with obs.tracer.span("objective"):
                         value, grad_mask = self.objective.value_and_gradient(ctx)
                     if not np.isfinite(value) or not np.all(np.isfinite(grad_mask)):
@@ -254,7 +253,7 @@ class GradientDescentOptimizer:
 
             # Consider the final iterate too (the loop records pre-update values).
             with obs.tracer.span("final_eval"):
-                final_ctx = ForwardContext(mask, self.sim)
+                final_ctx = self.sim.context(mask)
                 final_value = self.objective.value(final_ctx)
             if not cfg.keep_best or final_value < best_value:
                 best_value = final_value

@@ -5,16 +5,31 @@ soft printed image} at some subset of process corners.  Computing these
 once per iteration and sharing them is the single biggest runtime win in
 the optimizer, so the cache is explicit and objectives receive it rather
 than a raw mask.
+
+In batched mode (the default, inherited from the simulator's
+``batch_forward``) the context additionally shares one ``fft2(M)`` per
+iterate across *all* corners and objective terms (observable through
+:meth:`ForwardContext.cache_info` and the ``forward_fft_reuse`` metric),
+evaluates all requested focus conditions with a single vectorized
+inverse FFT (:meth:`ForwardContext.ensure_fields`), and accumulates
+multi-corner gradients through one batched adjoint pass
+(:meth:`ForwardContext.accumulate_intensity_gradients`).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..litho.simulator import LithographySimulator
-from ..optics.hopkins import aerial_image, backproject_fields
+from ..optics.hopkins import (
+    ForwardCache,
+    ForwardCacheInfo,
+    aerial_image,
+    backproject_fields,
+    batched_field_stacks,
+)
 from ..process.corners import ProcessCorner, nominal_corner
 
 
@@ -24,12 +39,24 @@ class ForwardContext:
     Args:
         mask: continuous mask M in (0, 1).
         sim: the lithography simulator (provides kernels, resist, corners).
+        batched: use the batched shared-FFT engine; defaults to the
+            simulator's ``batch_forward`` setting.
     """
 
-    def __init__(self, mask: np.ndarray, sim: LithographySimulator) -> None:
+    def __init__(
+        self,
+        mask: np.ndarray,
+        sim: LithographySimulator,
+        batched: Optional[bool] = None,
+    ) -> None:
         self.mask = np.asarray(mask, dtype=np.float64)
         self.sim = sim
+        self.batched = bool(
+            getattr(sim, "batch_forward", True) if batched is None else batched
+        )
+        self._cache = ForwardCache(self.mask, obs=sim.obs)
         self._fields: Dict[float, np.ndarray] = {}
+        self._intensity: Dict[float, np.ndarray] = {}
         self._aerial: Dict[tuple, np.ndarray] = {}
         self._soft: Dict[tuple, np.ndarray] = {}
 
@@ -37,26 +64,79 @@ class ForwardContext:
     def nominal(self) -> ProcessCorner:
         return nominal_corner()
 
+    def cache_info(self) -> ForwardCacheInfo:
+        """Mask-spectrum reuse statistics of the batched engine.
+
+        ``mask_ffts`` is exactly 1 after any batched forward work: one
+        ``fft2(M)`` per mask per iteration, shared everywhere.
+        """
+        return self._cache.info()
+
+    def ensure_fields(self, corners: Iterable[ProcessCorner]) -> None:
+        """Prefetch coherent fields for all corners' focus conditions.
+
+        In batched mode every missing focus is evaluated through one
+        vectorized ``ifft2`` call (the ``forward.batched`` span); the
+        legacy mode computes them per focus.  Already-cached focus
+        values cost nothing, so calling this repeatedly is safe.
+        """
+        wanted: List[float] = []
+        for corner in corners:
+            key = float((corner or self.nominal).defocus_nm)
+            if key not in self._fields and key not in wanted:
+                wanted.append(key)
+        if not wanted:
+            return
+        if not self.batched:
+            for key in wanted:
+                self._fields[key] = self.sim.fields(
+                    self.mask, ProcessCorner("prefetch", key, 1.0)
+                )
+            return
+        kernel_sets = [self.sim.kernels_at(key) for key in wanted]
+        with self.sim.obs.tracer.span("forward.batched"):
+            stacks = batched_field_stacks(self._cache, kernel_sets)
+        for key, stack in zip(wanted, stacks):
+            self._fields[key] = stack
+
     def fields(self, corner: Optional[ProcessCorner] = None) -> np.ndarray:
         """Per-kernel coherent fields E_k at a corner's focus (dose-free)."""
         corner = corner or self.nominal
         key = float(corner.defocus_nm)
         if key not in self._fields:
-            self._fields[key] = self.sim.fields(self.mask, corner)
+            if self.batched:
+                self.ensure_fields([corner])
+            else:
+                self._fields[key] = self.sim.fields(self.mask, corner)
         return self._fields[key]
+
+    def _intensity_at_focus(self, corner: ProcessCorner) -> np.ndarray:
+        """Unit-dose intensity at a corner's focus (dose applied by callers)."""
+        key = float(corner.defocus_nm)
+        if key not in self._intensity:
+            kernels = self.sim.kernels_at(corner.defocus_nm)
+            self._intensity[key] = aerial_image(
+                self.mask, kernels, fields=self.fields(corner)
+            )
+        return self._intensity[key]
 
     def aerial(self, corner: Optional[ProcessCorner] = None) -> np.ndarray:
         """Aerial intensity at a corner (dose applied)."""
         corner = corner or self.nominal
         key = (float(corner.defocus_nm), float(corner.dose))
         if key not in self._aerial:
-            kernels = self.sim.kernels_at(corner.defocus_nm)
             obs = self.sim.obs
             obs.metrics.counter("forward_evals_total").inc()
             with obs.tracer.span("aerial"):
-                self._aerial[key] = aerial_image(
-                    self.mask, kernels, dose=corner.dose, fields=self.fields(corner)
-                )
+                if self.batched:
+                    # Corners sharing a focus share one intensity image;
+                    # dose is a scalar factor (I = dose * sum_k w_k |E_k|^2).
+                    self._aerial[key] = corner.dose * self._intensity_at_focus(corner)
+                else:
+                    kernels = self.sim.kernels_at(corner.defocus_nm)
+                    self._aerial[key] = aerial_image(
+                        self.mask, kernels, dose=corner.dose, fields=self.fields(corner)
+                    )
         return self._aerial[key]
 
     def soft_image(self, corner: Optional[ProcessCorner] = None) -> np.ndarray:
@@ -66,6 +146,13 @@ class ForwardContext:
         if key not in self._soft:
             self._soft[key] = self.sim.resist.develop_soft(self.aerial(corner))
         return self._soft[key]
+
+    def soft_images(
+        self, corners: Sequence[ProcessCorner]
+    ) -> List[np.ndarray]:
+        """Soft printed images at several corners (fields batch-prefetched)."""
+        self.ensure_fields(corners)
+        return [self.soft_image(corner) for corner in corners]
 
     def intensity_gradient_to_mask(
         self, dF_dI: np.ndarray, corner: Optional[ProcessCorner] = None
@@ -85,3 +172,30 @@ class ForwardContext:
             dF_dI = self.sim.resist.diffuse(np.asarray(dF_dI, dtype=np.float64))
             weighted = dF_dI[None, :, :] * fields
             return corner.dose * backproject_fields(weighted, kernels)
+
+    def accumulate_intensity_gradients(
+        self, contributions: Sequence[Tuple[Optional[ProcessCorner], np.ndarray]]
+    ) -> np.ndarray:
+        """Sum of per-corner intensity-space gradients on the mask plane.
+
+        In batched mode the whole set is dose-combined per focus and
+        back-projected through one batched adjoint
+        (:meth:`LithographySimulator.gradient_all_corners`); the legacy
+        mode back-projects each contribution separately, matching the
+        historical per-corner path bit for bit.
+        """
+        resolved = [
+            (corner if corner is not None else self.nominal, df_di)
+            for corner, df_di in contributions
+        ]
+        if not resolved:
+            return np.zeros_like(self.mask)
+        if not self.batched:
+            total = np.zeros_like(self.mask)
+            for corner, df_di in resolved:
+                total += self.intensity_gradient_to_mask(df_di, corner)
+            return total
+        self.ensure_fields([corner for corner, _ in resolved])
+        return self.sim.gradient_all_corners(
+            self.mask, resolved, fields_by_focus=self._fields, batched=True
+        )

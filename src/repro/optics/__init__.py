@@ -14,8 +14,16 @@ contest kernel data files are not redistributable; see DESIGN.md §3.
 from .pupil import pupil_values, defocus_phase
 from .source import AnnularSource, CircularSource, QuadrupoleSource, SourcePoint
 from .tcc import FrequencySupport, build_frequency_support, build_amplitude_matrix, tcc_matrix
-from .kernels import SOCSKernels, build_socs_kernels
-from .hopkins import aerial_image, field_stack, backproject_fields
+from .kernels import SOCSKernels, build_socs_kernels, common_grid_shape
+from .hopkins import (
+    ForwardCache,
+    ForwardCacheInfo,
+    accumulate_backprojection,
+    aerial_image,
+    backproject_fields,
+    batched_field_stacks,
+    field_stack,
+)
 from .abbe import AbbeImager
 
 __all__ = [
@@ -32,7 +40,12 @@ __all__ = [
     "tcc_matrix",
     "SOCSKernels",
     "build_socs_kernels",
+    "common_grid_shape",
+    "ForwardCache",
+    "ForwardCacheInfo",
+    "accumulate_backprojection",
     "aerial_image",
+    "batched_field_stacks",
     "field_stack",
     "backproject_fields",
 ]

@@ -12,14 +12,32 @@ have
 
 and convolution with ``flip(conj(h_k))`` is multiplication by
 ``conj(Phi_k)`` in the frequency domain — no spatial flips needed.
+
+Batched evaluation: every objective term at every process corner images
+the *same* mask, so :class:`ForwardCache` computes ``fft2(M)`` exactly
+once per iterate, :func:`batched_field_stacks` runs one vectorized
+inverse transform over all (focus x kernel) spectra, and
+:func:`accumulate_backprojection` folds the whole multi-corner adjoint
+into one batched forward transform plus a *single* inverse FFT (the
+per-kernel weighted sums are accumulated on the frequency support, where
+the adjoint is diagonal, before transforming back).  Because the support
+is band-limited to a small set of frequency rows, the batched transforms
+additionally prune the row pass to the touched rows — bitwise-identical
+output for the forward direction, since transforming exact zeros yields
+exact zeros.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
 import numpy as np
 
 from ..errors import GridError
-from .kernels import SOCSKernels
+from ..obs import Instrumentation
+from .kernels import SOCSKernels, common_grid_shape
+from .tcc import FrequencySupport
 
 
 def _mask_spectrum(mask: np.ndarray, kernels: SOCSKernels) -> np.ndarray:
@@ -94,3 +112,211 @@ def backproject_fields(
         w_sup = kernels.support.gather(w_hat) * np.conj(kernels.spectra[k])
         accum += kernels.weights[k] * np.fft.ifft2(kernels.support.scatter(w_sup))
     return 2.0 * np.real(accum)
+
+
+@dataclass(frozen=True)
+class ForwardCacheInfo:
+    """Snapshot of one :class:`ForwardCache`'s reuse statistics.
+
+    Attributes:
+        mask_ffts: how many times ``fft2(M)`` was actually computed
+            (exactly one per mask when the cache is doing its job).
+        reuses: how many lookups were served from the cached spectrum.
+    """
+
+    mask_ffts: int
+    reuses: int
+
+
+class ForwardCache:
+    """Per-mask spectrum cache: computes ``fft2(M)`` once, shares it.
+
+    One ILT iteration evaluates the forward model at the nominal
+    condition and at every process corner for every objective term, yet
+    all of those image the same mask — so the mask spectrum is computed
+    on first demand and the support-gathered samples are memoized per
+    frequency support.  Reuse is observable through the
+    ``forward_mask_ffts`` / ``forward_fft_reuse`` counters and
+    :meth:`info`.
+
+    Args:
+        mask: real mask transmission in [0, 1].
+        obs: optional instrumentation bundle; no-op when omitted.
+    """
+
+    def __init__(self, mask: np.ndarray, obs: Optional[Instrumentation] = None) -> None:
+        self.mask = np.asarray(mask, dtype=np.float64)
+        self.obs = obs or Instrumentation.disabled()
+        self._spectrum: Optional[np.ndarray] = None
+        self._gathered: Dict[int, np.ndarray] = {}
+        self._mask_ffts = 0
+        self._reuses = 0
+
+    @property
+    def shape(self) -> tuple:
+        return self.mask.shape
+
+    def spectrum(self) -> np.ndarray:
+        """Full-grid ``fft2(M)``, computed on first call and cached."""
+        if self._spectrum is None:
+            self._spectrum = np.fft.fft2(self.mask)
+            self._mask_ffts += 1
+            self.obs.metrics.counter("forward_mask_ffts").inc()
+        else:
+            self._reuses += 1
+            self.obs.metrics.counter("forward_fft_reuse").inc()
+        return self._spectrum
+
+    def gathered(self, support: FrequencySupport) -> np.ndarray:
+        """Support-sampled mask spectrum, memoized per support object."""
+        if self.mask.shape != support.shape:
+            raise GridError(
+                f"mask shape {self.mask.shape} != support grid {support.shape}"
+            )
+        hit = self._gathered.get(id(support))
+        if hit is None:
+            hit = support.gather(self.spectrum())
+            self._gathered[id(support)] = hit
+        else:
+            self._reuses += 1
+            self.obs.metrics.counter("forward_fft_reuse").inc()
+        return hit
+
+    def info(self) -> ForwardCacheInfo:
+        """Reuse statistics since construction."""
+        return ForwardCacheInfo(mask_ffts=self._mask_ffts, reuses=self._reuses)
+
+
+def _support_rows(
+    supports: Sequence[FrequencySupport], num_rows: int
+) -> Optional[np.ndarray]:
+    """Sorted unique grid rows touched by any support, or None.
+
+    The band-limited support typically covers a small fraction of the
+    frequency rows, which lets the batched transforms prune the 1-D pass
+    over the untouched (all-zero / never-read) rows.  Returns None when
+    the support spans most rows and pruning would not pay.
+    """
+    rows = np.unique(np.concatenate([s.rows for s in supports]))
+    if len(rows) * 2 >= num_rows:
+        return None
+    return rows
+
+
+def batched_field_stacks(
+    cache: ForwardCache, kernel_sets: Sequence[SOCSKernels]
+) -> List[np.ndarray]:
+    """Coherent fields for several kernel sets from one vectorized ifft2.
+
+    The batched counterpart of :func:`field_stack`: every (kernel-set x
+    kernel) spectrum product is stacked onto the leading axis and a
+    single ``np.fft.ifft2`` call transforms them all, sharing the cached
+    mask spectrum across sets.
+
+    Args:
+        cache: the mask's spectrum cache.
+        kernel_sets: kernel sets (typically one per distinct focus).
+
+    Returns:
+        List of complex ``(h_i, rows, cols)`` field stacks aligned with
+        ``kernel_sets`` (empty input gives an empty list).
+    """
+    kernel_sets = list(kernel_sets)
+    if not kernel_sets:
+        return []
+    shape = common_grid_shape(kernel_sets)
+    if cache.shape != shape:
+        raise GridError(f"mask shape {cache.shape} != kernel grid {shape}")
+    counts = [ks.num_kernels for ks in kernel_sets]
+    stacked = np.zeros((sum(counts),) + shape, dtype=np.complex128)
+    pos = 0
+    for ks in kernel_sets:
+        m_sup = cache.gathered(ks.support)
+        stacked[pos : pos + ks.num_kernels, ks.support.rows, ks.support.cols] = (
+            m_sup[None, :] * ks.spectra
+        )
+        pos += ks.num_kernels
+    rows_used = _support_rows([ks.support for ks in kernel_sets], shape[0])
+    if rows_used is None:
+        fields = np.fft.ifft2(stacked, axes=(-2, -1))
+    else:
+        # Row-pruned separable inverse: the stacked spectra are nonzero
+        # only on the band-limited support rows, so the first 1-D pass
+        # skips the all-zero rows (bitwise-identical to the full ifft2 —
+        # transforming exact zeros yields exact zeros).
+        fields = np.zeros_like(stacked)
+        fields[:, rows_used, :] = np.fft.ifft(stacked[:, rows_used, :], axis=-1)
+        fields = np.fft.ifft(fields, axis=-2)
+    out: List[np.ndarray] = []
+    pos = 0
+    for h in counts:
+        out.append(fields[pos : pos + h])
+        pos += h
+    return out
+
+
+def accumulate_backprojection(
+    groups: Sequence[Tuple[np.ndarray, SOCSKernels]]
+) -> np.ndarray:
+    """Sum of back-projections over several (weighted_fields, kernels) groups.
+
+    Numerically equivalent to
+    ``sum(backproject_fields(wf, ks) for wf, ks in groups)`` but computed
+    with one batched forward FFT over all (group x kernel) fields and a
+    *single* inverse FFT: because the adjoint is diagonal on the
+    frequency support, the per-kernel weighted sums are accumulated
+    there before transforming back to the mask plane.
+
+    Args:
+        groups: ``(weighted_fields, kernels)`` pairs, one per focus
+            condition, with ``weighted_fields`` shaped
+            ``(h, rows, cols)`` holding ``G'(I) * E_k`` (any per-corner
+            dose factors already applied).
+
+    Returns:
+        Real gradient contribution on the mask plane.
+    """
+    groups = list(groups)
+    shape = common_grid_shape([ks for _, ks in groups])
+    total = 0
+    for wf, ks in groups:
+        if wf.shape != (ks.num_kernels,) + shape:
+            raise GridError(
+                f"weighted_fields shape {wf.shape} inconsistent with "
+                f"{ks.num_kernels} kernels on grid {shape}"
+            )
+        total += ks.num_kernels
+    stacked = np.empty((total,) + shape, dtype=np.complex128)
+    pos = 0
+    for wf, ks in groups:
+        stacked[pos : pos + ks.num_kernels] = wf
+        pos += ks.num_kernels
+    rows_used = _support_rows([ks.support for _, ks in groups], shape[0])
+    accum = np.zeros(shape, dtype=np.complex128)
+    if rows_used is None:
+        w_hat = np.fft.fft2(stacked, axes=(-2, -1))
+        pos = 0
+        for _, ks in groups:
+            h = ks.num_kernels
+            gathered = w_hat[pos : pos + h, ks.support.rows, ks.support.cols]
+            accum[ks.support.rows, ks.support.cols] += np.einsum(
+                "k,ks->s", ks.weights, gathered * np.conj(ks.spectra)
+            )
+            pos += h
+    else:
+        # Row-pruned separable forward: only the support rows of the
+        # spectrum are ever gathered, so the second 1-D pass runs on
+        # those rows alone.
+        w_hat = np.fft.fft(
+            np.fft.fft(stacked, axis=-2)[:, rows_used, :], axis=-1
+        )
+        pos = 0
+        for _, ks in groups:
+            h = ks.num_kernels
+            row_idx = np.searchsorted(rows_used, ks.support.rows)
+            gathered = w_hat[pos : pos + h, row_idx, ks.support.cols]
+            accum[ks.support.rows, ks.support.cols] += np.einsum(
+                "k,ks->s", ks.weights, gathered * np.conj(ks.spectra)
+            )
+            pos += h
+    return 2.0 * np.real(np.fft.ifft2(accum))

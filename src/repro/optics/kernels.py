@@ -16,7 +16,7 @@ bench.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -113,6 +113,29 @@ class SOCSKernels:
             spectra=self.spectra[:h].copy(),
             defocus_nm=self.defocus_nm,
         )
+
+
+def common_grid_shape(kernel_sets: Sequence[SOCSKernels]) -> Tuple[int, int]:
+    """The image-grid shape shared by several kernel sets.
+
+    Batched multi-corner evaluation stacks spectra from different focus
+    conditions into one array, which is only meaningful when every set
+    lives on the same pixel grid; mixed grids are a configuration error,
+    not something to paper over.
+
+    Raises:
+        OpticsError: when ``kernel_sets`` is empty or the grids differ.
+    """
+    kernel_sets = list(kernel_sets)
+    if not kernel_sets:
+        raise OpticsError("need at least one kernel set")
+    shape = kernel_sets[0].shape
+    for ks in kernel_sets[1:]:
+        if ks.shape != shape:
+            raise OpticsError(
+                f"kernel sets live on different grids: {shape} vs {ks.shape}"
+            )
+    return shape
 
 
 def _normalize_open_frame(kernels: SOCSKernels) -> None:

@@ -1,0 +1,50 @@
+"""Regenerate ``mosaic_fast_history.json`` (golden 10-iteration trajectory).
+
+Run from the repository root after an *intentional* numerical change:
+
+    PYTHONPATH=src python tests/golden/generate_mosaic_fast_history.py
+
+and say so in the commit message.  The fixture pins a 10-iteration
+MOSAIC_fast run (per-term objective values, EPE violation count,
+PV-band area, mask pixel count) on the seed-7 random layout at
+``LithoConfig.reduced()`` scale, with the batched forward engine.
+"""
+
+import json
+from pathlib import Path
+
+from repro.config import LithoConfig, OptimizerConfig
+from repro.opc.mosaic import MosaicFast
+from repro.workloads.random_layout import random_layout
+
+OUT_PATH = Path(__file__).parent / "mosaic_fast_history.json"
+
+LAYOUT_SEED = 7
+ITERATIONS = 10
+
+
+def main() -> None:
+    layout = random_layout(LAYOUT_SEED)
+    config = OptimizerConfig(max_iterations=ITERATIONS, use_jump=False)
+    result = MosaicFast(LithoConfig.reduced(), optimizer_config=config).solve(layout)
+
+    history = result.optimization.history
+    golden = {
+        "layout_seed": LAYOUT_SEED,
+        "layout_shapes": layout.num_shapes,
+        "iterations": ITERATIONS,
+        "objectives": [float(v) for v in history.objectives],
+        "term_values": [
+            {name: float(value) for name, value in record.term_values.items()}
+            for record in history.records
+        ],
+        "epe_violations": int(result.score.epe_violations),
+        "pv_band_nm2": float(result.score.pv_band_nm2),
+        "mask_pixels": int(result.mask.sum()),
+    }
+    OUT_PATH.write_text(json.dumps(golden, indent=2) + "\n")
+    print(f"wrote {OUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,274 @@
+"""Equivalence and accounting tests for the batched multi-corner engine.
+
+The batched forward path (one shared ``fft2(M)``, one vectorized
+``ifft2`` across all (focus x kernel) spectra, one accumulated adjoint
+pass) must be numerically indistinguishable from the historical
+per-corner, per-kernel path — the ISSUE tolerance is 1e-10 max abs diff
+on aerial images, and gradients reassociate only at the 1e-12 level.
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import GridSpec, LithoConfig, OpticsConfig, ProcessConfig, ResistConfig
+from repro.errors import OpticsError
+from repro.litho.simulator import LithographySimulator
+from repro.obs import Instrumentation
+from repro.opc.objectives import (
+    CompositeObjective,
+    ImageDifferenceObjective,
+    PVBandObjective,
+)
+from repro.optics.hopkins import (
+    ForwardCache,
+    accumulate_backprojection,
+    backproject_fields,
+    batched_field_stacks,
+    field_stack,
+)
+from repro.optics.kernels import common_grid_shape
+from repro.process.corners import ProcessCorner, nominal_corner
+
+AERIAL_TOL = 1e-10  # ISSUE acceptance tolerance on aerial images
+GRAD_RTOL = 1e-9  # gradients only reassociate floating-point sums
+
+
+@pytest.fixture(scope="module")
+def legacy_sim(tiny_config):
+    """A tiny simulator pinned to the per-corner legacy path."""
+    simulator = LithographySimulator(tiny_config, batch_forward=False)
+    simulator.prewarm()
+    return simulator
+
+
+def random_mask(rng, shape):
+    """A structured random mask: blocky features plus continuous noise."""
+    mask = 0.3 * rng.random(shape)
+    r0, c0 = rng.integers(8, shape[0] // 2, size=2)
+    mask[r0 : r0 + 16, c0 : c0 + 16] += 0.6
+    return np.clip(mask, 0.0, 1.0)
+
+
+ASYMMETRIC_CORNERS = [
+    ProcessCorner("fminus_dplus", 25.0, 1.02),
+    ProcessCorner("nom", 0.0, 1.0),
+    ProcessCorner("fminus_dminus", 25.0, 0.98),
+    ProcessCorner("odd_focus", 12.5, 1.01),
+]
+
+
+class TestHopkinsBatching:
+    """Unit-level equivalence of the batched hopkins primitives."""
+
+    def test_batched_field_stacks_match_field_stack(self, tiny_sim, rng):
+        mask = random_mask(rng, tiny_sim.grid.shape)
+        kernel_sets = [tiny_sim.kernels_at(f) for f in (0.0, 25.0)]
+        stacks = batched_field_stacks(ForwardCache(mask), kernel_sets)
+        for kernels, batched in zip(kernel_sets, stacks):
+            reference = field_stack(mask, kernels)
+            assert np.max(np.abs(batched - reference)) <= AERIAL_TOL
+
+    def test_accumulate_matches_backprojection_sum(self, tiny_sim, rng):
+        mask = random_mask(rng, tiny_sim.grid.shape)
+        groups = []
+        reference = np.zeros(tiny_sim.grid.shape)
+        for focus in (0.0, 25.0):
+            kernels = tiny_sim.kernels_at(focus)
+            weighted = rng.standard_normal(tiny_sim.grid.shape)[None] * field_stack(
+                mask, kernels
+            )
+            groups.append((weighted, kernels))
+            reference += backproject_fields(weighted, kernels)
+        batched = accumulate_backprojection(groups)
+        assert np.allclose(batched, reference, rtol=GRAD_RTOL, atol=1e-12)
+
+    def test_single_set_degenerate_case(self, tiny_sim, rng):
+        mask = random_mask(rng, tiny_sim.grid.shape)
+        kernels = tiny_sim.kernels_at(0.0)
+        (batched,) = batched_field_stacks(ForwardCache(mask), [kernels])
+        assert np.max(np.abs(batched - field_stack(mask, kernels))) <= AERIAL_TOL
+
+    def test_empty_kernel_sets(self, tiny_sim, rng):
+        assert batched_field_stacks(ForwardCache(random_mask(rng, (64, 64))), []) == []
+        with pytest.raises(OpticsError):
+            accumulate_backprojection([])
+
+    def test_mixed_grids_rejected(self, tiny_sim, sim):
+        with pytest.raises(OpticsError):
+            common_grid_shape([tiny_sim.kernels_at(0.0), sim.kernels_at(0.0)])
+
+
+class TestSimulatorEquivalence:
+    """simulate_all_corners / gradient_all_corners vs the legacy path."""
+
+    def test_aerial_images_match_per_corner(self, tiny_sim, legacy_sim, rng):
+        mask = random_mask(rng, tiny_sim.grid.shape)
+        corners = tiny_sim.corners()
+        batched = tiny_sim.simulate_all_corners(mask, corners)
+        legacy = legacy_sim.simulate_all_corners(mask, corners)
+        for b, ref in zip(batched, legacy):
+            assert np.max(np.abs(b - ref)) <= AERIAL_TOL
+
+    def test_asymmetric_corner_set(self, tiny_sim, rng):
+        mask = random_mask(rng, tiny_sim.grid.shape)
+        batched = tiny_sim.simulate_all_corners(mask, ASYMMETRIC_CORNERS)
+        for corner, image in zip(ASYMMETRIC_CORNERS, batched):
+            assert np.max(np.abs(image - tiny_sim.aerial(mask, corner))) <= AERIAL_TOL
+
+    def test_single_corner_degenerate_case(self, tiny_sim, rng):
+        mask = random_mask(rng, tiny_sim.grid.shape)
+        corner = ProcessCorner("solo", 25.0, 0.97)
+        (image,) = tiny_sim.simulate_all_corners(mask, [corner])
+        assert np.max(np.abs(image - tiny_sim.aerial(mask, corner))) <= AERIAL_TOL
+
+    def test_print_soft_matches(self, tiny_sim, legacy_sim, rng):
+        mask = random_mask(rng, tiny_sim.grid.shape)
+        for corner in tiny_sim.corners():
+            batched = tiny_sim.context(mask).soft_image(corner)
+            reference = legacy_sim.print_soft(mask, corner)
+            assert np.max(np.abs(batched - reference)) <= AERIAL_TOL
+
+    def test_pv_band_matches(self, tiny_sim, legacy_sim, rng):
+        mask = random_mask(rng, tiny_sim.grid.shape)
+        assert np.array_equal(tiny_sim.pv_band(mask), legacy_sim.pv_band(mask))
+        assert tiny_sim.pv_band_area(mask) == legacy_sim.pv_band_area(mask)
+
+    def test_gradient_all_corners_matches_per_corner(self, tiny_sim, rng):
+        mask = random_mask(rng, tiny_sim.grid.shape)
+        contributions = [
+            (corner, rng.standard_normal(tiny_sim.grid.shape))
+            for corner in ASYMMETRIC_CORNERS
+        ]
+        batched = tiny_sim.gradient_all_corners(mask, contributions, batched=True)
+        ctx = tiny_sim.context(mask, batched=False)
+        reference = sum(
+            ctx.intensity_gradient_to_mask(df_di, corner)
+            for corner, df_di in contributions
+        )
+        scale = np.max(np.abs(reference))
+        assert np.allclose(batched, reference, rtol=GRAD_RTOL, atol=GRAD_RTOL * scale)
+
+    def test_gradient_empty_contributions(self, tiny_sim):
+        grad = tiny_sim.gradient_all_corners(np.zeros(tiny_sim.grid.shape), [])
+        assert np.array_equal(grad, np.zeros(tiny_sim.grid.shape))
+
+
+class TestContextEquivalence:
+    """ForwardContext batched vs legacy mode over whole objectives."""
+
+    def _target(self, tiny_sim):
+        target = np.zeros(tiny_sim.grid.shape)
+        target[24:40, 24:40] = 1.0
+        return target
+
+    def _composite(self, target):
+        return CompositeObjective(
+            [
+                (100.0, ImageDifferenceObjective(target, gamma=4)),
+                (1.0, PVBandObjective(target)),
+            ]
+        )
+
+    def test_composite_value_and_gradient_match(self, tiny_sim, rng):
+        target = self._target(tiny_sim)
+        mask = np.clip(target + 0.1 * rng.standard_normal(target.shape), 0.05, 0.95)
+        v_batched, g_batched = self._composite(target).value_and_gradient(
+            tiny_sim.context(mask, batched=True)
+        )
+        v_legacy, g_legacy = self._composite(target).value_and_gradient(
+            tiny_sim.context(mask, batched=False)
+        )
+        assert v_batched == pytest.approx(v_legacy, rel=1e-12)
+        scale = np.max(np.abs(g_legacy))
+        assert np.allclose(g_batched, g_legacy, rtol=GRAD_RTOL, atol=GRAD_RTOL * scale)
+
+    def test_accumulate_matches_sequential_backprojection(self, tiny_sim, rng):
+        mask = random_mask(rng, tiny_sim.grid.shape)
+        contributions = [
+            (corner, rng.standard_normal(tiny_sim.grid.shape))
+            for corner in tiny_sim.corners()
+        ]
+        ctx = tiny_sim.context(mask, batched=True)
+        legacy_ctx = tiny_sim.context(mask, batched=False)
+        batched = ctx.accumulate_intensity_gradients(contributions)
+        reference = legacy_ctx.accumulate_intensity_gradients(contributions)
+        scale = np.max(np.abs(reference))
+        assert np.allclose(batched, reference, rtol=GRAD_RTOL, atol=GRAD_RTOL * scale)
+
+
+class TestFFTAccounting:
+    """Exactly one fft2(M) per mask per iteration, observable end to end."""
+
+    def _instrumented_sim(self, tiny_config):
+        simulator = LithographySimulator(tiny_config, obs=Instrumentation.collecting())
+        simulator.prewarm()
+        return simulator
+
+    def test_simulate_all_corners_one_mask_fft(self, tiny_config, rng):
+        sim = self._instrumented_sim(tiny_config)
+        mask = random_mask(rng, sim.grid.shape)
+        sim.simulate_all_corners(mask)
+        assert sim.obs.metrics.counter("forward_mask_ffts").value == 1
+        assert sim.obs.metrics.counter("forward_fft_reuse").value >= 1
+
+    def test_full_objective_evaluation_one_mask_fft(self, tiny_config, rng):
+        """A whole composite iteration (values + gradients at the nominal
+        condition and all four corners) shares a single mask FFT."""
+        sim = self._instrumented_sim(tiny_config)
+        target = np.zeros(sim.grid.shape)
+        target[24:40, 24:40] = 1.0
+        mask = np.clip(target + 0.1 * rng.standard_normal(target.shape), 0.05, 0.95)
+        objective = CompositeObjective(
+            [
+                (100.0, ImageDifferenceObjective(target, gamma=4)),
+                (1.0, PVBandObjective(target)),
+            ]
+        )
+        ctx = sim.context(mask)
+        objective.value_and_gradient(ctx)
+        info = ctx.cache_info()
+        assert info.mask_ffts == 1
+        assert info.reuses >= 1
+        assert sim.obs.metrics.counter("forward_mask_ffts").value == 1
+        assert sim.obs.metrics.counter("forward_fft_reuse").value == info.reuses
+
+    def test_forward_batched_span_recorded(self, tiny_config, rng):
+        sim = self._instrumented_sim(tiny_config)
+        sim.simulate_all_corners(random_mask(rng, sim.grid.shape))
+        assert "forward.batched" in sim.obs.tracer.stats()
+
+    def test_backproject_batched_span_recorded(self, tiny_config, rng):
+        sim = self._instrumented_sim(tiny_config)
+        mask = random_mask(rng, sim.grid.shape)
+        sim.gradient_all_corners(
+            mask, [(nominal_corner(), np.ones(sim.grid.shape))]
+        )
+        assert "backproject.batched" in sim.obs.tracer.stats()
+
+    def test_distinct_masks_get_distinct_ffts(self, tiny_config, rng):
+        sim = self._instrumented_sim(tiny_config)
+        sim.simulate_all_corners(random_mask(rng, sim.grid.shape))
+        sim.simulate_all_corners(random_mask(rng, sim.grid.shape))
+        assert sim.obs.metrics.counter("forward_mask_ffts").value == 2
+
+
+class TestKernelCacheInfoOrdering:
+    """Satellite: cache snapshots must compare deterministically."""
+
+    def test_defocus_values_sorted_regardless_of_build_order(self, tiny_config):
+        sim = LithographySimulator(tiny_config)
+        sim.kernels_at(25.0)  # deliberately built out of order
+        sim.kernels_at(0.0)
+        assert sim.cache_info().defocus_values_nm == (0.0, 25.0)
+
+    def test_two_build_orders_give_equal_snapshots(self, tiny_config):
+        forward = LithographySimulator(tiny_config)
+        forward.kernels_at(0.0)
+        forward.kernels_at(25.0)
+        backward = LithographySimulator(tiny_config)
+        backward.kernels_at(25.0)
+        backward.kernels_at(0.0)
+        assert (
+            forward.cache_info().defocus_values_nm
+            == backward.cache_info().defocus_values_nm
+        )

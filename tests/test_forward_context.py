@@ -15,7 +15,19 @@ def mask(tiny_sim):
 
 
 class TestCaching:
-    def test_fields_computed_once_per_focus(self, tiny_sim, mask, monkeypatch):
+    def test_fields_computed_once_per_focus(self, tiny_sim, mask):
+        ctx = ForwardContext(mask, tiny_sim)
+        # Two dose corners at the same focus share one field stack.
+        a = ctx.fields(ProcessCorner("a", 25.0, 0.98))
+        b = ctx.fields(ProcessCorner("b", 25.0, 1.02))
+        nom = ctx.fields(nominal_corner())
+        assert a is b  # identical object: served from cache
+        assert nom is not a
+        assert sorted(ctx._fields) == [0.0, 25.0]
+        # The batched engine computed fft2(M) exactly once for both foci.
+        assert ctx.cache_info().mask_ffts == 1
+
+    def test_legacy_mode_computes_fields_per_focus(self, tiny_sim, mask, monkeypatch):
         calls = []
         original = tiny_sim.fields
 
@@ -24,8 +36,7 @@ class TestCaching:
             return original(m, corner)
 
         monkeypatch.setattr(tiny_sim, "fields", counting_fields)
-        ctx = ForwardContext(mask, tiny_sim)
-        # Two dose corners at the same focus share one field computation.
+        ctx = ForwardContext(mask, tiny_sim, batched=False)
         ctx.fields(ProcessCorner("a", 25.0, 0.98))
         ctx.fields(ProcessCorner("b", 25.0, 1.02))
         ctx.fields(nominal_corner())

@@ -20,8 +20,10 @@ from repro.config import OptimizerConfig
 from repro.geometry.raster import rasterize_layout
 from repro.opc.mosaic import MosaicFast
 from repro.workloads.iccad2013 import load_benchmark
+from repro.workloads.random_layout import random_layout
 
 GOLDEN_PATH = Path(__file__).parent / "golden" / "b1_reduced.json"
+HISTORY_PATH = Path(__file__).parent / "golden" / "mosaic_fast_history.json"
 
 
 @pytest.fixture(scope="module")
@@ -78,3 +80,48 @@ class TestOptimizerGolden:
         assert int(result.mask.sum()) == golden["opc"]["mask_pixels"]
         assert result.score.epe_violations == golden["opc"]["epe_violations"]
         assert result.score.pv_band_nm2 == golden["opc"]["pv_band_nm2"]
+
+
+class TestMosaicFastHistoryGolden:
+    """The batched engine reproduces the checked-in 10-iteration trajectory.
+
+    Regenerate with ``tests/golden/generate_mosaic_fast_history.py`` after
+    an intentional model change.
+    """
+
+    @pytest.fixture(scope="class")
+    def history_golden(self):
+        return json.loads(HISTORY_PATH.read_text())
+
+    @pytest.fixture(scope="class")
+    def history_result(self, reduced_config, sim, history_golden):
+        layout = random_layout(history_golden["layout_seed"])
+        assert layout.num_shapes == history_golden["layout_shapes"]
+        config = OptimizerConfig(
+            max_iterations=history_golden["iterations"], use_jump=False
+        )
+        return MosaicFast(
+            reduced_config, optimizer_config=config, simulator=sim
+        ).solve(layout)
+
+    def test_objective_trajectory(self, history_golden, history_result):
+        objectives = history_result.optimization.history.objectives
+        assert len(objectives) == history_golden["iterations"]
+        for measured, expected in zip(objectives, history_golden["objectives"]):
+            assert measured == pytest.approx(expected, rel=1e-6)
+
+    def test_per_term_values(self, history_golden, history_result):
+        records = history_result.optimization.history.records
+        for record, expected in zip(records, history_golden["term_values"]):
+            assert set(record.term_values) == set(expected)
+            for name, value in expected.items():
+                assert record.term_values[name] == pytest.approx(value, rel=1e-6)
+
+    def test_final_mask_and_score(self, history_golden, history_result):
+        assert int(history_result.mask.sum()) == history_golden["mask_pixels"]
+        assert (
+            history_result.score.epe_violations == history_golden["epe_violations"]
+        )
+        assert history_result.score.pv_band_nm2 == pytest.approx(
+            history_golden["pv_band_nm2"], rel=1e-6
+        )

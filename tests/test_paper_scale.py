@@ -10,6 +10,8 @@ import numpy as np
 import pytest
 
 from repro.config import LithoConfig
+
+pytestmark = pytest.mark.slow
 from repro.geometry.raster import rasterize_layout
 from repro.litho.simulator import LithographySimulator
 from repro.metrics.epe import measure_epe

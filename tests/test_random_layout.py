@@ -65,6 +65,7 @@ class TestSuite:
         with pytest.raises(GeometryError):
             random_layout_suite(0, 0)
 
+    @pytest.mark.slow
     def test_opc_works_on_random_clip(self, reduced_config, sim):
         # End-to-end robustness: the solver converges on generated
         # geometry it has never seen (random clips are harder than the
