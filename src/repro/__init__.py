@@ -24,8 +24,11 @@ from .config import (
     ResistConfig,
 )
 from .errors import (
+    CellTimeoutError,
+    CheckpointError,
     GeometryError,
     GridError,
+    HarnessError,
     LayoutIOError,
     OpticsError,
     OptimizationError,
@@ -36,6 +39,7 @@ from .geometry import Layout, Polygon, Rect, rasterize_layout
 from .litho import LithographySimulator
 from .metrics import ScoreBreakdown, contest_score, measure_epe
 from .opc import (
+    CheckpointConfig,
     EPEObjective,
     GradientDescentOptimizer,
     ImageDifferenceObjective,
@@ -43,8 +47,11 @@ from .opc import (
     MosaicFast,
     MosaicResult,
     PVBandObjective,
+    RecoveryPolicy,
+    latest_checkpoint,
+    load_checkpoint,
 )
-from .harness import ExperimentResult, run_experiment
+from .harness import CellStatus, ExperimentResult, run_experiment
 from .obs import EventEmitter, Instrumentation, MetricsRegistry, Tracer
 from .process import ProcessCorner, enumerate_corners, pv_band, pv_band_area
 from .recipe import Recipe, dump_recipe, load_recipe, solve_with_recipe
@@ -69,6 +76,9 @@ __all__ = [
     "OpticsError",
     "ProcessError",
     "OptimizationError",
+    "CheckpointError",
+    "HarnessError",
+    "CellTimeoutError",
     "LayoutIOError",
     # geometry
     "Rect",
@@ -89,6 +99,11 @@ __all__ = [
     "ImageDifferenceObjective",
     "EPEObjective",
     "PVBandObjective",
+    # fault tolerance
+    "RecoveryPolicy",
+    "CheckpointConfig",
+    "latest_checkpoint",
+    "load_checkpoint",
     # metrics
     "contest_score",
     "ScoreBreakdown",
@@ -97,6 +112,7 @@ __all__ = [
     "VerificationReport",
     "run_experiment",
     "ExperimentResult",
+    "CellStatus",
     "Recipe",
     "load_recipe",
     "dump_recipe",

@@ -3,6 +3,7 @@
 Commands:
 
 * ``solve``      — run an OPC solver on a bundled benchmark or a GLP file.
+* ``batch``      — run solvers x layouts with per-cell fault isolation.
 * ``simulate``   — print a mask/layout through the lithography model.
 * ``verify``     — solve and emit the full verification report (+SVG).
 * ``benchmarks`` — list the bundled ICCAD-2013-style clips.
@@ -12,6 +13,9 @@ Examples::
 
     python -m repro solve B1 --mode fast
     python -m repro solve my_layout.glp --mode exact --scale reduced --out results/
+    python -m repro solve B1 --checkpoint-dir ckpts/       # periodic checkpoints
+    python -m repro solve B1 --checkpoint-dir ckpts/ --resume
+    python -m repro batch B1 B2 B4 --modes fast,rulebased --keep-going
     python -m repro simulate B4
     python -m repro benchmarks
 """
@@ -128,12 +132,15 @@ def _finalize_observability(
         print(f"Wrote JSONL events to {log_json}")
 
 
-def _solver_for(mode: str, config: LithoConfig, sim: LithographySimulator):
+def _solver_for(mode: str, config: LithoConfig, sim: LithographySimulator,
+                checkpoint=None):
     from .baselines import BasicILT, LevelSetILT, ModelBasedOPC, RuleBasedOPC
     from .opc.mosaic import MosaicExact, MosaicFast
     from .opc.multires import MultiResolutionSolver
 
     if mode == "multires":
+        if checkpoint is not None:
+            raise ReproError("--checkpoint-dir is not supported for --mode multires")
         return MultiResolutionSolver(config, solver_cls=MosaicFast, simulator=sim)
     factory = {
         "fast": MosaicFast,
@@ -143,7 +150,44 @@ def _solver_for(mode: str, config: LithoConfig, sim: LithographySimulator):
         "ilt": BasicILT,
         "levelset": LevelSetILT,
     }[mode]
+    if checkpoint is not None:
+        if mode not in ("fast", "exact"):
+            raise ReproError(
+                f"--checkpoint-dir is only supported for --mode fast/exact, "
+                f"not {mode!r}"
+            )
+        return factory(config, simulator=sim, checkpoint=checkpoint)
     return factory(config, simulator=sim)
+
+
+def _checkpoint_config_from_args(args: argparse.Namespace):
+    """Build a CheckpointConfig from --checkpoint-dir/--checkpoint-every."""
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if not checkpoint_dir:
+        return None
+    from .opc.checkpoint import CheckpointConfig
+
+    return CheckpointConfig(
+        directory=checkpoint_dir, every=getattr(args, "checkpoint_every", 5)
+    )
+
+
+def _resume_target(args: argparse.Namespace):
+    """Resolve --resume into a checkpoint path (or None)."""
+    resume = getattr(args, "resume", None)
+    if resume is None:
+        return None
+    if resume != "auto":
+        return resume
+    checkpoint_dir = getattr(args, "checkpoint_dir", None)
+    if not checkpoint_dir:
+        raise ReproError("--resume without a path requires --checkpoint-dir")
+    from .opc.checkpoint import latest_checkpoint
+
+    found = latest_checkpoint(checkpoint_dir)
+    if found is None:
+        raise ReproError(f"--resume: no checkpoints found in {checkpoint_dir}")
+    return found
 
 
 def cmd_solve(args: argparse.Namespace) -> int:
@@ -151,7 +195,11 @@ def cmd_solve(args: argparse.Namespace) -> int:
     config = _config_for(args.scale)
     obs = _setup_observability(args)
     sim = LithographySimulator(config, obs=obs)
+    checkpoint = _checkpoint_config_from_args(args)
+    resume_from = _resume_target(args)
     if args.recipe:
+        if checkpoint is not None or resume_from is not None:
+            raise ReproError("--checkpoint-dir/--resume cannot be combined with --recipe")
         from .recipe import load_recipe, solve_with_recipe
 
         recipe = load_recipe(args.recipe)
@@ -159,10 +207,18 @@ def cmd_solve(args: argparse.Namespace) -> int:
               f"(mode={recipe.mode})...")
         result = solve_with_recipe(recipe, layout, config, simulator=sim)
     else:
-        solver = _solver_for(args.mode, config, sim)
+        solver = _solver_for(args.mode, config, sim, checkpoint=checkpoint)
+        if resume_from is not None and args.mode not in ("fast", "exact"):
+            raise ReproError(
+                f"--resume is only supported for --mode fast/exact, not {args.mode!r}"
+            )
         print(f"Solving {layout.name} with {solver.mode_name} "
               f"({config.grid.shape[0]} px @ {config.grid.pixel_nm:g} nm/px)...")
-        result = solver.solve(layout)
+        if resume_from is not None:
+            print(f"Resuming from checkpoint {resume_from}")
+            result = solver.solve(layout, resume_from=resume_from)
+        else:
+            result = solver.solve(layout)
     print(result.score)
     if args.render:
         print("\n--- optimized mask ---")
@@ -183,6 +239,50 @@ def cmd_solve(args: argparse.Namespace) -> int:
         print(f"Wrote {bundle}")
     _finalize_observability(args, obs)
     return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from .harness import run_experiment
+
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    if not modes:
+        raise ReproError("--modes needs at least one solver mode")
+    unknown = [m for m in modes if m not in _MODES]
+    if unknown:
+        raise ReproError(
+            f"unknown mode(s) {unknown}; choose from {', '.join(_MODES)}"
+        )
+    _check_output_path("--csv", getattr(args, "csv", None))
+    layouts = [_load_layout(spec) for spec in args.layouts]
+    config = _config_for(args.scale)
+    obs = _setup_observability(args)
+    sim = LithographySimulator(config, obs=obs)
+    solvers = [
+        (mode, lambda mode=mode: _solver_for(mode, config, sim)) for mode in modes
+    ]
+    result = run_experiment(
+        solvers,
+        layouts,
+        progress=lambda msg: print(f"  {msg}"),
+        obs=obs,
+        keep_going=args.keep_going,
+        max_retries=args.max_retries,
+        cell_timeout_s=args.cell_timeout,
+    )
+    print()
+    print(result.format_table())
+    failed = result.failed_cells()
+    if failed:
+        print()
+        for label, name in failed:
+            status = result.statuses[(label, name)]
+            print(f"FAILED {label} on {name}: {status.status} "
+                  f"after {status.attempts} attempt(s) — {status.error}")
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"\nWrote per-cell CSV to {args.csv}")
+    _finalize_observability(args, obs)
+    return 3 if failed else 0
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -267,8 +367,54 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--out", help="directory for the NPZ result bundle")
     solve.add_argument("--render", action="store_true", help="ASCII-render the mask")
     solve.add_argument("--render-width", type=int, default=56)
+    fault = solve.add_argument_group("fault tolerance")
+    fault.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="periodically write atomic optimizer checkpoints here "
+             "(fast/exact modes); SIGINT flushes a final checkpoint",
+    )
+    fault.add_argument(
+        "--checkpoint-every", type=int, default=5, metavar="N",
+        help="iterations between checkpoints (default: 5)",
+    )
+    fault.add_argument(
+        "--resume", nargs="?", const="auto", metavar="CKPT",
+        help="resume from a checkpoint file/directory (no value: newest "
+             "checkpoint in --checkpoint-dir)",
+    )
     _add_obs_args(solve)
     solve.set_defaults(func=cmd_solve)
+
+    batch = sub.add_parser(
+        "batch",
+        help="run solvers x layouts with per-cell fault isolation",
+    )
+    batch.add_argument(
+        "layouts", nargs="+", help="benchmark names (B1..B10) and/or .glp paths"
+    )
+    batch.add_argument(
+        "--modes", default="fast",
+        help="comma-separated solver modes (default: fast); "
+             f"choices: {', '.join(_MODES)}",
+    )
+    batch.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    batch.add_argument(
+        "--keep-going", action="store_true",
+        help="tolerate failing cells: record them and continue the batch "
+             "(exit code 3 when any cell failed)",
+    )
+    batch.add_argument(
+        "--cell-timeout", type=float, metavar="SECONDS",
+        help="wall-clock budget per solve attempt; over-budget cells are "
+             "recorded as timeouts",
+    )
+    batch.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="extra solve attempts per cell after a failure (default: 0)",
+    )
+    batch.add_argument("--csv", help="write the per-cell CSV (includes cell status)")
+    _add_obs_args(batch)
+    batch.set_defaults(func=cmd_batch)
 
     simulate = sub.add_parser("simulate", help="print a layout without OPC")
     simulate.add_argument("layout", help="benchmark name (B1..B10) or .glp path")

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field, replace
 from typing import Optional, Tuple
 
 from . import constants
-from .errors import OpticsError, ProcessError
+from .errors import OpticsError, OptimizationError, ProcessError
 
 
 @dataclass(frozen=True)
@@ -205,28 +205,50 @@ class OptimizerConfig:
     adam_beta2: float = 0.999
 
     def __post_init__(self) -> None:
-        if self.max_iterations < 1:
-            raise ProcessError("max_iterations must be >= 1")
+        if self.max_iterations < 0:
+            raise OptimizationError(
+                f"max_iterations must be >= 0 (0 = evaluate the seed only), "
+                f"got {self.max_iterations}"
+            )
         if self.step_size <= 0:
-            raise ProcessError("step_size must be positive")
+            raise OptimizationError(
+                f"step_size must be positive, got {self.step_size}"
+            )
         if self.theta_m <= 0:
-            raise ProcessError("theta_m must be positive")
+            raise OptimizationError(
+                f"theta_m (mask-relaxation steepness) must be positive, got {self.theta_m}"
+            )
         if self.alpha < 0 or self.beta < 0:
-            raise ProcessError("objective weights must be non-negative")
+            raise OptimizationError(
+                f"objective weights must be non-negative, got alpha={self.alpha}, "
+                f"beta={self.beta}"
+            )
         if self.gamma < 2:
-            raise ProcessError("gamma must be >= 2 for a differentiable objective")
+            raise OptimizationError(
+                f"gamma must be >= 2 for a differentiable objective, got {self.gamma}"
+            )
         if self.jump_period < 1:
-            raise ProcessError("jump_period must be >= 1")
+            raise OptimizationError(
+                f"jump_period must be >= 1 (the jump fires every jump_period "
+                f"iterations), got {self.jump_period}"
+            )
         if not 0 < self.line_search_shrink < 1:
-            raise ProcessError("line_search_shrink must be in (0, 1)")
+            raise OptimizationError(
+                f"line_search_shrink must be in (0, 1), got {self.line_search_shrink}"
+            )
         if self.line_search_max_steps < 1:
-            raise ProcessError("line_search_max_steps must be >= 1")
+            raise OptimizationError(
+                f"line_search_max_steps must be >= 1, got {self.line_search_max_steps}"
+            )
         if self.descent_mode not in ("normalized", "adam"):
-            raise ProcessError(
+            raise OptimizationError(
                 f"descent_mode must be 'normalized' or 'adam', got {self.descent_mode!r}"
             )
         if not 0 <= self.adam_beta1 < 1 or not 0 <= self.adam_beta2 < 1:
-            raise ProcessError("adam decay rates must be in [0, 1)")
+            raise OptimizationError(
+                f"adam decay rates must be in [0, 1), got "
+                f"beta1={self.adam_beta1}, beta2={self.adam_beta2}"
+            )
 
     @classmethod
     def paper(cls) -> "OptimizerConfig":

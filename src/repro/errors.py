@@ -31,5 +31,17 @@ class OptimizationError(ReproError):
     """Mask optimization could not proceed (bad state, non-finite gradient...)."""
 
 
+class CheckpointError(ReproError):
+    """Optimizer checkpoint could not be written, read, or applied."""
+
+
+class HarnessError(ReproError):
+    """Batch-experiment harness failure (cell execution, invalid spec...)."""
+
+
+class CellTimeoutError(HarnessError):
+    """A harness cell exceeded its wall-clock budget."""
+
+
 class LayoutIOError(ReproError):
     """Layout file could not be parsed or written."""

@@ -23,7 +23,13 @@ _CLIP_EPS = 1e-3
 
 
 def mask_from_params(params: np.ndarray, theta_m: float = constants.THETA_M) -> np.ndarray:
-    """Continuous mask M in (0, 1) from unconstrained parameters P."""
+    """Continuous mask M in (0, 1) from unconstrained parameters P.
+
+    Large ``theta_m`` values (or large params) saturate the sigmoid
+    cleanly to {0, 1} instead of raising overflow RuntimeWarnings: the
+    exponent is clamped inside :func:`sigmoid` and the product is
+    computed under ``np.errstate(over="ignore")``.
+    """
     return sigmoid(np.asarray(params, dtype=np.float64), theta_m)
 
 
@@ -33,9 +39,12 @@ def params_from_mask(mask: np.ndarray, theta_m: float = constants.THETA_M) -> np
     Binary inputs are softened by ``_CLIP_EPS`` so the inverse sigmoid is
     finite; the round trip ``mask_from_params(params_from_mask(M))``
     reproduces soft masks exactly and binary masks to within the clip.
+    Out-of-range inputs (including ``inf``) are clipped into the soft
+    interval first, so the logit never produces non-finite parameters.
     """
     m = np.clip(np.asarray(mask, dtype=np.float64), _CLIP_EPS, 1.0 - _CLIP_EPS)
-    return np.log(m / (1.0 - m)) / theta_m
+    with np.errstate(over="ignore", invalid="ignore"):
+        return np.log(m / (1.0 - m)) / theta_m
 
 
 def mask_param_derivative(mask: np.ndarray, theta_m: float = constants.THETA_M) -> np.ndarray:

@@ -13,7 +13,16 @@ combined as ``F_fast = alpha*F_id + beta*F_pvb`` (MOSAIC_fast) and
 
 from .state import ForwardContext
 from .history import IterationRecord, OptimizationHistory
+from .checkpoint import (
+    CheckpointConfig,
+    OptimizerCheckpoint,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    save_checkpoint,
+)
 from .optimizer import GradientDescentOptimizer, OptimizationResult
+from .recovery import RecoveryPolicy
 from .objectives import (
     CompositeObjective,
     EPEObjective,
@@ -27,6 +36,13 @@ from .mosaic import MosaicExact, MosaicFast, MosaicResult, MosaicSolver
 from .multires import MultiResolutionSolver, coarsen_config, upsample_mask
 
 __all__ = [
+    "CheckpointConfig",
+    "OptimizerCheckpoint",
+    "RecoveryPolicy",
+    "latest_checkpoint",
+    "list_checkpoints",
+    "load_checkpoint",
+    "save_checkpoint",
     "DiscretizationPenalty",
     "TotalVariationPenalty",
     "MultiResolutionSolver",

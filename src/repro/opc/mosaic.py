@@ -16,7 +16,8 @@ expected score impact.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Optional
+from pathlib import Path
+from typing import Callable, Optional, Union
 
 import numpy as np
 
@@ -28,12 +29,14 @@ from ..litho.simulator import LithographySimulator
 from ..mask.sraf import initial_mask_with_srafs
 from ..metrics.score import ScoreBreakdown, contest_score
 from ..utils.timer import Timer
+from .checkpoint import CheckpointConfig
 from .objectives.base import Objective
 from .objectives.composite import CompositeObjective
 from .objectives.epe_objective import EPEObjective
 from .objectives.image_diff import ImageDifferenceObjective
 from .objectives.pvband_objective import PVBandObjective
 from .optimizer import GradientDescentOptimizer, OptimizationResult
+from .recovery import RecoveryPolicy
 
 
 @dataclass
@@ -72,6 +75,15 @@ class MosaicSolver:
         use_sraf: seed with rule-based SRAFs (paper Alg. 1 line 2).
         simulator: optional pre-built simulator to share kernel caches
             across solvers/testcases.
+        recovery: divergence-recovery policy forwarded to the optimizer
+            (default: bounded rollback + step backoff).
+        checkpoint: optional checkpoint configuration forwarded to the
+            optimizer — periodic atomic state snapshots + SIGINT flush.
+        objective_transform: optional seam wrapping the built objective
+            before the optimizer sees it.  This is how deterministic
+            fault injection (:mod:`repro.testing.faults`) exercises the
+            recovery machinery end-to-end; adapters and extra telemetry
+            wrappers fit the same hook.
     """
 
     #: Subclasses set this to label results/logs.
@@ -85,6 +97,9 @@ class MosaicSolver:
         optimizer_config: Optional[OptimizerConfig] = None,
         use_sraf: bool = True,
         simulator: Optional[LithographySimulator] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+        checkpoint: Optional[CheckpointConfig] = None,
+        objective_transform: Optional[Callable[[Objective], Objective]] = None,
     ) -> None:
         self.litho_config = litho_config or LithoConfig.paper()
         self.sim = simulator or LithographySimulator(self.litho_config)
@@ -94,6 +109,9 @@ class MosaicSolver:
             )
         self.optimizer_config = self._resolve_weights(optimizer_config)
         self.use_sraf = use_sraf
+        self.recovery = recovery
+        self.checkpoint = checkpoint
+        self.objective_transform = objective_transform
 
     # -- extension points ------------------------------------------------
 
@@ -126,6 +144,7 @@ class MosaicSolver:
         layout: Layout,
         iteration_callback: Optional[Callable] = None,
         initial_mask: Optional[np.ndarray] = None,
+        resume_from: Union[str, Path, None] = None,
     ) -> MosaicResult:
         """Run the full MOSAIC flow on one layout clip.
 
@@ -136,6 +155,8 @@ class MosaicSolver:
             initial_mask: optional seed overriding the default
                 target(+SRAF) seed — used by warm starts and the
                 multiresolution solver.
+            resume_from: optional checkpoint file or directory to resume
+                the optimization from mid-trajectory.
 
         Returns:
             Result with the optimized mask and its contest score.
@@ -146,12 +167,19 @@ class MosaicSolver:
             with obs.tracer.span("setup"):
                 target = rasterize_layout(layout, grid).astype(np.float64)
                 objective = self.build_objective(target, layout)
+                if self.objective_transform is not None:
+                    objective = self.objective_transform(objective)
                 optimizer = GradientDescentOptimizer(
-                    self.sim, objective, self.optimizer_config, iteration_callback
+                    self.sim,
+                    objective,
+                    self.optimizer_config,
+                    iteration_callback,
+                    recovery=self.recovery,
+                    checkpoint=self.checkpoint,
                 )
                 if initial_mask is None:
                     initial_mask = self.initial_mask(layout)
-            optimization = optimizer.run(initial_mask)
+            optimization = optimizer.run(initial_mask, resume_from=resume_from)
         with obs.tracer.span("score"):
             score = contest_score(
                 self.sim, optimization.binary_mask, layout, runtime_s=total.elapsed

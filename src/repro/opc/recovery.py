@@ -1,0 +1,166 @@
+"""Divergence recovery for the gradient-descent engine.
+
+MOSAIC's objective landscape is non-convex and numerically hostile: the
+paper's own "jump" technique exists because descent gets trapped, and a
+boosted step can push an iterate into a region where the sigmoid
+saturates, the adjoint underflows, or the objective blows up.  Before
+this module the optimizer's answer to any of that was a hard
+``OptimizationError`` — one NaN pixel killed a multi-hour run.
+
+:class:`RecoveryPolicy` replaces the hard failure with a configurable,
+bounded reaction:
+
+* **Non-finite gradient/value** — roll back to the last good
+  ``(params, Adam moments)`` snapshot and back off the step size, so the
+  retried step from the good iterate takes a shorter, safer path.  In
+  ``sanitize`` mode a finite-valued iteration with isolated non-finite
+  gradient entries is instead repaired in place (bad entries zeroed,
+  magnitude optionally clipped).
+* **Objective blow-up** — when F exceeds ``blowup_factor`` times the
+  best value seen, restart from the best iterate (with backed-off step)
+  instead of descending further into the divergent basin.
+* **Bounded retries** — ``max_retries`` consecutive recovery actions
+  without one successful iteration surface the original
+  ``OptimizationError``; recovery never loops forever on a
+  deterministically broken objective.
+
+Every action increments a metrics counter (``recovery_rollbacks``,
+``recovery_step_backoffs``, ``recovery_sanitized_gradients``,
+``recovery_restarts``) and emits a ``recovery`` JSONL event, so a run's
+fault history is fully reconstructable from its telemetry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["RecoveryPolicy", "FaultKind", "classify_fault"]
+
+
+class FaultKind:
+    """Symbolic names for the fault classes the policy reacts to."""
+
+    NONFINITE_VALUE = "nonfinite_value"
+    NONFINITE_GRADIENT = "nonfinite_gradient"
+    OBJECTIVE_BLOWUP = "objective_blowup"
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """How the optimizer reacts to numerical faults mid-descent.
+
+    Attributes:
+        enabled: master switch; ``False`` restores the pre-recovery
+            behaviour (raise on the first non-finite value/gradient).
+        max_retries: consecutive recovery actions allowed before the
+            fault is surfaced as :class:`~repro.errors.OptimizationError`.
+            The counter resets after every successful iteration, so a
+            long run survives many isolated transients but a
+            deterministically broken objective fails fast.
+        nonfinite_action: ``"rollback"`` (default) rolls back to the
+            last good snapshot and backs off the step; ``"sanitize"``
+            repairs a finite-valued iteration's gradient in place by
+            zeroing non-finite entries (falls back to rollback when the
+            objective value itself is non-finite).
+        step_backoff: multiplier applied to the global step scale on
+            every rollback/restart (0 < backoff < 1).
+        min_step_scale: floor for the accumulated step scale so repeated
+            backoffs cannot freeze the descent entirely.
+        blowup_factor: a finite objective value larger than
+            ``blowup_factor * max(|best|, blowup_abs_floor)`` triggers a
+            restart from the best iterate; ``None`` disables blow-up
+            detection.
+        blowup_abs_floor: absolute scale guard so near-zero best values
+            do not make every fluctuation look like a blow-up.
+        grad_clip: optional absolute magnitude cap applied to sanitized
+            gradients (only used in ``sanitize`` mode).
+    """
+
+    enabled: bool = True
+    max_retries: int = 3
+    nonfinite_action: str = "rollback"
+    step_backoff: float = 0.5
+    min_step_scale: float = 1.0 / 64.0
+    blowup_factor: Optional[float] = 100.0
+    blowup_abs_floor: float = 1e-6
+    grad_clip: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        from ..errors import OptimizationError
+
+        if self.max_retries < 0:
+            raise OptimizationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.nonfinite_action not in ("rollback", "sanitize"):
+            raise OptimizationError(
+                "nonfinite_action must be 'rollback' or 'sanitize', got "
+                f"{self.nonfinite_action!r}"
+            )
+        if not 0 < self.step_backoff < 1:
+            raise OptimizationError(
+                f"step_backoff must be in (0, 1), got {self.step_backoff}"
+            )
+        if not 0 < self.min_step_scale <= 1:
+            raise OptimizationError(
+                f"min_step_scale must be in (0, 1], got {self.min_step_scale}"
+            )
+        if self.blowup_factor is not None and self.blowup_factor <= 1:
+            raise OptimizationError(
+                f"blowup_factor must be > 1 (or None), got {self.blowup_factor}"
+            )
+        if self.grad_clip is not None and self.grad_clip <= 0:
+            raise OptimizationError(
+                f"grad_clip must be positive (or None), got {self.grad_clip}"
+            )
+
+    @classmethod
+    def strict(cls) -> "RecoveryPolicy":
+        """The pre-recovery contract: raise on the first fault."""
+        return cls(enabled=False)
+
+    @classmethod
+    def sanitizing(cls, grad_clip: Optional[float] = None) -> "RecoveryPolicy":
+        """Repair isolated non-finite gradient entries in place."""
+        return cls(nonfinite_action="sanitize", grad_clip=grad_clip)
+
+    def backed_off(self, step_scale: float) -> float:
+        """The step scale after one backoff, floored at ``min_step_scale``."""
+        return max(self.min_step_scale, step_scale * self.step_backoff)
+
+    def is_blowup(self, value: float, best_value: float) -> bool:
+        """True when a *finite* value qualifies as an objective blow-up."""
+        if self.blowup_factor is None or not np.isfinite(best_value):
+            return False
+        scale = max(abs(best_value), self.blowup_abs_floor)
+        return bool(np.isfinite(value)) and value > self.blowup_factor * scale
+
+    def sanitize_gradient(self, gradient: np.ndarray) -> np.ndarray:
+        """Zero non-finite entries (and clip magnitude when configured)."""
+        repaired = np.where(np.isfinite(gradient), gradient, 0.0)
+        if self.grad_clip is not None:
+            repaired = np.clip(repaired, -self.grad_clip, self.grad_clip)
+        return repaired
+
+
+def classify_fault(
+    value: float,
+    gradient: np.ndarray,
+    best_value: float,
+    policy: RecoveryPolicy,
+) -> Optional[str]:
+    """Classify an iteration's evaluation, returning a fault kind or None.
+
+    Non-finite value dominates a non-finite gradient (the iterate itself
+    is unusable); blow-up is only checked for finite evaluations.
+    """
+    if not np.isfinite(value):
+        return FaultKind.NONFINITE_VALUE
+    if not np.all(np.isfinite(gradient)):
+        return FaultKind.NONFINITE_GRADIENT
+    if policy.is_blowup(value, best_value):
+        return FaultKind.OBJECTIVE_BLOWUP
+    return None

@@ -1,0 +1,20 @@
+"""Deterministic testing aids: fault injection for the robustness stack.
+
+Production code never imports this package; tests (and the CI
+fault-injection lane) use it to exercise the recovery, checkpoint, and
+harness-isolation paths end-to-end instead of trusting them on faith.
+"""
+
+from .faults import (
+    FaultInjector,
+    FaultRecord,
+    FaultyObjective,
+    FaultySolverFactory,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultRecord",
+    "FaultyObjective",
+    "FaultySolverFactory",
+]

@@ -25,7 +25,15 @@ def sigmoid(x: np.ndarray, steepness: float = 1.0, center: float = 0.0) -> np.nd
     Returns:
         Array of the same shape with values in (0, 1).
     """
-    z = np.clip(steepness * (np.asarray(x, dtype=np.float64) - center), -_EXP_CLAMP, _EXP_CLAMP)
+    # Extreme steepness values (theta_m sweeps, fault-injected params) can
+    # overflow the product before the clamp ever sees it; suppress the
+    # warning and let the clamp saturate the result instead.
+    with np.errstate(over="ignore"):
+        z = np.clip(
+            steepness * (np.asarray(x, dtype=np.float64) - center),
+            -_EXP_CLAMP,
+            _EXP_CLAMP,
+        )
     return 1.0 / (1.0 + np.exp(-z))
 
 

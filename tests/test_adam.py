@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config import OptimizerConfig
-from repro.errors import ProcessError
+from repro.errors import OptimizationError
 from repro.geometry.layout import Layout
 from repro.geometry.raster import rasterize_layout
 from repro.geometry.rect import Rect
@@ -21,13 +21,13 @@ def setup(tiny_sim):
 
 class TestAdamConfig:
     def test_mode_validated(self):
-        with pytest.raises(ProcessError):
+        with pytest.raises(OptimizationError):
             OptimizerConfig(descent_mode="sgd")
 
     def test_betas_validated(self):
-        with pytest.raises(ProcessError):
+        with pytest.raises(OptimizationError):
             OptimizerConfig(adam_beta1=1.0)
-        with pytest.raises(ProcessError):
+        with pytest.raises(OptimizationError):
             OptimizerConfig(adam_beta2=-0.1)
 
     def test_default_is_normalized(self):

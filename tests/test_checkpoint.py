@@ -1,0 +1,307 @@
+"""Checkpoint/resume tests: on-disk format, atomicity, and the
+kill-at-iteration-k → resume → identical-trajectory acceptance path."""
+
+import json
+import os
+import signal
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.errors import CheckpointError, OptimizationError
+from repro.geometry.layout import Layout
+from repro.geometry.rect import Rect
+from repro.geometry.raster import rasterize_layout
+from repro.obs import Instrumentation
+from repro.opc.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointConfig,
+    OptimizerCheckpoint,
+    latest_checkpoint,
+    list_checkpoints,
+    load_checkpoint,
+    save_checkpoint,
+)
+from repro.opc.objectives import ImageDifferenceObjective
+from repro.opc.optimizer import GradientDescentOptimizer
+
+
+def _state(iteration=3, shape=(4, 4), step_scale=0.5):
+    rng = np.random.default_rng(iteration)
+    return OptimizerCheckpoint(
+        iteration=iteration,
+        params=rng.normal(size=shape),
+        adam_m=rng.normal(size=shape),
+        adam_v=rng.random(shape),
+        best_params=rng.normal(size=shape),
+        best_value=0.125,
+        best_iteration=2,
+        step_scale=step_scale,
+        theta_m=4.0,
+        grid_shape=shape,
+    )
+
+
+class TestCheckpointConfig:
+    def test_validation(self, tmp_path):
+        with pytest.raises(CheckpointError):
+            CheckpointConfig(tmp_path, every=0)
+        with pytest.raises(CheckpointError):
+            CheckpointConfig(tmp_path, keep=-1)
+
+    def test_path_accepts_str(self, tmp_path):
+        assert CheckpointConfig(str(tmp_path)).path == tmp_path
+
+
+class TestSaveLoad:
+    def test_round_trip_is_exact(self, tmp_path):
+        state = _state()
+        path = save_checkpoint(CheckpointConfig(tmp_path), state)
+        assert path.name == "ckpt_000003.npz"
+        loaded = load_checkpoint(path)
+        for key in ("params", "adam_m", "adam_v", "best_params"):
+            np.testing.assert_array_equal(getattr(loaded, key), getattr(state, key))
+        assert loaded.iteration == state.iteration
+        assert loaded.best_value == state.best_value
+        assert loaded.best_iteration == state.best_iteration
+        assert loaded.step_scale == state.step_scale
+        assert loaded.theta_m == state.theta_m
+        assert tuple(loaded.grid_shape) == tuple(state.grid_shape)
+
+    def test_save_creates_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        save_checkpoint(CheckpointConfig(nested), _state())
+        assert list_checkpoints(nested)
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        save_checkpoint(CheckpointConfig(tmp_path), _state())
+        assert [p.name for p in sorted(tmp_path.iterdir())] == ["ckpt_000003.npz"]
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        config = CheckpointConfig(tmp_path, keep=2)
+        for i in (1, 2, 3, 4):
+            save_checkpoint(config, _state(iteration=i))
+        names = [p.name for p in list_checkpoints(tmp_path)]
+        assert names == ["ckpt_000003.npz", "ckpt_000004.npz"]
+
+    def test_keep_zero_retains_everything(self, tmp_path):
+        config = CheckpointConfig(tmp_path, keep=0)
+        for i in (1, 2, 3, 4):
+            save_checkpoint(config, _state(iteration=i))
+        assert len(list_checkpoints(tmp_path)) == 4
+
+    def test_load_from_directory_picks_latest(self, tmp_path):
+        config = CheckpointConfig(tmp_path, keep=0)
+        for i in (1, 5, 3):
+            save_checkpoint(config, _state(iteration=i))
+        assert load_checkpoint(tmp_path).iteration == 5
+        assert latest_checkpoint(tmp_path).name == "ckpt_000005.npz"
+
+    def test_latest_checkpoint_empty(self, tmp_path):
+        assert latest_checkpoint(tmp_path) is None
+        assert latest_checkpoint(tmp_path / "missing") is None
+
+    def test_history_round_trips(self, tmp_path):
+        from repro.opc.history import IterationRecord, OptimizationHistory
+
+        state = _state()
+        state.history = OptimizationHistory(records=[
+            IterationRecord(iteration=0, objective=4.0, gradient_rms=0.1,
+                            step_size=1.0, term_values={"image": 4.0}),
+            IterationRecord(iteration=1, objective=3.5, gradient_rms=0.09,
+                            step_size=1.0),
+        ])
+        path = save_checkpoint(CheckpointConfig(tmp_path), state)
+        loaded = load_checkpoint(path)
+        assert loaded.history.objectives == [4.0, 3.5]
+        assert loaded.history.records[0].term_values == {"image": 4.0}
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(CheckpointError, match="does not exist"):
+            load_checkpoint(tmp_path / "nope.npz")
+
+    def test_empty_directory(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no checkpoints"):
+            load_checkpoint(tmp_path)
+
+    def test_corrupt_file(self, tmp_path):
+        bad = tmp_path / "ckpt_000001.npz"
+        bad.write_bytes(b"this is not an npz archive")
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(bad)
+
+    def test_missing_keys(self, tmp_path):
+        bad = tmp_path / "ckpt_000001.npz"
+        np.savez(bad, params=np.zeros((2, 2)))
+        with pytest.raises(CheckpointError, match="missing keys"):
+            load_checkpoint(bad)
+
+    def test_version_mismatch(self, tmp_path):
+        path = save_checkpoint(CheckpointConfig(tmp_path), _state())
+        # Rewrite the archive with a bumped version field.
+        with np.load(path, allow_pickle=False) as archive:
+            payload = {k: archive[k] for k in archive.files}
+        meta = json.loads(str(payload["meta_json"]))
+        meta["version"] = CHECKPOINT_VERSION + 1
+        payload["meta_json"] = np.array(json.dumps(meta))
+        np.savez(path, **payload)
+        with pytest.raises(CheckpointError, match="format version"):
+            load_checkpoint(path)
+
+    def test_validate_against_mismatches(self):
+        state = _state(shape=(4, 4))
+        with pytest.raises(CheckpointError, match="grid"):
+            state.validate_against((8, 8), 4.0)
+        with pytest.raises(CheckpointError, match="theta_m"):
+            state.validate_against((4, 4), 2.0)
+
+
+@pytest.fixture()
+def problem(tiny_sim):
+    layout = Layout.from_rects("sq", [Rect(384, 384, 640, 640)])
+    target = rasterize_layout(layout, tiny_sim.grid).astype(float)
+    config = OptimizerConfig(max_iterations=20, step_size=8.0,
+                             gradient_rms_tol=0.0)
+    return target, config
+
+
+def _optimizer(tiny_sim, target, config, **kwargs):
+    return GradientDescentOptimizer(
+        tiny_sim, ImageDifferenceObjective(target, gamma=2), config, **kwargs
+    )
+
+
+class TestOptimizerCheckpointing:
+    def test_periodic_checkpoints_written(self, tiny_sim, problem, tmp_path):
+        target, config = problem
+        events = []
+        obs = Instrumentation.collecting(events_sink=events.append)
+        opt = _optimizer(
+            tiny_sim, target, config, obs=obs,
+            checkpoint=CheckpointConfig(tmp_path, every=5, keep=0),
+        )
+        opt.run(target)
+        # 20 iterations @ every=5 -> checkpoints at 5, 10, 15, 20.
+        names = [p.name for p in list_checkpoints(tmp_path)]
+        assert names == [f"ckpt_{i:06d}.npz" for i in (5, 10, 15, 20)]
+        assert obs.metrics.counter("checkpoints_written").value == 4
+        ckpt_events = [e for e in events if e["event"] == "checkpoint"]
+        assert [e["iteration"] for e in ckpt_events] == [5, 10, 15, 20]
+        assert all(e["reason"] == "periodic" for e in ckpt_events)
+
+    def test_kill_and_resume_reproduces_run(self, tiny_sim, problem, tmp_path):
+        """Acceptance: a run killed at iteration 10 resumes from its
+        checkpoint to a final history equal (rel <= 1e-6) to the
+        uninterrupted run's."""
+        target, config = problem
+        full = _optimizer(tiny_sim, target, config).run(target)
+        assert len(full.history) == 20
+
+        def kill_at_10(iteration, mask, record):
+            if iteration == 10:
+                raise KeyboardInterrupt
+            return record
+
+        ckpt = CheckpointConfig(tmp_path, every=5)
+        with pytest.raises(KeyboardInterrupt):
+            _optimizer(
+                tiny_sim, target, config,
+                iteration_callback=kill_at_10, checkpoint=ckpt,
+            ).run(target)
+        # The interrupt flushed the last committed state (iteration 10).
+        assert latest_checkpoint(tmp_path).name == "ckpt_000010.npz"
+
+        events = []
+        obs = Instrumentation.collecting(events_sink=events.append)
+        resumed = _optimizer(tiny_sim, target, config, obs=obs).run(
+            target, resume_from=tmp_path
+        )
+        assert any(e["event"] == "resume" and e["iteration"] == 10 for e in events)
+        run_start = next(e for e in events if e["event"] == "run_start")
+        assert run_start["resumed_at"] == 10
+
+        assert len(resumed.history) == 20
+        np.testing.assert_allclose(
+            resumed.history.objectives, full.history.objectives, rtol=1e-6
+        )
+        np.testing.assert_allclose(
+            resumed.history.series("gradient_rms"),
+            full.history.series("gradient_rms"),
+            rtol=1e-6,
+        )
+        np.testing.assert_allclose(resumed.mask, full.mask, atol=1e-9)
+        assert resumed.best_iteration == full.best_iteration
+
+    def test_resume_from_explicit_file(self, tiny_sim, problem, tmp_path):
+        target, config = problem
+        _optimizer(
+            tiny_sim, target, config,
+            checkpoint=CheckpointConfig(tmp_path, every=5, keep=0),
+        ).run(target)
+        mid = tmp_path / "ckpt_000010.npz"
+        resumed = _optimizer(tiny_sim, target, config).run(target, resume_from=mid)
+        assert len(resumed.history) == 20
+        assert resumed.history.records[10].iteration == 10
+
+    def test_resume_rejects_exhausted_checkpoint(self, tiny_sim, problem, tmp_path):
+        target, config = problem
+        _optimizer(
+            tiny_sim, target, config,
+            checkpoint=CheckpointConfig(tmp_path, every=5, keep=0),
+        ).run(target)
+        short = OptimizerConfig(max_iterations=10, step_size=8.0)
+        with pytest.raises(OptimizationError, match="nothing to resume"):
+            _optimizer(tiny_sim, target, short).run(
+                target, resume_from=tmp_path / "ckpt_000020.npz"
+            )
+
+    def test_resume_rejects_wrong_grid(self, sim, tiny_sim, problem, tmp_path):
+        target, config = problem
+        _optimizer(
+            tiny_sim, target, config,
+            checkpoint=CheckpointConfig(tmp_path, every=5),
+        ).run(target)
+        big_target = np.zeros(sim.grid.shape)
+        with pytest.raises(CheckpointError, match="grid"):
+            GradientDescentOptimizer(
+                sim, ImageDifferenceObjective(big_target, gamma=2), config
+            ).run(big_target, resume_from=tmp_path)
+
+    def test_sigint_flushes_final_checkpoint(self, tiny_sim, problem, tmp_path):
+        """The cooperative SIGINT path: the signal sets a flag and the
+        loop flushes the committed state at the iteration boundary."""
+        target, config = problem
+        events = []
+        obs = Instrumentation.collecting(events_sink=events.append)
+
+        def send_sigint(iteration, mask, record):
+            if iteration == 7:
+                os.kill(os.getpid(), signal.SIGINT)
+            return record
+
+        with pytest.raises(KeyboardInterrupt):
+            _optimizer(
+                tiny_sim, target, config, obs=obs,
+                iteration_callback=send_sigint,
+                checkpoint=CheckpointConfig(tmp_path, every=100),
+            ).run(target)
+        # Boundary after iteration 7 -> checkpoint carries iteration=8.
+        assert latest_checkpoint(tmp_path).name == "ckpt_000008.npz"
+        flush = [e for e in events if e["event"] == "checkpoint"]
+        assert flush and flush[-1]["reason"] == "sigint"
+        assert any(e["event"] == "interrupted" for e in events)
+        # The previous SIGINT handler was restored.
+        assert signal.getsignal(signal.SIGINT) is signal.default_int_handler
+
+    def test_checkpoint_files_are_valid_zip(self, tiny_sim, problem, tmp_path):
+        target, config = problem
+        _optimizer(
+            tiny_sim, target, config,
+            checkpoint=CheckpointConfig(tmp_path, every=5),
+        ).run(target)
+        for path in list_checkpoints(tmp_path):
+            assert zipfile.is_zipfile(path)

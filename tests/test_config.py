@@ -10,7 +10,7 @@ from repro.config import (
     ProcessConfig,
     ResistConfig,
 )
-from repro.errors import OpticsError, ProcessError
+from repro.errors import OpticsError, OptimizationError, ProcessError
 
 
 class TestGridSpec:
@@ -75,17 +75,32 @@ class TestOptimizerConfig:
     @pytest.mark.parametrize(
         "kwargs",
         [
-            {"max_iterations": 0},
+            {"max_iterations": -1},
             {"step_size": 0},
             {"theta_m": -1},
             {"alpha": -0.5},
             {"gamma": 1},
             {"jump_period": 0},
+            {"line_search_shrink": 1.0},
+            {"line_search_max_steps": 0},
+            {"descent_mode": "sgd"},
+            {"adam_beta1": 1.0},
         ],
     )
     def test_invalid_rejected(self, kwargs):
-        with pytest.raises(ProcessError):
+        with pytest.raises(OptimizationError):
             OptimizerConfig(**kwargs)
+
+    def test_zero_iterations_allowed(self):
+        # max_iterations=0 means "evaluate the seed only" — the optimizer
+        # loop is skipped but the final evaluation still runs.
+        assert OptimizerConfig(max_iterations=0).max_iterations == 0
+
+    def test_jump_period_never_divides_by_zero(self):
+        # Regression: jump_period=0 used to slip through to
+        # `iteration % cfg.jump_period` and crash with ZeroDivisionError.
+        with pytest.raises(OptimizationError, match="jump_period"):
+            OptimizerConfig(jump_period=0)
 
 
 class TestLithoConfig:

@@ -63,8 +63,8 @@ class TestRunExperiment:
         with open(path) as handle:
             header = next(csv.reader(handle))
         assert header == [
-            "solver", "layout", "epe_violations", "pv_band_nm2",
-            "shape_violations", "runtime_s", "score",
+            "solver", "layout", "status", "epe_violations", "pv_band_nm2",
+            "shape_violations", "runtime_s", "score", "error",
         ]
 
     def test_csv_rows_match_score_matrix(self, small_experiment, tmp_path):

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.config import OptimizerConfig
-from repro.errors import ProcessError
+from repro.errors import OptimizationError
 from repro.geometry.layout import Layout
 from repro.geometry.raster import rasterize_layout
 from repro.geometry.rect import Rect
@@ -57,9 +57,9 @@ class TestLineSearch:
         )
 
     def test_config_validation(self):
-        with pytest.raises(ProcessError):
+        with pytest.raises(OptimizationError):
             OptimizerConfig(line_search_shrink=0.0)
-        with pytest.raises(ProcessError):
+        with pytest.raises(OptimizationError):
             OptimizerConfig(line_search_shrink=1.0)
-        with pytest.raises(ProcessError):
+        with pytest.raises(OptimizationError):
             OptimizerConfig(line_search_max_steps=0)

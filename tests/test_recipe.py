@@ -53,7 +53,7 @@ class TestRecipeParsing:
 
     def test_invalid_value_rejected(self):
         with pytest.raises(ReproError):
-            recipe_from_dict({"optimizer": {"max_iterations": 0}})
+            recipe_from_dict({"optimizer": {"max_iterations": -1}})
 
     def test_non_object_rejected(self):
         with pytest.raises(ReproError):

@@ -1,0 +1,286 @@
+"""Divergence-recovery tests: policy semantics + fault-injected runs.
+
+The end-to-end tests drive the optimizer through deterministic injected
+faults (``repro.testing.faults``) and assert both halves of the
+contract: the fault really fired, and the run really recovered.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.config import OptimizerConfig
+from repro.errors import OptimizationError
+from repro.geometry.layout import Layout
+from repro.geometry.raster import rasterize_layout
+from repro.geometry.rect import Rect
+from repro.litho.simulator import LithographySimulator
+from repro.obs import Instrumentation
+from repro.opc.mosaic import MosaicFast
+from repro.opc.objectives import ImageDifferenceObjective
+from repro.opc.objectives.base import Objective
+from repro.opc.optimizer import GradientDescentOptimizer
+from repro.opc.recovery import FaultKind, RecoveryPolicy, classify_fault
+from repro.testing.faults import FaultInjector
+
+
+class TestRecoveryPolicy:
+    def test_defaults_enabled(self):
+        policy = RecoveryPolicy()
+        assert policy.enabled
+        assert policy.max_retries == 3
+
+    def test_strict_disables(self):
+        assert not RecoveryPolicy.strict().enabled
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_retries": -1},
+            {"nonfinite_action": "ignore"},
+            {"step_backoff": 0.0},
+            {"step_backoff": 1.0},
+            {"min_step_scale": 0.0},
+            {"min_step_scale": 2.0},
+            {"blowup_factor": 1.0},
+            {"grad_clip": 0.0},
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(OptimizationError):
+            RecoveryPolicy(**kwargs)
+
+    def test_backed_off_floors(self):
+        policy = RecoveryPolicy(step_backoff=0.5, min_step_scale=0.25)
+        assert policy.backed_off(1.0) == 0.5
+        assert policy.backed_off(0.5) == 0.25
+        assert policy.backed_off(0.25) == 0.25  # floored
+
+    def test_blowup_detection(self):
+        policy = RecoveryPolicy(blowup_factor=100.0)
+        assert policy.is_blowup(2000.0, 10.0)
+        assert not policy.is_blowup(500.0, 10.0)
+        assert not policy.is_blowup(2000.0, np.inf)  # no best yet
+        assert RecoveryPolicy(blowup_factor=None).is_blowup(1e30, 1.0) is False
+
+    def test_sanitize_gradient(self):
+        policy = RecoveryPolicy.sanitizing(grad_clip=2.0)
+        g = np.array([1.0, np.nan, -np.inf, 5.0])
+        repaired = policy.sanitize_gradient(g)
+        assert repaired.tolist() == [1.0, 0.0, 0.0, 2.0]
+
+    def test_classify_fault_priorities(self):
+        policy = RecoveryPolicy()
+        good = np.zeros(4)
+        bad = np.array([0.0, np.nan, 0.0, 0.0])
+        assert classify_fault(np.nan, good, 1.0, policy) == FaultKind.NONFINITE_VALUE
+        assert classify_fault(np.nan, bad, 1.0, policy) == FaultKind.NONFINITE_VALUE
+        assert classify_fault(1.0, bad, 1.0, policy) == FaultKind.NONFINITE_GRADIENT
+        assert classify_fault(1e6, good, 1.0, policy) == FaultKind.OBJECTIVE_BLOWUP
+        assert classify_fault(1.0, good, 1.0, policy) is None
+
+
+@pytest.fixture()
+def setup(tiny_sim):
+    layout = Layout.from_rects("sq", [Rect(384, 384, 640, 640)])
+    target = rasterize_layout(layout, tiny_sim.grid).astype(float)
+    return layout, target
+
+
+def _collecting_obs(events):
+    return Instrumentation.collecting(events_sink=events.append)
+
+
+class TestDivergenceRecovery:
+    def test_nan_gradient_rolls_back_and_completes(self, tiny_sim, setup):
+        """Acceptance: NaN gradient at iteration 5 of a 20-iteration run
+        triggers rollback + step backoff and still completes all 20."""
+        _, target = setup
+        events = []
+        obs = _collecting_obs(events)
+        injector = FaultInjector().arm_gradient_fault(at_call=5, mode="nan")
+        objective = injector.wrap_objective(
+            ImageDifferenceObjective(target, gamma=2)
+        )
+        config = OptimizerConfig(max_iterations=20, step_size=8.0, use_jump=False,
+                                 gradient_rms_tol=0.0)
+        optimizer = GradientDescentOptimizer(
+            tiny_sim, objective, config, obs=obs
+        )
+        result = optimizer.run(target)
+
+        # The fault really fired...
+        assert [r.kind for r in injector.log] == ["gradient"]
+        # ...recovery engaged (counters + events)...
+        assert obs.metrics.counter("recovery_rollbacks").value == 1
+        assert obs.metrics.counter("recovery_step_backoffs").value == 1
+        recovery_events = [e for e in events if e["event"] == "recovery"]
+        assert len(recovery_events) == 1
+        assert recovery_events[0]["action"] == "rollback"
+        assert recovery_events[0]["reason"] == FaultKind.NONFINITE_GRADIENT
+        assert recovery_events[0]["iteration"] == 5
+        # ...and the run completed all iterations with finite results.
+        assert len(result.history) == 20
+        assert result.recovered_faults == 1
+        assert np.all(np.isfinite(result.history.objectives))
+
+        # Optional CI artifact: persist the recovery telemetry.
+        out = os.environ.get("RECOVERY_EVENTS_PATH")
+        if out:
+            with open(out, "a") as handle:
+                for event in events:
+                    handle.write(json.dumps(event) + "\n")
+
+    def test_recovered_run_matches_clean_final_score(self, tiny_sim, setup):
+        _, target = setup
+        objective = ImageDifferenceObjective(target, gamma=2)
+        config = OptimizerConfig(max_iterations=20, step_size=8.0, use_jump=False,
+                                 gradient_rms_tol=0.0)
+        clean = GradientDescentOptimizer(tiny_sim, objective, config).run(target)
+
+        injector = FaultInjector().arm_gradient_fault(at_call=5, mode="nan")
+        recovered = GradientDescentOptimizer(
+            tiny_sim,
+            injector.wrap_objective(ImageDifferenceObjective(target, gamma=2)),
+            config,
+        ).run(target)
+
+        # The recovered trajectory diverges (backed-off steps) but lands
+        # in the same basin: final objectives agree to a loose tolerance.
+        clean_final = clean.history.objectives[-1]
+        rec_final = recovered.history.objectives[-1]
+        assert rec_final == pytest.approx(clean_final, rel=0.5)
+        # The first 5 iterations are untouched by the fault: identical.
+        np.testing.assert_allclose(
+            recovered.history.objectives[:5], clean.history.objectives[:5], rtol=0
+        )
+
+    def test_inf_gradient_also_recovers(self, tiny_sim, setup):
+        _, target = setup
+        injector = FaultInjector().arm_gradient_fault(at_call=2, mode="inf")
+        config = OptimizerConfig(max_iterations=6, step_size=8.0, use_jump=False,
+                                 gradient_rms_tol=0.0)
+        result = GradientDescentOptimizer(
+            tiny_sim,
+            injector.wrap_objective(ImageDifferenceObjective(target, gamma=2)),
+            config,
+        ).run(target)
+        assert len(result.history) == 6
+        assert result.recovered_faults == 1
+
+    def test_value_blowup_restarts_from_best(self, tiny_sim, setup):
+        _, target = setup
+        events = []
+        obs = _collecting_obs(events)
+        injector = FaultInjector().arm_value_fault(
+            at_call=4, mode="blowup", blowup_factor=1e9
+        )
+        config = OptimizerConfig(max_iterations=8, step_size=8.0, use_jump=False,
+                                 gradient_rms_tol=0.0)
+        result = GradientDescentOptimizer(
+            tiny_sim,
+            injector.wrap_objective(ImageDifferenceObjective(target, gamma=2)),
+            config,
+            obs=obs,
+        ).run(target)
+        assert obs.metrics.counter("recovery_restarts").value == 1
+        actions = [e["action"] for e in events if e["event"] == "recovery"]
+        assert actions == ["restart_from_best"]
+        assert len(result.history) == 8
+
+    def test_sanitize_mode_repairs_in_place(self, tiny_sim, setup):
+        _, target = setup
+        events = []
+        obs = _collecting_obs(events)
+        injector = FaultInjector().arm_gradient_fault(at_call=3, mode="nan")
+        config = OptimizerConfig(max_iterations=6, step_size=8.0, use_jump=False,
+                                 gradient_rms_tol=0.0)
+        result = GradientDescentOptimizer(
+            tiny_sim,
+            injector.wrap_objective(ImageDifferenceObjective(target, gamma=2)),
+            config,
+            obs=obs,
+            recovery=RecoveryPolicy.sanitizing(),
+        ).run(target)
+        assert obs.metrics.counter("recovery_sanitized_gradients").value == 1
+        assert obs.metrics.counter("recovery_rollbacks").value == 0
+        # Sanitizing repairs without retrying, so all iterations recorded.
+        assert len(result.history) == 6
+
+    def test_persistent_fault_exhausts_retries(self, tiny_sim):
+        class Broken(Objective):
+            def value_and_gradient(self, ctx):
+                g = np.zeros_like(ctx.mask)
+                g[0, 0] = np.nan
+                return 1.0, g
+
+        optimizer = GradientDescentOptimizer(
+            tiny_sim, Broken(), OptimizerConfig(),
+            recovery=RecoveryPolicy(max_retries=2),
+        )
+        with pytest.raises(OptimizationError, match="recovery exhausted"):
+            optimizer.run(np.full(tiny_sim.grid.shape, 0.5))
+
+    def test_strict_policy_raises_immediately(self, tiny_sim):
+        class Broken(Objective):
+            calls = 0
+
+            def value_and_gradient(self, ctx):
+                type(self).calls += 1
+                g = np.zeros_like(ctx.mask)
+                g[0, 0] = np.nan
+                return 1.0, g
+
+        optimizer = GradientDescentOptimizer(
+            tiny_sim, Broken(), OptimizerConfig(),
+            recovery=RecoveryPolicy.strict(),
+        )
+        with pytest.raises(OptimizationError, match="non-finite"):
+            optimizer.run(np.full(tiny_sim.grid.shape, 0.5))
+        assert Broken.calls == 1  # no retries under the strict policy
+
+    def test_transient_retry_budget_resets(self, tiny_sim, setup):
+        """Isolated transients spread across a run each recover, because
+        the retry budget is consecutive, not cumulative."""
+        _, target = setup
+        injector = (
+            FaultInjector()
+            .arm_gradient_fault(at_call=2, mode="nan")
+            .arm_gradient_fault(at_call=7, mode="nan")
+            .arm_gradient_fault(at_call=12, mode="nan")
+        )
+        config = OptimizerConfig(max_iterations=12, step_size=8.0, use_jump=False,
+                                 gradient_rms_tol=0.0)
+        result = GradientDescentOptimizer(
+            tiny_sim,
+            injector.wrap_objective(ImageDifferenceObjective(target, gamma=2)),
+            config,
+            recovery=RecoveryPolicy(max_retries=1),
+        ).run(target)
+        assert result.recovered_faults == 3
+        assert len(result.history) == 12
+
+
+class TestMosaicFastEndToEnd:
+    def test_mosaic_fast_survives_injected_nan(self, tiny_config, setup):
+        """Acceptance (end to end): a MOSAIC_fast solve with a NaN
+        gradient injected at iteration 5 of 20 completes and scores."""
+        layout, _ = setup
+        events = []
+        obs = _collecting_obs(events)
+        sim = LithographySimulator(tiny_config, obs=obs)
+        injector = FaultInjector().arm_gradient_fault(at_call=5, mode="nan")
+        solver = MosaicFast(
+            tiny_config,
+            optimizer_config=OptimizerConfig(max_iterations=20),
+            simulator=sim,
+            objective_transform=injector.wrap_objective,
+        )
+        result = solver.solve(layout)
+        assert injector.log, "the armed fault never fired"
+        assert obs.metrics.counter("recovery_rollbacks").value >= 1
+        assert obs.metrics.counter("recovery_step_backoffs").value >= 1
+        assert len(result.optimization.history) == 20
+        assert np.isfinite(result.score.total)
