@@ -1,0 +1,128 @@
+"""A/B benchmark: serial vs process-parallel tiled full-chip solves.
+
+Runs the full-chip engine on a 2048 nm synthetic canvas (2x2 tiles at
+1024 nm tile size) once inline and once on a two-worker process pool,
+asserting that the two produce the *identical* stitched mask and — when
+the machine actually has cores to parallelize over — that the pool wins
+wall-clock.  Results land in ``BENCH_fullchip.json`` at the repository
+root (uploaded as a CI artifact).
+
+The scale is deliberately small (16 nm pixels, 4 kernels): the benchmark
+measures scheduling overhead vs parallel speedup, not solver quality.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    GridSpec,
+    LithoConfig,
+    OpticsConfig,
+    OptimizerConfig,
+    ProcessConfig,
+    ResistConfig,
+)
+from repro.fullchip import FullChipConfig, FullChipEngine, ambit_model_for
+from repro.workloads.generator import synthetic_canvas
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_fullchip.json"
+
+CANVAS_NM = 2048.0
+TILE_NM = 1024.0
+PIXEL_NM = 16.0
+PROBE_NM = 1024.0
+ITERATIONS = 30
+ROUNDS = 2
+SPEEDUP_FLOOR = 1.1
+
+
+def _litho() -> LithoConfig:
+    return LithoConfig(
+        grid=GridSpec(shape=(64, 64), pixel_nm=PIXEL_NM),
+        optics=OpticsConfig(num_kernels=4),
+        resist=ResistConfig(),
+        process=ProcessConfig(),
+    )
+
+
+def _engine(litho: LithoConfig, workers: int) -> FullChipEngine:
+    return FullChipEngine(
+        litho,
+        optimizer=OptimizerConfig(max_iterations=ITERATIONS, use_jump=False),
+        config=FullChipConfig(
+            tile_nm=TILE_NM, workers=workers, probe_extent_nm=PROBE_NM
+        ),
+    )
+
+
+def _time_solve(litho: LithoConfig, layout, workers: int):
+    best = np.inf
+    result = None
+    for _ in range(ROUNDS):
+        start = time.perf_counter()
+        result = _engine(litho, workers).solve(layout)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_fullchip_parallel_speedup(benchmark, emit):
+    litho = _litho()
+    layout = synthetic_canvas(CANVAS_NM, CANVAS_NM, seed=11)
+    # Build the shared stencils outside the clock: both modes inherit
+    # the warmed module cache, so neither pays the one-time cost.
+    ambit_model_for(litho, probe_extent_nm=PROBE_NM)
+
+    serial_s, serial_result = _time_solve(litho, layout, workers=1)
+    parallel_s, parallel_result = _time_solve(litho, layout, workers=2)
+    speedup = serial_s / parallel_s
+
+    # Equivalence gate: scheduling must not change the optimization.
+    assert serial_result.all_ok and parallel_result.all_ok
+    assert serial_result.plan.num_tiles >= 4
+    assert np.array_equal(serial_result.mask, parallel_result.mask)
+
+    benchmark.pedantic(
+        lambda: _engine(litho, workers=1).solve(layout), rounds=1, iterations=1
+    )
+
+    cores = len(os.sched_getaffinity(0))
+    record = {
+        "canvas_nm": CANVAS_NM,
+        "tile_nm": TILE_NM,
+        "pixel_nm": PIXEL_NM,
+        "tiles": serial_result.plan.num_tiles,
+        "iterations": ITERATIONS,
+        "rounds": ROUNDS,
+        "cores": cores,
+        "serial_s": round(serial_s, 4),
+        "parallel_s": round(parallel_s, 4),
+        "speedup": round(speedup, 3),
+        "speedup_floor": SPEEDUP_FLOOR,
+        "masks_identical": True,
+    }
+    BENCH_JSON.write_text(json.dumps(record, indent=2) + "\n")
+    emit(
+        "perf_fullchip",
+        "\n".join(
+            [
+                f"  tiles: {serial_result.plan.num_tiles} "
+                f"({serial_result.plan.grid_shape[0]}x"
+                f"{serial_result.plan.grid_shape[1]}), "
+                f"halo {serial_result.plan.halo_nm:g} nm",
+                f"  serial   (1 worker):  {serial_s:8.2f} s",
+                f"  parallel (2 workers): {parallel_s:8.2f} s",
+                f"  speedup: {speedup:.2f}x (floor {SPEEDUP_FLOOR}x, "
+                f"{cores} core(s) available)",
+            ]
+        ),
+    )
+
+    if cores >= 2:
+        assert speedup >= SPEEDUP_FLOOR
+    else:
+        pytest.skip(f"only {cores} core available — speedup assertion skipped")

@@ -7,7 +7,9 @@ Combines three of the library's analysis tools on one clip:
    image slope (and would fail first under dose error),
 2. a full (defocus x dose) process-window sweep with exposure latitude
    and depth-of-focus extraction,
-3. mask-rule and write-cost (shot count) reporting.
+3. mask-rule and write-cost (shot count) reporting,
+4. a zoom clip of the layout around the worst hotspot
+   (``Layout.clip_to``) — the window one would re-solve in isolation.
 
 Usage:
     python examples/hotspot_analysis.py [benchmark-name]
@@ -17,6 +19,7 @@ import sys
 
 from repro import LithoConfig, LithographySimulator, MosaicExact, load_benchmark
 from repro.geometry.edges import generate_sample_points
+from repro.geometry.rect import Rect
 from repro.geometry.raster import rasterize_layout
 from repro.metrics.complexity import mask_complexity
 from repro.metrics.imagequality import edge_slopes, hotspot_samples
@@ -81,6 +84,21 @@ def main() -> None:
         print(f"\n{label}: {cx.figure_count} figures, {cx.shot_count} shots, "
               f"{cx.edge_length_nm:.0f} nm edge, {cx.corner_count} corners, "
               f"MRC {'clean' if mrc.clean else 'VIOLATIONS'}")
+
+    # 4. Zoom clip around the worst hotspot: Layout.clip_to re-bases the
+    #    window to (0, 0), ready to re-rasterize or re-solve alone.
+    worst = nils_sorted[0].sample
+    half = 128.0
+    zoom = layout.clip_to(
+        Rect(worst.x - half, worst.y - half, worst.x + half, worst.y + half),
+        name=f"{name}:hotspot",
+    )
+    print(f"\nZoom clip {zoom.name!r}: {zoom.num_shapes} shape(s) within "
+          f"{half:.0f} nm of the worst hotspot ({worst.x:.0f}, {worst.y:.0f}) nm")
+    for poly in zoom.polygons:
+        box = poly.bbox
+        print(f"  shape at ({box.x0:.0f}, {box.y0:.0f})-({box.x1:.0f}, {box.y1:.0f})"
+              f" nm, area {poly.area:.0f} nm^2")
 
 
 if __name__ == "__main__":

@@ -26,6 +26,7 @@ from .config import (
 from .errors import (
     CellTimeoutError,
     CheckpointError,
+    FullChipError,
     GeometryError,
     GridError,
     HarnessError,
@@ -35,7 +36,15 @@ from .errors import (
     ProcessError,
     ReproError,
 )
-from .geometry import Layout, Polygon, Rect, rasterize_layout
+from .fullchip import (
+    FullChipConfig,
+    FullChipEngine,
+    FullChipResult,
+    ambit_model_for,
+    build_tile_plan,
+    stitch_masks,
+)
+from .geometry import Layout, Polygon, Rect, clip_polygon_to_rect, rasterize_layout
 from .litho import LithographySimulator
 from .metrics import ScoreBreakdown, contest_score, measure_epe
 from .opc import (
@@ -56,7 +65,8 @@ from .obs import EventEmitter, Instrumentation, MetricsRegistry, Tracer
 from .process import ProcessCorner, enumerate_corners, pv_band, pv_band_area
 from .recipe import Recipe, dump_recipe, load_recipe, solve_with_recipe
 from .report import VerificationReport, verify_mask
-from .workloads import BENCHMARK_NAMES, load_all_benchmarks, load_benchmark
+from .tables import ColumnSpec, TextTable, write_csv_rows
+from .workloads import BENCHMARK_NAMES, load_all_benchmarks, load_benchmark, synthetic_canvas
 
 __version__ = "1.0.0"
 
@@ -80,10 +90,12 @@ __all__ = [
     "HarnessError",
     "CellTimeoutError",
     "LayoutIOError",
+    "FullChipError",
     # geometry
     "Rect",
     "Polygon",
     "Layout",
+    "clip_polygon_to_rect",
     "rasterize_layout",
     # simulation
     "LithographySimulator",
@@ -117,6 +129,16 @@ __all__ = [
     "load_recipe",
     "dump_recipe",
     "solve_with_recipe",
+    "ColumnSpec",
+    "TextTable",
+    "write_csv_rows",
+    # full-chip
+    "FullChipEngine",
+    "FullChipConfig",
+    "FullChipResult",
+    "ambit_model_for",
+    "build_tile_plan",
+    "stitch_masks",
     # observability
     "Instrumentation",
     "Tracer",
@@ -126,4 +148,5 @@ __all__ = [
     "BENCHMARK_NAMES",
     "load_benchmark",
     "load_all_benchmarks",
+    "synthetic_canvas",
 ]

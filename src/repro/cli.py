@@ -4,10 +4,15 @@ Commands:
 
 * ``solve``      — run an OPC solver on a bundled benchmark or a GLP file.
 * ``batch``      — run solvers x layouts with per-cell fault isolation.
+* ``fullchip``   — tiled full-chip solve: partition, parallel tiles, stitch.
 * ``simulate``   — print a mask/layout through the lithography model.
 * ``verify``     — solve and emit the full verification report (+SVG).
 * ``benchmarks`` — list the bundled ICCAD-2013-style clips.
 * ``export``     — write a bundled benchmark to a GLP file.
+
+Layouts are bundled benchmark names (B1..B10), ``.glp`` paths, or — for
+arbitrarily large synthetic canvases — ``synth:<W>x<H>[:seed]`` specs
+(dimensions in nm, e.g. ``synth:2048x2048:7``).
 
 Examples::
 
@@ -16,6 +21,8 @@ Examples::
     python -m repro solve B1 --checkpoint-dir ckpts/       # periodic checkpoints
     python -m repro solve B1 --checkpoint-dir ckpts/ --resume
     python -m repro batch B1 B2 B4 --modes fast,rulebased --keep-going
+    python -m repro fullchip synth:2048x2048 --tile-nm 1024 --workers 2
+    python -m repro fullchip synth:4096x4096:3 --keep-going --csv tiles.csv
     python -m repro simulate B4
     python -m repro benchmarks
 """
@@ -43,16 +50,36 @@ from .workloads.iccad2013 import BENCHMARK_NAMES, load_all_benchmarks, load_benc
 _MODES = ("fast", "exact", "multires", "modelbased", "rulebased", "ilt", "levelset")
 
 
+def _parse_synth_spec(spec: str) -> Layout:
+    """``synth:<W>x<H>[:seed]`` -> synthetic canvas layout."""
+    from .workloads.generator import synthetic_canvas
+
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise ReproError(f"bad synth spec {spec!r}; expected synth:<W>x<H>[:seed]")
+    dims = parts[1].lower().split("x")
+    if len(dims) != 2:
+        raise ReproError(f"bad synth dimensions {parts[1]!r}; expected <W>x<H> in nm")
+    try:
+        width, height = float(dims[0]), float(dims[1])
+        seed = int(parts[2]) if len(parts) == 3 else 0
+    except ValueError as exc:
+        raise ReproError(f"bad synth spec {spec!r}: {exc}") from exc
+    return synthetic_canvas(width, height, seed=seed)
+
+
 def _load_layout(spec: str) -> Layout:
-    """Benchmark name or .glp path -> Layout."""
+    """Benchmark name, .glp path, or synth:<W>x<H>[:seed] -> Layout."""
     if spec in BENCHMARK_NAMES:
         return load_benchmark(spec)
+    if spec.startswith("synth:"):
+        return _parse_synth_spec(spec)
     path = Path(spec)
     if path.suffix == ".glp" or path.exists():
         return read_glp(path)
     raise ReproError(
-        f"{spec!r} is neither a bundled benchmark ({', '.join(BENCHMARK_NAMES)}) "
-        "nor a readable .glp file"
+        f"{spec!r} is neither a bundled benchmark ({', '.join(BENCHMARK_NAMES)}), "
+        "a synth:<W>x<H>[:seed] spec, nor a readable .glp file"
     )
 
 
@@ -285,6 +312,65 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 3 if failed else 0
 
 
+def cmd_fullchip(args: argparse.Namespace) -> int:
+    from .fullchip import FullChipConfig, FullChipEngine
+
+    _check_output_path("--csv", getattr(args, "csv", None))
+    _check_output_path("--seam-csv", getattr(args, "seam_csv", None))
+    layout = _load_layout(args.layout)
+    config = _config_for(args.scale)
+    obs = _setup_observability(args)
+    fc_config = FullChipConfig(
+        tile_nm=args.tile_nm,
+        halo_nm=args.halo_nm,
+        workers=args.workers,
+        solver_mode=args.mode,
+        keep_going=args.keep_going,
+        max_retries=args.max_retries,
+        tile_timeout_s=args.tile_timeout,
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+    engine = FullChipEngine(config, config=fc_config, obs=obs)
+    plan = engine.plan_for(layout)
+    print(
+        f"Full-chip solve of {layout.name} "
+        f"({layout.clip.width:g}x{layout.clip.height:g} nm): "
+        f"{plan.grid_shape[0]}x{plan.grid_shape[1]} tiles, "
+        f"halo {plan.halo_nm:g} nm ({plan.halo_px} px, ambit "
+        f"{engine.model.ambit_nm:g} nm), {args.workers} worker(s)"
+    )
+    result = engine.solve(layout, progress=lambda msg: print(f"  {msg}"))
+    print()
+    print(result.format_table())
+    print()
+    print(result.seam_report.format_table())
+    if args.csv:
+        result.to_csv(args.csv)
+        print(f"\nWrote per-tile CSV to {args.csv}")
+    if args.seam_csv:
+        result.seam_report.to_csv(args.seam_csv)
+        print(f"Wrote seam report CSV to {args.seam_csv}")
+    if args.out:
+        out_dir = Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        bundle = out_dir / f"{layout.name}_fullchip.npz"
+        save_npz_images(bundle, {"mask": result.mask})
+        print(f"Wrote {bundle}")
+    _finalize_observability(args, obs)
+    if result.failed_tiles:
+        for index in result.failed_tiles:
+            tile_result = next(r for r in result.tile_results if r.index == index)
+            print(
+                f"FAILED tile {index}: {tile_result.status.status} "
+                f"after {tile_result.status.attempts} attempt(s) — "
+                f"{tile_result.status.error}"
+            )
+        return 3
+    return 0
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     layout = _load_layout(args.layout)
     config = _config_for(args.scale)
@@ -415,6 +501,63 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--csv", help="write the per-cell CSV (includes cell status)")
     _add_obs_args(batch)
     batch.set_defaults(func=cmd_batch)
+
+    fullchip = sub.add_parser(
+        "fullchip",
+        help="tiled full-chip solve: halo partition, parallel tiles, stitch",
+    )
+    fullchip.add_argument(
+        "layout",
+        help="benchmark name (B1..B10), .glp path, or synth:<W>x<H>[:seed]",
+    )
+    fullchip.add_argument(
+        "--tile-nm", type=float, default=1024.0, metavar="NM",
+        help="tile core edge length (default: 1024)",
+    )
+    fullchip.add_argument(
+        "--halo-nm", type=float, default=None, metavar="NM",
+        help="halo thickness; default derives the optical ambit, the "
+             "smallest halo keeping tile cores bit-equivalent to a "
+             "monolithic simulation",
+    )
+    fullchip.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="worker processes for tile solves (default: 1 = inline)",
+    )
+    fullchip.add_argument("--mode", choices=("fast", "exact"), default="fast")
+    fullchip.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    fullchip.add_argument(
+        "--keep-going", action="store_true",
+        help="tolerate failed tiles: fall back to the no-OPC target for "
+             "their core and continue (exit code 3 when any tile failed)",
+    )
+    fullchip.add_argument(
+        "--tile-timeout", type=float, metavar="SECONDS",
+        help="wall-clock budget per tile solve attempt",
+    )
+    fullchip.add_argument(
+        "--max-retries", type=int, default=0, metavar="N",
+        help="extra solve attempts per tile after a failure (default: 0)",
+    )
+    fullchip.add_argument(
+        "--checkpoint-dir", metavar="DIR",
+        help="per-tile state directory: optimizer checkpoints plus done "
+             "markers (enables tile-by-tile resume)",
+    )
+    fullchip.add_argument(
+        "--checkpoint-every", type=int, default=5, metavar="N",
+        help="iterations between optimizer checkpoints (default: 5)",
+    )
+    fullchip.add_argument(
+        "--resume", action="store_true",
+        help="skip tiles with done markers in --checkpoint-dir and resume "
+             "partially solved tiles from their newest checkpoint",
+    )
+    fullchip.add_argument("--csv", help="write the per-tile CSV")
+    fullchip.add_argument("--seam-csv", help="write the seam-consistency CSV")
+    fullchip.add_argument("--out", help="directory for the NPZ mask bundle")
+    _add_obs_args(fullchip)
+    fullchip.set_defaults(func=cmd_fullchip)
 
     simulate = sub.add_parser("simulate", help="print a layout without OPC")
     simulate.add_argument("layout", help="benchmark name (B1..B10) or .glp path")

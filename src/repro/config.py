@@ -46,6 +46,23 @@ class GridSpec:
         return int(round(length_nm / self.pixel_nm))
 
     @classmethod
+    def for_clip(cls, width_nm: float, height_nm: float, pixel_nm: float) -> "GridSpec":
+        """Grid covering a ``width_nm`` x ``height_nm`` window.
+
+        The window must be an exact multiple of the pixel size in both
+        directions — tiles near chip edges are rectangular, and a silent
+        round would shift every shape in the clipped layout off-grid.
+        """
+        rows = height_nm / pixel_nm
+        cols = width_nm / pixel_nm
+        if abs(rows - round(rows)) > 1e-9 or abs(cols - round(cols)) > 1e-9:
+            raise OpticsError(
+                f"clip {width_nm} x {height_nm} nm is not a whole number of "
+                f"{pixel_nm} nm pixels"
+            )
+        return cls(shape=(int(round(rows)), int(round(cols))), pixel_nm=pixel_nm)
+
+    @classmethod
     def paper(cls) -> "GridSpec":
         """1024 x 1024 px at 1 nm/px, as in the paper."""
         return cls(shape=(1024, 1024), pixel_nm=1.0)

@@ -45,3 +45,7 @@ class CellTimeoutError(HarnessError):
 
 class LayoutIOError(ReproError):
     """Layout file could not be parsed or written."""
+
+
+class FullChipError(ReproError):
+    """Tiled full-chip engine failure (bad tile plan, unsolved tiles...)."""

@@ -1,0 +1,62 @@
+"""Tiled full-chip engine: halo partitioning, parallel solves, stitching.
+
+The first horizontal-scaling layer of the stack: arbitrarily large
+layouts are partitioned into core tiles with an optical-ambit halo,
+solved independently (process-parallel, fault-isolated, resumable
+tile-by-tile) and stitched back into one mask whose core images are
+bit-equivalent to a monolithic simulation.  See ``docs/fullchip.md``.
+"""
+
+from .ambit import (
+    DEFAULT_ENERGY_TOL,
+    DEFAULT_PROBE_EXTENT_NM,
+    AmbitModel,
+    FocusStencils,
+    WindowSimulator,
+    ambit_model_for,
+)
+from .engine import FullChipConfig, FullChipEngine, FullChipResult
+from .scheduler import (
+    FAIL_TILES_ENV,
+    TileJob,
+    TileResult,
+    run_tile_jobs,
+    solve_tile_job,
+    warm_model_cache,
+)
+from .stitch import (
+    SeamDelta,
+    SeamReport,
+    build_seam_report,
+    seam_lines,
+    seam_mask_deltas,
+    stitch_masks,
+)
+from .tiling import TilePlan, TileSpec, build_tile_plan
+
+__all__ = [
+    "DEFAULT_ENERGY_TOL",
+    "DEFAULT_PROBE_EXTENT_NM",
+    "AmbitModel",
+    "FocusStencils",
+    "WindowSimulator",
+    "ambit_model_for",
+    "FullChipConfig",
+    "FullChipEngine",
+    "FullChipResult",
+    "FAIL_TILES_ENV",
+    "TileJob",
+    "TileResult",
+    "run_tile_jobs",
+    "solve_tile_job",
+    "warm_model_cache",
+    "SeamDelta",
+    "SeamReport",
+    "build_seam_report",
+    "seam_lines",
+    "seam_mask_deltas",
+    "stitch_masks",
+    "TilePlan",
+    "TileSpec",
+    "build_tile_plan",
+]

@@ -1,0 +1,455 @@
+"""Full-chip facade: plan, solve, stitch, verify, aggregate.
+
+:class:`FullChipEngine` drives the whole tiled flow:
+
+1. derive (or accept) the halo from the optical ambit,
+2. partition the chip into a :class:`~repro.fullchip.tiling.TilePlan`,
+3. solve every tile through the process-parallel scheduler,
+4. stitch the core masks into one full-chip mask,
+5. evaluate the stitched mask under the *linear-convolution* full-chip
+   model (mask padded by the ambit, imaged once, cropped — the same
+   model every tile window used, so tiled and monolithic images agree
+   to FFT rounding), and
+6. report per-tile status, aggregate contest-score components, and the
+   seam-consistency diagnostics.
+
+Failed tiles under ``keep_going`` fall back to the rasterized target
+(no-OPC) for their core so the chip mask stays complete and the failure
+stays visible in the tile table instead of leaving a hole in the mask.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..config import GridSpec, LithoConfig, OptimizerConfig
+from ..errors import FullChipError
+from ..geometry.layout import Layout
+from ..geometry.raster import rasterize_layout
+from ..metrics.epe import measure_epe
+from ..metrics.score import ScoreBreakdown
+from ..metrics.shapes import count_shape_violations
+from ..obs import Instrumentation
+from ..process.corners import ProcessCorner
+from ..process.pvband import pv_band_area
+from ..tables import ColumnSpec, TextTable, write_csv_rows
+from ..utils.timer import Timer
+from .ambit import (
+    DEFAULT_ENERGY_TOL,
+    DEFAULT_PROBE_EXTENT_NM,
+    AmbitModel,
+    ambit_model_for,
+)
+from .scheduler import TileJob, TileResult, run_tile_jobs
+from .stitch import SeamReport, build_seam_report, stitch_masks
+from .tiling import TilePlan, build_tile_plan
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class FullChipConfig:
+    """Knobs of a tiled full-chip run.
+
+    Attributes:
+        tile_nm: core edge length of a tile.
+        halo_nm: halo thickness; None derives it from the optical ambit
+            (the smallest halo that keeps tile cores bit-equivalent to a
+            monolithic simulation).
+        workers: worker processes (``<= 1`` solves tiles inline).
+        solver_mode: ``"fast"`` (MOSAIC_fast) or ``"exact"``.
+        use_sraf: seed tiles with rule-based SRAFs.
+        keep_going: tolerate failed tiles (target fallback + visible
+            failed status) instead of aborting the run.
+        max_retries: extra solve attempts per tile.
+        tile_timeout_s: wall-clock budget per tile attempt.
+        checkpoint_dir: state directory for per-tile optimizer
+            checkpoints and done markers (enables resume).
+        checkpoint_every: iterations between optimizer checkpoints.
+        resume: reuse done markers / optimizer checkpoints found in
+            ``checkpoint_dir``.
+        energy_tol: ambit retained-energy tolerance.
+        probe_extent_nm: ambit probe-grid extent.
+        seam_band_nm: seam-EPE band half width (None = 4 pixels).
+    """
+
+    tile_nm: float = 1024.0
+    halo_nm: Optional[float] = None
+    workers: int = 1
+    solver_mode: str = "fast"
+    use_sraf: bool = True
+    keep_going: bool = False
+    max_retries: int = 0
+    tile_timeout_s: Optional[float] = None
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 5
+    resume: bool = False
+    energy_tol: float = DEFAULT_ENERGY_TOL
+    probe_extent_nm: float = DEFAULT_PROBE_EXTENT_NM
+    seam_band_nm: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise FullChipError(f"workers must be >= 1, got {self.workers}")
+        if self.halo_nm is not None and self.halo_nm < 0:
+            raise FullChipError(f"halo_nm must be >= 0, got {self.halo_nm}")
+        if self.resume and self.checkpoint_dir is None:
+            raise FullChipError("resume needs a checkpoint_dir to resume from")
+
+
+@dataclass
+class FullChipResult:
+    """Everything a tiled full-chip run produced.
+
+    Attributes:
+        layout_name: the chip layout's name.
+        plan: the tile plan that was executed.
+        mask: the stitched full-chip mask (chip pixel grid).
+        tile_results: per-tile outcomes, plan order.
+        seam_report: seam-consistency diagnostics.
+        score: aggregate contest-score components, measured on the
+            stitched mask under the full-chip linear-convolution model.
+        runtime_s: end-to-end wall clock of the run.
+    """
+
+    layout_name: str
+    plan: TilePlan
+    mask: np.ndarray
+    tile_results: List[TileResult]
+    seam_report: SeamReport
+    score: ScoreBreakdown
+    runtime_s: float
+
+    @property
+    def all_ok(self) -> bool:
+        return all(r.ok for r in self.tile_results)
+
+    @property
+    def failed_tiles(self) -> List[Tuple[int, int]]:
+        return [r.index for r in self.tile_results if not r.ok]
+
+    def format_table(self) -> str:
+        """Per-tile status/score table plus the chip summary line."""
+        table = TextTable(
+            [
+                ColumnSpec("tile", 12, "<"),
+                ColumnSpec("status", 10, "<"),
+                ColumnSpec("attempts", 8),
+                ColumnSpec("#EPE", 6),
+                ColumnSpec("PVB", 10),
+                ColumnSpec("score", 10),
+                ColumnSpec("runtime", 9),
+            ]
+        )
+        for r in self.tile_results:
+            label = f"r{r.index[0]}c{r.index[1]}"
+            if r.ok:
+                table.add_row(
+                    [
+                        label,
+                        r.status.status + ("*" if r.from_cache else ""),
+                        str(r.status.attempts),
+                        str(r.epe_violations),
+                        f"{r.pv_band_nm2:.0f}",
+                        f"{r.score_total:.0f}",
+                        f"{r.status.runtime_s:.1f}s",
+                    ]
+                )
+            else:
+                table.add_row(
+                    [label, r.status.status, str(r.status.attempts),
+                     None, None, None, f"{r.status.runtime_s:.1f}s"]
+                )
+        summary = (
+            f"chip: {self.score} | seams: max|dM|="
+            f"{self.seam_report.max_abs_mask_delta:.3e}, "
+            f"{self.seam_report.seam_epe_violations} seam EPE violation(s)"
+        )
+        return table.render() + "\n" + summary
+
+    def to_csv(self, path: Union[str, Path]) -> None:
+        """One CSV row per tile, failures included."""
+        rows: List[List[object]] = []
+        for r in self.tile_results:
+            rows.append(
+                [
+                    f"r{r.index[0]}c{r.index[1]}",
+                    r.status.status,
+                    r.status.attempts,
+                    r.epe_violations if r.ok else "",
+                    f"{r.pv_band_nm2:.1f}" if r.ok else "",
+                    f"{r.score_total:.1f}" if r.ok else "",
+                    f"{r.status.runtime_s:.3f}",
+                    int(r.from_cache),
+                    r.status.error or "",
+                ]
+            )
+        write_csv_rows(
+            path,
+            ["tile", "status", "attempts", "epe_violations", "pv_band_nm2",
+             "score", "runtime_s", "cached", "error"],
+            rows,
+        )
+
+
+class FullChipEngine:
+    """Facade running the tiled flow end to end.
+
+    Args:
+        litho: chip-level lithography configuration; the grid's shape is
+            ignored (tiles get their own window grids), its pixel size
+            rules every derived grid.
+        optimizer: optional descent settings shared by every tile
+            (None = each mode's defaults).
+        config: tiling/scheduling knobs.
+        obs: optional instrumentation bundle.
+    """
+
+    def __init__(
+        self,
+        litho: LithoConfig,
+        optimizer: Optional[OptimizerConfig] = None,
+        config: Optional[FullChipConfig] = None,
+        obs: Optional[Instrumentation] = None,
+    ) -> None:
+        self.litho = litho
+        self.optimizer = optimizer
+        self.config = config or FullChipConfig()
+        self.obs = obs or Instrumentation.disabled()
+
+    @property
+    def model(self) -> AmbitModel:
+        """The shared ambit model (built on first access)."""
+        return ambit_model_for(
+            self.litho,
+            energy_tol=self.config.energy_tol,
+            probe_extent_nm=self.config.probe_extent_nm,
+        )
+
+    @property
+    def halo_nm(self) -> float:
+        """Effective halo: configured value, or the derived ambit."""
+        if self.config.halo_nm is not None:
+            return self.config.halo_nm
+        # Round the ambit up to whole pixels (it already is by
+        # construction; the guard keeps custom models honest).
+        return self.model.ambit_nm
+
+    def plan_for(self, layout: Layout) -> TilePlan:
+        """The tile plan the engine would execute for a layout."""
+        return build_tile_plan(
+            layout.clip,
+            tile_nm=self.config.tile_nm,
+            halo_nm=self.halo_nm,
+            pixel_nm=self.litho.grid.pixel_nm,
+        )
+
+    # -- tiled/monolithic forward evaluation ---------------------------------
+
+    def aerial_monolithic(
+        self, mask: np.ndarray, corner: Optional[ProcessCorner] = None
+    ) -> np.ndarray:
+        """Full-chip aerial image under the linear-convolution model.
+
+        The mask is zero-padded by the ambit and imaged in one window;
+        cropping the padding back off leaves the exact linear
+        convolution with the truncated stencils at every chip pixel —
+        the reference the tiled evaluation must (and does) match.
+        """
+        model = self.model
+        pad = model.ambit_px
+        padded = np.pad(np.asarray(mask, dtype=np.float64), pad)
+        sim = model.simulator_for(padded.shape, obs=self.obs)
+        aerial = sim.aerial(padded, corner)
+        return aerial[pad:-pad, pad:-pad] if pad else aerial
+
+    def aerial_tiled(
+        self,
+        mask: np.ndarray,
+        plan: Optional[TilePlan] = None,
+        corner: Optional[ProcessCorner] = None,
+        layout_clip_nm: Optional[Tuple[float, float]] = None,
+    ) -> np.ndarray:
+        """Full-chip aerial image assembled from per-tile window images.
+
+        Each tile window images its slice of the (zero-padded) mask and
+        contributes only its core — overlap-discard.  With a halo at
+        least the ambit this is pixel-identical to
+        :meth:`aerial_monolithic` up to FFT rounding.
+        """
+        mask = np.asarray(mask, dtype=np.float64)
+        if plan is None:
+            rows, cols = mask.shape
+            pixel = self.litho.grid.pixel_nm
+            from ..geometry.rect import Rect
+
+            plan = build_tile_plan(
+                Rect(0.0, 0.0, cols * pixel, rows * pixel),
+                tile_nm=self.config.tile_nm,
+                halo_nm=self.halo_nm,
+                pixel_nm=pixel,
+            )
+        if mask.shape != plan.chip_shape_px:
+            raise FullChipError(
+                f"mask shape {mask.shape} != chip grid {plan.chip_shape_px}"
+            )
+        model = self.model
+        halo = plan.halo_px
+        padded = np.pad(mask, halo)
+        out = np.zeros_like(mask)
+        sims: Dict[Tuple[int, int], object] = {}
+        for tile in plan:
+            r_lo = tile.core_rows[0]
+            c_lo = tile.core_cols[0]
+            rows, cols = tile.window_shape
+            window_mask = padded[r_lo : r_lo + rows, c_lo : c_lo + cols]
+            sim = sims.get(tile.window_shape)
+            if sim is None:
+                sim = model.simulator_for(tile.window_shape, obs=self.obs)
+                sims[tile.window_shape] = sim
+            aerial = sim.aerial(window_mask, corner)
+            rs, cs = tile.core_slices_in_window()
+            out[
+                tile.core_rows[0] : tile.core_rows[1],
+                tile.core_cols[0] : tile.core_cols[1],
+            ] = aerial[rs, cs]
+        return out
+
+    def _print_binary_monolithic(
+        self, mask: np.ndarray, corner: Optional[ProcessCorner] = None
+    ) -> np.ndarray:
+        """Binary printed image under the linear-convolution model."""
+        model = self.model
+        pad = model.ambit_px
+        padded = np.pad(np.asarray(mask, dtype=np.float64), pad)
+        sim = model.simulator_for(padded.shape, obs=self.obs)
+        printed = sim.print_binary(padded, corner)
+        return printed[pad:-pad, pad:-pad] if pad else printed
+
+    # -- the main flow -------------------------------------------------------
+
+    def solve(
+        self,
+        layout: Layout,
+        progress: Callable[[str], None] = lambda msg: None,
+    ) -> FullChipResult:
+        """Run the tiled full-chip flow on one layout.
+
+        Args:
+            layout: the chip layout (any clip origin; results are
+                reported on a grid re-based to the clip's lower-left).
+            progress: callback receiving one message per finished tile.
+
+        Returns:
+            The stitched mask with per-tile, seam, and aggregate reports.
+
+        Raises:
+            FullChipError: a tile failed and ``keep_going`` is off.
+        """
+        cfg = self.config
+        with Timer() as total, self.obs.tracer.span("fullchip.solve"):
+            model = self.model
+            plan = self.plan_for(layout)
+            if plan.halo_px < model.ambit_px:
+                logger.warning(
+                    "halo %d px is below the optical ambit %d px — tile cores "
+                    "will deviate from the monolithic image",
+                    plan.halo_px, model.ambit_px,
+                )
+            logger.info(
+                "full-chip run: %dx%d tiles, halo %g nm (%d px), %d worker(s)",
+                plan.grid_shape[0], plan.grid_shape[1],
+                plan.halo_nm, plan.halo_px, cfg.workers,
+            )
+            jobs = [
+                TileJob(
+                    tile=tile,
+                    layout=tile.clip_layout(layout),
+                    litho=self.litho,
+                    optimizer=self.optimizer,
+                    solver_mode=cfg.solver_mode,
+                    use_sraf=cfg.use_sraf,
+                    energy_tol=cfg.energy_tol,
+                    probe_extent_nm=cfg.probe_extent_nm,
+                    checkpoint_dir=cfg.checkpoint_dir,
+                    checkpoint_every=cfg.checkpoint_every,
+                    resume=cfg.resume,
+                    max_retries=cfg.max_retries,
+                    timeout_s=cfg.tile_timeout_s,
+                )
+                for tile in plan
+            ]
+            results = run_tile_jobs(
+                jobs,
+                workers=cfg.workers,
+                keep_going=cfg.keep_going,
+                obs=self.obs,
+                progress=progress,
+            )
+            # Failed tiles fall back to the no-OPC target so the chip
+            # mask stays complete; the failure remains visible in the
+            # tile table and in all_ok/failed_tiles.
+            masks: Dict[Tuple[int, int], np.ndarray] = {}
+            for job, result in zip(jobs, results):
+                if result.ok and result.mask is not None:
+                    masks[result.index] = result.mask
+                else:
+                    masks[result.index] = rasterize_layout(
+                        job.layout, job.tile.window_grid(plan.pixel_nm)
+                    ).astype(np.float64)
+            with self.obs.tracer.span("fullchip.stitch"):
+                stitched = stitch_masks(plan, masks)
+            chip_layout = layout.clip_to(layout.clip, name=layout.name)
+            chip_grid = GridSpec.for_clip(
+                layout.clip.width, layout.clip.height, plan.pixel_nm
+            )
+            with self.obs.tracer.span("fullchip.evaluate"):
+                binary = (stitched > 0.5).astype(np.float64)
+                pad = model.ambit_px
+                padded = np.pad(binary, pad)
+                sim = model.simulator_for(padded.shape, obs=self.obs)
+                corners = sim.corners()
+                printed_by_corner = [
+                    img[pad:-pad, pad:-pad] if pad else img
+                    for img in sim.print_all_corners(padded, corners)
+                ]
+                printed_nominal = printed_by_corner[0]
+                epe_report = measure_epe(printed_nominal, chip_layout, chip_grid)
+                target = rasterize_layout(chip_layout, chip_grid)
+                score = ScoreBreakdown(
+                    runtime_s=sum(r.status.runtime_s for r in results),
+                    pv_band_nm2=pv_band_area(printed_by_corner, plan.pixel_nm),
+                    epe_violations=epe_report.num_violations,
+                    shape_violations=count_shape_violations(printed_nominal, target),
+                )
+                seam_report = build_seam_report(
+                    plan,
+                    {r.index: r.mask for r in results if r.mask is not None},
+                    stitched,
+                    printed=printed_nominal,
+                    layout=chip_layout,
+                    grid=chip_grid,
+                    band_nm=cfg.seam_band_nm,
+                )
+            self.obs.events.emit(
+                "fullchip",
+                layout=layout.name,
+                tiles=plan.num_tiles,
+                failed=len([r for r in results if not r.ok]),
+                score=score.total,
+                max_seam_delta=seam_report.max_abs_mask_delta,
+            )
+        return FullChipResult(
+            layout_name=layout.name,
+            plan=plan,
+            mask=stitched,
+            tile_results=results,
+            seam_report=seam_report,
+            score=score,
+            runtime_s=total.elapsed,
+        )

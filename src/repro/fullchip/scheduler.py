@@ -1,0 +1,479 @@
+"""Process-parallel execution of tile solves.
+
+Each tile is an independent :class:`TileJob` — a picklable bundle of the
+clipped window layout plus every configuration knob a worker needs —
+executed by the module-level :func:`solve_tile_job` either inline
+(``workers <= 1``) or in a ``ProcessPoolExecutor``.
+
+Fault isolation mirrors the batch harness: per-tile retries, a per-tile
+wall-clock budget (:func:`repro.harness.call_with_budget` inside the
+worker process), and keep-going semantics where a failed tile is *data*
+(a failed :class:`TileResult`), never an exception escaping the pool.
+
+Resume is tile-granular: with a checkpoint directory every tile gets its
+own subdirectory for optimizer checkpoints plus an atomically-written
+``done.npz`` result marker, so a killed full-chip run re-executes only
+the unfinished tiles — and a tile interrupted mid-optimization resumes
+from its newest optimizer checkpoint.
+
+The expensive shared state — the :class:`~repro.fullchip.AmbitModel`
+stencils — is warmed in the parent *before* the pool is created; with
+the ``fork`` start method (the default here when available) workers
+inherit the built model through copy-on-write instead of rebuilding it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import multiprocessing
+import os
+import tempfile
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..config import LithoConfig, OptimizerConfig
+from ..errors import CellTimeoutError, FullChipError
+from ..geometry.clipping import clip_polygon_to_rect
+from ..geometry.layout import Layout
+from ..geometry.rect import Rect
+from ..harness import CellStatus, call_with_budget
+from ..obs import Instrumentation
+from ..opc.checkpoint import CheckpointConfig, latest_checkpoint
+from ..opc.mosaic import MosaicExact, MosaicFast, MosaicResult, MosaicSolver
+from .ambit import DEFAULT_ENERGY_TOL, DEFAULT_PROBE_EXTENT_NM, ambit_model_for
+from .tiling import TileSpec
+
+logger = logging.getLogger(__name__)
+
+#: Environment hook for deterministic fault injection: a semicolon-
+#: separated list of ``row,col`` tile indices whose solves raise.  Read
+#: inside the worker, so it works across process boundaries (the
+#: environment is inherited by pool workers).
+FAIL_TILES_ENV = "REPRO_FULLCHIP_FAIL_TILES"
+
+#: Name of the per-tile completed-result marker file.
+DONE_MARKER = "done.npz"
+
+_SOLVER_MODES: Dict[str, type] = {"fast": MosaicFast, "exact": MosaicExact}
+
+
+@dataclass(frozen=True)
+class TileJob:
+    """Everything one worker needs to solve one tile.
+
+    Attributes:
+        tile: the tile geometry.
+        layout: the window layout (already clipped and re-based).
+        litho: chip-level configuration (grid shape is ignored; pixel
+            size, optics, resist and process apply to the window).
+        optimizer: optional descent settings (None = mode defaults).
+        solver_mode: ``"fast"`` or ``"exact"``.
+        use_sraf: seed tiles with rule-based SRAFs.
+        energy_tol: ambit retained-energy tolerance.
+        probe_extent_nm: ambit probe-grid extent.
+        checkpoint_dir: per-tile state directory (optimizer checkpoints
+            + done marker); None disables checkpointing and resume.
+        checkpoint_every: iterations between optimizer checkpoints.
+        resume: reuse a done marker / optimizer checkpoint when present.
+        max_retries: extra solve attempts after a failure.
+        timeout_s: wall-clock budget per attempt (None = unbounded).
+    """
+
+    tile: TileSpec
+    layout: Layout
+    litho: LithoConfig
+    optimizer: Optional[OptimizerConfig] = None
+    solver_mode: str = "fast"
+    use_sraf: bool = True
+    energy_tol: float = DEFAULT_ENERGY_TOL
+    probe_extent_nm: float = DEFAULT_PROBE_EXTENT_NM
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every: int = 5
+    resume: bool = False
+    max_retries: int = 0
+    timeout_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.solver_mode not in _SOLVER_MODES:
+            raise FullChipError(
+                f"solver_mode must be one of {sorted(_SOLVER_MODES)}, "
+                f"got {self.solver_mode!r}"
+            )
+        if self.max_retries < 0:
+            raise FullChipError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise FullChipError(f"timeout_s must be positive, got {self.timeout_s}")
+
+
+@dataclass
+class TileResult:
+    """Outcome of one tile solve.
+
+    Attributes:
+        index: the tile's plan index.
+        status: harness-style execution record.
+        mask: optimized window mask (None when the tile failed).
+        epe_violations / pv_band_nm2 / score_total: the tile's own
+            contest-score components, measured on its window.
+        from_cache: the result came from a prior run's done marker.
+    """
+
+    index: Tuple[int, int]
+    status: CellStatus
+    mask: Optional[np.ndarray] = None
+    epe_violations: int = 0
+    pv_band_nm2: float = 0.0
+    score_total: float = 0.0
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.status.ok
+
+
+def _injected_failure(tile: TileSpec) -> None:
+    spec = os.environ.get(FAIL_TILES_ENV, "")
+    if not spec:
+        return
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            row, col = (int(v) for v in part.split(","))
+        except ValueError as exc:
+            raise FullChipError(
+                f"bad {FAIL_TILES_ENV} entry {part!r} (expected 'row,col')"
+            ) from exc
+        if (row, col) == tile.index:
+            raise FullChipError(f"injected failure for tile {tile.index}")
+
+
+def _tile_state_dir(job: TileJob) -> Optional[Path]:
+    if job.checkpoint_dir is None:
+        return None
+    return Path(job.checkpoint_dir) / job.tile.name
+
+
+def _write_done_marker(state_dir: Path, result: TileResult) -> None:
+    """Atomically persist a completed tile result (tmp + rename)."""
+    state_dir.mkdir(parents=True, exist_ok=True)
+    meta = {
+        "index": list(result.index),
+        "status": result.status.status,
+        "attempts": result.status.attempts,
+        "runtime_s": result.status.runtime_s,
+        "epe_violations": result.epe_violations,
+        "pv_band_nm2": result.pv_band_nm2,
+        "score_total": result.score_total,
+    }
+    fd, tmp_name = tempfile.mkstemp(dir=state_dir, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            np.savez(handle, mask=result.mask, meta_json=json.dumps(meta))
+        os.replace(tmp_name, state_dir / DONE_MARKER)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+
+
+def _load_done_marker(state_dir: Path, tile: TileSpec) -> Optional[TileResult]:
+    marker = state_dir / DONE_MARKER
+    if not marker.is_file():
+        return None
+    try:
+        with np.load(marker, allow_pickle=False) as archive:
+            mask = archive["mask"]
+            meta = json.loads(str(archive["meta_json"]))
+    except Exception as exc:  # noqa: BLE001 - a torn/alien file means re-solve
+        logger.warning("ignoring unreadable done marker %s: %s", marker, exc)
+        return None
+    if mask.shape != tile.window_shape:
+        logger.warning(
+            "done marker %s has stale shape %s (want %s); re-solving",
+            marker, mask.shape, tile.window_shape,
+        )
+        return None
+    return TileResult(
+        index=tile.index,
+        status=CellStatus(
+            status=meta.get("status", "ok"),
+            attempts=int(meta.get("attempts", 1)),
+            runtime_s=float(meta.get("runtime_s", 0.0)),
+        ),
+        mask=mask,
+        epe_violations=int(meta.get("epe_violations", 0)),
+        pv_band_nm2=float(meta.get("pv_band_nm2", 0.0)),
+        score_total=float(meta.get("score_total", 0.0)),
+        from_cache=True,
+    )
+
+
+def _valid_region(window_shape: Tuple[int, int], margin_px: int) -> Optional[np.ndarray]:
+    """Penalty weight confining the objective to the wrap-free region.
+
+    A window is imaged by *periodic* convolution, so pixels within the
+    ambit of the window edge see wrapped stencil tails — and geometry cut
+    by the window boundary is unprintable there.  Left in the objective,
+    that unfixable residual dominates the max-normalized descent and
+    starves the interior (the tile's actual deliverable).  Zero-weighting
+    the outer ring keeps the target geometry visible to the solver (the
+    seed and the mask still cover the full window) while the penalty —
+    and the EPE control points — stay where the physics is exact.
+    """
+    if margin_px <= 0:
+        return None
+    region = np.zeros(window_shape, dtype=np.float64)
+    region[margin_px:-margin_px, margin_px:-margin_px] = 1.0
+    return region
+
+
+def _core_in_window(tile: TileSpec) -> Rect:
+    """The tile's core rectangle in window-local (re-based) coordinates."""
+    return tile.core.translated(-tile.window.x0, -tile.window.y0)
+
+
+def _solve_once(job: TileJob, state_dir: Optional[Path]) -> MosaicResult:
+    """One solve attempt on the window simulator (runs in the worker)."""
+    _injected_failure(job.tile)
+    model = ambit_model_for(
+        job.litho, energy_tol=job.energy_tol, probe_extent_nm=job.probe_extent_nm
+    )
+    sim = model.simulator_for(job.tile.window_shape)
+    checkpoint = None
+    resume_from = None
+    if state_dir is not None:
+        checkpoint = CheckpointConfig(directory=state_dir, every=job.checkpoint_every)
+        if job.resume:
+            resume_from = latest_checkpoint(state_dir)
+    solver_cls = _SOLVER_MODES[job.solver_mode]
+    solver: MosaicSolver = solver_cls(
+        litho_config=sim.config,
+        optimizer_config=job.optimizer,
+        use_sraf=job.use_sraf,
+        simulator=sim,
+        checkpoint=checkpoint,
+        objective_region=_valid_region(
+            job.tile.window_shape, min(model.ambit_px, job.tile.halo_px)
+        ),
+    )
+    return solver.solve(job.layout, resume_from=resume_from)
+
+
+def solve_tile_job(job: TileJob) -> TileResult:
+    """Solve one tile with retries/timeout; never raises on solve faults.
+
+    This is the pool's target function: every failure mode is folded
+    into the returned :class:`TileResult` so keep-going decisions happen
+    in the parent, on data.  Empty tiles (no geometry in the window)
+    short-circuit to an all-dark mask without spinning up a solver.
+    """
+    tile = job.tile
+    state_dir = _tile_state_dir(job)
+    if job.resume and state_dir is not None:
+        cached = _load_done_marker(state_dir, tile)
+        if cached is not None:
+            return cached
+    # A tile whose core holds no geometry contributes a dark core to the
+    # stitch no matter what the halo contains (only cores are kept), so
+    # skip the solve.  This also covers windows that are entirely empty.
+    core_local = _core_in_window(tile)
+    if not any(
+        p.bbox.intersects(core_local) and clip_polygon_to_rect(p, core_local)
+        for p in job.layout.polygons
+    ):
+        result = TileResult(
+            index=tile.index,
+            status=CellStatus(status="ok", attempts=1, runtime_s=0.0),
+            mask=np.zeros(tile.window_shape, dtype=np.float64),
+        )
+        if state_dir is not None:
+            _write_done_marker(state_dir, result)
+        return result
+
+    start = time.perf_counter()
+    last_error: Optional[BaseException] = None
+    attempts = 0
+    solved: Optional[MosaicResult] = None
+    for attempt in range(job.max_retries + 1):
+        attempts = attempt + 1
+        try:
+            solved = call_with_budget(
+                lambda: _solve_once(job, state_dir), job.timeout_s
+            )
+            last_error = None
+            break
+        except KeyboardInterrupt:
+            raise
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            last_error = exc
+            logger.warning(
+                "tile %s failed (attempt %d/%d): %s",
+                tile.index, attempts, job.max_retries + 1, exc,
+            )
+    runtime = time.perf_counter() - start
+    if solved is None:
+        timed_out = isinstance(last_error, CellTimeoutError)
+        return TileResult(
+            index=tile.index,
+            status=CellStatus(
+                status="timeout" if timed_out else "failed",
+                attempts=attempts,
+                runtime_s=runtime,
+                error=f"{type(last_error).__name__}: {last_error}",
+            ),
+        )
+    result = TileResult(
+        index=tile.index,
+        status=CellStatus(
+            status="ok" if attempts == 1 else "recovered",
+            attempts=attempts,
+            runtime_s=runtime,
+        ),
+        mask=np.asarray(solved.mask, dtype=np.float64),
+        epe_violations=solved.score.epe_violations,
+        pv_band_nm2=solved.score.pv_band_nm2,
+        score_total=solved.score.total,
+    )
+    if state_dir is not None:
+        _write_done_marker(state_dir, result)
+    return result
+
+
+def warm_model_cache(jobs: Sequence[TileJob]) -> None:
+    """Build every distinct ambit model the jobs need, in this process.
+
+    Called before pool creation so fork-based workers inherit the warmed
+    module-level cache instead of each rebuilding the stencils.
+    """
+    seen = set()
+    for job in jobs:
+        key = (job.litho.grid.pixel_nm, job.litho.optics, job.litho.process,
+               job.energy_tol, job.probe_extent_nm)
+        if key not in seen:
+            seen.add(key)
+            ambit_model_for(
+                job.litho,
+                energy_tol=job.energy_tol,
+                probe_extent_nm=job.probe_extent_nm,
+            )
+
+
+def _pool_context():
+    """Prefer fork (inherits the warmed model cache); fall back to default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+def run_tile_jobs(
+    jobs: Sequence[TileJob],
+    workers: int = 1,
+    keep_going: bool = False,
+    obs: Optional[Instrumentation] = None,
+    progress: Callable[[str], None] = lambda msg: None,
+) -> List[TileResult]:
+    """Execute tile jobs, inline or on a process pool.
+
+    Args:
+        jobs: the tiles to solve.
+        workers: process count; ``<= 1`` runs inline in this process.
+        keep_going: tolerate failed tiles (they come back as failed
+            :class:`TileResult`s); when False the first failure raises
+            :class:`~repro.errors.FullChipError` after the in-flight
+            tiles settle.
+        obs: optional instrumentation — ``fullchip_tiles_total`` /
+            ``fullchip_tiles_failed`` / ``fullchip_tile_retries`` /
+            ``fullchip_tiles_cached`` counters, a ``fullchip.tiles``
+            span, and one ``tile`` event per finished tile.
+        progress: callback receiving one message per finished tile.
+
+    Returns:
+        Tile results in the order of ``jobs``.
+    """
+    if not jobs:
+        raise FullChipError("run_tile_jobs needs at least one job")
+    obs = obs or Instrumentation.disabled()
+    total = obs.metrics.counter("fullchip_tiles_total")
+    failed = obs.metrics.counter("fullchip_tiles_failed")
+    retried = obs.metrics.counter("fullchip_tile_retries")
+    cached = obs.metrics.counter("fullchip_tiles_cached")
+
+    def record(result: TileResult) -> None:
+        total.inc()
+        if result.from_cache:
+            cached.inc()
+        if result.status.attempts > 1:
+            retried.inc(result.status.attempts - 1)
+        if not result.ok:
+            failed.inc()
+        obs.events.emit(
+            "tile",
+            index=list(result.index),
+            status=result.status.status,
+            attempts=result.status.attempts,
+            runtime_s=result.status.runtime_s,
+            score=result.score_total,
+            cached=result.from_cache,
+            error=result.status.error,
+        )
+        progress(
+            f"tile {result.index} {result.status.status}"
+            + (" (cached)" if result.from_cache else "")
+        )
+
+    results: Dict[Tuple[int, int], TileResult] = {}
+    with obs.tracer.span("fullchip.tiles"):
+        if workers <= 1 or len(jobs) == 1:
+            for job in jobs:
+                result = solve_tile_job(job)
+                record(result)
+                results[job.tile.index] = result
+                if not result.ok and not keep_going:
+                    raise FullChipError(
+                        f"tile {result.index} {result.status.status}: "
+                        f"{result.status.error}"
+                    )
+        else:
+            warm_model_cache(jobs)
+            with ProcessPoolExecutor(
+                max_workers=min(workers, len(jobs)), mp_context=_pool_context()
+            ) as pool:
+                futures = {pool.submit(solve_tile_job, job): job for job in jobs}
+                pending = set(futures)
+                first_failure: Optional[TileResult] = None
+                while pending:
+                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        job = futures[future]
+                        try:
+                            result = future.result()
+                        except Exception as exc:  # noqa: BLE001 - pool fault
+                            result = TileResult(
+                                index=job.tile.index,
+                                status=CellStatus(
+                                    status="failed",
+                                    error=f"{type(exc).__name__}: {exc}",
+                                ),
+                            )
+                        record(result)
+                        results[job.tile.index] = result
+                        if not result.ok and first_failure is None:
+                            first_failure = result
+                    if first_failure is not None and not keep_going:
+                        for future in pending:
+                            future.cancel()
+                        raise FullChipError(
+                            f"tile {first_failure.index} "
+                            f"{first_failure.status.status}: "
+                            f"{first_failure.status.error}"
+                        )
+    return [results[job.tile.index] for job in jobs]

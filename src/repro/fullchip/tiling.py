@@ -1,0 +1,221 @@
+"""Halo partitioning of a full-chip layout into solvable tiles.
+
+A :class:`TilePlan` cuts the chip into a grid of **core** rectangles
+(disjoint, covering the chip exactly) and gives each core a **window**:
+the core expanded by the halo on all four sides.  Windows of edge tiles
+deliberately extend beyond the chip boundary — the layout is simply
+empty there — so every window has full halo geometry and the
+overlap-discard argument (see :mod:`repro.fullchip.ambit`) applies to
+every core pixel uniformly.
+
+All coordinates are kept on the pixel lattice: tile size, halo and chip
+extent must be whole multiples of the pixel size, so the core of each
+window lands on exact array slices and stitching is a pure copy with no
+resampling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from ..config import GridSpec
+from ..errors import FullChipError
+from ..geometry.layout import Layout
+from ..geometry.rect import Rect
+
+
+def _whole_pixels(value_nm: float, pixel_nm: float, what: str) -> int:
+    count = value_nm / pixel_nm
+    if abs(count - round(count)) > 1e-9:
+        raise FullChipError(
+            f"{what} of {value_nm} nm is not a whole number of {pixel_nm} nm pixels"
+        )
+    return int(round(count))
+
+
+@dataclass(frozen=True)
+class TileSpec:
+    """One tile of the plan.
+
+    Attributes:
+        index: (tile-row, tile-col), tile-row 0 at the chip's bottom.
+        core: the tile's exclusive region in chip coordinates (nm).
+        window: ``core`` expanded by the halo (nm); may exceed the chip.
+        core_rows: row slice ``[lo, hi)`` of the core in the chip pixel
+            grid (row 0 = bottom, matching the raster convention).
+        core_cols: column slice ``[lo, hi)`` of the core in chip pixels.
+        halo_px: halo thickness in pixels.
+    """
+
+    index: Tuple[int, int]
+    core: Rect
+    window: Rect
+    core_rows: Tuple[int, int]
+    core_cols: Tuple[int, int]
+    halo_px: int
+
+    @property
+    def name(self) -> str:
+        return f"tile_r{self.index[0]}_c{self.index[1]}"
+
+    @property
+    def window_shape(self) -> Tuple[int, int]:
+        """(rows, cols) of the window pixel grid."""
+        core_rows = self.core_rows[1] - self.core_rows[0]
+        core_cols = self.core_cols[1] - self.core_cols[0]
+        return (core_rows + 2 * self.halo_px, core_cols + 2 * self.halo_px)
+
+    @property
+    def core_shape(self) -> Tuple[int, int]:
+        return (
+            self.core_rows[1] - self.core_rows[0],
+            self.core_cols[1] - self.core_cols[0],
+        )
+
+    def core_slices_in_window(self) -> Tuple[slice, slice]:
+        """Array slices extracting the core from a window-shaped image."""
+        rows, cols = self.core_shape
+        return (
+            slice(self.halo_px, self.halo_px + rows),
+            slice(self.halo_px, self.halo_px + cols),
+        )
+
+    def window_grid(self, pixel_nm: float) -> GridSpec:
+        """Pixel grid of this tile's window."""
+        return GridSpec(shape=self.window_shape, pixel_nm=pixel_nm)
+
+    def clip_layout(self, layout: Layout) -> Layout:
+        """The layout content inside this tile's window, re-based to (0, 0)."""
+        return layout.clip_to(self.window, name=f"{layout.name}:{self.name}")
+
+
+@dataclass(frozen=True)
+class TilePlan:
+    """The full partition of one chip.
+
+    Attributes:
+        chip: the chip clip window (nm).
+        pixel_nm: pixel size shared by chip and tiles.
+        tile_nm: requested core edge length (edge tiles may be smaller).
+        halo_nm: halo thickness.
+        tiles: row-major tile specs (bottom row first).
+        grid_shape: (tile-rows, tile-cols) of the plan.
+    """
+
+    chip: Rect
+    pixel_nm: float
+    tile_nm: float
+    halo_nm: float
+    tiles: Tuple[TileSpec, ...]
+    grid_shape: Tuple[int, int]
+
+    @property
+    def num_tiles(self) -> int:
+        return len(self.tiles)
+
+    @property
+    def chip_shape_px(self) -> Tuple[int, int]:
+        """(rows, cols) of the stitched full-chip pixel grid."""
+        return (
+            _whole_pixels(self.chip.height, self.pixel_nm, "chip height"),
+            _whole_pixels(self.chip.width, self.pixel_nm, "chip width"),
+        )
+
+    @property
+    def halo_px(self) -> int:
+        return _whole_pixels(self.halo_nm, self.pixel_nm, "halo")
+
+    def __iter__(self) -> Iterator[TileSpec]:
+        return iter(self.tiles)
+
+    def tile_at(self, index: Tuple[int, int]) -> TileSpec:
+        for tile in self.tiles:
+            if tile.index == tuple(index):
+                return tile
+        raise FullChipError(f"no tile {index} in a {self.grid_shape} plan")
+
+    def neighbors(self) -> Iterator[Tuple[TileSpec, TileSpec]]:
+        """All horizontally/vertically adjacent tile pairs (each once)."""
+        by_index = {tile.index: tile for tile in self.tiles}
+        for tile in self.tiles:
+            ti, tj = tile.index
+            right = by_index.get((ti, tj + 1))
+            if right is not None:
+                yield tile, right
+            above = by_index.get((ti + 1, tj))
+            if above is not None:
+                yield tile, above
+
+
+def build_tile_plan(
+    chip: Rect,
+    tile_nm: float,
+    halo_nm: float,
+    pixel_nm: float,
+) -> TilePlan:
+    """Partition a chip window into cores plus halos.
+
+    Args:
+        chip: the chip clip (any origin; cores are laid out from its
+            lower-left corner).
+        tile_nm: core edge length; the last row/column of tiles shrinks
+            to fit the chip remainder.
+        halo_nm: halo on every side of every core.  For bit-equivalence
+            with a monolithic simulation this must be at least the
+            optical ambit (:attr:`repro.fullchip.AmbitModel.ambit_nm`).
+        pixel_nm: pixel size; all dimensions must be whole multiples.
+
+    Returns:
+        The plan, tiles in row-major order (bottom row first).
+    """
+    if tile_nm <= 0:
+        raise FullChipError(f"tile size must be positive, got {tile_nm}")
+    if halo_nm < 0:
+        raise FullChipError(f"halo must be non-negative, got {halo_nm}")
+    chip_rows = _whole_pixels(chip.height, pixel_nm, "chip height")
+    chip_cols = _whole_pixels(chip.width, pixel_nm, "chip width")
+    tile_px = _whole_pixels(tile_nm, pixel_nm, "tile size")
+    halo_px = _whole_pixels(halo_nm, pixel_nm, "halo")
+    if tile_px < 1:
+        raise FullChipError(f"tile size {tile_nm} nm is below one pixel")
+
+    def spans(total_px: int) -> list:
+        edges = list(range(0, total_px, tile_px)) + [total_px]
+        return list(zip(edges[:-1], edges[1:]))
+
+    row_spans = spans(chip_rows)
+    col_spans = spans(chip_cols)
+    tiles = []
+    for ti, (r_lo, r_hi) in enumerate(row_spans):
+        for tj, (c_lo, c_hi) in enumerate(col_spans):
+            core = Rect(
+                chip.x0 + c_lo * pixel_nm,
+                chip.y0 + r_lo * pixel_nm,
+                chip.x0 + c_hi * pixel_nm,
+                chip.y0 + r_hi * pixel_nm,
+            )
+            window = core.expanded(halo_nm) if halo_px else core
+            spec = TileSpec(
+                index=(ti, tj),
+                core=core,
+                window=window,
+                core_rows=(r_lo, r_hi),
+                core_cols=(c_lo, c_hi),
+                halo_px=halo_px,
+            )
+            rows, cols = spec.window_shape
+            if rows < 8 or cols < 8:
+                raise FullChipError(
+                    f"tile {spec.index} window is only {rows}x{cols} px; "
+                    f"grow tile_nm or halo_nm (grids need >= 8x8)"
+                )
+            tiles.append(spec)
+    return TilePlan(
+        chip=chip,
+        pixel_nm=pixel_nm,
+        tile_nm=tile_nm,
+        halo_nm=halo_nm,
+        tiles=tuple(tiles),
+        grid_shape=(len(row_spans), len(col_spans)),
+    )

@@ -7,6 +7,7 @@ polygons inside a square clip window, with coordinates in nanometres.
 from .rect import Rect
 from .polygon import Polygon
 from .layout import Layout
+from .clipping import clip_polygon_to_rect
 from .raster import rasterize_layout, rasterize_polygon, rasterize_rect
 from .edges import Edge, EdgeOrientation, SamplePoint, extract_edges, generate_sample_points
 from .contours import boundary_mask, extract_contour_segments
@@ -15,6 +16,7 @@ __all__ = [
     "Rect",
     "Polygon",
     "Layout",
+    "clip_polygon_to_rect",
     "rasterize_layout",
     "rasterize_polygon",
     "rasterize_rect",

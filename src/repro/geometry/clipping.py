@@ -1,0 +1,178 @@
+"""Clipping rectilinear polygons to axis-aligned windows.
+
+Tiling a full-chip layout requires intersecting every target polygon with
+a tile window.  A Sutherland–Hodgman clip is not usable here: for concave
+shapes (U/comb structures) it emits degenerate "bridge" edges that lie in
+empty space.  Rasterization would survive that (even-odd rule), but EPE
+sample points are generated *on polygon edges*, so fake edges would
+produce fake control points and phantom violations.
+
+Instead the clip is computed as a union of slab rectangles followed by a
+boundary trace:
+
+1. **Slab decomposition** — cut the window's y-range at every polygon
+   vertex y; inside each horizontal slab the polygon's cross-section is a
+   set of disjoint x-intervals (even-odd pairing of vertical-edge
+   crossings), each clamped to the window.
+2. **Boundary trace** — every slab rectangle contributes four directed
+   (counter-clockwise) edges; overlapping opposite-direction horizontal
+   fragments between vertically adjacent slabs cancel, and the surviving
+   edges are walked into closed loops (preferring the leftmost turn at
+   pinch vertices so touching components stay separate).
+
+All emitted coordinates are copies of input vertex/window coordinates —
+no new floating-point values are synthesized — so exact equality is safe
+throughout.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import GeometryError
+from .polygon import Point, Polygon
+from .rect import Rect
+
+
+def _slab_rects(poly: Polygon, window: Rect) -> List[Rect]:
+    """Decompose ``poly ∩ window`` into disjoint slab rectangles."""
+    ys = {window.y0, window.y1}
+    for _, y in poly.vertices:
+        if window.y0 < y < window.y1:
+            ys.add(y)
+    levels = sorted(ys)
+
+    verticals = [
+        (x0, min(y0, y1), max(y0, y1))
+        for (x0, y0), (x1, y1) in poly.segments()
+        if x0 == x1
+    ]
+
+    rects: List[Rect] = []
+    for y_lo, y_hi in zip(levels[:-1], levels[1:]):
+        y_mid = (y_lo + y_hi) / 2.0
+        crossings = sorted(x for x, ya, yb in verticals if ya < y_mid < yb)
+        if len(crossings) % 2:
+            raise GeometryError(
+                f"odd crossing count at y={y_mid} — polygon is not simple"
+            )
+        for x_in, x_out in zip(crossings[0::2], crossings[1::2]):
+            x_lo = max(x_in, window.x0)
+            x_hi = min(x_out, window.x1)
+            if x_hi > x_lo:
+                rects.append(Rect(x_lo, y_lo, x_hi, y_hi))
+    return rects
+
+
+def _cancel_horizontal(
+    rects: Sequence[Rect],
+) -> List[Tuple[Point, Point]]:
+    """Directed horizontal boundary fragments after interior cancellation.
+
+    Bottom edges run rightward (+1), top edges leftward (-1).  Where a
+    slab's top edge coincides with the slab above's bottom edge the two
+    cover the same x-interval with opposite signs and net to zero — that
+    stretch is interior, not boundary.
+    """
+    # (sign, x_start, x_end) grouped per y level.
+    by_y: Dict[float, List[Tuple[int, float, float]]] = defaultdict(list)
+    for r in rects:
+        by_y[r.y0].append((+1, r.x0, r.x1))
+        by_y[r.y1].append((-1, r.x0, r.x1))
+
+    fragments: List[Tuple[Point, Point]] = []
+    for y, edges in by_y.items():
+        cuts = sorted({x for _, x0, x1 in edges for x in (x0, x1)})
+        for x_lo, x_hi in zip(cuts[:-1], cuts[1:]):
+            net = sum(sign for sign, x0, x1 in edges if x0 <= x_lo and x_hi <= x1)
+            if net > 0:
+                fragments.append(((x_lo, y), (x_hi, y)))
+            elif net < 0:
+                fragments.append(((x_hi, y), (x_lo, y)))
+    return fragments
+
+
+def _trace_loops(edges: Sequence[Tuple[Point, Point]]) -> List[List[Point]]:
+    """Walk directed edges into closed loops.
+
+    The interior lies to the left of every edge (counter-clockwise
+    convention), so at a vertex with several outgoing edges the correct
+    continuation is the leftmost turn — that keeps components that only
+    touch at a point separate.
+    """
+    outgoing: Dict[Point, List[int]] = defaultdict(list)
+    for i, (start, _end) in enumerate(edges):
+        outgoing[start].append(i)
+
+    def turn_rank(d_in: Tuple[float, float], d_out: Tuple[float, float]) -> int:
+        cross = d_in[0] * d_out[1] - d_in[1] * d_out[0]
+        dot = d_in[0] * d_out[0] + d_in[1] * d_out[1]
+        if cross > 0:
+            return 0  # left turn — preferred
+        if cross == 0 and dot > 0:
+            return 1  # straight
+        if cross < 0:
+            return 2  # right turn
+        return 3  # U-turn — only on degenerate input
+
+    used = [False] * len(edges)
+    loops: List[List[Point]] = []
+    for seed in range(len(edges)):
+        if used[seed]:
+            continue
+        loop: List[Point] = []
+        origin = edges[seed][0]
+        idx = seed
+        while True:
+            used[idx] = True
+            start, end = edges[idx]
+            loop.append(start)
+            if end == origin:
+                # Each component boundary is a simple curve, so returning
+                # to the origin always means the loop is complete — close
+                # here even if a pinch vertex offers further candidates.
+                break
+            d_in = (end[0] - start[0], end[1] - start[1])
+            candidates = [j for j in outgoing[end] if not used[j]]
+            if not candidates:
+                raise GeometryError("open boundary chain while tracing clip")
+            idx = min(
+                candidates,
+                key=lambda j: turn_rank(
+                    d_in,
+                    (
+                        edges[j][1][0] - edges[j][0][0],
+                        edges[j][1][1] - edges[j][0][1],
+                    ),
+                ),
+            )
+        loops.append(loop)
+    return loops
+
+
+def clip_polygon_to_rect(poly: Polygon, window: Rect) -> List[Polygon]:
+    """Intersect a rectilinear polygon with a window.
+
+    Returns a list of simple polygons (the intersection of a concave
+    shape with a window can split into several components); the list is
+    empty when the polygon misses the window entirely.  Every emitted
+    edge is a true boundary edge of the intersection region, which keeps
+    EPE sample-point generation honest on clipped shapes.
+    """
+    bbox = poly.bbox
+    if not window.intersects(bbox):
+        return []
+    if window.contains_rect(bbox):
+        return [poly]
+    rects = _slab_rects(poly, window)
+    if not rects:
+        return []
+
+    edges: List[Tuple[Point, Point]] = []
+    for r in rects:
+        edges.append(((r.x1, r.y0), (r.x1, r.y1)))  # right side, upward
+        edges.append(((r.x0, r.y1), (r.x0, r.y0)))  # left side, downward
+    edges.extend(_cancel_horizontal(rects))
+
+    return [Polygon(loop) for loop in _trace_loops(edges)]

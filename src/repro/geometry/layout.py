@@ -92,3 +92,23 @@ class Layout:
         moved = Layout(name=self.name, clip=self.clip)
         moved.extend(p.translated(dx, dy) for p in self.polygons)
         return moved
+
+    def clip_to(self, bbox: Rect, name: str | None = None) -> "Layout":
+        """Extract the window ``bbox`` as a standalone layout.
+
+        Every polygon is intersected with ``bbox`` (concave shapes may
+        split into several pieces; shapes outside the window vanish) and
+        the result is re-based so the new layout's clip is
+        ``(0, 0, bbox.width, bbox.height)`` — ready to rasterize or feed
+        to a solver as an independent cell.
+        """
+        from .clipping import clip_polygon_to_rect
+
+        window = Layout(
+            name=name if name is not None else f"{self.name}[{bbox.x0:g},{bbox.y0:g}]",
+            clip=Rect(0.0, 0.0, bbox.width, bbox.height),
+        )
+        for poly in self.polygons:
+            for piece in clip_polygon_to_rect(poly, bbox):
+                window.add(piece.translated(-bbox.x0, -bbox.y0))
+        return window

@@ -16,7 +16,6 @@ solver from the ratio row rather than raising ``KeyError``.
 
 from __future__ import annotations
 
-import csv
 import logging
 import threading
 import time
@@ -28,14 +27,12 @@ from .errors import CellTimeoutError, HarnessError
 from .geometry.layout import Layout
 from .metrics.score import ScoreBreakdown
 from .obs import Instrumentation
+from .tables import ColumnSpec, TextTable, write_csv_rows
 
 logger = logging.getLogger(__name__)
 
 #: A solver factory: () -> object with .solve(layout) -> MosaicResult.
 SolverFactory = Callable[[], object]
-
-#: Placeholder rendered for a missing cell.
-_MISSING = "--"
 
 
 @dataclass(frozen=True)
@@ -133,31 +130,34 @@ class ExperimentResult:
         solvers whose every cell completed (incomplete solvers show
         ``--`` there too).
         """
-        header = f"{'case':8s}" + "".join(
-            f"{label:>24s}" for label in self.solver_labels
+        table = TextTable(
+            [ColumnSpec("case", 8, "<")]
+            + [ColumnSpec(label, 24) for label in self.solver_labels],
+            separator="",
         )
-        sub = f"{'':8s}" + f"{'#EPE   PVB      score':>24s}" * len(self.solver_labels)
-        rows = [header, sub]
+        table.add_row([""] + ["#EPE   PVB      score"] * len(self.solver_labels))
         for name in self.layout_names:
-            row = f"{name:8s}"
+            cells: List[Optional[str]] = [name]
             for label in self.solver_labels:
                 if self.has_cell(label, name):
                     s = self.scores[(label, name)]
-                    row += f"{s.epe_violations:7d}{s.pv_band_nm2:7.0f}{s.total:10.0f}"
+                    cells.append(
+                        f"{s.epe_violations:7d}{s.pv_band_nm2:7.0f}{s.total:10.0f}"
+                    )
                 else:
-                    row += f"{_MISSING:>24s}"
-            rows.append(row)
+                    cells.append(None)
+            table.add_row(cells)
         totals = self.totals()
         complete = [label for label in self.solver_labels if self.is_complete(label)]
         best = min((totals[label] for label in complete), default=None)
-        ratio_row = f"{'ratio':8s}"
-        for label in self.solver_labels:
-            if label in complete and best:
-                ratio_row += f"{totals[label] / best:>24.3f}"
-            else:
-                ratio_row += f"{_MISSING:>24s}"
-        rows.append(ratio_row)
-        return "\n".join(rows)
+        table.add_row(
+            ["ratio"]
+            + [
+                f"{totals[label] / best:.3f}" if label in complete and best else None
+                for label in self.solver_labels
+            ]
+        )
+        return table.render()
 
     def to_csv(self, path: Union[str, Path]) -> None:
         """One CSV row per (solver, layout) cell with all components.
@@ -166,32 +166,31 @@ class ExperimentResult:
         and their status/error, so a batch's fault history survives in
         the same artifact as its results.
         """
-        with open(path, "w", newline="") as handle:
-            writer = csv.writer(handle)
-            writer.writerow(
-                ["solver", "layout", "status", "epe_violations", "pv_band_nm2",
-                 "shape_violations", "runtime_s", "score", "error"]
-            )
-            for label in self.solver_labels:
-                for name in self.layout_names:
-                    status = self.statuses.get(
-                        (label, name), CellStatus(status="ok")
+        rows: List[List[object]] = []
+        for label in self.solver_labels:
+            for name in self.layout_names:
+                status = self.statuses.get((label, name), CellStatus(status="ok"))
+                if self.has_cell(label, name):
+                    s = self.scores[(label, name)]
+                    rows.append(
+                        [label, name, status.status, s.epe_violations,
+                         s.pv_band_nm2, s.shape_violations,
+                         f"{s.runtime_s:.3f}", f"{s.total:.1f}", ""]
                     )
-                    if self.has_cell(label, name):
-                        s = self.scores[(label, name)]
-                        writer.writerow(
-                            [label, name, status.status, s.epe_violations,
-                             s.pv_band_nm2, s.shape_violations,
-                             f"{s.runtime_s:.3f}", f"{s.total:.1f}", ""]
-                        )
-                    else:
-                        writer.writerow(
-                            [label, name, status.status, "", "", "",
-                             f"{status.runtime_s:.3f}", "", status.error or ""]
-                        )
+                else:
+                    rows.append(
+                        [label, name, status.status, "", "", "",
+                         f"{status.runtime_s:.3f}", "", status.error or ""]
+                    )
+        write_csv_rows(
+            path,
+            ["solver", "layout", "status", "epe_violations", "pv_band_nm2",
+             "shape_violations", "runtime_s", "score", "error"],
+            rows,
+        )
 
 
-def _call_with_budget(fn: Callable[[], object], timeout_s: Optional[float]) -> object:
+def call_with_budget(fn: Callable[[], object], timeout_s: Optional[float]) -> object:
     """Run ``fn``, enforcing a wall-clock budget when one is given.
 
     With a budget the call runs on a daemon worker thread and the caller
@@ -221,6 +220,10 @@ def _call_with_budget(fn: Callable[[], object], timeout_s: Optional[float]) -> o
     if "error" in outcome:
         raise outcome["error"]  # type: ignore[misc]
     return outcome["value"]
+
+
+#: Backwards-compatible alias — the budget runner predates its public name.
+_call_with_budget = call_with_budget
 
 
 def run_experiment(
@@ -307,7 +310,7 @@ def run_experiment(
                         )
                     try:
                         with obs.tracer.span(f"cell:{label}:{layout.name}"):
-                            solved = _call_with_budget(
+                            solved = call_with_budget(
                                 lambda: factory().solve(layout), cell_timeout_s
                             )
                         last_error = None

@@ -61,8 +61,9 @@ class MosaicExactPW(MosaicExact):
                         self.sim.grid,
                         theta_epe=cfg.theta_epe,
                         corner=corner,
+                        region=self.objective_region,
                     ),
                 )
             )
-        terms.append((cfg.beta, PVBandObjective(target)))
+        terms.append((cfg.beta, PVBandObjective(target, weight=self.objective_region)))
         return CompositeObjective(terms)

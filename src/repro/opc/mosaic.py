@@ -84,6 +84,13 @@ class MosaicSolver:
             fault injection (:mod:`repro.testing.faults`) exercises the
             recovery machinery end-to-end; adapters and extra telemetry
             wrappers fit the same hook.
+        objective_region: optional grid-shaped per-pixel penalty weight
+            applied to every imaging term (and, for the exact mode, an
+            EPE-sample filter: samples on zero-weight pixels are
+            dropped).  The tiled full-chip engine passes the window's
+            physically-valid region here so boundary-cut halo geometry —
+            unprintable under the window's periodic imaging — cannot
+            dominate the descent.
     """
 
     #: Subclasses set this to label results/logs.
@@ -100,6 +107,7 @@ class MosaicSolver:
         recovery: Optional[RecoveryPolicy] = None,
         checkpoint: Optional[CheckpointConfig] = None,
         objective_transform: Optional[Callable[[Objective], Objective]] = None,
+        objective_region: Optional[np.ndarray] = None,
     ) -> None:
         self.litho_config = litho_config or LithoConfig.paper()
         self.sim = simulator or LithographySimulator(self.litho_config)
@@ -112,6 +120,9 @@ class MosaicSolver:
         self.recovery = recovery
         self.checkpoint = checkpoint
         self.objective_transform = objective_transform
+        if objective_region is not None:
+            objective_region = np.asarray(objective_region, dtype=np.float64)
+        self.objective_region = objective_region
 
     # -- extension points ------------------------------------------------
 
@@ -136,7 +147,7 @@ class MosaicSolver:
         """alpha * design_target + beta * F_pvb (Eqs. 19/20)."""
         cfg = self.optimizer_config
         design = self.build_design_objective(target, layout)
-        pvb = PVBandObjective(target)
+        pvb = PVBandObjective(target, weight=self.objective_region)
         return CompositeObjective([(cfg.alpha, design), (cfg.beta, pvb)])
 
     def solve(
@@ -212,7 +223,9 @@ class MosaicFast(MosaicSolver):
         return config
 
     def build_design_objective(self, target: np.ndarray, layout: Layout) -> Objective:
-        return ImageDifferenceObjective(target, gamma=self.optimizer_config.gamma)
+        return ImageDifferenceObjective(
+            target, gamma=self.optimizer_config.gamma, weight=self.objective_region
+        )
 
 
 class MosaicExact(MosaicSolver):
@@ -238,4 +251,5 @@ class MosaicExact(MosaicSolver):
             layout,
             self.sim.grid,
             theta_epe=self.optimizer_config.theta_epe,
+            region=self.objective_region,
         )

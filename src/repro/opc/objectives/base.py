@@ -3,12 +3,33 @@
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ...errors import OptimizationError
 from ...process.corners import ProcessCorner
 from ..state import ForwardContext
+
+
+def validated_weight(
+    weight: Optional[np.ndarray], shape: Tuple[int, ...]
+) -> Optional[np.ndarray]:
+    """Check an optional per-pixel penalty-weight map.
+
+    Weights must match the target shape and be non-negative; ``None``
+    (uniform weighting) passes through.
+    """
+    if weight is None:
+        return None
+    weight = np.asarray(weight, dtype=np.float64)
+    if weight.shape != tuple(shape):
+        raise OptimizationError(
+            f"penalty weight {weight.shape} does not match target {tuple(shape)}"
+        )
+    if np.any(weight < 0):
+        raise OptimizationError("penalty weights must be non-negative")
+    return weight
 
 
 class Objective(ABC):

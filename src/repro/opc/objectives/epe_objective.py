@@ -64,6 +64,10 @@ class EPEObjective(ImagingObjective):
             evaluates at nominal (the default); passing a corner builds
             the process-window-EPE extension (one EPEObjective per
             corner, composed with weights).
+        region: optional grid-shaped mask; samples landing on zero-valued
+            pixels are dropped.  The tiled full-chip engine uses this to
+            confine EPE control to the region where a window's periodic
+            image is physically valid.
     """
 
     def __init__(
@@ -77,6 +81,7 @@ class EPEObjective(ImagingObjective):
         samples: Optional[Sequence[SamplePoint]] = None,
         tangent_halfwidth_px: Optional[int] = None,
         corner: Optional[ProcessCorner] = None,
+        region: Optional[np.ndarray] = None,
     ) -> None:
         self.target = np.asarray(target, dtype=np.float64)
         if self.target.shape != grid.shape:
@@ -89,9 +94,19 @@ class EPEObjective(ImagingObjective):
         self.threshold_px = threshold_nm / grid.pixel_nm
         if samples is None:
             samples = generate_sample_points(layout, grid, spacing_nm=sample_spacing_nm)
+        if region is not None:
+            region = np.asarray(region)
+            if region.shape != grid.shape:
+                raise OptimizationError(
+                    f"region {region.shape} does not match grid {grid.shape}"
+                )
+            samples = [s for s in samples if region[s.row, s.col]]
         self.samples: List[SamplePoint] = list(samples)
         if not self.samples:
-            raise OptimizationError("layout produced no EPE sample points")
+            raise OptimizationError(
+                "layout produced no EPE sample points"
+                + (" inside the objective region" if region is not None else "")
+            )
         if tangent_halfwidth_px is None:
             tangent_halfwidth_px = max(
                 int(round(sample_spacing_nm / grid.pixel_nm / 2.0)), 0

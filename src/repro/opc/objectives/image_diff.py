@@ -20,7 +20,7 @@ variant is available through the simulator's kernel modes.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -28,7 +28,7 @@ from ... import constants
 from ...errors import OptimizationError
 from ...process.corners import ProcessCorner
 from ..state import ForwardContext
-from .base import ImagingObjective
+from .base import ImagingObjective, validated_weight
 
 
 class ImageDifferenceObjective(ImagingObjective):
@@ -39,6 +39,11 @@ class ImageDifferenceObjective(ImagingObjective):
         gamma: even integer exponent (paper: 4).
         normalize: divide by the pixel count so values are grid-size
             independent (weights alpha/beta then transfer across scales).
+        weight: optional per-pixel penalty weight (target-shaped,
+            non-negative).  Zero weight excludes a pixel from the
+            objective entirely — the tiled full-chip engine uses this to
+            confine the penalty to the region where a window's periodic
+            image is physically valid.
     """
 
     def __init__(
@@ -46,12 +51,14 @@ class ImageDifferenceObjective(ImagingObjective):
         target: np.ndarray,
         gamma: float = constants.GAMMA_FAST,
         normalize: bool = False,
+        weight: Optional[np.ndarray] = None,
     ) -> None:
         if gamma < 2 or int(gamma) != gamma or int(gamma) % 2:
             raise OptimizationError(f"gamma must be a positive even integer, got {gamma}")
         self.target = np.asarray(target, dtype=np.float64)
         self.gamma = int(gamma)
         self.normalize = normalize
+        self.weight = validated_weight(weight, self.target.shape)
 
     def required_corners(self, ctx: ForwardContext) -> List[ProcessCorner]:
         return [ctx.nominal]
@@ -67,9 +74,14 @@ class ImageDifferenceObjective(ImagingObjective):
         z = ctx.soft_image(corner)
         diff = z - self.target
         scale = 1.0 / diff.size if self.normalize else 1.0
-        value = float(np.sum(diff**self.gamma)) * scale
+        penalty = diff**self.gamma
+        if self.weight is not None:
+            penalty = penalty * self.weight
+        value = float(np.sum(penalty)) * scale
 
         # dF/dI = gamma * diff^(gamma-1) * dZ/dI, with dZ/dI = theta_Z Z (1-Z).
         dz_di = ctx.sim.resist.soft_derivative(z)
         df_di = scale * self.gamma * diff ** (self.gamma - 1) * dz_di
+        if self.weight is not None:
+            df_di = df_di * self.weight
         return value, [(corner, df_di)]

@@ -20,7 +20,7 @@ import numpy as np
 from ...errors import OptimizationError
 from ...process.corners import ProcessCorner
 from ..state import ForwardContext
-from .base import ImagingObjective
+from .base import ImagingObjective, validated_weight
 
 
 class PVBandObjective(ImagingObjective):
@@ -32,6 +32,8 @@ class PVBandObjective(ImagingObjective):
             simulator's non-nominal corners (the nominal condition is the
             design-target term's job).
         normalize: divide by pixel count for grid-size independence.
+        weight: optional per-pixel penalty weight (target-shaped,
+            non-negative); zero excludes a pixel from the objective.
     """
 
     def __init__(
@@ -39,10 +41,12 @@ class PVBandObjective(ImagingObjective):
         target: np.ndarray,
         corners: Optional[Sequence[ProcessCorner]] = None,
         normalize: bool = False,
+        weight: Optional[np.ndarray] = None,
     ) -> None:
         self.target = np.asarray(target, dtype=np.float64)
         self._corners = list(corners) if corners is not None else None
         self.normalize = normalize
+        self.weight = validated_weight(weight, self.target.shape)
 
     def corners_for(self, ctx: ForwardContext) -> List[ProcessCorner]:
         """The corner set actually evaluated (resolved lazily from ctx)."""
@@ -68,8 +72,11 @@ class PVBandObjective(ImagingObjective):
         contributions: List[Tuple[ProcessCorner, np.ndarray]] = []
         for corner, z in zip(corners, ctx.soft_images(corners)):
             diff = z - self.target
-            value += float(np.sum(diff**2)) * scale
+            penalty = diff**2 if self.weight is None else self.weight * diff**2
+            value += float(np.sum(penalty)) * scale
             dz_di = ctx.sim.resist.soft_derivative(z)
             df_di = scale * 2.0 * diff * dz_di
+            if self.weight is not None:
+                df_di = df_di * self.weight
             contributions.append((corner, df_di))
         return value, contributions

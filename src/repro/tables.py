@@ -1,0 +1,105 @@
+"""Shared fixed-width text-table and CSV rendering.
+
+Both the batch harness (:class:`repro.harness.ExperimentResult`) and the
+full-chip engine (:class:`repro.fullchip.FullChipResult`) render result
+matrices as fixed-width terminal tables and export them as CSV.  The
+formatting lives here once: a :class:`TextTable` accumulates rows against
+a column spec and renders them aligned, and :func:`write_csv_rows` is the
+one place that opens a CSV file with the right newline discipline.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, List, Sequence, Union
+
+#: Placeholder rendered for a missing/failed cell.
+MISSING = "--"
+
+
+@dataclass(frozen=True)
+class ColumnSpec:
+    """One column of a fixed-width text table.
+
+    Attributes:
+        header: column title.
+        width: minimum rendered width (grows to fit the header).
+        align: ``">"`` right (default, numeric) or ``"<"`` left (labels).
+    """
+
+    header: str
+    width: int = 0
+    align: str = ">"
+
+    def __post_init__(self) -> None:
+        if self.align not in ("<", ">"):
+            raise ValueError(f"align must be '<' or '>', got {self.align!r}")
+
+    @property
+    def rendered_width(self) -> int:
+        return max(self.width, len(self.header))
+
+
+class TextTable:
+    """Fixed-width table: a column spec plus formatted rows.
+
+    Cells are strings (callers format numbers themselves so domain code
+    controls precision); ``None`` renders as :data:`MISSING`.
+
+    Example:
+        >>> table = TextTable([ColumnSpec("tile", 6, "<"), ColumnSpec("score", 8)])
+        >>> table.add_row(["t0", "12.5"])
+        >>> table.add_row(["t1", None])
+        >>> print(table.render())
+        tile       score
+        t0          12.5
+        t1            --
+    """
+
+    def __init__(self, columns: Sequence[ColumnSpec], separator: str = "  ") -> None:
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = list(columns)
+        self.separator = separator
+        self.rows: List[List[str]] = []
+
+    def add_row(self, cells: Sequence[Union[str, None]]) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells for {len(self.columns)} columns"
+            )
+        self.rows.append([MISSING if c is None else str(c) for c in cells])
+
+    def _format_row(self, cells: Sequence[str]) -> str:
+        parts = [
+            f"{cell:{col.align}{col.rendered_width}s}"
+            for cell, col in zip(cells, self.columns)
+        ]
+        return self.separator.join(parts).rstrip()
+
+    def render(self, header: bool = True) -> str:
+        """The table as aligned text (no trailing spaces/newline)."""
+        lines = []
+        if header:
+            lines.append(self._format_row([col.header for col in self.columns]))
+        lines.extend(self._format_row(row) for row in self.rows)
+        return "\n".join(lines)
+
+
+def write_csv_rows(
+    path: Union[str, Path],
+    header: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> None:
+    """Write a header plus rows to a CSV file.
+
+    ``None`` cells are written as empty fields, matching the text-table
+    convention that missing cells are visually distinct from zeros.
+    """
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(header))
+        for row in rows:
+            writer.writerow(["" if cell is None else cell for cell in row])

@@ -13,6 +13,7 @@ from .generator import (
     jog_line,
     l_shape,
     line_grating,
+    synthetic_canvas,
     t_shape,
     tip_to_tip,
     u_shape,
@@ -33,6 +34,7 @@ __all__ = [
     "jog_line",
     "contact_array",
     "comb_structure",
+    "synthetic_canvas",
     "BENCHMARK_NAMES",
     "load_benchmark",
     "load_all_benchmarks",

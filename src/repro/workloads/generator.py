@@ -251,3 +251,85 @@ def comb_structure(
         )
     pts.extend([(x + spine_width, y + height), (x, y + height)])
     return Polygon(pts)
+
+
+def synthetic_canvas(
+    width_nm: float,
+    height_nm: float,
+    seed: int = 0,
+    cell_nm: float = 1024.0,
+    margin_nm: float = 112.0,
+    name: "str | None" = None,
+):
+    """Large synthetic canvas: one primitive per cell of a regular grid.
+
+    The full-chip engine needs layouts bigger than the single 1024 nm
+    contest clip.  This tiles the canvas into ``cell_nm`` cells and
+    drops a seeded choice of the M1 primitives into each, keeping a
+    ``margin_nm`` guard band so neighbouring cells never merge.  The
+    result is a pure function of the arguments — the same canvas spec
+    always produces the same layout.
+
+    Args:
+        width_nm, height_nm: canvas extent; must fit at least one cell.
+        seed: RNG seed for the per-cell primitive choice.
+        cell_nm: cell pitch (primitives are scaled for >= 1024 nm cells).
+        margin_nm: guard band inside each cell.
+        name: layout name (default ``synth<W>x<H>s<seed>``).
+
+    Returns:
+        :class:`~repro.geometry.layout.Layout` with clip
+        ``Rect(0, 0, width_nm, height_nm)``.
+    """
+    from ..geometry.layout import Layout  # local: keep generator import-light
+
+    import numpy as np
+
+    if cell_nm < 1024.0:
+        raise GeometryError(f"cells must be >= 1024 nm, got {cell_nm}")
+    if width_nm < cell_nm or height_nm < cell_nm:
+        raise GeometryError(
+            f"canvas {width_nm}x{height_nm} nm must fit one {cell_nm} nm cell"
+        )
+    if not 0 < margin_nm < cell_nm / 4:
+        raise GeometryError(f"margin {margin_nm} must be in (0, {cell_nm / 4})")
+    rng = np.random.default_rng(seed)
+    if name is None:
+        name = f"synth{width_nm:g}x{height_nm:g}s{seed}"
+    layout = Layout(name, clip=Rect(0, 0, width_nm, height_nm))
+
+    def place(kind: int, x: float, y: float) -> None:
+        if kind == 0:
+            for shape in line_grating(x, y, num_lines=3, length=600.0):
+                layout.add(shape)
+        elif kind == 1:
+            for shape in line_grating(x, y, num_lines=3, length=600.0, vertical=True):
+                layout.add(shape)
+        elif kind == 2:
+            layout.add(l_shape(x, y))
+        elif kind == 3:
+            layout.add(t_shape(x, y))
+        elif kind == 4:
+            layout.add(u_shape(x, y))
+        elif kind == 5:
+            layout.add(jog_line(x, y))
+        elif kind == 6:
+            for shape in contact_array(x, y, nx=3, ny=3):
+                layout.add(shape)
+        elif kind == 7:
+            for shape in tip_to_tip(x, y):
+                layout.add(shape)
+        else:
+            layout.add(comb_structure(x, y))
+
+    num_cols = int(width_nm // cell_nm)
+    num_rows = int(height_nm // cell_nm)
+    for row in range(num_rows):
+        for col in range(num_cols):
+            kind = int(rng.integers(0, 9))
+            # Jitter inside the guard band so seams don't align with
+            # geometry-free gutters — keeps tile seam checks honest.
+            jx = float(rng.uniform(0.0, margin_nm / 2))
+            jy = float(rng.uniform(0.0, margin_nm / 2))
+            place(kind, col * cell_nm + margin_nm + jx, row * cell_nm + margin_nm + jy)
+    return layout

@@ -1,0 +1,118 @@
+"""Tests for rectilinear polygon clipping and ``Layout.clip_to``."""
+
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry.clipping import clip_polygon_to_rect
+from repro.geometry.layout import Layout
+from repro.geometry.polygon import Polygon
+from repro.geometry.rect import Rect
+from repro.workloads.generator import u_shape
+
+
+def _vertex_set(poly: Polygon) -> set:
+    return set(poly.vertices)
+
+
+class TestClipPolygon:
+    def test_fully_inside_is_identity(self):
+        poly = Polygon.from_rect(Rect(10, 10, 30, 30))
+        out = clip_polygon_to_rect(poly, Rect(0, 0, 100, 100))
+        assert len(out) == 1
+        assert _vertex_set(out[0]) == _vertex_set(poly)
+
+    def test_fully_outside_is_empty(self):
+        poly = Polygon.from_rect(Rect(10, 10, 30, 30))
+        assert clip_polygon_to_rect(poly, Rect(50, 50, 100, 100)) == []
+
+    def test_touching_boundary_only_is_empty(self):
+        # Shares an edge with the window but no interior overlap.
+        poly = Polygon.from_rect(Rect(0, 0, 10, 10))
+        assert clip_polygon_to_rect(poly, Rect(10, 0, 20, 10)) == []
+
+    def test_partial_rect_overlap(self):
+        poly = Polygon.from_rect(Rect(10, 10, 50, 50))
+        out = clip_polygon_to_rect(poly, Rect(0, 0, 30, 30))
+        assert len(out) == 1
+        assert _vertex_set(out[0]) == {(10, 10), (30, 10), (30, 30), (10, 30)}
+        assert out[0].area == pytest.approx(400.0)
+
+    def test_coordinates_are_exact_copies(self):
+        # The clipped vertices must reuse the input/window coordinates
+        # bit-for-bit — downstream code relies on exact equality.
+        x = 10.1 + 0.2  # a value with float round-off
+        poly = Polygon.from_rect(Rect(x, 5.0, 60.0, 55.0))
+        out = clip_polygon_to_rect(poly, Rect(0.0, 0.0, 40.0, 40.0))
+        xs = {vx for vx, _ in out[0].vertices}
+        assert x in xs and 40.0 in xs
+
+    def test_u_shape_splits_into_two_legs(self):
+        # Clip off the bottom bar of a U: the two legs must come back as
+        # two separate polygons, not one polygon with a bridge edge.
+        poly = u_shape(0, 0, span=360, height=300, width=70)
+        out = clip_polygon_to_rect(poly, Rect(-10, 100, 370, 310))
+        assert len(out) == 2
+        assert sum(p.area for p in out) == pytest.approx(2 * 70 * 200)
+
+    def test_u_shape_bottom_kept_is_single(self):
+        poly = u_shape(0, 0, span=360, height=300, width=70)
+        out = clip_polygon_to_rect(poly, Rect(-10, -10, 370, 50))
+        assert len(out) == 1
+        assert out[0].area == pytest.approx(360 * 50)
+
+    def test_concave_clip_has_no_phantom_edges(self):
+        # Every emitted segment must lie on the input boundary or the
+        # window boundary — no Sutherland-Hodgman-style bridges.
+        poly = u_shape(0, 0, span=360, height=300, width=70)
+        window = Rect(-10, 100, 370, 310)
+        legs = {(0.0, 70.0), (290.0, 360.0)}
+        for piece in clip_polygon_to_rect(poly, window):
+            for (x0, y0), (x1, y1) in piece.segments():
+                if x0 == x1:
+                    assert x0 in (0.0, 70.0, 290.0, 360.0)
+                else:
+                    assert y0 in (100.0, 300.0)
+                    assert any(lo <= min(x0, x1) and max(x0, x1) <= hi for lo, hi in legs)
+
+
+class TestLayoutClipTo:
+    def test_rebases_to_origin(self):
+        layout = Layout("chip", clip=Rect(0, 0, 1000, 1000))
+        layout.add(Rect(100, 200, 300, 400))
+        clipped = layout.clip_to(Rect(50, 150, 450, 550))
+        assert clipped.clip == Rect(0, 0, 400, 400)
+        assert clipped.num_shapes == 1
+        assert clipped.polygons[0].bbox == Rect(50, 50, 250, 250)
+
+    def test_default_name_embeds_offset(self):
+        layout = Layout("chip", clip=Rect(0, 0, 1000, 1000))
+        layout.add(Rect(100, 100, 200, 200))
+        assert layout.clip_to(Rect(64, 128, 564, 628)).name == "chip[64,128]"
+        assert layout.clip_to(Rect(0, 0, 500, 500), name="t0").name == "t0"
+
+    def test_shapes_crossing_the_window_are_cut(self):
+        layout = Layout("chip", clip=Rect(0, 0, 1000, 1000))
+        layout.add(Rect(0, 0, 600, 100))
+        clipped = layout.clip_to(Rect(400, 0, 1000, 1000))
+        assert clipped.num_shapes == 1
+        assert clipped.polygons[0].bbox == Rect(0, 0, 200, 100)
+
+    def test_empty_window_gives_empty_layout(self):
+        layout = Layout("chip", clip=Rect(0, 0, 1000, 1000))
+        layout.add(Rect(0, 0, 100, 100))
+        clipped = layout.clip_to(Rect(500, 500, 900, 900))
+        assert clipped.num_shapes == 0
+
+    def test_window_may_exceed_the_clip(self):
+        # Tile windows of edge tiles extend past the chip; the content
+        # there is simply empty.
+        layout = Layout("chip", clip=Rect(0, 0, 1000, 1000))
+        layout.add(Rect(0, 0, 100, 100))
+        clipped = layout.clip_to(Rect(-200, -200, 800, 800))
+        assert clipped.clip == Rect(0, 0, 1000, 1000)
+        assert clipped.polygons[0].bbox == Rect(200, 200, 300, 300)
+
+    def test_degenerate_window_rejected(self):
+        layout = Layout("chip", clip=Rect(0, 0, 1000, 1000))
+        with pytest.raises(GeometryError):
+            layout.clip_to(Rect(100, 100, 100, 500))

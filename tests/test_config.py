@@ -35,6 +35,19 @@ class TestGridSpec:
         with pytest.raises(OpticsError):
             GridSpec(shape=shape, pixel_nm=px)
 
+    def test_for_clip_square(self):
+        g = GridSpec.for_clip(1024.0, 1024.0, 4.0)
+        assert g == GridSpec.reduced()
+
+    def test_for_clip_rectangular(self):
+        g = GridSpec.for_clip(2048.0, 1024.0, 16.0)
+        assert g.shape == (64, 128)  # (rows, cols) = (height, width)
+        assert g.extent_nm == (1024.0, 2048.0)
+
+    def test_for_clip_rejects_fractional_pixels(self):
+        with pytest.raises(OpticsError):
+            GridSpec.for_clip(1000.0, 1024.0, 16.0)
+
 
 class TestOpticsConfig:
     def test_paper_values(self):

@@ -180,6 +180,95 @@ class TestEPE:
         assert np.isfinite(value)
 
 
+class TestPenaltyWeight:
+    """Per-pixel penalty weights (the full-chip valid-region mechanism)."""
+
+    @pytest.fixture()
+    def half_weight(self, tiny_sim):
+        """Weight selecting the left half of the grid."""
+        weight = np.zeros(tiny_sim.grid.shape)
+        weight[:, : weight.shape[1] // 2] = 1.0
+        return weight
+
+    def test_unit_weight_is_identity(self, tiny_sim, tiny_setup):
+        _, target, mask = tiny_setup
+        plain = ImageDifferenceObjective(target, gamma=4)
+        weighted = ImageDifferenceObjective(
+            target, gamma=4, weight=np.ones_like(target)
+        )
+        ctx1, ctx2 = ForwardContext(mask, tiny_sim), ForwardContext(mask, tiny_sim)
+        v1, g1 = plain.value_and_gradient(ctx1)
+        v2, g2 = weighted.value_and_gradient(ctx2)
+        assert v2 == pytest.approx(v1)
+        assert np.allclose(g2, g1)
+
+    def test_weight_restricts_the_penalty(self, tiny_sim, tiny_setup, half_weight):
+        _, target, mask = tiny_setup
+        obj = ImageDifferenceObjective(target, gamma=2, weight=half_weight)
+        ctx = ForwardContext(mask, tiny_sim)
+        z = ctx.soft_image(ctx.nominal)
+        assert obj.value(ctx) == pytest.approx(
+            float(np.sum(half_weight * (z - target) ** 2))
+        )
+
+    def test_image_diff_gradient_with_weight(self, tiny_sim, tiny_setup, half_weight):
+        _, target, mask = tiny_setup
+        finite_diff_check(
+            ImageDifferenceObjective(target, gamma=4, weight=half_weight),
+            mask,
+            tiny_sim,
+        )
+
+    def test_pvband_gradient_with_weight(self, tiny_sim, tiny_setup, half_weight):
+        _, target, mask = tiny_setup
+        finite_diff_check(PVBandObjective(target, weight=half_weight), mask, tiny_sim)
+
+    def test_gradient_is_zero_outside_the_region(
+        self, tiny_sim, tiny_setup, half_weight
+    ):
+        _, target, mask = tiny_setup
+        obj = ImageDifferenceObjective(target, gamma=2, weight=half_weight)
+        _, grad = obj.value_and_gradient(ForwardContext(mask, tiny_sim))
+        # dF/dI vanishes on zero-weight pixels; dF/dM spreads only by the
+        # imaging stencil, so far-right pixels stay exactly flat.
+        df_di = obj.intensity_contributions(ForwardContext(mask, tiny_sim))[1][0][1]
+        assert np.all(df_di[:, half_weight.shape[1] // 2 :] == 0.0)
+
+    def test_weight_shape_mismatch_rejected(self, tiny_setup):
+        _, target, _ = tiny_setup
+        with pytest.raises(OptimizationError):
+            ImageDifferenceObjective(target, gamma=2, weight=np.ones((3, 3)))
+        with pytest.raises(OptimizationError):
+            PVBandObjective(target, weight=np.ones((3, 3)))
+
+    def test_negative_weight_rejected(self, tiny_setup):
+        _, target, _ = tiny_setup
+        with pytest.raises(OptimizationError):
+            PVBandObjective(target, weight=-np.ones_like(target))
+
+    def test_epe_region_filters_samples(self, tiny_sim, tiny_setup):
+        layout, target, _ = tiny_setup
+        full = EPEObjective(target, layout, tiny_sim.grid)
+        region = np.zeros(tiny_sim.grid.shape)
+        region[:, : tiny_sim.grid.shape[1] // 2] = 1.0
+        left = EPEObjective(target, layout, tiny_sim.grid, region=region)
+        assert 0 < left.num_samples < full.num_samples
+        half_col = tiny_sim.grid.shape[1] // 2
+        assert all(s.col < half_col for s in left.samples)
+
+    def test_epe_all_zero_region_rejected(self, tiny_sim, tiny_setup):
+        layout, target, _ = tiny_setup
+        with pytest.raises(OptimizationError, match="objective region"):
+            EPEObjective(
+                target, layout, tiny_sim.grid, region=np.zeros(tiny_sim.grid.shape)
+            )
+
+    def test_epe_region_shape_mismatch_rejected(self, tiny_sim, tiny_setup):
+        layout, target, _ = tiny_setup
+        with pytest.raises(OptimizationError):
+            EPEObjective(target, layout, tiny_sim.grid, region=np.ones((3, 3)))
+
+
 class TestComposite:
     def test_weighted_sum(self, tiny_sim, tiny_setup):
         _, target, mask = tiny_setup

@@ -1,0 +1,57 @@
+"""Tests for the shared text-table / CSV rendering helpers."""
+
+import csv
+
+import pytest
+
+from repro.tables import MISSING, ColumnSpec, TextTable, write_csv_rows
+
+
+class TestColumnSpec:
+    def test_width_grows_to_header(self):
+        assert ColumnSpec("runtime", 3).rendered_width == len("runtime")
+        assert ColumnSpec("x", 9).rendered_width == 9
+
+    def test_bad_align_rejected(self):
+        with pytest.raises(ValueError):
+            ColumnSpec("x", align="^")
+
+
+class TestTextTable:
+    def test_alignment_and_missing(self):
+        table = TextTable([ColumnSpec("tile", 6, "<"), ColumnSpec("score", 8)])
+        table.add_row(["t0", "12.5"])
+        table.add_row(["t1", None])
+        assert table.render() == (
+            "tile       score\n"
+            "t0          12.5\n"
+            f"t1            {MISSING}"
+        )
+
+    def test_no_trailing_spaces(self):
+        table = TextTable([ColumnSpec("a", 4, "<"), ColumnSpec("b", 4, "<")])
+        table.add_row(["x", "y"])
+        for line in table.render().splitlines():
+            assert line == line.rstrip()
+
+    def test_row_width_mismatch_rejected(self):
+        table = TextTable([ColumnSpec("a"), ColumnSpec("b")])
+        with pytest.raises(ValueError):
+            table.add_row(["only one"])
+
+    def test_headerless_render(self):
+        table = TextTable([ColumnSpec("a")])
+        table.add_row(["1"])
+        assert table.render(header=False) == "1"
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(ValueError):
+            TextTable([])
+
+
+def test_write_csv_rows(tmp_path):
+    path = tmp_path / "out.csv"
+    write_csv_rows(path, ["name", "value"], [["a", 1], ["b", None]])
+    with open(path, newline="") as handle:
+        rows = list(csv.reader(handle))
+    assert rows == [["name", "value"], ["a", "1"], ["b", ""]]
