@@ -6,7 +6,10 @@ batched shared-FFT engine against the historical per-corner,
 one-FFT-per-kernel path.  The ISSUE acceptance bar is a >= 1.5x speedup
 with aerial images agreeing to <= 1e-10 max abs diff; both are asserted
 here and recorded in ``BENCH_forward_batching.json`` at the repository
-root (uploaded as a CI artifact).
+root (uploaded as a CI artifact and gated against the checked-in
+baseline by ``python -m repro bench-check``, which reads regression
+direction off the key names: ``*_s`` lower-is-better, ``speedup*``
+higher-is-better, ``*floor*`` config echoes).
 """
 
 import json

@@ -5,7 +5,10 @@ Runs the full-chip engine on a 2048 nm synthetic canvas (2x2 tiles at
 asserting that the two produce the *identical* stitched mask and — when
 the machine actually has cores to parallelize over — that the pool wins
 wall-clock.  Results land in ``BENCH_fullchip.json`` at the repository
-root (uploaded as a CI artifact).
+root (uploaded as a CI artifact, and gated against the checked-in
+baseline by ``python -m repro bench-check``; timing keys end in ``_s``
+and ``speedup*`` keys are higher-is-better, which is how bench-check
+infers regression direction).
 
 The scale is deliberately small (16 nm pixels, 4 kernels): the benchmark
 measures scheduling overhead vs parallel speedup, not solver quality.

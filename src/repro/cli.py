@@ -2,13 +2,15 @@
 
 Commands:
 
-* ``solve``      — run an OPC solver on a bundled benchmark or a GLP file.
-* ``batch``      — run solvers x layouts with per-cell fault isolation.
-* ``fullchip``   — tiled full-chip solve: partition, parallel tiles, stitch.
-* ``simulate``   — print a mask/layout through the lithography model.
-* ``verify``     — solve and emit the full verification report (+SVG).
-* ``benchmarks`` — list the bundled ICCAD-2013-style clips.
-* ``export``     — write a bundled benchmark to a GLP file.
+* ``solve``       — run an OPC solver on a bundled benchmark or a GLP file.
+* ``batch``       — run solvers x layouts with per-cell fault isolation.
+* ``fullchip``    — tiled full-chip solve: partition, parallel tiles, stitch.
+* ``simulate``    — print a mask/layout through the lithography model.
+* ``verify``      — solve and emit the full verification report (+SVG).
+* ``report``      — render a run summary from telemetry artifacts.
+* ``bench-check`` — compare fresh benchmark JSON against a baseline.
+* ``benchmarks``  — list the bundled ICCAD-2013-style clips.
+* ``export``      — write a bundled benchmark to a GLP file.
 
 Layouts are bundled benchmark names (B1..B10), ``.glp`` paths, or — for
 arbitrarily large synthetic canvases — ``synth:<W>x<H>[:seed]`` specs
@@ -23,6 +25,9 @@ Examples::
     python -m repro batch B1 B2 B4 --modes fast,rulebased --keep-going
     python -m repro fullchip synth:2048x2048 --tile-nm 1024 --workers 2
     python -m repro fullchip synth:4096x4096:3 --keep-going --csv tiles.csv
+    python -m repro fullchip synth:2048x2048 --workers 2 --telemetry-dir runs/r1
+    python -m repro report runs/r1
+    python -m repro bench-check BENCH_fullchip.json fresh.json --tolerance 0.2
     python -m repro simulate B4
     python -m repro benchmarks
 """
@@ -109,10 +114,19 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _obs_config_from_args(args: argparse.Namespace) -> ObservabilityConfig:
+    # --telemetry-dir implies parent-side trace+metrics in timeline
+    # mode: the run artifacts need the merged span stats, the merged
+    # metrics snapshot, and timestamped slices for the Chrome trace.
+    telemetry_dir = getattr(args, "telemetry_dir", None)
     return ObservabilityConfig(
-        trace=getattr(args, "trace", False),
-        metrics=bool(getattr(args, "trace", False) or getattr(args, "metrics_out", None)),
+        trace=bool(getattr(args, "trace", False) or telemetry_dir),
+        metrics=bool(
+            getattr(args, "trace", False)
+            or getattr(args, "metrics_out", None)
+            or telemetry_dir
+        ),
         events_path=getattr(args, "log_json", None),
+        timeline=bool(telemetry_dir),
         verbose=getattr(args, "verbose", 0),
     )
 
@@ -331,9 +345,11 @@ def cmd_fullchip(args: argparse.Namespace) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        telemetry_dir=args.telemetry_dir,
     )
     engine = FullChipEngine(config, config=fc_config, obs=obs)
     plan = engine.plan_for(layout)
+    total_tiles = plan.num_tiles
     print(
         f"Full-chip solve of {layout.name} "
         f"({layout.clip.width:g}x{layout.clip.height:g} nm): "
@@ -341,7 +357,25 @@ def cmd_fullchip(args: argparse.Namespace) -> int:
         f"halo {plan.halo_nm:g} nm ({plan.halo_px} px, ambit "
         f"{engine.model.ambit_nm:g} nm), {args.workers} worker(s)"
     )
-    result = engine.solve(layout, progress=lambda msg: print(f"  {msg}"))
+    # With -v the scheduler's completion callback prints one detailed
+    # line per tile; without it the plain progress message is enough.
+    done_count = [0]
+
+    def _verbose_tile(r) -> None:
+        done_count[0] += 1
+        extras = " (cached)" if r.from_cache else ""
+        if r.telemetry is not None:
+            extras += f" iters={r.telemetry.iterations}"
+        print(
+            f"  [{done_count[0]}/{total_tiles}] tile r{r.index[0]}c{r.index[1]}: "
+            f"{r.status.status}, {r.status.attempts} attempt(s), "
+            f"{r.status.runtime_s:.1f}s{extras}"
+        )
+
+    if args.verbose:
+        result = engine.solve(layout, on_tile=_verbose_tile)
+    else:
+        result = engine.solve(layout, progress=lambda msg: print(f"  {msg}"))
     print()
     print(result.format_table())
     print()
@@ -358,6 +392,11 @@ def cmd_fullchip(args: argparse.Namespace) -> int:
         bundle = out_dir / f"{layout.name}_fullchip.npz"
         save_npz_images(bundle, {"mask": result.mask})
         print(f"Wrote {bundle}")
+    if result.telemetry_dir is not None:
+        print(
+            f"Wrote telemetry artifacts to {result.telemetry_dir} "
+            f"(render with: python -m repro report {result.telemetry_dir})"
+        )
     _finalize_observability(args, obs)
     if result.failed_tiles:
         for index in result.failed_tiles:
@@ -419,6 +458,38 @@ def cmd_verify(args: argparse.Namespace) -> int:
         )
         print(f"\nWrote figure to {args.svg}")
     return 0 if report.clean else 2
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .obs.report import render_run_report
+
+    print(render_run_report(args.run_dir))
+    return 0
+
+
+def _load_bench_json(label: str, path: str) -> dict:
+    try:
+        with open(path) as handle:
+            payload = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"{label}: cannot read benchmark JSON {path}: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ReproError(f"{label}: {path} is not a JSON object")
+    return payload
+
+
+def cmd_bench_check(args: argparse.Namespace) -> int:
+    from .obs.report import compare_bench, render_bench_check
+
+    baseline = _load_bench_json("baseline", args.baseline)
+    fresh = _load_bench_json("fresh", args.fresh)
+    deltas = compare_bench(baseline, fresh, tolerance=args.tolerance)
+    if not deltas:
+        raise ReproError(
+            f"no comparable numeric keys between {args.baseline} and {args.fresh}"
+        )
+    print(render_bench_check(Path(args.baseline).name, deltas, args.tolerance))
+    return 2 if any(d.regressed for d in deltas) else 0
 
 
 def cmd_benchmarks(_args: argparse.Namespace) -> int:
@@ -556,6 +627,12 @@ def build_parser() -> argparse.ArgumentParser:
     fullchip.add_argument("--csv", help="write the per-tile CSV")
     fullchip.add_argument("--seam-csv", help="write the seam-consistency CSV")
     fullchip.add_argument("--out", help="directory for the NPZ mask bundle")
+    fullchip.add_argument(
+        "--telemetry-dir", metavar="DIR",
+        help="run directory for telemetry artifacts: per-tile worker "
+             "spool files, merged run.json/metrics.json, and a Chrome "
+             "trace.json (render later with 'repro report DIR')",
+    )
     _add_obs_args(fullchip)
     fullchip.set_defaults(func=cmd_fullchip)
 
@@ -576,6 +653,30 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--svg", help="write a layered SVG figure to this path")
     _add_obs_args(verify)
     verify.set_defaults(func=cmd_verify)
+
+    report = sub.add_parser(
+        "report",
+        help="render a run summary from telemetry artifacts (no live objects)",
+    )
+    report.add_argument(
+        "run_dir",
+        help="telemetry run directory written by 'fullchip --telemetry-dir'",
+    )
+    report.set_defaults(func=cmd_report)
+
+    bench_check = sub.add_parser(
+        "bench-check",
+        help="compare fresh benchmark JSON against a checked-in baseline "
+             "(exit 2 on regression)",
+    )
+    bench_check.add_argument("baseline", help="baseline JSON (e.g. BENCH_fullchip.json)")
+    bench_check.add_argument("fresh", help="freshly produced benchmark JSON")
+    bench_check.add_argument(
+        "--tolerance", type=float, default=0.15, metavar="FRACTION",
+        help="allowed fractional move against a key's better-direction "
+             "before it counts as a regression (default: 0.15)",
+    )
+    bench_check.set_defaults(func=cmd_bench_check)
 
     benchmarks = sub.add_parser("benchmarks", help="list bundled clips")
     benchmarks.set_defaults(func=cmd_benchmarks)

@@ -285,6 +285,9 @@ class ObservabilityConfig:
         metrics: record counters/gauges/histograms.
         events_path: JSONL file receiving one event per optimizer
             iteration and run-lifecycle event (None = no event stream).
+        timeline: additionally record timestamped span slices for
+            Chrome-trace export (requires ``trace``; see
+            :mod:`repro.obs.export`).
         verbose: logging verbosity level (0 = warnings, 1 = info,
             2+ = debug), applied by the CLI via ``logging``.
 
@@ -295,6 +298,7 @@ class ObservabilityConfig:
     trace: bool = False
     metrics: bool = False
     events_path: Optional[str] = None
+    timeline: bool = False
     verbose: int = 0
 
     def __post_init__(self) -> None:

@@ -12,8 +12,10 @@ from .ambit import (
     DEFAULT_PROBE_EXTENT_NM,
     AmbitModel,
     FocusStencils,
+    ModelCacheInfo,
     WindowSimulator,
     ambit_model_for,
+    model_cache_info,
 )
 from .engine import FullChipConfig, FullChipEngine, FullChipResult
 from .scheduler import (
@@ -39,8 +41,10 @@ __all__ = [
     "DEFAULT_PROBE_EXTENT_NM",
     "AmbitModel",
     "FocusStencils",
+    "ModelCacheInfo",
     "WindowSimulator",
     "ambit_model_for",
+    "model_cache_info",
     "FullChipConfig",
     "FullChipEngine",
     "FullChipResult",

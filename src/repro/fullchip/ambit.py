@@ -343,6 +343,27 @@ class WindowSimulator(LithographySimulator):
 
 _MODEL_CACHE: Dict[Tuple, AmbitModel] = {}
 _MODEL_CACHE_LOCK = threading.Lock()
+_MODEL_CACHE_HITS = 0
+_MODEL_CACHE_MISSES = 0
+
+
+@dataclass(frozen=True)
+class ModelCacheInfo:
+    """Snapshot of the shared stencil-model cache (mirrors
+    :class:`~repro.litho.simulator.KernelCacheInfo`).
+
+    Attributes:
+        hits: lookups served from the cache.
+        misses: lookups that triggered a stencil build.
+        entries: models currently cached.
+    """
+
+    hits: int
+    misses: int
+    entries: int
+
+    def as_dict(self) -> Dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses, "entries": self.entries}
 
 
 def _model_key(litho: LithoConfig, energy_tol: float, probe_extent_nm: float) -> Tuple:
@@ -360,12 +381,31 @@ def ambit_model_for(
     process window, tolerance and probe extent (resist and grid shape do
     not participate).
     """
+    global _MODEL_CACHE_HITS, _MODEL_CACHE_MISSES
     key = _model_key(litho, energy_tol, probe_extent_nm)
     with _MODEL_CACHE_LOCK:
         model = _MODEL_CACHE.get(key)
         if model is None:
+            _MODEL_CACHE_MISSES += 1
             model = AmbitModel.build(
                 litho, energy_tol=energy_tol, probe_extent_nm=probe_extent_nm
             )
             _MODEL_CACHE[key] = model
+        else:
+            _MODEL_CACHE_HITS += 1
         return model
+
+
+def model_cache_info() -> ModelCacheInfo:
+    """Hit/miss statistics of the shared model cache (process-local).
+
+    Worker processes inherit the parent's warmed cache through fork but
+    count their own lookups from zero; the numbers reported by the
+    full-chip run summary are the parent's.
+    """
+    with _MODEL_CACHE_LOCK:
+        return ModelCacheInfo(
+            hits=_MODEL_CACHE_HITS,
+            misses=_MODEL_CACHE_MISSES,
+            entries=len(_MODEL_CACHE),
+        )

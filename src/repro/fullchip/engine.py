@@ -21,6 +21,7 @@ stays visible in the tile table instead of leaving a hole in the mask.
 from __future__ import annotations
 
 import logging
+import os
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
@@ -35,15 +36,25 @@ from ..metrics.epe import measure_epe
 from ..metrics.score import ScoreBreakdown
 from ..metrics.shapes import count_shape_violations
 from ..obs import Instrumentation
+from ..obs.distributed import (
+    SPOOL_DIRNAME,
+    WorkerTelemetryConfig,
+    iter_spool_files,
+    read_spool,
+)
+from ..obs.export import TraceLane, write_chrome_trace
+from ..obs.report import METRICS_FILENAME, RUN_FILENAME, TRACE_FILENAME
 from ..process.corners import ProcessCorner
 from ..process.pvband import pv_band_area
 from ..tables import ColumnSpec, TextTable, write_csv_rows
+from ..utils.io import write_json_atomic
 from ..utils.timer import Timer
 from .ambit import (
     DEFAULT_ENERGY_TOL,
     DEFAULT_PROBE_EXTENT_NM,
     AmbitModel,
     ambit_model_for,
+    model_cache_info,
 )
 from .scheduler import TileJob, TileResult, run_tile_jobs
 from .stitch import SeamReport, build_seam_report, stitch_masks
@@ -76,6 +87,10 @@ class FullChipConfig:
         energy_tol: ambit retained-energy tolerance.
         probe_extent_nm: ambit probe-grid extent.
         seam_band_nm: seam-EPE band half width (None = 4 pixels).
+        telemetry_dir: run directory receiving telemetry artifacts —
+            per-tile spool files (``spool/``), the merged ``run.json`` /
+            ``metrics.json``, and the Chrome ``trace.json``; None (the
+            default) disables worker telemetry entirely.
     """
 
     tile_nm: float = 1024.0
@@ -92,6 +107,7 @@ class FullChipConfig:
     energy_tol: float = DEFAULT_ENERGY_TOL
     probe_extent_nm: float = DEFAULT_PROBE_EXTENT_NM
     seam_band_nm: Optional[float] = None
+    telemetry_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -115,6 +131,8 @@ class FullChipResult:
         score: aggregate contest-score components, measured on the
             stitched mask under the full-chip linear-convolution model.
         runtime_s: end-to-end wall clock of the run.
+        telemetry_dir: where telemetry artifacts were written (None
+            when telemetry was off).
     """
 
     layout_name: str
@@ -124,6 +142,7 @@ class FullChipResult:
     seam_report: SeamReport
     score: ScoreBreakdown
     runtime_s: float
+    telemetry_dir: Optional[Path] = None
 
     @property
     def all_ok(self) -> bool:
@@ -165,10 +184,13 @@ class FullChipResult:
                     [label, r.status.status, str(r.status.attempts),
                      None, None, None, f"{r.status.runtime_s:.1f}s"]
                 )
+        cache = model_cache_info()
         summary = (
             f"chip: {self.score} | seams: max|dM|="
             f"{self.seam_report.max_abs_mask_delta:.3e}, "
             f"{self.seam_report.seam_epe_violations} seam EPE violation(s)"
+            f" | ambit cache: {cache.hits} hit(s), {cache.misses} miss(es), "
+            f"{cache.entries} model(s)"
         )
         return table.render() + "\n" + summary
 
@@ -337,6 +359,7 @@ class FullChipEngine:
         self,
         layout: Layout,
         progress: Callable[[str], None] = lambda msg: None,
+        on_tile: Optional[Callable[[TileResult], None]] = None,
     ) -> FullChipResult:
         """Run the tiled full-chip flow on one layout.
 
@@ -344,6 +367,9 @@ class FullChipEngine:
             layout: the chip layout (any clip origin; results are
                 reported on a grid re-based to the clip's lower-left).
             progress: callback receiving one message per finished tile.
+            on_tile: callback receiving each completed
+                :class:`TileResult` in completion order (the CLI's
+                per-tile ``-v`` progress hook).
 
         Returns:
             The stitched mask with per-tile, seam, and aggregate reports.
@@ -352,6 +378,11 @@ class FullChipEngine:
             FullChipError: a tile failed and ``keep_going`` is off.
         """
         cfg = self.config
+        telemetry_cfg: Optional[WorkerTelemetryConfig] = None
+        if cfg.telemetry_dir is not None:
+            telemetry_cfg = WorkerTelemetryConfig(
+                spool_dir=str(Path(cfg.telemetry_dir) / SPOOL_DIRNAME)
+            )
         with Timer() as total, self.obs.tracer.span("fullchip.solve"):
             model = self.model
             plan = self.plan_for(layout)
@@ -381,6 +412,7 @@ class FullChipEngine:
                     resume=cfg.resume,
                     max_retries=cfg.max_retries,
                     timeout_s=cfg.tile_timeout_s,
+                    telemetry=telemetry_cfg,
                 )
                 for tile in plan
             ]
@@ -390,6 +422,7 @@ class FullChipEngine:
                 keep_going=cfg.keep_going,
                 obs=self.obs,
                 progress=progress,
+                on_tile=on_tile,
             )
             # Failed tiles fall back to the no-OPC target so the chip
             # mask stays complete; the failure remains visible in the
@@ -444,7 +477,7 @@ class FullChipEngine:
                 score=score.total,
                 max_seam_delta=seam_report.max_abs_mask_delta,
             )
-        return FullChipResult(
+        result = FullChipResult(
             layout_name=layout.name,
             plan=plan,
             mask=stitched,
@@ -453,3 +486,90 @@ class FullChipEngine:
             score=score,
             runtime_s=total.elapsed,
         )
+        if cfg.telemetry_dir is not None:
+            # Written after the fullchip.solve span closed so the
+            # persisted span stats include the whole run.
+            result.telemetry_dir = self._write_telemetry_artifacts(
+                Path(cfg.telemetry_dir), result
+            )
+        return result
+
+    def _write_telemetry_artifacts(
+        self, run_dir: Path, result: FullChipResult
+    ) -> Path:
+        """Persist run.json / metrics.json / trace.json into ``run_dir``.
+
+        The per-tile spool files are already there (the workers wrote
+        them); this adds the parent's merged view: the run manifest the
+        ``repro report`` renderer consumes, the merged metrics
+        snapshot, and the Chrome trace assembling the parent lane with
+        one lane per worker pid read back from the spools.
+        """
+        cfg = self.config
+        tiles: List[Dict[str, object]] = []
+        for r in result.tile_results:
+            tiles.append(
+                {
+                    "index": list(r.index),
+                    "name": f"tile_r{r.index[0]}_c{r.index[1]}",
+                    "status": r.status.status,
+                    "attempts": r.status.attempts,
+                    "runtime_s": r.status.runtime_s,
+                    "epe_violations": r.epe_violations,
+                    "pv_band_nm2": r.pv_band_nm2,
+                    "score_total": r.score_total,
+                    "cached": r.from_cache,
+                    "error": r.status.error,
+                    "telemetry": r.telemetry.as_dict() if r.telemetry else None,
+                }
+            )
+        run = {
+            "schema": 1,
+            "kind": "fullchip_run",
+            "layout": result.layout_name,
+            "grid": list(result.plan.grid_shape),
+            "workers": cfg.workers,
+            "solver_mode": cfg.solver_mode,
+            "tile_nm": cfg.tile_nm,
+            "halo_nm": result.plan.halo_nm,
+            "parent_pid": os.getpid(),
+            "runtime_s": result.runtime_s,
+            "score": {
+                "total": result.score.total,
+                "epe_violations": result.score.epe_violations,
+                "pv_band_nm2": result.score.pv_band_nm2,
+                "shape_violations": result.score.shape_violations,
+                "runtime_s": result.score.runtime_s,
+            },
+            "seams": {
+                "max_abs_mask_delta": result.seam_report.max_abs_mask_delta,
+                "seam_epe_violations": result.seam_report.seam_epe_violations,
+            },
+            "ambit_cache": model_cache_info().as_dict(),
+            "tiles": tiles,
+            "span_stats": [
+                s.as_dict() for s in self.obs.tracer.stats().values()
+            ],
+        }
+        write_json_atomic(run_dir / RUN_FILENAME, run)
+        write_json_atomic(run_dir / METRICS_FILENAME, self.obs.metrics.as_dict())
+        lanes = [
+            TraceLane(
+                pid=os.getpid(),
+                label="parent",
+                slices=self.obs.tracer.slices(),
+                sort_index=0,
+            )
+        ]
+        for i, spool_path in enumerate(iter_spool_files(run_dir / SPOOL_DIRNAME)):
+            spool = read_spool(spool_path)
+            lanes.append(
+                TraceLane(
+                    pid=spool.pid,
+                    label=spool.tile or spool_path.stem,
+                    slices=spool.slices,
+                    sort_index=i + 1,
+                )
+            )
+        write_chrome_trace(run_dir / TRACE_FILENAME, lanes)
+        return run_dir

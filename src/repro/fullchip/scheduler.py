@@ -31,6 +31,7 @@ import os
 import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -44,6 +45,14 @@ from ..geometry.layout import Layout
 from ..geometry.rect import Rect
 from ..harness import CellStatus, call_with_budget
 from ..obs import Instrumentation
+from ..obs.distributed import (
+    TileTelemetry,
+    WorkerTelemetryConfig,
+    merge_tile_telemetry,
+    summarize_worker,
+    worker_instrumentation,
+    write_spool,
+)
 from ..opc.checkpoint import CheckpointConfig, latest_checkpoint
 from ..opc.mosaic import MosaicExact, MosaicFast, MosaicResult, MosaicSolver
 from .ambit import DEFAULT_ENERGY_TOL, DEFAULT_PROBE_EXTENT_NM, ambit_model_for
@@ -83,6 +92,8 @@ class TileJob:
         resume: reuse a done marker / optimizer checkpoint when present.
         max_retries: extra solve attempts after a failure.
         timeout_s: wall-clock budget per attempt (None = unbounded).
+        telemetry: worker-side telemetry settings; None keeps the
+            worker on the null-twin path (no bundle, no spool file).
     """
 
     tile: TileSpec
@@ -98,6 +109,7 @@ class TileJob:
     resume: bool = False
     max_retries: int = 0
     timeout_s: Optional[float] = None
+    telemetry: Optional[WorkerTelemetryConfig] = None
 
     def __post_init__(self) -> None:
         if self.solver_mode not in _SOLVER_MODES:
@@ -122,6 +134,9 @@ class TileResult:
         epe_violations / pv_band_nm2 / score_total: the tile's own
             contest-score components, measured on its window.
         from_cache: the result came from a prior run's done marker.
+        telemetry: compact worker-telemetry summary (None when the job
+            ran without telemetry, came from cache, or died before the
+            worker could summarize).
     """
 
     index: Tuple[int, int]
@@ -131,6 +146,7 @@ class TileResult:
     pv_band_nm2: float = 0.0
     score_total: float = 0.0
     from_cache: bool = False
+    telemetry: Optional[TileTelemetry] = None
 
     @property
     def ok(self) -> bool:
@@ -240,13 +256,17 @@ def _core_in_window(tile: TileSpec) -> Rect:
     return tile.core.translated(-tile.window.x0, -tile.window.y0)
 
 
-def _solve_once(job: TileJob, state_dir: Optional[Path]) -> MosaicResult:
+def _solve_once(
+    job: TileJob,
+    state_dir: Optional[Path],
+    obs: Optional[Instrumentation] = None,
+) -> MosaicResult:
     """One solve attempt on the window simulator (runs in the worker)."""
     _injected_failure(job.tile)
     model = ambit_model_for(
         job.litho, energy_tol=job.energy_tol, probe_extent_nm=job.probe_extent_nm
     )
-    sim = model.simulator_for(job.tile.window_shape)
+    sim = model.simulator_for(job.tile.window_shape, obs=obs)
     checkpoint = None
     resume_from = None
     if state_dir is not None:
@@ -298,27 +318,51 @@ def solve_tile_job(job: TileJob) -> TileResult:
             _write_done_marker(state_dir, result)
         return result
 
+    # Worker-side telemetry: a live bundle local to this process whose
+    # spans/metrics/events spool to an atomic per-tile file afterwards.
+    # Without job.telemetry the solve stays on the null-twin path.
+    worker_obs: Optional[Instrumentation] = None
+    worker_events: List[Dict[str, object]] = []
+    if job.telemetry is not None:
+        worker_obs, worker_events = worker_instrumentation(job.telemetry)
+
     start = time.perf_counter()
     last_error: Optional[BaseException] = None
     attempts = 0
     solved: Optional[MosaicResult] = None
-    for attempt in range(job.max_retries + 1):
-        attempts = attempt + 1
-        try:
-            solved = call_with_budget(
-                lambda: _solve_once(job, state_dir), job.timeout_s
-            )
-            last_error = None
-            break
-        except KeyboardInterrupt:
-            raise
-        except Exception as exc:  # noqa: BLE001 - isolation boundary
-            last_error = exc
-            logger.warning(
-                "tile %s failed (attempt %d/%d): %s",
-                tile.index, attempts, job.max_retries + 1, exc,
-            )
+    tile_span = (
+        worker_obs.tracer.span(f"tile:{tile.name}")
+        if worker_obs is not None
+        else nullcontext()
+    )
+    with tile_span:
+        for attempt in range(job.max_retries + 1):
+            attempts = attempt + 1
+            try:
+                solved = call_with_budget(
+                    lambda: _solve_once(job, state_dir, obs=worker_obs),
+                    job.timeout_s,
+                )
+                last_error = None
+                break
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                last_error = exc
+                logger.warning(
+                    "tile %s failed (attempt %d/%d): %s",
+                    tile.index, attempts, job.max_retries + 1, exc,
+                )
     runtime = time.perf_counter() - start
+
+    telemetry: Optional[TileTelemetry] = None
+    if worker_obs is not None:
+        try:
+            write_spool(job.telemetry.spool_dir, tile.name, worker_obs, worker_events)
+            telemetry = summarize_worker(tile.name, worker_obs, worker_events)
+        except Exception as exc:  # noqa: BLE001 - telemetry must not fail tiles
+            logger.warning("tile %s: telemetry spool failed: %s", tile.index, exc)
+
     if solved is None:
         timed_out = isinstance(last_error, CellTimeoutError)
         return TileResult(
@@ -329,6 +373,7 @@ def solve_tile_job(job: TileJob) -> TileResult:
                 runtime_s=runtime,
                 error=f"{type(last_error).__name__}: {last_error}",
             ),
+            telemetry=telemetry,
         )
     result = TileResult(
         index=tile.index,
@@ -341,6 +386,7 @@ def solve_tile_job(job: TileJob) -> TileResult:
         epe_violations=solved.score.epe_violations,
         pv_band_nm2=solved.score.pv_band_nm2,
         score_total=solved.score.total,
+        telemetry=telemetry,
     )
     if state_dir is not None:
         _write_done_marker(state_dir, result)
@@ -380,6 +426,7 @@ def run_tile_jobs(
     keep_going: bool = False,
     obs: Optional[Instrumentation] = None,
     progress: Callable[[str], None] = lambda msg: None,
+    on_tile: Optional[Callable[[TileResult], None]] = None,
 ) -> List[TileResult]:
     """Execute tile jobs, inline or on a process pool.
 
@@ -393,8 +440,14 @@ def run_tile_jobs(
         obs: optional instrumentation — ``fullchip_tiles_total`` /
             ``fullchip_tiles_failed`` / ``fullchip_tile_retries`` /
             ``fullchip_tiles_cached`` counters, a ``fullchip.tiles``
-            span, and one ``tile`` event per finished tile.
+            span, and one ``tile`` event per finished tile.  Worker
+            telemetry summaries (jobs built with ``telemetry``) are
+            merged in as each tile completes, so the bundle's metrics
+            and span report cover the workers' solves too.
         progress: callback receiving one message per finished tile.
+        on_tile: callback receiving each completed :class:`TileResult`
+            as it settles (completion order, not job order) — the hook
+            behind the CLI's per-tile ``-v`` progress lines.
 
     Returns:
         Tile results in the order of ``jobs``.
@@ -415,6 +468,12 @@ def run_tile_jobs(
             retried.inc(result.status.attempts - 1)
         if not result.ok:
             failed.inc()
+        # Anchor absorbed worker spans at the live scheduling span so
+        # the merged report nests them where the work actually ran.
+        under = getattr(obs.tracer, "current_path", "") or "fullchip.tiles"
+        merge_tile_telemetry(obs, result.telemetry, under=under)
+        if on_tile is not None:
+            on_tile(result)
         obs.events.emit(
             "tile",
             index=list(result.index),

@@ -285,6 +285,14 @@ def run_experiment(
     failed_cells = obs.metrics.counter("harness_cells_failed")
     retried_cells = obs.metrics.counter("harness_cell_retries")
     timeout_cells = obs.metrics.counter("harness_cell_timeouts")
+    obs.events.emit(
+        "experiment_start",
+        solvers=labels,
+        layouts=[layout.name for layout in layouts],
+        keep_going=keep_going,
+        max_retries=max_retries,
+        cell_timeout_s=cell_timeout_s,
+    )
     with obs.tracer.span("experiment"):
         for layout in layouts:
             for label, factory in solvers:
@@ -370,4 +378,9 @@ def run_experiment(
                 )
                 if not keep_going:
                     raise last_error
+    obs.events.emit(
+        "experiment_end",
+        cells=len(result.statuses),
+        failed=len(result.failed_cells()),
+    )
     return result

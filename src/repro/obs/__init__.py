@@ -39,13 +39,14 @@ from .metrics import (
     default_registry,
     set_default_registry,
 )
-from .trace import NULL_TRACER, NullTracer, SpanStats, Tracer
+from .trace import NULL_TRACER, NullTracer, SpanStats, Tracer, TraceSlice
 
 __all__ = [
     "Instrumentation",
     "Tracer",
     "NullTracer",
     "SpanStats",
+    "TraceSlice",
     "MetricsRegistry",
     "NullMetricsRegistry",
     "Counter",
@@ -96,10 +97,16 @@ class Instrumentation:
         trace: bool = True,
         metrics: bool = True,
         events_sink: Optional[EventSink] = None,
+        timeline: bool = False,
     ) -> "Instrumentation":
-        """Fresh live bundle; events stay off unless a sink is given."""
+        """Fresh live bundle; events stay off unless a sink is given.
+
+        ``timeline=True`` makes the tracer additionally record
+        timestamped :class:`TraceSlice` intervals for Chrome-trace
+        export (see :mod:`repro.obs.export`).
+        """
         return cls(
-            tracer=Tracer() if trace else NULL_TRACER,
+            tracer=Tracer(timeline=timeline) if trace else NULL_TRACER,
             metrics=MetricsRegistry() if metrics else NULL_REGISTRY,
             events=EventEmitter(events_sink) if events_sink is not None else NULL_EMITTER,
         )
@@ -113,6 +120,7 @@ class Instrumentation:
             trace=config.trace,
             metrics=config.metrics,
             events_sink=config.events_path,
+            timeline=getattr(config, "timeline", False),
         )
 
     def close(self) -> None:

@@ -11,6 +11,7 @@ round-trip between live streams and saved histories.
 from __future__ import annotations
 
 import json
+import threading
 from pathlib import Path
 from typing import Callable, Dict, IO, Optional, Union
 
@@ -37,6 +38,11 @@ def _jsonable(value: object) -> object:
 class EventEmitter:
     """Streams structured events to a file, stream, or callback.
 
+    Emission is thread-safe: a lock serializes writes (and the lazy file
+    open), so concurrent ``emit`` calls — e.g. the harness cell-timeout
+    path emitting from its daemon budget thread while the main thread
+    streams iteration events — can never interleave or tear JSONL lines.
+
     Args:
         sink: destination — a path (opened lazily, line-buffered), an
             open text stream (``write`` is used, never closed), or a
@@ -57,6 +63,7 @@ class EventEmitter:
         self._stream: Optional[IO[str]] = None
         self._path: Optional[Path] = None
         self._owns_stream = False
+        self._lock = threading.Lock()
         if callable(sink):
             self._callback = sink
         elif hasattr(sink, "write"):
@@ -72,17 +79,20 @@ class EventEmitter:
         if self._callback is not None:
             self._callback(record)
             return
-        if self._stream is None:
-            self._stream = open(self._path, "a", buffering=1)
-            self._owns_stream = True
-        self._stream.write(json.dumps(record) + "\n")
+        line = json.dumps(record) + "\n"
+        with self._lock:
+            if self._stream is None:
+                self._stream = open(self._path, "a", buffering=1)
+                self._owns_stream = True
+            self._stream.write(line)
 
     def close(self) -> None:
         """Flush and close a lazily opened file sink (idempotent)."""
-        if self._owns_stream and self._stream is not None:
-            self._stream.close()
-            self._stream = None
-            self._owns_stream = False
+        with self._lock:
+            if self._owns_stream and self._stream is not None:
+                self._stream.close()
+                self._stream = None
+                self._owns_stream = False
 
     def __enter__(self) -> "EventEmitter":
         return self

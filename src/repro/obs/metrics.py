@@ -127,6 +127,37 @@ class Histogram:
             "max": self._max,
         }
 
+    def merge_dict(self, data: Dict[str, object]) -> None:
+        """Fold another histogram's ``as_dict`` snapshot into this one.
+
+        Bucket bounds must match exactly (the snapshots come from the
+        same instrumented code running in a worker process).
+
+        Raises:
+            ValueError: on mismatched bucket bounds or counts length.
+        """
+        buckets = [float(b) for b in data.get("buckets", [])]
+        counts = list(data.get("counts", []))
+        if buckets != self.buckets or len(counts) != len(self.counts):
+            raise ValueError(
+                f"histogram {self.name!r}: cannot merge snapshot with "
+                f"buckets {buckets} into buckets {self.buckets}"
+            )
+        for i, c in enumerate(counts):
+            self.counts[i] += int(c)
+        self._count += int(data.get("count", 0))
+        self._sum += float(data.get("sum", 0.0))
+        for bound, pick in (("min", min), ("max", max)):
+            other = data.get(bound)
+            if other is None:
+                continue
+            mine = self._min if bound == "min" else self._max
+            merged = float(other) if mine is None else pick(mine, float(other))
+            if bound == "min":
+                self._min = merged
+            else:
+                self._max = merged
+
 
 class MetricsRegistry:
     """Named instrument store with a JSON-friendly snapshot."""
@@ -158,6 +189,31 @@ class MetricsRegistry:
         self, name: str, buckets: Sequence[float] = DEFAULT_GRADIENT_RMS_BUCKETS
     ) -> Histogram:
         return self._get(name, Histogram, buckets)
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        """Fold another registry's ``as_dict`` snapshot into this one.
+
+        Counters add, gauges take the snapshot's value (last write wins),
+        histograms merge bucket-by-bucket.  This is how a parent process
+        absorbs the registries its tile workers spooled to disk, so the
+        merged ``summary()`` covers the whole distributed run.
+
+        Raises:
+            ValueError: when a name is already registered as a different
+                instrument type, or histogram buckets mismatch.
+        """
+        for name, data in snapshot.items():
+            kind = data.get("type")
+            if kind == "counter":
+                self.counter(name).inc(int(data.get("value", 0) or 0))
+            elif kind == "gauge":
+                value = data.get("value")
+                if value is not None:
+                    self.gauge(name).set(float(value))
+            elif kind == "histogram":
+                buckets = data.get("buckets") or DEFAULT_GRADIENT_RMS_BUCKETS
+                self.histogram(name, buckets).merge_dict(data)
+            # "null" (and unknown) instrument snapshots carry no data.
 
     def __contains__(self, name: str) -> bool:
         return name in self._instruments
@@ -239,6 +295,9 @@ class NullMetricsRegistry:
 
     def histogram(self, name: str, buckets: Sequence[float] = ()) -> _NullInstrument:
         return _NULL_INSTRUMENT
+
+    def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
+        pass
 
     def __contains__(self, name: str) -> bool:
         return False

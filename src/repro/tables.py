@@ -1,11 +1,13 @@
 """Shared fixed-width text-table and CSV rendering.
 
-Both the batch harness (:class:`repro.harness.ExperimentResult`) and the
-full-chip engine (:class:`repro.fullchip.FullChipResult`) render result
-matrices as fixed-width terminal tables and export them as CSV.  The
-formatting lives here once: a :class:`TextTable` accumulates rows against
-a column spec and renders them aligned, and :func:`write_csv_rows` is the
-one place that opens a CSV file with the right newline discipline.
+The batch harness (:class:`repro.harness.ExperimentResult`), the
+full-chip engine (:class:`repro.fullchip.FullChipResult`), and the
+telemetry run report / bench-check renderers (:mod:`repro.obs.report`)
+all render result matrices as fixed-width terminal tables and export
+them as CSV.  The formatting lives here once: a :class:`TextTable`
+accumulates rows against a column spec and renders them aligned, and
+:func:`write_csv_rows` is the one place that opens a CSV file with the
+right newline discipline.
 """
 
 from __future__ import annotations

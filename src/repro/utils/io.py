@@ -1,0 +1,37 @@
+"""Small shared IO helpers (atomic writes).
+
+The checkpoint/spool/artifact writers all follow the same discipline:
+write to a temp file in the target directory, then ``os.replace`` onto
+the final name, so readers see a complete file or none at all.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Union
+
+__all__ = ["write_text_atomic", "write_json_atomic"]
+
+
+def write_text_atomic(path: Union[str, Path], text: str) -> Path:
+    """Atomically replace ``path`` with ``text`` (tmp + ``os.replace``)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        if os.path.exists(tmp_name):
+            os.unlink(tmp_name)
+        raise
+    return target
+
+
+def write_json_atomic(path: Union[str, Path], payload: object) -> Path:
+    """Atomically replace ``path`` with ``payload`` as JSON."""
+    return write_text_atomic(path, json.dumps(payload, indent=2) + "\n")

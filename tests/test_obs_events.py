@@ -57,6 +57,40 @@ class TestEventEmitter:
         emitter.close()
         assert not emitter.enabled
 
+    def test_concurrent_emit_never_tears_jsonl_lines(self, tmp_path):
+        # The harness cell-timeout path emits from a daemon budget thread
+        # while the main thread streams iteration events; every line must
+        # stay a complete, parseable JSON object.
+        import threading
+
+        path = tmp_path / "events.jsonl"
+        emitter = EventEmitter(path)
+        threads_n, per_thread = 8, 200
+        barrier = threading.Barrier(threads_n)
+        payload = "x" * 256  # wide enough to straddle write buffers
+
+        def hammer(worker: int) -> None:
+            barrier.wait()
+            for i in range(per_thread):
+                emitter.emit("iteration", worker=worker, i=i, pad=payload)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(threads_n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        emitter.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == threads_n * per_thread
+        seen = set()
+        for line in lines:
+            record = json.loads(line)  # raises on interleaved/truncated lines
+            assert record["pad"] == payload
+            seen.add((record["worker"], record["i"]))
+        assert len(seen) == threads_n * per_thread
+
 
 class TestInstrumentation:
     def test_default_is_disabled_and_shared(self):

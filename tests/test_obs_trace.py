@@ -2,7 +2,9 @@
 
 import time
 
-from repro.obs import NULL_TRACER, NullTracer, Tracer
+import pytest
+
+from repro.obs import NULL_TRACER, NullTracer, SpanStats, Tracer
 
 
 class TestTracer:
@@ -100,6 +102,128 @@ class TestTracer:
         stats = tracer.stats()["a/b"]
         assert stats.name == "b"
         assert stats.depth == 1
+
+    def test_raising_span_is_recorded_and_tagged_failed(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("solve"):
+                with tracer.span("iteration"):
+                    raise ValueError("diverged")
+        stats = tracer.stats()
+        # Both spans closed despite the raise; the whole raising ancestry
+        # carries the failure tag.
+        assert stats["solve/iteration"].count == 1
+        assert stats["solve/iteration"].failures == 1
+        assert stats["solve"].failures == 1
+        report = tracer.report()
+        assert "iteration [1 failed]" in report
+        assert "solve [1 failed]" in report
+
+    def test_clean_spans_carry_no_failure_tag(self):
+        tracer = Tracer()
+        with tracer.span("ok"):
+            pass
+        assert tracer.stats()["ok"].failures == 0
+        assert "failed" not in tracer.report()
+
+    def test_current_path_tracks_open_spans(self):
+        tracer = Tracer()
+        assert tracer.current_path == ""
+        with tracer.span("a"):
+            with tracer.span("b"):
+                assert tracer.current_path == "a/b"
+            assert tracer.current_path == "a"
+        assert tracer.current_path == ""
+
+
+class TestTimeline:
+    def test_disabled_by_default(self):
+        tracer = Tracer()
+        with tracer.span("x"):
+            pass
+        assert not tracer.timeline
+        assert tracer.slices() == []
+
+    def test_records_epoch_timestamped_slices(self):
+        tracer = Tracer(timeline=True)
+        before = time.time() * 1e6
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                time.sleep(0.005)
+        after = time.time() * 1e6
+        slices = tracer.slices()
+        assert [s.path for s in slices] == ["outer/inner", "outer"]
+        inner, outer = slices
+        assert inner.name == "inner"
+        assert before <= inner.ts_us <= after
+        assert inner.dur_us >= 5000
+        # Containment: the child interval sits inside the parent's.
+        assert outer.ts_us <= inner.ts_us
+        assert inner.ts_us + inner.dur_us <= outer.ts_us + outer.dur_us + 1.0
+        assert not inner.failed
+
+    def test_failed_slice_is_marked(self):
+        tracer = Tracer(timeline=True)
+        with pytest.raises(RuntimeError):
+            with tracer.span("x"):
+                raise RuntimeError("boom")
+        assert tracer.slices()[0].failed
+
+    def test_max_slices_caps_and_counts_drops(self):
+        tracer = Tracer(timeline=True, max_slices=2)
+        for _ in range(5):
+            with tracer.span("s"):
+                pass
+        assert len(tracer.slices()) == 2
+        assert tracer.dropped_slices == 3
+        tracer.reset()
+        assert tracer.slices() == []
+        assert tracer.dropped_slices == 0
+
+
+class TestAbsorb:
+    def test_absorbs_span_stats_mapping(self):
+        worker = Tracer()
+        with worker.span("solve"):
+            with worker.span("iteration"):
+                pass
+        parent = Tracer()
+        parent.absorb(worker.stats())
+        parent.absorb(worker.stats())
+        stats = parent.stats()
+        assert stats["solve"].count == 2
+        assert stats["solve/iteration"].count == 2
+
+    def test_absorbs_dict_payloads_under_prefix(self):
+        parent = Tracer()
+        with parent.span("tiles"):
+            pass
+        parent.absorb(
+            [
+                {"path": "solve", "count": 1, "total_s": 2.0, "self_s": 0.5},
+                {"path": "solve/iteration", "count": 3, "total_s": 1.5,
+                 "self_s": 1.5, "failures": 1},
+            ],
+            under="tiles",
+        )
+        stats = parent.stats()
+        assert stats["tiles/solve"].count == 1
+        assert stats["tiles/solve"].total_s == pytest.approx(2.0)
+        # total - self of the absorbed root becomes its child time.
+        assert stats["tiles/solve"].self_s == pytest.approx(0.5)
+        assert stats["tiles/solve/iteration"].failures == 1
+        # The absorbed root's time charges to the anchor's child time.
+        assert stats["tiles"].self_s == 0.0
+
+    def test_round_trips_through_as_dict(self):
+        worker = Tracer()
+        with worker.span("a"):
+            pass
+        payloads = [s.as_dict() for s in worker.stats().values()]
+        parent = Tracer()
+        parent.absorb(payloads)
+        assert parent.stats()["a"].count == 1
+        assert isinstance(parent.stats()["a"], SpanStats)
 
 
 class TestNullTracer:
