@@ -8,6 +8,7 @@ Commands:
 * ``simulate``    — print a mask/layout through the lithography model.
 * ``verify``      — solve and emit the full verification report (+SVG).
 * ``report``      — render a run summary from telemetry artifacts.
+* ``watch``       — live dashboard over a running fullchip telemetry dir.
 * ``bench-check`` — compare fresh benchmark JSON against a baseline.
 * ``benchmarks``  — list the bundled ICCAD-2013-style clips.
 * ``export``      — write a bundled benchmark to a GLP file.
@@ -26,8 +27,14 @@ Examples::
     python -m repro fullchip synth:2048x2048 --tile-nm 1024 --workers 2
     python -m repro fullchip synth:4096x4096:3 --keep-going --csv tiles.csv
     python -m repro fullchip synth:2048x2048 --workers 2 --telemetry-dir runs/r1
+    python -m repro watch runs/r1               # live dashboard (Ctrl-C to stop)
+    python -m repro watch runs/r1 --once --json # one machine-readable snapshot
     python -m repro report runs/r1
+    python -m repro report runs/r1 --json
     python -m repro bench-check BENCH_fullchip.json fresh.json --tolerance 0.2
+    python -m repro bench-check BENCH_fullchip.json fresh.json \
+        --tolerance 0.2 --tolerance tiles_per_s_speedup=0.5
+    python -m repro bench-check BENCH_fullchip.json fresh.json --update
     python -m repro simulate B4
     python -m repro benchmarks
 """
@@ -128,6 +135,7 @@ def _obs_config_from_args(args: argparse.Namespace) -> ObservabilityConfig:
         events_path=getattr(args, "log_json", None),
         timeline=bool(telemetry_dir),
         verbose=getattr(args, "verbose", 0),
+        resource_interval_s=float(getattr(args, "resource_interval", None) or 0.0),
     )
 
 
@@ -334,6 +342,9 @@ def cmd_fullchip(args: argparse.Namespace) -> int:
     layout = _load_layout(args.layout)
     config = _config_for(args.scale)
     obs = _setup_observability(args)
+    monitor_kwargs = {}
+    if args.resource_interval is not None:
+        monitor_kwargs["resource_interval_s"] = args.resource_interval
     fc_config = FullChipConfig(
         tile_nm=args.tile_nm,
         halo_nm=args.halo_nm,
@@ -346,6 +357,11 @@ def cmd_fullchip(args: argparse.Namespace) -> int:
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
         telemetry_dir=args.telemetry_dir,
+        watchdog_poll_s=args.watchdog_poll,
+        watchdog_stall_factor=args.watchdog_stall_factor,
+        watchdog_min_stall_s=args.watchdog_min_stall,
+        watchdog_cancel=args.watchdog_cancel,
+        **monitor_kwargs,
     )
     engine = FullChipEngine(config, config=fc_config, obs=obs)
     plan = engine.plan_for(layout)
@@ -461,10 +477,29 @@ def cmd_verify(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from .obs.report import render_run_report
+    from .obs.report import build_run_report, render_run_report
 
-    print(render_run_report(args.run_dir))
+    if args.json:
+        print(json.dumps(build_run_report(args.run_dir), indent=2))
+    else:
+        print(render_run_report(args.run_dir))
     return 0
+
+
+def cmd_watch(args: argparse.Namespace) -> int:
+    from .obs.watch import run_watch
+
+    if args.interval <= 0:
+        raise ReproError(f"--interval must be positive, got {args.interval}")
+    try:
+        return run_watch(
+            args.run_dir,
+            interval_s=args.interval,
+            once=args.once,
+            as_json=args.json,
+        )
+    except KeyboardInterrupt:
+        return 0
 
 
 def _load_bench_json(label: str, path: str) -> dict:
@@ -478,17 +513,44 @@ def _load_bench_json(label: str, path: str) -> dict:
     return payload
 
 
+def _parse_tolerances(entries) -> tuple:
+    """Split repeated ``--tolerance`` values into (default, overrides).
+
+    A bare number sets the default tolerance; ``key=fraction`` entries
+    override individual benchmark keys.
+    """
+    default = 0.15
+    overrides = {}
+    for entry in entries or []:
+        key, sep, value = str(entry).partition("=")
+        try:
+            if sep:
+                overrides[key.strip()] = float(value)
+            else:
+                default = float(entry)
+        except ValueError as exc:
+            raise ReproError(
+                f"bad --tolerance {entry!r} (expected a fraction or key=fraction)"
+            ) from exc
+    return default, overrides
+
+
 def cmd_bench_check(args: argparse.Namespace) -> int:
-    from .obs.report import compare_bench, render_bench_check
+    from .obs.report import compare_bench, render_bench_check, update_bench_baseline
 
     baseline = _load_bench_json("baseline", args.baseline)
     fresh = _load_bench_json("fresh", args.fresh)
-    deltas = compare_bench(baseline, fresh, tolerance=args.tolerance)
+    tolerance, overrides = _parse_tolerances(args.tolerance)
+    deltas = compare_bench(baseline, fresh, tolerance=tolerance, overrides=overrides)
     if not deltas:
         raise ReproError(
             f"no comparable numeric keys between {args.baseline} and {args.fresh}"
         )
-    print(render_bench_check(Path(args.baseline).name, deltas, args.tolerance))
+    print(render_bench_check(Path(args.baseline).name, deltas, tolerance))
+    if args.update:
+        update_bench_baseline(args.baseline, fresh)
+        print(f"Updated baseline {args.baseline} (old values kept under 'previous')")
+        return 0
     return 2 if any(d.regressed for d in deltas) else 0
 
 
@@ -630,8 +692,34 @@ def build_parser() -> argparse.ArgumentParser:
     fullchip.add_argument(
         "--telemetry-dir", metavar="DIR",
         help="run directory for telemetry artifacts: per-tile worker "
-             "spool files, merged run.json/metrics.json, and a Chrome "
-             "trace.json (render later with 'repro report DIR')",
+             "spool files, merged run.json/metrics.json, a Chrome "
+             "trace.json, plus the live status.json/heartbeats/resources "
+             "feeds ('repro watch DIR' while running, 'repro report DIR' "
+             "afterwards)",
+    )
+    live = fullchip.add_argument_group("live monitoring (needs --telemetry-dir)")
+    live.add_argument(
+        "--resource-interval", type=float, default=None, metavar="SECONDS",
+        help="per-process resource sampling interval (default: 0.5; "
+             "0 disables the samplers)",
+    )
+    live.add_argument(
+        "--watchdog-poll", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between worker-liveness polls (default: 2)",
+    )
+    live.add_argument(
+        "--watchdog-stall-factor", type=float, default=8.0, metavar="X",
+        help="flag a worker stalled after X times the median iteration "
+             "time without heartbeat progress (default: 8)",
+    )
+    live.add_argument(
+        "--watchdog-min-stall", type=float, default=10.0, metavar="SECONDS",
+        help="floor on the stall threshold (default: 10)",
+    )
+    live.add_argument(
+        "--watchdog-cancel", action="store_true",
+        help="kill a stalled worker's pid as soon as it is flagged "
+             "(breaks the pool: remaining in-flight tiles fail too)",
     )
     _add_obs_args(fullchip)
     fullchip.set_defaults(func=cmd_fullchip)
@@ -662,7 +750,35 @@ def build_parser() -> argparse.ArgumentParser:
         "run_dir",
         help="telemetry run directory written by 'fullchip --telemetry-dir'",
     )
+    report.add_argument(
+        "--json", action="store_true",
+        help="emit the structured report as JSON (same data as the text "
+             "report — one shared builder)",
+    )
     report.set_defaults(func=cmd_report)
+
+    watch = sub.add_parser(
+        "watch",
+        help="live dashboard over a (running) fullchip telemetry directory "
+             "(exit 3 when the run or any tile failed)",
+    )
+    watch.add_argument(
+        "run_dir",
+        help="telemetry run directory of a fullchip run (live or finished)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="refresh period (default: 2)",
+    )
+    watch.add_argument(
+        "--once", action="store_true",
+        help="render a single snapshot and exit",
+    )
+    watch.add_argument(
+        "--json", action="store_true",
+        help="emit raw JSON snapshots instead of the dashboard",
+    )
+    watch.set_defaults(func=cmd_watch)
 
     bench_check = sub.add_parser(
         "bench-check",
@@ -672,9 +788,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench_check.add_argument("baseline", help="baseline JSON (e.g. BENCH_fullchip.json)")
     bench_check.add_argument("fresh", help="freshly produced benchmark JSON")
     bench_check.add_argument(
-        "--tolerance", type=float, default=0.15, metavar="FRACTION",
+        "--tolerance", action="append", metavar="FRACTION|KEY=FRACTION",
         help="allowed fractional move against a key's better-direction "
-             "before it counts as a regression (default: 0.15)",
+             "before it counts as a regression; a bare fraction sets the "
+             "default (0.15), KEY=FRACTION overrides one key (repeatable)",
+    )
+    bench_check.add_argument(
+        "--update", action="store_true",
+        help="rewrite the baseline in place with the fresh values "
+             "(old values preserved under a 'previous' key); always exits 0",
     )
     bench_check.set_defaults(func=cmd_bench_check)
 

@@ -43,7 +43,14 @@ from ..obs.distributed import (
     read_spool,
 )
 from ..obs.export import TraceLane, write_chrome_trace
+from ..obs.live import (
+    HEARTBEAT_DIRNAME,
+    LivenessWatchdog,
+    StatusWriter,
+    WatchdogConfig,
+)
 from ..obs.report import METRICS_FILENAME, RUN_FILENAME, TRACE_FILENAME
+from ..obs.resources import RESOURCES_DIRNAME, ResourceSampler, resources_filename
 from ..process.corners import ProcessCorner
 from ..process.pvband import pv_band_area
 from ..tables import ColumnSpec, TextTable, write_csv_rows
@@ -89,8 +96,23 @@ class FullChipConfig:
         seam_band_nm: seam-EPE band half width (None = 4 pixels).
         telemetry_dir: run directory receiving telemetry artifacts —
             per-tile spool files (``spool/``), the merged ``run.json`` /
-            ``metrics.json``, and the Chrome ``trace.json``; None (the
-            default) disables worker telemetry entirely.
+            ``metrics.json``, the Chrome ``trace.json``, and the live
+            monitoring files (``status.json``, ``heartbeats/``,
+            ``resources/``); None (the default) disables worker
+            telemetry entirely.
+        resource_interval_s: sampling interval of the per-process
+            resource timelines (parent + every worker); ``0`` disables
+            resource sampling.  Only active with a ``telemetry_dir``.
+        heartbeat_min_interval_s: throttle between worker heartbeat
+            rewrites (``0`` = every optimizer iteration).
+        watchdog_poll_s: seconds between parent-side liveness polls.
+        watchdog_stall_factor: a worker is flagged stalled after this
+            many times the observed median iteration time without
+            heartbeat progress.
+        watchdog_min_stall_s: floor on the stall threshold.
+        watchdog_cancel: kill a flagged worker's pid immediately (see
+            :class:`~repro.obs.live.WatchdogConfig` for the pool-wide
+            consequences); off by default — flag-and-report only.
     """
 
     tile_nm: float = 1024.0
@@ -108,6 +130,12 @@ class FullChipConfig:
     probe_extent_nm: float = DEFAULT_PROBE_EXTENT_NM
     seam_band_nm: Optional[float] = None
     telemetry_dir: Optional[str] = None
+    resource_interval_s: float = 0.5
+    heartbeat_min_interval_s: float = 0.0
+    watchdog_poll_s: float = 2.0
+    watchdog_stall_factor: float = 8.0
+    watchdog_min_stall_s: float = 10.0
+    watchdog_cancel: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -116,6 +144,32 @@ class FullChipConfig:
             raise FullChipError(f"halo_nm must be >= 0, got {self.halo_nm}")
         if self.resume and self.checkpoint_dir is None:
             raise FullChipError("resume needs a checkpoint_dir to resume from")
+        if self.resource_interval_s < 0:
+            raise FullChipError(
+                f"resource_interval_s must be >= 0, got {self.resource_interval_s}"
+            )
+        if self.heartbeat_min_interval_s < 0:
+            raise FullChipError(
+                "heartbeat_min_interval_s must be >= 0, "
+                f"got {self.heartbeat_min_interval_s}"
+            )
+        # WatchdogConfig validates its own knobs; build one eagerly so a
+        # bad value fails at config time, not mid-run.
+        WatchdogConfig(
+            poll_s=self.watchdog_poll_s,
+            stall_factor=self.watchdog_stall_factor,
+            min_stall_s=self.watchdog_min_stall_s,
+            cancel=self.watchdog_cancel,
+        )
+
+    def watchdog_config(self) -> WatchdogConfig:
+        """The liveness-watchdog settings as a :class:`WatchdogConfig`."""
+        return WatchdogConfig(
+            poll_s=self.watchdog_poll_s,
+            stall_factor=self.watchdog_stall_factor,
+            min_stall_s=self.watchdog_min_stall_s,
+            cancel=self.watchdog_cancel,
+        )
 
 
 @dataclass
@@ -379,9 +433,22 @@ class FullChipEngine:
         """
         cfg = self.config
         telemetry_cfg: Optional[WorkerTelemetryConfig] = None
+        status: Optional[StatusWriter] = None
+        watchdog: Optional[LivenessWatchdog] = None
+        sampler: Optional[ResourceSampler] = None
         if cfg.telemetry_dir is not None:
+            run_dir = Path(cfg.telemetry_dir)
+            resource_dir = (
+                str(run_dir / RESOURCES_DIRNAME)
+                if cfg.resource_interval_s > 0
+                else None
+            )
             telemetry_cfg = WorkerTelemetryConfig(
-                spool_dir=str(Path(cfg.telemetry_dir) / SPOOL_DIRNAME)
+                spool_dir=str(run_dir / SPOOL_DIRNAME),
+                heartbeat_dir=str(run_dir / HEARTBEAT_DIRNAME),
+                heartbeat_min_interval_s=cfg.heartbeat_min_interval_s,
+                resource_dir=resource_dir,
+                resource_interval_s=cfg.resource_interval_s,
             )
         with Timer() as total, self.obs.tracer.span("fullchip.solve"):
             model = self.model
@@ -397,6 +464,31 @@ class FullChipEngine:
                 plan.grid_shape[0], plan.grid_shape[1],
                 plan.halo_nm, plan.halo_px, cfg.workers,
             )
+            if cfg.telemetry_dir is not None:
+                run_dir = Path(cfg.telemetry_dir)
+                # Live monitoring: the status feed (seeded with every
+                # planned tile so `repro watch` sees the full map from
+                # the first write), the liveness watchdog, and the
+                # parent's own resource timeline.
+                status = StatusWriter(
+                    run_dir,
+                    {tile.name: tile.index for tile in plan},
+                    layout=layout.name,
+                    workers=cfg.workers,
+                )
+                status.write()
+                watchdog = LivenessWatchdog(cfg.watchdog_config(), obs=self.obs)
+                if cfg.resource_interval_s > 0:
+                    try:
+                        sampler = ResourceSampler(
+                            run_dir / RESOURCES_DIRNAME
+                            / resources_filename(os.getpid()),
+                            interval_s=cfg.resource_interval_s,
+                            metrics=self.obs.metrics,
+                        ).start()
+                    except Exception as exc:  # noqa: BLE001 - telemetry only
+                        logger.warning("parent resource sampler failed: %s", exc)
+                        sampler = None
             jobs = [
                 TileJob(
                     tile=tile,
@@ -416,14 +508,31 @@ class FullChipEngine:
                 )
                 for tile in plan
             ]
-            results = run_tile_jobs(
-                jobs,
-                workers=cfg.workers,
-                keep_going=cfg.keep_going,
-                obs=self.obs,
-                progress=progress,
-                on_tile=on_tile,
-            )
+            try:
+                results = run_tile_jobs(
+                    jobs,
+                    workers=cfg.workers,
+                    keep_going=cfg.keep_going,
+                    obs=self.obs,
+                    progress=progress,
+                    on_tile=on_tile,
+                    watchdog=watchdog,
+                    status=status,
+                    heartbeat_dir=(
+                        telemetry_cfg.heartbeat_dir if telemetry_cfg else None
+                    ),
+                )
+            except BaseException:
+                # The feed outlives an aborted run: readers see a
+                # terminal "failed" state instead of an eternal
+                # "running".
+                if status is not None:
+                    status.finalize(state="failed")
+                    status.write()
+                raise
+            finally:
+                if sampler is not None:
+                    sampler.stop()
             # Failed tiles fall back to the no-OPC target so the chip
             # mask stays complete; the failure remains visible in the
             # tile table and in all_ok/failed_tiles.
@@ -486,6 +595,16 @@ class FullChipEngine:
             score=score,
             runtime_s=total.elapsed,
         )
+        if status is not None:
+            status.finalize(
+                score={
+                    "total": score.total,
+                    "epe_violations": score.epe_violations,
+                    "pv_band_nm2": score.pv_band_nm2,
+                    "shape_violations": score.shape_violations,
+                }
+            )
+            status.write()
         if cfg.telemetry_dir is not None:
             # Written after the fullchip.solve span closed so the
             # persisted span stats include the whole run.

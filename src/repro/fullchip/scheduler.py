@@ -28,13 +28,14 @@ import json
 import logging
 import multiprocessing
 import os
+import signal
 import tempfile
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,6 +59,9 @@ from ..opc.mosaic import MosaicExact, MosaicFast, MosaicResult, MosaicSolver
 from .ambit import DEFAULT_ENERGY_TOL, DEFAULT_PROBE_EXTENT_NM, ambit_model_for
 from .tiling import TileSpec
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (live imports us not)
+    from ..obs.live import LivenessWatchdog, StatusWriter
+
 logger = logging.getLogger(__name__)
 
 #: Environment hook for deterministic fault injection: a semicolon-
@@ -65,6 +69,16 @@ logger = logging.getLogger(__name__)
 #: inside the worker, so it works across process boundaries (the
 #: environment is inherited by pool workers).
 FAIL_TILES_ENV = "REPRO_FULLCHIP_FAIL_TILES"
+
+#: Environment hook for deterministic *stall* injection: a semicolon-
+#: separated list of ``row,col[:seconds]`` entries.  A matching tile
+#: writes a few quick heartbeats, then stops making progress for
+#: ``seconds`` (default 3600 — effectively forever) before failing, so
+#: the liveness watchdog path is testable without a real hang.
+STALL_TILES_ENV = "REPRO_FULLCHIP_STALL_TILES"
+
+#: Default injected-stall duration when the env entry has no seconds.
+_DEFAULT_STALL_S = 3600.0
 
 #: Name of the per-tile completed-result marker file.
 DONE_MARKER = "done.npz"
@@ -171,6 +185,64 @@ def _injected_failure(tile: TileSpec) -> None:
             raise FullChipError(f"injected failure for tile {tile.index}")
 
 
+def parse_stall_spec(spec: str) -> Dict[Tuple[int, int], float]:
+    """Parse a ``REPRO_FULLCHIP_STALL_TILES`` value.
+
+    Entries are semicolon-separated ``row,col`` or ``row,col:seconds``.
+
+    Raises:
+        FullChipError: on a malformed entry.
+    """
+    stalls: Dict[Tuple[int, int], float] = {}
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        index_part, _, seconds_part = part.partition(":")
+        try:
+            row, col = (int(v) for v in index_part.split(","))
+            seconds = float(seconds_part) if seconds_part else _DEFAULT_STALL_S
+        except ValueError as exc:
+            raise FullChipError(
+                f"bad {STALL_TILES_ENV} entry {part!r} "
+                f"(expected 'row,col' or 'row,col:seconds')"
+            ) from exc
+        if seconds <= 0:
+            raise FullChipError(
+                f"bad {STALL_TILES_ENV} entry {part!r}: seconds must be positive"
+            )
+        stalls[(row, col)] = seconds
+    return stalls
+
+
+def _injected_stall(tile: TileSpec, obs: Optional[Instrumentation]) -> None:
+    """Honor the stall-injection hook (runs in the worker).
+
+    The stalled tile first pulses a few heartbeats so the watchdog has
+    observed *progress* (arming its per-tile track), then goes silent —
+    the signature of a genuinely hung worker — and finally raises so the
+    tile surfaces as failed.
+    """
+    spec = os.environ.get(STALL_TILES_ENV, "")
+    if not spec:
+        return
+    seconds = parse_stall_spec(spec).get(tile.index)
+    if seconds is None:
+        return
+    heartbeat = obs.heartbeat if obs is not None else None
+    for iteration in range(3):
+        if heartbeat is not None:
+            heartbeat.beat(phase="optimize", iteration=iteration, force=True)
+        time.sleep(0.01)
+    logger.warning("injected stall for tile %s (%.1fs)", tile.index, seconds)
+    deadline = time.monotonic() + seconds
+    while time.monotonic() < deadline:
+        time.sleep(0.05)
+    raise FullChipError(
+        f"injected stall for tile {tile.index} expired after {seconds:.1f}s"
+    )
+
+
 def _tile_state_dir(job: TileJob) -> Optional[Path]:
     if job.checkpoint_dir is None:
         return None
@@ -263,6 +335,7 @@ def _solve_once(
 ) -> MosaicResult:
     """One solve attempt on the window simulator (runs in the worker)."""
     _injected_failure(job.tile)
+    _injected_stall(job.tile, obs)
     model = ambit_model_for(
         job.litho, energy_tol=job.energy_tol, probe_extent_nm=job.probe_extent_nm
     )
@@ -323,8 +396,23 @@ def solve_tile_job(job: TileJob) -> TileResult:
     # Without job.telemetry the solve stays on the null-twin path.
     worker_obs: Optional[Instrumentation] = None
     worker_events: List[Dict[str, object]] = []
+    sampler = None
     if job.telemetry is not None:
-        worker_obs, worker_events = worker_instrumentation(job.telemetry)
+        worker_obs, worker_events = worker_instrumentation(job.telemetry, tile=tile.name)
+        if job.telemetry.resource_dir and job.telemetry.resource_interval_s > 0:
+            from ..obs.resources import ResourceSampler, resources_filename
+
+            try:
+                # One timeline per pid: a pool worker reused across tiles
+                # appends to one continuous file.
+                sampler = ResourceSampler(
+                    Path(job.telemetry.resource_dir) / resources_filename(os.getpid()),
+                    interval_s=job.telemetry.resource_interval_s,
+                    metrics=worker_obs.metrics,
+                ).start()
+            except Exception as exc:  # noqa: BLE001 - telemetry must not fail tiles
+                logger.warning("tile %s: resource sampler failed: %s", tile.index, exc)
+                sampler = None
 
     start = time.perf_counter()
     last_error: Optional[BaseException] = None
@@ -335,24 +423,32 @@ def solve_tile_job(job: TileJob) -> TileResult:
         if worker_obs is not None
         else nullcontext()
     )
-    with tile_span:
-        for attempt in range(job.max_retries + 1):
-            attempts = attempt + 1
-            try:
-                solved = call_with_budget(
-                    lambda: _solve_once(job, state_dir, obs=worker_obs),
-                    job.timeout_s,
-                )
-                last_error = None
-                break
-            except KeyboardInterrupt:
-                raise
-            except Exception as exc:  # noqa: BLE001 - isolation boundary
-                last_error = exc
-                logger.warning(
-                    "tile %s failed (attempt %d/%d): %s",
-                    tile.index, attempts, job.max_retries + 1, exc,
-                )
+    try:
+        with tile_span:
+            for attempt in range(job.max_retries + 1):
+                attempts = attempt + 1
+                try:
+                    solved = call_with_budget(
+                        lambda: _solve_once(job, state_dir, obs=worker_obs),
+                        job.timeout_s,
+                    )
+                    last_error = None
+                    break
+                except KeyboardInterrupt:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - isolation boundary
+                    last_error = exc
+                    logger.warning(
+                        "tile %s failed (attempt %d/%d): %s",
+                        tile.index, attempts, job.max_retries + 1, exc,
+                    )
+    finally:
+        if sampler is not None:
+            sampler.stop()
+        if worker_obs is not None:
+            worker_obs.heartbeat.beat(
+                phase="done" if solved is not None else "failed", force=True
+            )
     runtime = time.perf_counter() - start
 
     telemetry: Optional[TileTelemetry] = None
@@ -420,6 +516,19 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
+def _counter_values(obs: Instrumentation) -> Dict[str, int]:
+    """Counter-type metrics of a bundle as plain name→value pairs."""
+    counters: Dict[str, int] = {}
+    try:
+        snapshot = obs.metrics.as_dict()
+    except Exception:  # noqa: BLE001 - live feed must not fail the run
+        return counters
+    for name, data in snapshot.items():
+        if data.get("type") == "counter":
+            counters[name] = int(data.get("value", 0) or 0)
+    return counters
+
+
 def run_tile_jobs(
     jobs: Sequence[TileJob],
     workers: int = 1,
@@ -427,6 +536,9 @@ def run_tile_jobs(
     obs: Optional[Instrumentation] = None,
     progress: Callable[[str], None] = lambda msg: None,
     on_tile: Optional[Callable[[TileResult], None]] = None,
+    watchdog: Optional["LivenessWatchdog"] = None,
+    status: Optional["StatusWriter"] = None,
+    heartbeat_dir: Optional[str] = None,
 ) -> List[TileResult]:
     """Execute tile jobs, inline or on a process pool.
 
@@ -448,6 +560,15 @@ def run_tile_jobs(
         on_tile: callback receiving each completed :class:`TileResult`
             as it settles (completion order, not job order) — the hook
             behind the CLI's per-tile ``-v`` progress lines.
+        watchdog: optional parent-side liveness watchdog; fed the
+            heartbeat files between pool completions (the pool wait is
+            bounded by its ``poll_s``).  With ``cancel=True`` a flagged
+            worker's pid is killed — on a fork pool that breaks the
+            pool, so the remaining in-flight tiles settle as failed.
+        status: optional live ``status.json`` writer; updated on every
+            watchdog poll and tile completion.
+        heartbeat_dir: where the tile workers write their heartbeat
+            files (read here for the watchdog and the status feed).
 
     Returns:
         Tile results in the order of ``jobs``.
@@ -459,6 +580,7 @@ def run_tile_jobs(
     failed = obs.metrics.counter("fullchip_tiles_failed")
     retried = obs.metrics.counter("fullchip_tile_retries")
     cached = obs.metrics.counter("fullchip_tiles_cached")
+    tile_names = {job.tile.index: job.tile.name for job in jobs}
 
     def record(result: TileResult) -> None:
         total.inc()
@@ -472,6 +594,25 @@ def run_tile_jobs(
         # the merged report nests them where the work actually ran.
         under = getattr(obs.tracer, "current_path", "") or "fullchip.tiles"
         merge_tile_telemetry(obs, result.telemetry, under=under)
+        if watchdog is not None:
+            watchdog.mark_done(tile_names[result.index])
+        if status is not None:
+            status.mark_done(
+                tile_names[result.index],
+                status=result.status.status,
+                attempts=result.status.attempts,
+                runtime_s=result.status.runtime_s,
+                epe_violations=result.epe_violations if result.ok else None,
+                pv_band_nm2=result.pv_band_nm2 if result.ok else None,
+                score_total=result.score_total if result.ok else None,
+                iterations=(
+                    result.telemetry.iterations
+                    if result.telemetry is not None
+                    else None
+                ),
+                cached=result.from_cache,
+                error=result.status.error,
+            )
         if on_tile is not None:
             on_tile(result)
         obs.events.emit(
@@ -489,13 +630,51 @@ def run_tile_jobs(
             + (" (cached)" if result.from_cache else "")
         )
 
+    def poll_liveness() -> None:
+        """One watchdog/status round over the current heartbeat files."""
+        if heartbeat_dir is None or (watchdog is None and status is None):
+            return
+        from ..obs.live import read_heartbeats
+
+        beats = read_heartbeats(heartbeat_dir)
+        if status is not None:
+            for beat in beats.values():
+                status.apply_heartbeat(beat)
+        if watchdog is not None:
+            for flag in watchdog.observe(beats):
+                progress(
+                    f"tile worker {flag.tile} (pid {flag.pid}) {flag.reason} "
+                    f"after {flag.stalled_for_s:.1f}s without progress"
+                )
+                if status is not None:
+                    status.mark_stalled(flag.tile)
+                if watchdog.config.cancel:
+                    logger.warning(
+                        "watchdog cancel: killing %s worker pid %d",
+                        flag.tile, flag.pid,
+                    )
+                    try:
+                        os.kill(flag.pid, signal.SIGKILL)
+                    except OSError as exc:
+                        logger.warning("cancel kill failed: %s", exc)
+        if status is not None:
+            status.set_counters(_counter_values(obs))
+            status.write()
+
+    poll_s = watchdog.config.poll_s if watchdog is not None else None
     results: Dict[Tuple[int, int], TileResult] = {}
     with obs.tracer.span("fullchip.tiles"):
         if workers <= 1 or len(jobs) == 1:
             for job in jobs:
+                if status is not None:
+                    status.mark_running(job.tile.name, pid=os.getpid())
+                    status.write()
                 result = solve_tile_job(job)
                 record(result)
                 results[job.tile.index] = result
+                if status is not None:
+                    status.set_counters(_counter_values(obs))
+                    status.write()
                 if not result.ok and not keep_going:
                     raise FullChipError(
                         f"tile {result.index} {result.status.status}: "
@@ -510,7 +689,10 @@ def run_tile_jobs(
                 pending = set(futures)
                 first_failure: Optional[TileResult] = None
                 while pending:
-                    done, pending = wait(pending, return_when=FIRST_COMPLETED)
+                    done, pending = wait(
+                        pending, timeout=poll_s, return_when=FIRST_COMPLETED
+                    )
+                    poll_liveness()
                     for future in done:
                         job = futures[future]
                         try:
@@ -527,6 +709,9 @@ def run_tile_jobs(
                         results[job.tile.index] = result
                         if not result.ok and first_failure is None:
                             first_failure = result
+                    if status is not None and done:
+                        status.set_counters(_counter_values(obs))
+                        status.write()
                     if first_failure is not None and not keep_going:
                         for future in pending:
                             future.cancel()

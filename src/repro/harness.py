@@ -298,6 +298,10 @@ def run_experiment(
             for label, factory in solvers:
                 progress(f"{label} on {layout.name}")
                 logger.info("solving %s with %s", layout.name, label)
+                # Liveness pulse for bundles wired with a heartbeat
+                # writer (no-op on the default null twin): a batch run
+                # reports which cell it is on, like tile workers do.
+                obs.heartbeat.beat(phase=f"{label}:{layout.name}", force=True)
                 cell_start = time.perf_counter()
                 solved = None
                 last_error: Optional[BaseException] = None

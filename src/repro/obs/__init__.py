@@ -57,10 +57,29 @@ __all__ = [
     "DEFAULT_GRADIENT_RMS_BUCKETS",
     "EventEmitter",
     "NullEventEmitter",
+    "NullHeartbeat",
     "NULL_TRACER",
     "NULL_REGISTRY",
     "NULL_EMITTER",
+    "NULL_HEARTBEAT",
 ]
+
+
+class NullHeartbeat:
+    """No-op twin of :class:`repro.obs.live.HeartbeatWriter`.
+
+    Defined here (not in :mod:`repro.obs.live`) so the bundle has a
+    zero-dependency default and instrumented code can always call
+    ``obs.heartbeat.beat(...)`` unconditionally.
+    """
+
+    enabled = False
+
+    def beat(self, phase, iteration=0, objective=None, force=False):  # noqa: D102
+        pass
+
+
+NULL_HEARTBEAT = NullHeartbeat()
 
 
 @dataclass
@@ -76,6 +95,7 @@ class Instrumentation:
     tracer: object = field(default=NULL_TRACER)
     metrics: object = field(default=NULL_REGISTRY)
     events: object = field(default=NULL_EMITTER)
+    heartbeat: object = field(default=NULL_HEARTBEAT)
 
     @property
     def is_enabled(self) -> bool:
@@ -84,6 +104,7 @@ class Instrumentation:
             getattr(self.tracer, "enabled", False)
             or getattr(self.metrics, "enabled", False)
             or getattr(self.events, "enabled", False)
+            or getattr(self.heartbeat, "enabled", False)
         )
 
     @classmethod
@@ -98,17 +119,21 @@ class Instrumentation:
         metrics: bool = True,
         events_sink: Optional[EventSink] = None,
         timeline: bool = False,
+        heartbeat: Optional[object] = None,
     ) -> "Instrumentation":
         """Fresh live bundle; events stay off unless a sink is given.
 
         ``timeline=True`` makes the tracer additionally record
         timestamped :class:`TraceSlice` intervals for Chrome-trace
-        export (see :mod:`repro.obs.export`).
+        export (see :mod:`repro.obs.export`).  ``heartbeat`` accepts a
+        :class:`repro.obs.live.HeartbeatWriter` (or any duck-typed
+        ``beat()``-bearer) for live worker liveness reporting.
         """
         return cls(
             tracer=Tracer(timeline=timeline) if trace else NULL_TRACER,
             metrics=MetricsRegistry() if metrics else NULL_REGISTRY,
             events=EventEmitter(events_sink) if events_sink is not None else NULL_EMITTER,
+            heartbeat=heartbeat if heartbeat is not None else NULL_HEARTBEAT,
         )
 
     @classmethod

@@ -86,10 +86,22 @@ class WorkerTelemetryConfig:
         spool_dir: directory receiving per-tile spool files (created on
             demand inside the worker).
         timeline: record timestamped slices for Chrome-trace export.
+        heartbeat_dir: directory receiving per-tile heartbeat files;
+            None disables worker heartbeats.
+        heartbeat_min_interval_s: throttle between heartbeat rewrites
+            (0 = every optimizer iteration).
+        resource_dir: directory receiving per-pid ``resources_*.jsonl``
+            timelines; None disables the worker resource sampler.
+        resource_interval_s: sampling interval for the worker resource
+            sampler (≤ 0 disables it even when ``resource_dir`` is set).
     """
 
     spool_dir: str
     timeline: bool = True
+    heartbeat_dir: Optional[str] = None
+    heartbeat_min_interval_s: float = 0.0
+    resource_dir: Optional[str] = None
+    resource_interval_s: float = 0.0
 
 
 @dataclass
@@ -145,18 +157,32 @@ class TileTelemetry:
 
 def worker_instrumentation(
     config: WorkerTelemetryConfig,
+    tile: Optional[str] = None,
 ) -> Tuple[Instrumentation, List[Dict[str, object]]]:
     """Build a worker-local bundle whose events buffer in memory.
 
     Returns the bundle plus the event buffer; :func:`write_spool` later
-    flushes both to the tile's spool file in one atomic write.
+    flushes both to the tile's spool file in one atomic write.  When the
+    config carries a ``heartbeat_dir`` and a ``tile`` name is given, the
+    bundle also gets a live :class:`~repro.obs.live.HeartbeatWriter` so
+    the optimizer's per-iteration beats land in ``heartbeat_<tile>.json``.
     """
     events: List[Dict[str, object]] = []
+    heartbeat = None
+    if config.heartbeat_dir and tile:
+        from .live import HeartbeatWriter
+
+        heartbeat = HeartbeatWriter(
+            config.heartbeat_dir,
+            tile,
+            min_interval_s=config.heartbeat_min_interval_s,
+        )
     obs = Instrumentation.collecting(
         trace=True,
         metrics=True,
         events_sink=events.append,
         timeline=config.timeline,
+        heartbeat=heartbeat,
     )
     return obs, events
 

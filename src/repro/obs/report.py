@@ -36,6 +36,7 @@ from ..opc.history import IterationRecord, OptimizationHistory
 from ..tables import ColumnSpec, TextTable
 from .distributed import SPOOL_DIRNAME, SpoolData, read_spool
 from .metrics import MetricsRegistry
+from .resources import RESOURCES_DIRNAME, summarize_resources
 from .trace import Tracer
 
 __all__ = [
@@ -45,11 +46,13 @@ __all__ = [
     "ConvergenceDiagnostics",
     "diagnose_history",
     "load_run",
+    "build_run_report",
     "render_run_report",
     "BenchDelta",
     "bench_direction",
     "compare_bench",
     "render_bench_check",
+    "update_bench_baseline",
 ]
 
 RUN_FILENAME = "run.json"
@@ -108,6 +111,23 @@ class ConvergenceDiagnostics:
             flags.append(f"{self.recoveries} recovery")
         return flags
 
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-able form (embedded in the structured run report)."""
+        return {
+            "iterations": self.iterations,
+            "first_objective": self.first_objective,
+            "final_objective": self.final_objective,
+            "best_objective": self.best_objective,
+            "final_step_size": self.final_step_size,
+            "min_step_size": self.min_step_size,
+            "max_step_size": self.max_step_size,
+            "final_terms": dict(self.final_terms),
+            "stalled": self.stalled,
+            "oscillating": self.oscillating,
+            "recoveries": self.recoveries,
+            "flags": list(self.flags),
+        }
+
 
 def diagnose_history(
     history: OptimizationHistory,
@@ -155,17 +175,19 @@ def _history_from_events(events: List[Dict[str, object]]) -> OptimizationHistory
     return history
 
 
-def _render_convergence_line(tile: str, diag: ConvergenceDiagnostics) -> str:
-    if diag.iterations == 0:
+def _render_convergence_line(tile: str, diag: Dict[str, object]) -> str:
+    if not diag.get("iterations"):
         return f"{tile}: no iterations recorded"
-    terms = ", ".join(f"{k}={v:.3g}" for k, v in sorted(diag.final_terms.items()))
-    flags = f"  [{', '.join(diag.flags)}]" if diag.flags else ""
+    final_terms = diag.get("final_terms") or {}
+    terms = ", ".join(f"{k}={v:.3g}" for k, v in sorted(final_terms.items()))
+    flag_list = diag.get("flags") or []
+    flags = f"  [{', '.join(flag_list)}]" if flag_list else ""
     line = (
-        f"{tile}: {diag.iterations} iters, "
-        f"F {diag.first_objective:.4g} -> {diag.final_objective:.4g} "
-        f"(best {diag.best_objective:.4g}), "
-        f"step {diag.final_step_size:.3g} "
-        f"[{diag.min_step_size:.3g}..{diag.max_step_size:.3g}]"
+        f"{tile}: {diag['iterations']} iters, "
+        f"F {diag['first_objective']:.4g} -> {diag['final_objective']:.4g} "
+        f"(best {diag['best_objective']:.4g}), "
+        f"step {diag['final_step_size']:.3g} "
+        f"[{diag['min_step_size']:.3g}..{diag['max_step_size']:.3g}]"
     )
     if terms:
         line += f", terms: {terms}"
@@ -206,10 +228,53 @@ def _load_spools(run_dir: Path, run: Dict[str, object]) -> Dict[str, SpoolData]:
     return spools
 
 
-def render_run_report(run_dir: Union[str, Path]) -> str:
-    """Render the full run summary from a telemetry run directory."""
+def build_run_report(run_dir: Union[str, Path]) -> Dict[str, object]:
+    """Assemble the structured run report (the ``report --json`` payload).
+
+    One JSON-able dict fusing every artifact of a telemetry run
+    directory: the ``run.json`` manifest, the merged ``metrics.json``
+    snapshot, per-tile convergence diagnostics rebuilt from the spooled
+    iteration events, and the per-process resource summaries.  The text
+    report (:func:`render_run_report`) renders from *this* structure, so
+    the two paths can never drift apart.
+
+    Raises:
+        ReproError: the directory has no readable ``run.json``.
+    """
     run_dir = Path(run_dir)
     run = load_run(run_dir)
+    metrics: Optional[Dict[str, object]] = None
+    metrics_path = run_dir / METRICS_FILENAME
+    if metrics_path.is_file():
+        try:
+            with open(metrics_path) as handle:
+                metrics = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"unreadable {metrics_path}: {exc}") from exc
+    convergence: Dict[str, Dict[str, object]] = {}
+    for name, spool in sorted(_load_spools(run_dir, run).items()):
+        recoveries = sum(
+            1 for e in spool.events if str(e.get("event", "")).startswith("recovery")
+        )
+        convergence[name] = diagnose_history(
+            _history_from_events(spool.events), recoveries=recoveries
+        ).as_dict()
+    return {
+        "schema": 1,
+        "kind": "fullchip_report",
+        "run": run,
+        "metrics": metrics,
+        "convergence": convergence,
+        "resources": summarize_resources(
+            run_dir / RESOURCES_DIRNAME, parent_pid=run.get("parent_pid")
+        ),
+    }
+
+
+def render_run_report(run_dir: Union[str, Path]) -> str:
+    """Render the full run summary from a telemetry run directory."""
+    report = build_run_report(run_dir)
+    run = report["run"]
     sections: List[str] = []
 
     layout = run.get("layout", "?")
@@ -281,26 +346,37 @@ def render_run_report(run_dir: Union[str, Path]) -> str:
         sections.append(tracer.report())
 
     # Metrics summary rebuilt from the persisted snapshot.
-    metrics_path = run_dir / METRICS_FILENAME
-    if metrics_path.is_file():
+    if report["metrics"] is not None:
         registry = MetricsRegistry()
-        with open(metrics_path) as handle:
-            registry.merge_snapshot(json.load(handle))
+        registry.merge_snapshot(report["metrics"])
         sections.append(registry.summary())
 
     # Convergence diagnostics from the spooled iteration events.
-    spools = _load_spools(run_dir, run)
-    if spools:
+    convergence = report["convergence"]
+    if convergence:
         lines = ["--- convergence ---"]
-        for name in sorted(spools):
-            spool = spools[name]
-            recoveries = sum(
-                1 for e in spool.events if str(e.get("event", "")).startswith("recovery")
+        for name in sorted(convergence):
+            lines.append(_render_convergence_line(name, convergence[name]))
+        sections.append("\n".join(lines))
+
+    # Per-process resource timelines (when the sampler ran).
+    resources = report["resources"]
+    if resources:
+        lines = ["--- resources ---"]
+        for entry in resources:
+            counters = entry.get("counters") or {}
+            counter_text = (
+                ", " + ", ".join(f"{k}={v}" for k, v in sorted(counters.items()))
+                if counters
+                else ""
             )
-            diag = diagnose_history(
-                _history_from_events(spool.events), recoveries=recoveries
+            lines.append(
+                f"pid {entry.get('pid')} ({entry.get('role') or 'unknown'}): "
+                f"rss peak {float(entry.get('rss_peak_bytes', 0)) / 2**20:.1f} MiB, "
+                f"cpu {float(entry.get('cpu_s', 0.0)):.1f} s, "
+                f"{entry.get('samples')} sample(s) over "
+                f"{float(entry.get('duration_s', 0.0)):.1f} s{counter_text}"
             )
-            lines.append(_render_convergence_line(name, diag))
         sections.append("\n".join(lines))
 
     return "\n\n".join(sections)
@@ -346,16 +422,23 @@ def compare_bench(
     baseline: Dict[str, object],
     fresh: Dict[str, object],
     tolerance: float = 0.15,
+    overrides: Optional[Dict[str, float]] = None,
 ) -> List[BenchDelta]:
     """Compare two benchmark JSON payloads key by key.
 
     Only numeric keys present in *both* payloads participate; a key is
     *regressed* when it moved against its inferred direction by more
-    than ``tolerance`` (fractional).  Keys with no inferred direction
-    are reported with ``regressed=False``.
+    than its tolerance (fractional) — ``overrides`` maps individual
+    keys to their own tolerance, everything else uses ``tolerance``.
+    Keys with no inferred direction are reported with
+    ``regressed=False``.
     """
     if tolerance < 0:
         raise ReproError(f"tolerance must be >= 0, got {tolerance}")
+    overrides = overrides or {}
+    for key, value in overrides.items():
+        if value < 0:
+            raise ReproError(f"tolerance for {key!r} must be >= 0, got {value}")
     deltas: List[BenchDelta] = []
     for key in sorted(set(baseline) & set(fresh)):
         base_value, fresh_value = baseline[key], fresh[key]
@@ -368,11 +451,12 @@ def compare_bench(
         direction = bench_direction(key)
         base_f, fresh_f = float(base_value), float(fresh_value)
         change = (fresh_f - base_f) / abs(base_f) if base_f else 0.0
+        key_tolerance = overrides.get(key, tolerance)
         regressed = False
         if direction == "higher":
-            regressed = change < -tolerance
+            regressed = change < -key_tolerance
         elif direction == "lower":
-            regressed = change > tolerance
+            regressed = change > key_tolerance
         deltas.append(
             BenchDelta(
                 key=key,
@@ -419,3 +503,27 @@ def render_bench_check(
         else f"no regressions beyond {tolerance:.0%} tolerance"
     )
     return f"--- bench-check: {name} ---\n{table.render()}\n{verdict}"
+
+
+def update_bench_baseline(
+    baseline_path: Union[str, Path], fresh: Dict[str, object]
+) -> Dict[str, object]:
+    """Rewrite a bench baseline in place with the fresh measurements.
+
+    The old baseline's top-level values are preserved one generation
+    deep under a ``previous`` key (the old baseline's own ``previous``
+    is dropped — baselines don't grow unboundedly).  The write is
+    atomic.  Returns the payload that was written.
+    """
+    from ..utils.io import write_json_atomic
+
+    path = Path(baseline_path)
+    try:
+        with open(path) as handle:
+            old = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReproError(f"unreadable baseline {path}: {exc}") from exc
+    payload = {k: v for k, v in fresh.items() if k != "previous"}
+    payload["previous"] = {k: v for k, v in old.items() if k != "previous"}
+    write_json_atomic(path, payload)
+    return payload

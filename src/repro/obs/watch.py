@@ -1,0 +1,231 @@
+"""The ``repro watch`` dashboard: tail a live telemetry run directory.
+
+Everything here is read-only over the files the run writes anyway —
+``status.json`` (atomic snapshot), ``heartbeats/heartbeat_*.json``
+(atomic per-tile pulses), and ``resources/resources_*.jsonl`` (append
+feeds) — so watching never perturbs the run and works on a live,
+finished, or crashed run directory alike.
+
+:func:`collect_snapshot` fuses the three sources into one JSON-able
+dict (the ``--json`` output), :func:`render_snapshot` draws it as the
+terminal dashboard, and :func:`run_watch` loops with a refresh until
+the run reaches a terminal state.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..tables import ColumnSpec, TextTable
+from .live import HEARTBEAT_DIRNAME, TERMINAL_TILE_STATES, load_status, read_heartbeats
+from .resources import RESOURCES_DIRNAME, summarize_resources
+
+__all__ = ["collect_snapshot", "render_snapshot", "run_watch", "watch_exit_code"]
+
+#: ANSI: clear screen + home the cursor (the refresh between frames).
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def collect_snapshot(run_dir: Union[str, Path]) -> Dict[str, object]:
+    """One fused view of a run directory (the ``--json`` payload).
+
+    Starts from ``status.json`` (raising
+    :class:`~repro.errors.ReproError` when absent), then overlays the
+    per-tile heartbeat files — which a busy scheduler may trail by up to
+    a poll interval — onto the still-running tiles, and attaches the
+    per-process resource summaries.
+    """
+    run_dir = Path(run_dir)
+    snapshot = load_status(run_dir)
+    beats = read_heartbeats(run_dir / HEARTBEAT_DIRNAME)
+    for tile in snapshot.get("tile_states", []):
+        beat = beats.get(tile.get("name"))
+        if beat is None or tile.get("state") in TERMINAL_TILE_STATES:
+            continue
+        if beat.phase in ("done", "failed"):
+            continue
+        tile["state"] = "running"
+        tile["phase"] = beat.phase
+        tile["iteration"] = beat.iteration
+        tile["objective"] = beat.objective
+        tile["pid"] = beat.pid
+        tile["heartbeat_age_s"] = beat.age_s(time.time())
+    snapshot["resources"] = summarize_resources(
+        run_dir / RESOURCES_DIRNAME, parent_pid=snapshot.get("parent_pid")
+    )
+    return snapshot
+
+
+def _fmt_duration(seconds: Optional[float]) -> Optional[str]:
+    if seconds is None:
+        return None
+    seconds = max(0.0, float(seconds))
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    hours, minutes = divmod(minutes, 60)
+    if hours:
+        return f"{hours}h{minutes:02d}m"
+    return f"{minutes}m{secs:02d}s"
+
+
+def _fmt_bytes(count: Optional[object]) -> Optional[str]:
+    if count is None:
+        return None
+    value = float(count)
+    for unit in ("B", "KiB", "MiB", "GiB", "TiB"):
+        if value < 1024 or unit == "TiB":
+            return f"{value:.0f}{unit}" if unit == "B" else f"{value:.1f}{unit}"
+        value /= 1024
+    return None
+
+
+def render_snapshot(snapshot: Dict[str, object]) -> str:
+    """Draw one snapshot as the multi-section terminal dashboard."""
+    lines: List[str] = []
+    counts = snapshot.get("tiles", {}) or {}
+    eta = _fmt_duration(snapshot.get("eta_s"))
+    lines.append(
+        f"run {snapshot.get('layout') or '?'} [{snapshot.get('state')}] — "
+        f"{counts.get('done', 0)}/{counts.get('total', 0)} tiles done, "
+        f"{counts.get('running', 0)} running, {counts.get('failed', 0)} failed | "
+        f"elapsed {_fmt_duration(snapshot.get('elapsed_s')) or '--'}"
+        + (f", ETA {eta}" if eta is not None else "")
+    )
+    score = snapshot.get("score")
+    if score:
+        lines.append(
+            f"chip score: total={score.get('total'):.0f} "
+            f"#EPE={score.get('epe_violations')} "
+            f"PVB={score.get('pv_band_nm2'):.0f}nm^2"
+        )
+    lines.append("")
+
+    table = TextTable(
+        [
+            ColumnSpec("tile", 12, "<"),
+            ColumnSpec("state", 9, "<"),
+            ColumnSpec("phase", 10, "<"),
+            ColumnSpec("iter", 5),
+            ColumnSpec("objective", 11),
+            ColumnSpec("#EPE", 6),
+            ColumnSpec("score", 9),
+            ColumnSpec("runtime", 8),
+            ColumnSpec("pid", 7),
+        ]
+    )
+    for tile in snapshot.get("tile_states", []):
+        objective = tile.get("objective")
+        score_total = tile.get("score_total")
+        state = str(tile.get("state", ""))
+        if tile.get("stalled"):
+            state += "!"
+        table.add_row(
+            [
+                tile.get("name"),
+                state,
+                tile.get("phase"),
+                str(tile["iteration"]) if tile.get("iteration") is not None else None,
+                f"{objective:.4g}" if objective is not None else None,
+                str(tile["epe_violations"])
+                if tile.get("epe_violations") is not None
+                else None,
+                f"{score_total:.0f}" if score_total is not None else None,
+                _fmt_duration(tile.get("runtime_s")),
+                str(tile["pid"]) if tile.get("pid") else None,
+            ]
+        )
+    lines.append(table.render())
+
+    resources = snapshot.get("resources") or []
+    if resources:
+        lines.append("")
+        res_table = TextTable(
+            [
+                ColumnSpec("pid", 7),
+                ColumnSpec("role", 7, "<"),
+                ColumnSpec("rss", 10),
+                ColumnSpec("rss peak", 10),
+                ColumnSpec("cpu", 8),
+                ColumnSpec("samples", 7),
+            ]
+        )
+        for entry in resources:
+            cpu = entry.get("cpu_s")
+            res_table.add_row(
+                [
+                    str(entry.get("pid")),
+                    entry.get("role"),
+                    _fmt_bytes(entry.get("rss_last_bytes")),
+                    _fmt_bytes(entry.get("rss_peak_bytes")),
+                    f"{cpu:.1f}s" if cpu is not None else None,
+                    str(entry.get("samples")),
+                ]
+            )
+        lines.append(res_table.render())
+
+    stalled = [
+        t.get("name") for t in snapshot.get("tile_states", []) if t.get("stalled")
+    ]
+    if stalled:
+        lines.append("")
+        lines.append("stalled worker(s): " + ", ".join(str(n) for n in stalled))
+    return "\n".join(lines)
+
+
+def watch_exit_code(snapshot: Dict[str, object]) -> int:
+    """The CLI contract: 3 when any tile (or the run) failed, else 0."""
+    if snapshot.get("state") == "failed":
+        return 3
+    for tile in snapshot.get("tile_states", []):
+        if tile.get("state") in ("failed", "timeout"):
+            return 3
+    return 0
+
+
+def run_watch(
+    run_dir: Union[str, Path],
+    interval_s: float = 2.0,
+    once: bool = False,
+    as_json: bool = False,
+    stream=None,
+    clock=time.time,
+    sleep=time.sleep,
+) -> int:
+    """Tail a run directory until it reaches a terminal state.
+
+    Args:
+        run_dir: a telemetry run directory (the ``--telemetry-dir`` of
+            a ``repro fullchip`` run).
+        interval_s: refresh period.
+        once: render a single snapshot and return.
+        as_json: emit the raw snapshot dict as JSON instead of the
+            dashboard (implies no screen clearing).
+        stream: output stream (default stdout).
+        clock / sleep: injectable for tests.
+
+    Returns:
+        Process exit code — 0 for a clean (or still clean) run, 3 when
+        the run or any tile failed.
+
+    Raises:
+        ReproError: ``run_dir`` has no readable ``status.json``.
+    """
+    out = stream if stream is not None else sys.stdout
+    first = True
+    while True:
+        snapshot = collect_snapshot(run_dir)
+        if as_json:
+            out.write(json.dumps(snapshot, indent=2) + "\n")
+        else:
+            prefix = "" if (once or first) else _CLEAR
+            out.write(prefix + render_snapshot(snapshot) + "\n")
+        out.flush()
+        first = False
+        if once or snapshot.get("state") in ("done", "failed"):
+            return watch_exit_code(snapshot)
+        sleep(interval_s)

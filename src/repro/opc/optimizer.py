@@ -384,6 +384,7 @@ class GradientDescentOptimizer:
             use_line_search=cfg.use_line_search,
             resumed_at=state.iteration if resumed is not None else None,
         )
+        obs.heartbeat.beat(phase="setup", iteration=state.iteration, force=True)
         rms_hist = obs.metrics.histogram("gradient_rms")
         iterations_total = obs.metrics.counter("iterations_total")
         # Register the loop counters up front so a metrics dump always
@@ -541,6 +542,11 @@ class GradientDescentOptimizer:
                             )
                         history.append(record)
                         obs.events.emit(**record.to_event())
+                        obs.heartbeat.beat(
+                            phase="optimize",
+                            iteration=iteration,
+                            objective=value if np.isfinite(value) else None,
+                        )
                         logger.debug(
                             "iteration %d: F=%.6g rms=%.3g step=%.3g",
                             iteration, value, rms, accepted_step,
@@ -567,6 +573,9 @@ class GradientDescentOptimizer:
 
                 # Consider the final iterate too (the loop records pre-update
                 # values).
+                obs.heartbeat.beat(
+                    phase="final_eval", iteration=state.iteration, force=True
+                )
                 with obs.tracer.span("final_eval"):
                     final_ctx = self.sim.context(state.mask)
                     final_value = self.objective.value(final_ctx)
