@@ -120,6 +120,24 @@ def _add_obs_args(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--backend", metavar="SPEC",
+        help="array backend spec, '<name>[:<precision>]' (e.g. numpy, "
+        "numpy:float32, torch); default: REPRO_ARRAY_BACKEND or numpy",
+    )
+
+
+def _backend_from_args(args: argparse.Namespace) -> Optional[str]:
+    """Validate --backend eagerly so a typo fails before any solve work."""
+    spec = getattr(args, "backend", None)
+    if spec is None:
+        return None
+    from .xp import validate_backend_spec
+
+    return validate_backend_spec(spec)
+
+
 def _obs_config_from_args(args: argparse.Namespace) -> ObservabilityConfig:
     # --telemetry-dir implies parent-side trace+metrics in timeline
     # mode: the run artifacts need the merged span stats, the merged
@@ -243,7 +261,7 @@ def cmd_solve(args: argparse.Namespace) -> int:
     layout = _load_layout(args.layout)
     config = _config_for(args.scale)
     obs = _setup_observability(args)
-    sim = LithographySimulator(config, obs=obs)
+    sim = LithographySimulator(config, obs=obs, backend=_backend_from_args(args))
     checkpoint = _checkpoint_config_from_args(args)
     resume_from = _resume_target(args)
     if args.recipe:
@@ -305,7 +323,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
     layouts = [_load_layout(spec) for spec in args.layouts]
     config = _config_for(args.scale)
     obs = _setup_observability(args)
-    sim = LithographySimulator(config, obs=obs)
+    sim = LithographySimulator(config, obs=obs, backend=_backend_from_args(args))
     solvers = [
         (mode, lambda mode=mode: _solver_for(mode, config, sim)) for mode in modes
     ]
@@ -361,6 +379,7 @@ def cmd_fullchip(args: argparse.Namespace) -> int:
         watchdog_stall_factor=args.watchdog_stall_factor,
         watchdog_min_stall_s=args.watchdog_min_stall,
         watchdog_cancel=args.watchdog_cancel,
+        backend=_backend_from_args(args),
         **monitor_kwargs,
     )
     engine = FullChipEngine(config, config=fc_config, obs=obs)
@@ -430,7 +449,7 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     layout = _load_layout(args.layout)
     config = _config_for(args.scale)
     obs = _setup_observability(args)
-    sim = LithographySimulator(config, obs=obs)
+    sim = LithographySimulator(config, obs=obs, backend=_backend_from_args(args))
     target = rasterize_layout(layout, config.grid).astype(float)
     score = contest_score(sim, target, layout)
     print(f"{layout.name}: drawn-mask print (no OPC)")
@@ -583,6 +602,7 @@ def build_parser() -> argparse.ArgumentParser:
     solve.add_argument("--mode", choices=_MODES, default="fast")
     solve.add_argument("--recipe", help="JSON recipe file (overrides --mode)")
     solve.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    _add_backend_arg(solve)
     solve.add_argument("--out", help="directory for the NPZ result bundle")
     solve.add_argument("--render", action="store_true", help="ASCII-render the mask")
     solve.add_argument("--render-width", type=int, default=56)
@@ -617,6 +637,7 @@ def build_parser() -> argparse.ArgumentParser:
              f"choices: {', '.join(_MODES)}",
     )
     batch.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    _add_backend_arg(batch)
     batch.add_argument(
         "--keep-going", action="store_true",
         help="tolerate failing cells: record them and continue the batch "
@@ -659,6 +680,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     fullchip.add_argument("--mode", choices=("fast", "exact"), default="fast")
     fullchip.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    _add_backend_arg(fullchip)
     fullchip.add_argument(
         "--keep-going", action="store_true",
         help="tolerate failed tiles: fall back to the no-OPC target for "
@@ -727,6 +749,7 @@ def build_parser() -> argparse.ArgumentParser:
     simulate = sub.add_parser("simulate", help="print a layout without OPC")
     simulate.add_argument("layout", help="benchmark name (B1..B10) or .glp path")
     simulate.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    _add_backend_arg(simulate)
     simulate.add_argument("--render", action="store_true")
     simulate.add_argument("--render-width", type=int, default=56)
     _add_obs_args(simulate)

@@ -17,6 +17,22 @@ from . import constants
 from .errors import OpticsError, OptimizationError, ProcessError
 
 
+def _validated_backend(backend: Optional[str]) -> Optional[str]:
+    """Canonicalize an array-backend spec field (None passes through).
+
+    Validates the spec grammar and backend name eagerly — a typo fails at
+    config construction with a clear :class:`OpticsError` — without
+    importing the backend library, so configs may name torch/cupy on
+    machines that lack them (the import error surfaces only when a
+    simulator actually requests the backend).
+    """
+    if backend is None:
+        return None
+    from .xp import validate_backend_spec  # deferred: xp imports errors only
+
+    return validate_backend_spec(backend)
+
+
 @dataclass(frozen=True)
 class GridSpec:
     """Pixel grid on which masks and images live.
@@ -83,6 +99,12 @@ class OpticsConfig:
         sigma_inner: inner partial-coherence factor of the annular source.
         sigma_outer: outer partial-coherence factor.
         num_kernels: SOCS approximation order h (paper: 24).
+        backend: array-backend spec for the numeric core
+            (``"numpy"``, ``"numpy:float32"``, ``"torch"``,
+            ``"torch:float32"``, ``"cupy"``, ...); ``None`` defers to
+            the ``REPRO_ARRAY_BACKEND`` environment variable and then
+            the numpy float64 reference.  Unknown specs raise
+            :class:`~repro.errors.OpticsError` at construction.
     """
 
     wavelength_nm: float = constants.WAVELENGTH_NM
@@ -90,8 +112,10 @@ class OpticsConfig:
     sigma_inner: float = constants.SIGMA_INNER
     sigma_outer: float = constants.SIGMA_OUTER
     num_kernels: int = constants.NUM_KERNELS
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "backend", _validated_backend(self.backend))
         if self.wavelength_nm <= 0:
             raise OpticsError("wavelength must be positive")
         if self.numerical_aperture <= 0:
@@ -200,6 +224,10 @@ class OptimizerConfig:
             ``use_line_search=True`` and a step around 1.0.
         adam_beta1: Adam first-moment decay.
         adam_beta2: Adam second-moment decay.
+        backend: array-backend spec for the solver's simulator (see
+            :class:`OpticsConfig.backend`); only consulted when the
+            solver builds its own simulator.  ``None`` defers to the
+            optics config / environment / numpy reference chain.
     """
 
     max_iterations: int = constants.MAX_ITERATIONS
@@ -220,8 +248,10 @@ class OptimizerConfig:
     descent_mode: str = "normalized"
     adam_beta1: float = 0.9
     adam_beta2: float = 0.999
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
+        object.__setattr__(self, "backend", _validated_backend(self.backend))
         if self.max_iterations < 0:
             raise OptimizationError(
                 f"max_iterations must be >= 0 (0 = evaluate the seed only), "

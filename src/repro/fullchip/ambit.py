@@ -285,9 +285,18 @@ class AmbitModel:
         shape: Tuple[int, int],
         obs: Optional[Instrumentation] = None,
         batch_forward: bool = True,
+        backend: Optional[str] = None,
     ) -> "WindowSimulator":
-        """A :class:`WindowSimulator` on a window of ``shape`` pixels."""
-        return WindowSimulator(self, shape, obs=obs, batch_forward=batch_forward)
+        """A :class:`WindowSimulator` on a window of ``shape`` pixels.
+
+        ``backend`` selects the window's array backend (spec string or
+        instance); ``None`` defers to the optics config / environment /
+        numpy-reference chain.  Backend instances are process-wide
+        singletons, so every window sharing a spec shares one backend.
+        """
+        return WindowSimulator(
+            self, shape, obs=obs, batch_forward=batch_forward, backend=backend
+        )
 
 
 class WindowSimulator(LithographySimulator):
@@ -307,6 +316,7 @@ class WindowSimulator(LithographySimulator):
         shape: Tuple[int, int],
         obs: Optional[Instrumentation] = None,
         batch_forward: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
         config = LithoConfig(
             grid=GridSpec(shape=tuple(shape), pixel_nm=model.pixel_nm),
@@ -314,7 +324,7 @@ class WindowSimulator(LithographySimulator):
             resist=model.litho.resist,
             process=model.litho.process,
         )
-        super().__init__(config, obs=obs, batch_forward=batch_forward)
+        super().__init__(config, obs=obs, batch_forward=batch_forward, backend=backend)
         self.model = model
 
     def kernels_at(self, defocus_nm: float = 0.0) -> SOCSKernels:

@@ -113,6 +113,17 @@ class FullChipConfig:
         watchdog_cancel: kill a flagged worker's pid immediately (see
             :class:`~repro.obs.live.WatchdogConfig` for the pool-wide
             consequences); off by default — flag-and-report only.
+        backend: array-backend spec for every tile's window simulator
+            (see :mod:`repro.xp`; e.g. ``"numpy:float32"``); ``None``
+            defers to the optics config / ``REPRO_ARRAY_BACKEND`` /
+            numpy-reference chain.  Unknown specs raise
+            :class:`~repro.errors.OpticsError` at construction.
+        shared_results: pass solved window masks back from pool workers
+            through POSIX shared memory instead of pickling them
+            (observable via the ``fullchip_result_bytes_shared`` /
+            ``fullchip_result_bytes_pickled`` counters).  Only affects
+            multi-worker runs; inline solves hand the array over
+            directly.
     """
 
     tile_nm: float = 1024.0
@@ -136,8 +147,14 @@ class FullChipConfig:
     watchdog_stall_factor: float = 8.0
     watchdog_min_stall_s: float = 10.0
     watchdog_cancel: bool = False
+    backend: Optional[str] = None
+    shared_results: bool = True
 
     def __post_init__(self) -> None:
+        if self.backend is not None:
+            from ..xp import validate_backend_spec
+
+            object.__setattr__(self, "backend", validate_backend_spec(self.backend))
         if self.workers < 1:
             raise FullChipError(f"workers must be >= 1, got {self.workers}")
         if self.halo_nm is not None and self.halo_nm < 0:
@@ -340,7 +357,9 @@ class FullChipEngine:
         model = self.model
         pad = model.ambit_px
         padded = np.pad(np.asarray(mask, dtype=np.float64), pad)
-        sim = model.simulator_for(padded.shape, obs=self.obs)
+        sim = model.simulator_for(
+            padded.shape, obs=self.obs, backend=self.config.backend
+        )
         aerial = sim.aerial(padded, corner)
         return aerial[pad:-pad, pad:-pad] if pad else aerial
 
@@ -386,7 +405,9 @@ class FullChipEngine:
             window_mask = padded[r_lo : r_lo + rows, c_lo : c_lo + cols]
             sim = sims.get(tile.window_shape)
             if sim is None:
-                sim = model.simulator_for(tile.window_shape, obs=self.obs)
+                sim = model.simulator_for(
+                    tile.window_shape, obs=self.obs, backend=self.config.backend
+                )
                 sims[tile.window_shape] = sim
             aerial = sim.aerial(window_mask, corner)
             rs, cs = tile.core_slices_in_window()
@@ -403,7 +424,9 @@ class FullChipEngine:
         model = self.model
         pad = model.ambit_px
         padded = np.pad(np.asarray(mask, dtype=np.float64), pad)
-        sim = model.simulator_for(padded.shape, obs=self.obs)
+        sim = model.simulator_for(
+            padded.shape, obs=self.obs, backend=self.config.backend
+        )
         printed = sim.print_binary(padded, corner)
         return printed[pad:-pad, pad:-pad] if pad else printed
 
@@ -505,6 +528,8 @@ class FullChipEngine:
                     max_retries=cfg.max_retries,
                     timeout_s=cfg.tile_timeout_s,
                     telemetry=telemetry_cfg,
+                    backend=cfg.backend,
+                    share_result=cfg.shared_results and cfg.workers > 1,
                 )
                 for tile in plan
             ]
@@ -554,7 +579,9 @@ class FullChipEngine:
                 binary = (stitched > 0.5).astype(np.float64)
                 pad = model.ambit_px
                 padded = np.pad(binary, pad)
-                sim = model.simulator_for(padded.shape, obs=self.obs)
+                sim = model.simulator_for(
+                    padded.shape, obs=self.obs, backend=self.config.backend
+                )
                 corners = sim.corners()
                 printed_by_corner = [
                     img[pad:-pad, pad:-pad] if pad else img

@@ -56,6 +56,7 @@ from ..obs.distributed import (
 )
 from ..opc.checkpoint import CheckpointConfig, latest_checkpoint
 from ..opc.mosaic import MosaicExact, MosaicFast, MosaicResult, MosaicSolver
+from ..xp import validate_backend_spec
 from .ambit import DEFAULT_ENERGY_TOL, DEFAULT_PROBE_EXTENT_NM, ambit_model_for
 from .tiling import TileSpec
 
@@ -108,6 +109,15 @@ class TileJob:
         timeout_s: wall-clock budget per attempt (None = unbounded).
         telemetry: worker-side telemetry settings; None keeps the
             worker on the null-twin path (no bundle, no spool file).
+        backend: array-backend spec for the window simulator (see
+            :mod:`repro.xp`); ``None`` defers to the optics config /
+            environment / numpy-reference chain.  Backends are cached
+            per spec and process, so every tile a pool worker solves
+            batches through one backend instance.
+        share_result: return the solved window mask through POSIX
+            shared memory (a :class:`SharedMaskRef` in the result)
+            instead of pickling the ndarray through the pool pipe; the
+            parent copies it out and unlinks the segment.
     """
 
     tile: TileSpec
@@ -124,6 +134,8 @@ class TileJob:
     max_retries: int = 0
     timeout_s: Optional[float] = None
     telemetry: Optional[WorkerTelemetryConfig] = None
+    backend: Optional[str] = None
+    share_result: bool = False
 
     def __post_init__(self) -> None:
         if self.solver_mode not in _SOLVER_MODES:
@@ -135,6 +147,25 @@ class TileJob:
             raise FullChipError(f"max_retries must be >= 0, got {self.max_retries}")
         if self.timeout_s is not None and self.timeout_s <= 0:
             raise FullChipError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.backend is not None:
+            object.__setattr__(self, "backend", validate_backend_spec(self.backend))
+
+
+@dataclass(frozen=True)
+class SharedMaskRef:
+    """Handle to a solved window mask parked in POSIX shared memory.
+
+    Workers built with ``share_result=True`` copy the mask into a
+    ``multiprocessing.shared_memory`` segment and send this small
+    picklable reference through the pool pipe instead of the ndarray;
+    the parent attaches, copies the mask out, and unlinks the segment
+    (:func:`absorb_shared_mask`).
+    """
+
+    name: str
+    shape: Tuple[int, int]
+    dtype: str
+    nbytes: int
 
 
 @dataclass
@@ -144,13 +175,17 @@ class TileResult:
     Attributes:
         index: the tile's plan index.
         status: harness-style execution record.
-        mask: optimized window mask (None when the tile failed).
+        mask: optimized window mask (None when the tile failed, or when
+            the mask travelled through shared memory and has not been
+            absorbed yet).
         epe_violations / pv_band_nm2 / score_total: the tile's own
             contest-score components, measured on its window.
         from_cache: the result came from a prior run's done marker.
         telemetry: compact worker-telemetry summary (None when the job
             ran without telemetry, came from cache, or died before the
             worker could summarize).
+        mask_ref: shared-memory handle standing in for ``mask`` while
+            the result crosses the process boundary.
     """
 
     index: Tuple[int, int]
@@ -161,6 +196,7 @@ class TileResult:
     score_total: float = 0.0
     from_cache: bool = False
     telemetry: Optional[TileTelemetry] = None
+    mask_ref: Optional[SharedMaskRef] = None
 
     @property
     def ok(self) -> bool:
@@ -339,7 +375,7 @@ def _solve_once(
     model = ambit_model_for(
         job.litho, energy_tol=job.energy_tol, probe_extent_nm=job.probe_extent_nm
     )
-    sim = model.simulator_for(job.tile.window_shape, obs=obs)
+    sim = model.simulator_for(job.tile.window_shape, obs=obs, backend=job.backend)
     checkpoint = None
     resume_from = None
     if state_dir is not None:
@@ -360,6 +396,102 @@ def _solve_once(
     return solver.solve(job.layout, resume_from=resume_from)
 
 
+def export_shared_mask(result: TileResult) -> TileResult:
+    """Park a result's mask in shared memory (runs in the worker).
+
+    Replaces ``mask`` with a :class:`SharedMaskRef` so the pool pipe
+    carries a ~100-byte handle instead of a pickled ndarray.  Any
+    failure degrades gracefully back to the pickling path — transport
+    must never lose a solved tile.
+    """
+    if result.mask is None or result.mask_ref is not None:
+        return result
+    try:
+        from multiprocessing import shared_memory
+
+        mask = np.ascontiguousarray(result.mask)
+        segment = shared_memory.SharedMemory(create=True, size=mask.nbytes)
+        try:
+            np.ndarray(mask.shape, dtype=mask.dtype, buffer=segment.buf)[...] = mask
+            result.mask_ref = SharedMaskRef(
+                name=segment.name,
+                shape=tuple(mask.shape),
+                dtype=str(mask.dtype),
+                nbytes=int(mask.nbytes),
+            )
+            result.mask = None
+        finally:
+            segment.close()
+    except Exception as exc:  # noqa: BLE001 - fall back to pickling the mask
+        logger.warning(
+            "tile %s: shared-memory export failed (%s); pickling mask instead",
+            result.index, exc,
+        )
+    return result
+
+
+def absorb_shared_mask(
+    result: TileResult, obs: Optional[Instrumentation] = None
+) -> TileResult:
+    """Materialize a shared-memory mask in the parent and free the segment.
+
+    Updates the transport accounting either way:
+    ``fullchip_result_bytes_shared`` counts mask bytes that crossed via
+    shared memory, ``fullchip_result_bytes_pickled`` those that crossed
+    inside the pickled result — the observable proof that the pool has
+    stopped serializing mask ndarrays.
+    """
+    obs = obs or Instrumentation.disabled()
+    if result.mask_ref is None:
+        if result.mask is not None:
+            obs.metrics.counter("fullchip_result_bytes_pickled").inc(
+                int(result.mask.nbytes)
+            )
+        return result
+    ref = result.mask_ref
+    try:
+        from multiprocessing import shared_memory
+
+        segment = shared_memory.SharedMemory(name=ref.name)
+        try:
+            result.mask = np.ndarray(
+                ref.shape, dtype=np.dtype(ref.dtype), buffer=segment.buf
+            ).copy()
+        finally:
+            segment.close()
+            try:
+                segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already reclaimed
+                pass
+        result.mask_ref = None
+        obs.metrics.counter("fullchip_result_bytes_shared").inc(int(ref.nbytes))
+    except Exception as exc:  # noqa: BLE001 - a lost segment fails the tile
+        result.mask_ref = None
+        result.status = CellStatus(
+            status="failed",
+            attempts=result.status.attempts,
+            runtime_s=result.status.runtime_s,
+            error=f"shared-memory mask {ref.name} unreadable: {exc}",
+        )
+    return result
+
+
+def _ensure_resource_tracker() -> None:
+    """Start the multiprocessing resource tracker in this (parent) process.
+
+    Must happen *before* a fork pool is created: forked workers then
+    inherit the parent's tracker, so segments registered by workers and
+    unlinked by the parent reconcile in one place instead of producing
+    leaked-resource warnings at worker exit.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.ensure_running()
+    except Exception as exc:  # noqa: BLE001 - tracker is best-effort hygiene
+        logger.debug("resource tracker not started: %s", exc)
+
+
 def solve_tile_job(job: TileJob) -> TileResult:
     """Solve one tile with retries/timeout; never raises on solve faults.
 
@@ -367,7 +499,16 @@ def solve_tile_job(job: TileJob) -> TileResult:
     into the returned :class:`TileResult` so keep-going decisions happen
     in the parent, on data.  Empty tiles (no geometry in the window)
     short-circuit to an all-dark mask without spinning up a solver.
+    With ``job.share_result`` the returned mask travels through shared
+    memory (:func:`export_shared_mask`) rather than the result pickle.
     """
+    result = _solve_tile_job_impl(job)
+    if job.share_result:
+        result = export_shared_mask(result)
+    return result
+
+
+def _solve_tile_job_impl(job: TileJob) -> TileResult:
     tile = job.tile
     state_dir = _tile_state_dir(job)
     if job.resume and state_dir is not None:
@@ -669,7 +810,7 @@ def run_tile_jobs(
                 if status is not None:
                     status.mark_running(job.tile.name, pid=os.getpid())
                     status.write()
-                result = solve_tile_job(job)
+                result = absorb_shared_mask(solve_tile_job(job), obs)
                 record(result)
                 results[job.tile.index] = result
                 if status is not None:
@@ -682,6 +823,8 @@ def run_tile_jobs(
                     )
         else:
             warm_model_cache(jobs)
+            if any(job.share_result for job in jobs):
+                _ensure_resource_tracker()
             with ProcessPoolExecutor(
                 max_workers=min(workers, len(jobs)), mp_context=_pool_context()
             ) as pool:
@@ -705,6 +848,7 @@ def run_tile_jobs(
                                     error=f"{type(exc).__name__}: {exc}",
                                 ),
                             )
+                        result = absorb_shared_mask(result, obs)
                         record(result)
                         results[job.tile.index] = result
                         if not result.ok and first_failure is None:

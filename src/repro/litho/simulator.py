@@ -34,7 +34,9 @@ from ..optics.hopkins import (
     backproject_fields,
     batched_field_stacks,
     field_stack,
+    weight_fields,
 )
+from ..xp import ArrayBackend, resolve_backend
 from ..optics.kernels import SOCSKernels, build_socs_kernels
 from ..process.corners import ProcessCorner, enumerate_corners, nominal_corner
 from ..process.pvband import pv_band, pv_band_area
@@ -84,6 +86,13 @@ class LithographySimulator:
             through the batched shared-FFT engine (the default).  False
             restores the per-corner, one-FFT-per-kernel legacy path —
             numerically equivalent, kept as the A/B reference.
+        backend: array backend for the numeric core — an
+            :class:`~repro.xp.ArrayBackend` instance or a spec string
+            (``"numpy"``, ``"numpy:float32"``, ``"torch"``, ...).
+            Defaults to ``config.optics.backend``, then the
+            ``REPRO_ARRAY_BACKEND`` environment variable, then the numpy
+            float64 reference.  Raises
+            :class:`~repro.errors.OpticsError` for unknown specs.
     """
 
     def __init__(
@@ -92,12 +101,16 @@ class LithographySimulator:
         source: Optional[object] = None,
         obs: Optional[Instrumentation] = None,
         batch_forward: bool = True,
+        backend: Optional[ArrayBackend | str] = None,
     ) -> None:
         self.config = config
         self.grid = config.grid
         self.resist = ThresholdResist(config.resist, pixel_nm=config.grid.pixel_nm)
         self.obs = obs or Instrumentation.disabled()
         self.batch_forward = batch_forward
+        if backend is None:
+            backend = config.optics.backend
+        self.xp = resolve_backend(backend)
         self._source = source
         self._kernel_cache: Dict[float, SOCSKernels] = {}
         self._cache_hits = 0
@@ -149,14 +162,14 @@ class LithographySimulator:
         kernels = self.kernels_at(corner.defocus_nm)
         self.obs.metrics.counter("forward_evals_total").inc()
         with self.obs.tracer.span("aerial"):
-            return aerial_image(mask, kernels, dose=corner.dose)
+            return aerial_image(mask, kernels, dose=corner.dose, xp=self.xp)
 
     def fields(self, mask: np.ndarray, corner: Optional[ProcessCorner] = None) -> np.ndarray:
         """Per-kernel coherent fields at a condition (for gradient reuse)."""
         corner = corner or nominal_corner()
         kernels = self.kernels_at(corner.defocus_nm)
         with self.obs.tracer.span("fields"):
-            return field_stack(mask, kernels)
+            return field_stack(mask, kernels, xp=self.xp)
 
     def print_binary(self, mask: np.ndarray, corner: Optional[ProcessCorner] = None) -> np.ndarray:
         """Hard-threshold printed image Z (paper Eq. 3)."""
@@ -212,12 +225,12 @@ class LithographySimulator:
         focus_kernels: Dict[float, SOCSKernels] = {}
         for corner, kernels in zip(corners, kernel_by_corner):
             focus_kernels.setdefault(float(corner.defocus_nm), kernels)
-        cache = ForwardCache(mask, obs=self.obs)
+        cache = ForwardCache(mask, obs=self.obs, xp=self.xp)
         with self.obs.tracer.span("forward.batched"):
             stacks = batched_field_stacks(cache, list(focus_kernels.values()))
             intensity: Dict[float, np.ndarray] = {}
             for (focus, kernels), fields in zip(focus_kernels.items(), stacks):
-                intensity[focus] = aerial_image(mask, kernels, fields=fields)
+                intensity[focus] = aerial_image(mask, kernels, fields=fields, xp=self.xp)
         self.obs.metrics.counter("forward_evals_total").inc(len(corners))
         return [c.dose * intensity[float(c.defocus_nm)] for c in corners]
 
@@ -263,7 +276,7 @@ class LithographySimulator:
             combined[key] = combined[key] + scaled if key in combined else scaled
         combined = {key: self.resist.diffuse(value) for key, value in combined.items()}
         if fields_by_focus is None or any(f not in fields_by_focus for f in combined):
-            cache = ForwardCache(mask, obs=self.obs)
+            cache = ForwardCache(mask, obs=self.obs, xp=self.xp)
             kernel_sets = [self.kernels_at(f) for f in combined]
             with self.obs.tracer.span("forward.batched"):
                 stacks = batched_field_stacks(cache, kernel_sets)
@@ -271,15 +284,20 @@ class LithographySimulator:
         with self.obs.tracer.span("backproject.batched"):
             if batched:
                 groups = [
-                    (combined[f][None, :, :] * fields_by_focus[f], self.kernels_at(f))
+                    (
+                        weight_fields(combined[f], fields_by_focus[f], self.xp),
+                        self.kernels_at(f),
+                    )
                     for f in combined
                 ]
-                return accumulate_backprojection(groups)
+                return accumulate_backprojection(groups, xp=self.xp)
             total = np.zeros(self.grid.shape)
             for focus, df_di in combined.items():
                 kernels = self.kernels_at(focus)
                 total += backproject_fields(
-                    df_di[None, :, :] * fields_by_focus[focus], kernels
+                    weight_fields(df_di, fields_by_focus[focus], self.xp),
+                    kernels,
+                    xp=self.xp,
                 )
             return total
 

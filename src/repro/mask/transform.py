@@ -22,18 +22,30 @@ from ..utils.validation import sigmoid
 _CLIP_EPS = 1e-3
 
 
-def mask_from_params(params: np.ndarray, theta_m: float = constants.THETA_M) -> np.ndarray:
+def mask_from_params(
+    params: np.ndarray, theta_m: float = constants.THETA_M, xp=None
+) -> np.ndarray:
     """Continuous mask M in (0, 1) from unconstrained parameters P.
 
     Large ``theta_m`` values (or large params) saturate the sigmoid
     cleanly to {0, 1} instead of raising overflow RuntimeWarnings: the
     exponent is clamped inside :func:`sigmoid` and the product is
     computed under ``np.errstate(over="ignore")``.
+
+    ``xp`` selects an :class:`~repro.xp.ArrayBackend` (instance or spec
+    string); ``None`` keeps the host float64 numpy path.
     """
-    return sigmoid(np.asarray(params, dtype=np.float64), theta_m)
+    if xp is None:
+        return sigmoid(np.asarray(params, dtype=np.float64), theta_m)
+    from ..xp import resolve_backend
+
+    xp = resolve_backend(xp)
+    return sigmoid(xp.asarray(params, "float"), theta_m, xp=xp)
 
 
-def params_from_mask(mask: np.ndarray, theta_m: float = constants.THETA_M) -> np.ndarray:
+def params_from_mask(
+    mask: np.ndarray, theta_m: float = constants.THETA_M, xp=None
+) -> np.ndarray:
     """Unconstrained parameters P from a (possibly binary) mask.
 
     Binary inputs are softened by ``_CLIP_EPS`` so the inverse sigmoid is
@@ -42,12 +54,27 @@ def params_from_mask(mask: np.ndarray, theta_m: float = constants.THETA_M) -> np
     Out-of-range inputs (including ``inf``) are clipped into the soft
     interval first, so the logit never produces non-finite parameters.
     """
-    m = np.clip(np.asarray(mask, dtype=np.float64), _CLIP_EPS, 1.0 - _CLIP_EPS)
+    if xp is None:
+        m = np.clip(np.asarray(mask, dtype=np.float64), _CLIP_EPS, 1.0 - _CLIP_EPS)
+        with np.errstate(over="ignore", invalid="ignore"):
+            return np.log(m / (1.0 - m)) / theta_m
+    from ..xp import resolve_backend
+
+    xp = resolve_backend(xp)
+    m = xp.clip(xp.asarray(mask, "float"), _CLIP_EPS, 1.0 - _CLIP_EPS)
     with np.errstate(over="ignore", invalid="ignore"):
-        return np.log(m / (1.0 - m)) / theta_m
+        return xp.log(m / (1.0 - m)) / theta_m
 
 
-def mask_param_derivative(mask: np.ndarray, theta_m: float = constants.THETA_M) -> np.ndarray:
+def mask_param_derivative(
+    mask: np.ndarray, theta_m: float = constants.THETA_M, xp=None
+) -> np.ndarray:
     """Chain-rule factor dM/dP = theta_M * M * (1 - M) (paper Eqs. 15, 17)."""
-    m = np.asarray(mask, dtype=np.float64)
+    if xp is None:
+        m = np.asarray(mask, dtype=np.float64)
+        return theta_m * m * (1.0 - m)
+    from ..xp import resolve_backend
+
+    xp = resolve_backend(xp)
+    m = xp.asarray(mask, "float")
     return theta_m * m * (1.0 - m)

@@ -110,7 +110,13 @@ class MosaicSolver:
         objective_region: Optional[np.ndarray] = None,
     ) -> None:
         self.litho_config = litho_config or LithoConfig.paper()
-        self.sim = simulator or LithographySimulator(self.litho_config)
+        if simulator is None:
+            # OptimizerConfig.backend outranks the optics-level default
+            # when the solver builds its own simulator; a pre-built
+            # simulator keeps whatever backend it was constructed with.
+            backend = optimizer_config.backend if optimizer_config is not None else None
+            simulator = LithographySimulator(self.litho_config, backend=backend)
+        self.sim = simulator
         if optimizer_config is None:
             optimizer_config = replace(
                 OptimizerConfig(), max_iterations=self.default_iterations

@@ -29,6 +29,7 @@ from ..optics.hopkins import (
     aerial_image,
     backproject_fields,
     batched_field_stacks,
+    weight_fields,
 )
 from ..process.corners import ProcessCorner, nominal_corner
 
@@ -54,7 +55,7 @@ class ForwardContext:
         self.batched = bool(
             getattr(sim, "batch_forward", True) if batched is None else batched
         )
-        self._cache = ForwardCache(self.mask, obs=sim.obs)
+        self._cache = ForwardCache(self.mask, obs=sim.obs, xp=sim.xp)
         self._fields: Dict[float, np.ndarray] = {}
         self._intensity: Dict[float, np.ndarray] = {}
         self._aerial: Dict[tuple, np.ndarray] = {}
@@ -116,7 +117,7 @@ class ForwardContext:
         if key not in self._intensity:
             kernels = self.sim.kernels_at(corner.defocus_nm)
             self._intensity[key] = aerial_image(
-                self.mask, kernels, fields=self.fields(corner)
+                self.mask, kernels, fields=self.fields(corner), xp=self.sim.xp
             )
         return self._intensity[key]
 
@@ -135,7 +136,11 @@ class ForwardContext:
                 else:
                     kernels = self.sim.kernels_at(corner.defocus_nm)
                     self._aerial[key] = aerial_image(
-                        self.mask, kernels, dose=corner.dose, fields=self.fields(corner)
+                        self.mask,
+                        kernels,
+                        dose=corner.dose,
+                        fields=self.fields(corner),
+                        xp=self.sim.xp,
                     )
         return self._aerial[key]
 
@@ -170,8 +175,8 @@ class ForwardContext:
         fields = self.fields(corner)
         with self.sim.obs.tracer.span("backproject"):
             dF_dI = self.sim.resist.diffuse(np.asarray(dF_dI, dtype=np.float64))
-            weighted = dF_dI[None, :, :] * fields
-            return corner.dose * backproject_fields(weighted, kernels)
+            weighted = weight_fields(dF_dI, fields, self.sim.xp)
+            return corner.dose * backproject_fields(weighted, kernels, xp=self.sim.xp)
 
     def accumulate_intensity_gradients(
         self, contributions: Sequence[Tuple[Optional[ProcessCorner], np.ndarray]]

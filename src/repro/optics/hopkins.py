@@ -25,39 +25,50 @@ is band-limited to a small set of frequency rows, the batched transforms
 additionally prune the row pass to the touched rows — bitwise-identical
 output for the forward direction, since transforming exact zeros yields
 exact zeros.
+
+Array backends: every entry point takes an optional ``xp``
+(:class:`~repro.xp.ArrayBackend` or spec string).  The default resolves
+through ``REPRO_ARRAY_BACKEND`` to the numpy float64 reference, which
+executes the exact numpy calls of the pre-seam code — bitwise-identical
+results.  Field stacks stay backend-native (they only flow back into
+these functions); aerial images and mask-plane gradients are returned as
+numpy arrays at the backend's precision, since everything downstream
+(resist, objectives, optimizer) lives on the host.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from ..errors import GridError
 from ..obs import Instrumentation
+from ..xp import ArrayBackend, resolve_backend
 from .kernels import SOCSKernels, common_grid_shape
 from .tcc import FrequencySupport
 
-
-def _mask_spectrum(mask: np.ndarray, kernels: SOCSKernels) -> np.ndarray:
-    mask = np.asarray(mask, dtype=np.float64)
-    if mask.shape != kernels.shape:
-        raise GridError(f"mask shape {mask.shape} != kernel grid {kernels.shape}")
-    return np.fft.fft2(mask)
+XpArg = Union[None, str, ArrayBackend]
 
 
-def field_stack(mask: np.ndarray, kernels: SOCSKernels) -> np.ndarray:
+def field_stack(mask: np.ndarray, kernels: SOCSKernels, xp: XpArg = None) -> Any:
     """Per-kernel coherent fields E_k = M (*) h_k.
 
     Returns:
-        Complex array of shape ``(h, rows, cols)``.
+        Backend-native complex array of shape ``(h, rows, cols)``.
     """
-    m_hat = _mask_spectrum(mask, kernels)
-    m_sup = kernels.support.gather(m_hat)
-    fields = np.empty((kernels.num_kernels,) + kernels.shape, dtype=np.complex128)
+    xp = resolve_backend(xp)
+    if tuple(mask.shape) != kernels.shape:
+        raise GridError(f"mask shape {tuple(mask.shape)} != kernel grid {kernels.shape}")
+    kd = xp.kernel_data(kernels)
+    m_hat = xp.fft2(xp.asarray(mask, "float"))
+    m_sup = m_hat[kd.rows, kd.cols]
+    fields = xp.empty((kernels.num_kernels,) + kernels.shape, "complex")
     for k in range(kernels.num_kernels):
-        fields[k] = np.fft.ifft2(kernels.support.scatter(m_sup * kernels.spectra[k]))
+        full = xp.zeros(kernels.shape, "complex")
+        full[kd.rows, kd.cols] = m_sup * kd.spectra[k]
+        fields[k] = xp.ifft2(full)
     return fields
 
 
@@ -65,7 +76,8 @@ def aerial_image(
     mask: np.ndarray,
     kernels: SOCSKernels,
     dose: float = 1.0,
-    fields: np.ndarray | None = None,
+    fields: Any = None,
+    xp: XpArg = None,
 ) -> np.ndarray:
     """Aerial intensity I = dose * sum_k w_k |E_k|^2.
 
@@ -73,20 +85,41 @@ def aerial_image(
         mask: real mask transmission in [0, 1].
         kernels: SOCS kernel set at the desired focus.
         dose: multiplicative exposure-dose factor (paper: 1 +/- 2 %).
-        fields: optional precomputed :func:`field_stack` output to reuse.
+        fields: optional precomputed :func:`field_stack` output to reuse
+            (backend-native, from the same backend as ``xp``).
+        xp: array backend (default: the resolved process backend).
 
     Returns:
-        Real intensity image of the grid shape.
+        Real intensity image of the grid shape, as a numpy array at the
+        backend's float dtype.
     """
+    xp = resolve_backend(xp)
+    if tuple(mask.shape) != kernels.shape:
+        raise GridError(f"mask shape {tuple(mask.shape)} != kernel grid {kernels.shape}")
     if fields is None:
-        fields = field_stack(mask, kernels)
-    intensity = np.einsum("k,kij->ij", kernels.weights, np.abs(fields) ** 2)
-    return dose * intensity
+        fields = field_stack(mask, kernels, xp)
+    kd = xp.kernel_data(kernels)
+    intensity = xp.einsum("k,kij->ij", kd.weights, xp.abs(fields) ** 2)
+    return xp.to_numpy(dose * intensity)
+
+
+def weight_fields(df_di: np.ndarray, fields: Any, xp: XpArg = None) -> Any:
+    """Per-kernel weighted fields ``G'(I) * E_k``, on the backend.
+
+    The intensity-space gradient lives on the host (numpy float64, it
+    came through the resist adjoint); the fields are backend-native.
+    Routing the product through the backend keeps the result native and
+    at the policy dtype instead of letting numpy/torch promotion rules
+    decide.
+    """
+    xp = resolve_backend(xp)
+    return xp.asarray(df_di, "float")[None, :, :] * fields
 
 
 def backproject_fields(
-    weighted_fields: np.ndarray,
+    weighted_fields: Any,
     kernels: SOCSKernels,
+    xp: XpArg = None,
 ) -> np.ndarray:
     """Back-project per-kernel weighted fields onto the mask plane.
 
@@ -95,23 +128,29 @@ def backproject_fields(
 
     Args:
         weighted_fields: complex array ``(h, rows, cols)`` holding
-            ``G'(I) * E_k`` for each kernel.
+            ``G'(I) * E_k`` for each kernel (numpy or backend-native).
         kernels: the kernel set the fields were produced with.
+        xp: array backend (default: the resolved process backend).
 
     Returns:
-        Real gradient contribution on the mask plane.
+        Real gradient contribution on the mask plane (numpy).
     """
-    if weighted_fields.shape != (kernels.num_kernels,) + kernels.shape:
+    xp = resolve_backend(xp)
+    if tuple(weighted_fields.shape) != (kernels.num_kernels,) + kernels.shape:
         raise GridError(
-            f"weighted_fields shape {weighted_fields.shape} inconsistent with "
+            f"weighted_fields shape {tuple(weighted_fields.shape)} inconsistent with "
             f"{kernels.num_kernels} kernels on grid {kernels.shape}"
         )
-    accum = np.zeros(kernels.shape, dtype=np.complex128)
+    kd = xp.kernel_data(kernels)
+    weighted_fields = xp.asarray(weighted_fields, "complex")
+    accum = xp.zeros(kernels.shape, "complex")
     for k in range(kernels.num_kernels):
-        w_hat = np.fft.fft2(weighted_fields[k])
-        w_sup = kernels.support.gather(w_hat) * np.conj(kernels.spectra[k])
-        accum += kernels.weights[k] * np.fft.ifft2(kernels.support.scatter(w_sup))
-    return 2.0 * np.real(accum)
+        w_hat = xp.fft2(weighted_fields[k])
+        w_sup = w_hat[kd.rows, kd.cols] * xp.conj(kd.spectra[k])
+        full = xp.zeros(kernels.shape, "complex")
+        full[kd.rows, kd.cols] = w_sup
+        accum += kd.weights[k] * xp.ifft2(full)
+    return xp.to_numpy(2.0 * xp.real(accum))
 
 
 @dataclass(frozen=True)
@@ -139,16 +178,28 @@ class ForwardCache:
     ``forward_mask_ffts`` / ``forward_fft_reuse`` counters and
     :meth:`info`.
 
+    The spectrum and gathered samples are held as *backend-native*
+    arrays; ``mask`` stays a host float64 copy for shape checks and
+    non-seam consumers.
+
     Args:
         mask: real mask transmission in [0, 1].
         obs: optional instrumentation bundle; no-op when omitted.
+        xp: array backend (default: the resolved process backend).
     """
 
-    def __init__(self, mask: np.ndarray, obs: Optional[Instrumentation] = None) -> None:
+    def __init__(
+        self,
+        mask: np.ndarray,
+        obs: Optional[Instrumentation] = None,
+        xp: XpArg = None,
+    ) -> None:
+        self.xp = resolve_backend(xp)
         self.mask = np.asarray(mask, dtype=np.float64)
         self.obs = obs or Instrumentation.disabled()
-        self._spectrum: Optional[np.ndarray] = None
-        self._gathered: Dict[int, np.ndarray] = {}
+        self._mask_dev = self.xp.asarray(self.mask, "float")
+        self._spectrum: Optional[Any] = None
+        self._gathered: Dict[int, Any] = {}
         self._mask_ffts = 0
         self._reuses = 0
 
@@ -156,10 +207,10 @@ class ForwardCache:
     def shape(self) -> tuple:
         return self.mask.shape
 
-    def spectrum(self) -> np.ndarray:
+    def spectrum(self) -> Any:
         """Full-grid ``fft2(M)``, computed on first call and cached."""
         if self._spectrum is None:
-            self._spectrum = np.fft.fft2(self.mask)
+            self._spectrum = self.xp.fft2(self._mask_dev)
             self._mask_ffts += 1
             self.obs.metrics.counter("forward_mask_ffts").inc()
         else:
@@ -167,7 +218,7 @@ class ForwardCache:
             self.obs.metrics.counter("forward_fft_reuse").inc()
         return self._spectrum
 
-    def gathered(self, support: FrequencySupport) -> np.ndarray:
+    def gathered(self, support: FrequencySupport) -> Any:
         """Support-sampled mask spectrum, memoized per support object."""
         if self.mask.shape != support.shape:
             raise GridError(
@@ -175,7 +226,10 @@ class ForwardCache:
             )
         hit = self._gathered.get(id(support))
         if hit is None:
-            hit = support.gather(self.spectrum())
+            spec = self.spectrum()
+            rows = self.xp.asarray(support.rows, "index")
+            cols = self.xp.asarray(support.cols, "index")
+            hit = spec[rows, cols]
             self._gathered[id(support)] = hit
         else:
             self._reuses += 1
@@ -205,22 +259,24 @@ def _support_rows(
 
 def batched_field_stacks(
     cache: ForwardCache, kernel_sets: Sequence[SOCSKernels]
-) -> List[np.ndarray]:
+) -> List[Any]:
     """Coherent fields for several kernel sets from one vectorized ifft2.
 
     The batched counterpart of :func:`field_stack`: every (kernel-set x
     kernel) spectrum product is stacked onto the leading axis and a
-    single ``np.fft.ifft2`` call transforms them all, sharing the cached
-    mask spectrum across sets.
+    single batched ``ifft2`` transforms them all, sharing the cached
+    mask spectrum across sets.  Runs on the cache's backend.
 
     Args:
         cache: the mask's spectrum cache.
         kernel_sets: kernel sets (typically one per distinct focus).
 
     Returns:
-        List of complex ``(h_i, rows, cols)`` field stacks aligned with
-        ``kernel_sets`` (empty input gives an empty list).
+        List of backend-native complex ``(h_i, rows, cols)`` field
+        stacks aligned with ``kernel_sets`` (empty input gives an empty
+        list).
     """
+    xp = cache.xp
     kernel_sets = list(kernel_sets)
     if not kernel_sets:
         return []
@@ -228,26 +284,29 @@ def batched_field_stacks(
     if cache.shape != shape:
         raise GridError(f"mask shape {cache.shape} != kernel grid {shape}")
     counts = [ks.num_kernels for ks in kernel_sets]
-    stacked = np.zeros((sum(counts),) + shape, dtype=np.complex128)
+    stacked = xp.zeros((sum(counts),) + shape, "complex")
     pos = 0
     for ks in kernel_sets:
+        kd = xp.kernel_data(ks)
         m_sup = cache.gathered(ks.support)
-        stacked[pos : pos + ks.num_kernels, ks.support.rows, ks.support.cols] = (
-            m_sup[None, :] * ks.spectra
-        )
+        # Two-step view indexing (slice first, then the advanced index)
+        # keeps the write portable across numpy/cupy/torch setitem rules.
+        block = stacked[pos : pos + ks.num_kernels]
+        block[:, kd.rows, kd.cols] = m_sup[None, :] * kd.spectra
         pos += ks.num_kernels
     rows_used = _support_rows([ks.support for ks in kernel_sets], shape[0])
     if rows_used is None:
-        fields = np.fft.ifft2(stacked, axes=(-2, -1))
+        fields = xp.ifft2(stacked)
     else:
         # Row-pruned separable inverse: the stacked spectra are nonzero
         # only on the band-limited support rows, so the first 1-D pass
         # skips the all-zero rows (bitwise-identical to the full ifft2 —
         # transforming exact zeros yields exact zeros).
-        fields = np.zeros_like(stacked)
-        fields[:, rows_used, :] = np.fft.ifft(stacked[:, rows_used, :], axis=-1)
-        fields = np.fft.ifft(fields, axis=-2)
-    out: List[np.ndarray] = []
+        ru = xp.asarray(rows_used, "index")
+        fields = xp.zeros(tuple(stacked.shape), "complex")
+        fields[:, ru, :] = xp.ifft(stacked[:, ru, :], axis=-1)
+        fields = xp.ifft(fields, axis=-2)
+    out: List[Any] = []
     pos = 0
     for h in counts:
         out.append(fields[pos : pos + h])
@@ -256,7 +315,8 @@ def batched_field_stacks(
 
 
 def accumulate_backprojection(
-    groups: Sequence[Tuple[np.ndarray, SOCSKernels]]
+    groups: Sequence[Tuple[Any, SOCSKernels]],
+    xp: XpArg = None,
 ) -> np.ndarray:
     """Sum of back-projections over several (weighted_fields, kernels) groups.
 
@@ -271,52 +331,57 @@ def accumulate_backprojection(
         groups: ``(weighted_fields, kernels)`` pairs, one per focus
             condition, with ``weighted_fields`` shaped
             ``(h, rows, cols)`` holding ``G'(I) * E_k`` (any per-corner
-            dose factors already applied).
+            dose factors already applied; numpy or backend-native).
+        xp: array backend (default: the resolved process backend).
 
     Returns:
-        Real gradient contribution on the mask plane.
+        Real gradient contribution on the mask plane (numpy).
     """
+    xp = resolve_backend(xp)
     groups = list(groups)
     shape = common_grid_shape([ks for _, ks in groups])
     total = 0
     for wf, ks in groups:
-        if wf.shape != (ks.num_kernels,) + shape:
+        if tuple(wf.shape) != (ks.num_kernels,) + shape:
             raise GridError(
-                f"weighted_fields shape {wf.shape} inconsistent with "
+                f"weighted_fields shape {tuple(wf.shape)} inconsistent with "
                 f"{ks.num_kernels} kernels on grid {shape}"
             )
         total += ks.num_kernels
-    stacked = np.empty((total,) + shape, dtype=np.complex128)
+    stacked = xp.empty((total,) + shape, "complex")
     pos = 0
     for wf, ks in groups:
-        stacked[pos : pos + ks.num_kernels] = wf
+        stacked[pos : pos + ks.num_kernels] = xp.asarray(wf, "complex")
         pos += ks.num_kernels
     rows_used = _support_rows([ks.support for _, ks in groups], shape[0])
-    accum = np.zeros(shape, dtype=np.complex128)
+    accum = xp.zeros(shape, "complex")
     if rows_used is None:
-        w_hat = np.fft.fft2(stacked, axes=(-2, -1))
+        w_hat = xp.fft2(stacked)
         pos = 0
         for _, ks in groups:
             h = ks.num_kernels
-            gathered = w_hat[pos : pos + h, ks.support.rows, ks.support.cols]
-            accum[ks.support.rows, ks.support.cols] += np.einsum(
-                "k,ks->s", ks.weights, gathered * np.conj(ks.spectra)
+            kd = xp.kernel_data(ks)
+            gathered = w_hat[pos : pos + h][:, kd.rows, kd.cols]
+            accum[kd.rows, kd.cols] += xp.einsum(
+                "k,ks->s", kd.weights, gathered * xp.conj(kd.spectra)
             )
             pos += h
     else:
         # Row-pruned separable forward: only the support rows of the
         # spectrum are ever gathered, so the second 1-D pass runs on
         # those rows alone.
-        w_hat = np.fft.fft(
-            np.fft.fft(stacked, axis=-2)[:, rows_used, :], axis=-1
-        )
+        ru = xp.asarray(rows_used, "index")
+        w_hat = xp.fft(xp.fft(stacked, axis=-2)[:, ru, :], axis=-1)
         pos = 0
         for _, ks in groups:
             h = ks.num_kernels
-            row_idx = np.searchsorted(rows_used, ks.support.rows)
-            gathered = w_hat[pos : pos + h, row_idx, ks.support.cols]
-            accum[ks.support.rows, ks.support.cols] += np.einsum(
-                "k,ks->s", ks.weights, gathered * np.conj(ks.spectra)
+            kd = xp.kernel_data(ks)
+            row_idx = xp.asarray(
+                np.searchsorted(rows_used, ks.support.rows), "index"
+            )
+            gathered = w_hat[pos : pos + h][:, row_idx, kd.cols]
+            accum[kd.rows, kd.cols] += xp.einsum(
+                "k,ks->s", kd.weights, gathered * xp.conj(kd.spectra)
             )
             pos += h
-    return 2.0 * np.real(np.fft.ifft2(accum))
+    return xp.to_numpy(2.0 * xp.real(xp.ifft2(accum)))

@@ -10,7 +10,9 @@ from ..errors import GridError
 _EXP_CLAMP = 500.0
 
 
-def sigmoid(x: np.ndarray, steepness: float = 1.0, center: float = 0.0) -> np.ndarray:
+def sigmoid(
+    x: np.ndarray, steepness: float = 1.0, center: float = 0.0, xp=None
+) -> np.ndarray:
     """Numerically stable logistic sigmoid ``1 / (1 + exp(-steepness*(x-center)))``.
 
     This is the workhorse of the whole paper: it approximates the resist
@@ -21,20 +23,32 @@ def sigmoid(x: np.ndarray, steepness: float = 1.0, center: float = 0.0) -> np.nd
         x: input array (any shape) or scalar.
         steepness: sigmoid steepness (theta in the paper).
         center: value of x at which the sigmoid crosses 0.5.
+        xp: optional :class:`~repro.xp.ArrayBackend` (or spec string) to
+            evaluate on; ``None`` keeps the host float64 numpy path.
 
     Returns:
-        Array of the same shape with values in (0, 1).
+        Array of the same shape with values in (0, 1), backend-native
+        when ``xp`` is given.
     """
     # Extreme steepness values (theta_m sweeps, fault-injected params) can
     # overflow the product before the clamp ever sees it; suppress the
     # warning and let the clamp saturate the result instead.
+    if xp is None:
+        with np.errstate(over="ignore"):
+            z = np.clip(
+                steepness * (np.asarray(x, dtype=np.float64) - center),
+                -_EXP_CLAMP,
+                _EXP_CLAMP,
+            )
+        return 1.0 / (1.0 + np.exp(-z))
+    from ..xp import resolve_backend  # deferred: utils must stay leaf-ish
+
+    xp = resolve_backend(xp)
     with np.errstate(over="ignore"):
-        z = np.clip(
-            steepness * (np.asarray(x, dtype=np.float64) - center),
-            -_EXP_CLAMP,
-            _EXP_CLAMP,
+        z = xp.clip(
+            steepness * (xp.asarray(x, "float") - center), -_EXP_CLAMP, _EXP_CLAMP
         )
-    return 1.0 / (1.0 + np.exp(-z))
+        return 1.0 / (1.0 + xp.exp(-z))
 
 
 def ensure_image(arr: np.ndarray, name: str = "image") -> np.ndarray:

@@ -10,6 +10,12 @@ mask at ``LithoConfig.reduced()`` scale, for both the batched and the
 legacy forward engines.  The central scheme's truncation error is
 O(eps^2), so with eps = 1e-6 the agreement floor sits far below the
 1e-4 relative tolerance asserted here.
+
+The check is parametrized over every registered array backend.  Finite
+differences with eps = 1e-6 are meaningless below float32 resolution,
+so single-precision backends are instead held to the analytic gradient
+of the numpy float64 reference within the float32 gate — the float64
+reference itself is what the FD probes validate.
 """
 
 import numpy as np
@@ -25,6 +31,11 @@ from repro.opc.objectives import (
 EPS = 1e-6
 REL_TOL = 1e-4
 NUM_PIXELS = 20
+# Float32 forward/adjoint noise, relative to the gradient's peak.  The
+# gate is looser than the 1e-5 forward-image gate because the adjoint
+# chains two more FFTs and the objective chain rules through the resist
+# sigmoid.
+FLOAT32_GRAD_RTOL = 1e-4
 
 
 @pytest.fixture(scope="module")
@@ -82,11 +93,33 @@ def check_gradient(sim, objective, mask, batched):
     assert worst < REL_TOL, f"worst relative FD error {worst:.3e}"
 
 
+def check_gradient_vs_reference(backend_sim, ref_sim, objective_name,
+                                layout, target, mask, batched):
+    """Float32 path: analytic gradient vs the float64 reference gradient."""
+    objective = objective_for(objective_name, backend_sim, layout, target)
+    _, grad = objective.value_and_gradient(
+        backend_sim.context(mask, batched=batched)
+    )
+    reference_objective = objective_for(objective_name, ref_sim, layout, target)
+    _, reference = reference_objective.value_and_gradient(
+        ref_sim.context(mask, batched=batched)
+    )
+    scale = np.max(np.abs(reference))
+    assert np.allclose(
+        grad, reference, rtol=FLOAT32_GRAD_RTOL, atol=FLOAT32_GRAD_RTOL * scale
+    ), f"float32 gradient deviates from float64 reference for {objective_name}"
+
+
 @pytest.mark.parametrize("batched", [True, False], ids=["batched", "legacy"])
 @pytest.mark.parametrize("name", ["epe", "image_diff", "pvband"])
 def test_analytic_gradient_matches_finite_differences(
-    sim, fd_setup, name, batched
+    sim, backend_sim, backend, fd_setup, name, batched
 ):
     layout, target, mask = fd_setup
-    objective = objective_for(name, sim, layout, target)
-    check_gradient(sim, objective, mask, batched)
+    if backend.precision == "float64":
+        objective = objective_for(name, backend_sim, layout, target)
+        check_gradient(backend_sim, objective, mask, batched)
+    else:
+        check_gradient_vs_reference(
+            backend_sim, sim, name, layout, target, mask, batched
+        )

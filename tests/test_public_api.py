@@ -44,6 +44,7 @@ class TestSubpackageImports:
             "repro.process",
             "repro.litho",
             "repro.mask",
+            "repro.xp",
             "repro.opc",
             "repro.opc.objectives",
             "repro.baselines",
