@@ -380,6 +380,10 @@ def cmd_fullchip(args: argparse.Namespace) -> int:
         watchdog_min_stall_s=args.watchdog_min_stall,
         watchdog_cancel=args.watchdog_cancel,
         backend=_backend_from_args(args),
+        executor=args.executor,
+        queue_lease_s=args.lease_s,
+        queue_max_requeues=args.max_requeues,
+        queue_backoff_s=args.queue_backoff,
         **monitor_kwargs,
     )
     engine = FullChipEngine(config, config=fc_config, obs=obs)
@@ -443,6 +447,22 @@ def cmd_fullchip(args: argparse.Namespace) -> int:
             )
         return 3
     return 0
+
+
+def cmd_worker(args: argparse.Namespace) -> int:
+    from .fullchip.worker import run_worker
+
+    level = {0: logging.WARNING, 1: logging.INFO}.get(args.verbose, logging.DEBUG)
+    logging.basicConfig(
+        level=level, format="%(levelname)s %(name)s: %(message)s", stream=sys.stderr
+    )
+    logging.getLogger("repro").setLevel(level)
+    return run_worker(
+        args.run_dir,
+        poll_s=args.poll,
+        exit_when_drained=not args.keep_alive,
+        max_jobs=args.max_jobs,
+    )
 
 
 def cmd_simulate(args: argparse.Namespace) -> int:
@@ -678,6 +698,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1, metavar="N",
         help="worker processes for tile solves (default: 1 = inline)",
     )
+    fullchip.add_argument(
+        "--executor", choices=("pool", "queue", "serial"), default="pool",
+        help="tile placement: 'pool' (fork pool; inline when --workers 1), "
+             "'serial' (always inline), or 'queue' (durable file-backed "
+             "job queue with crash-recovering 'repro worker' processes; "
+             "needs --telemetry-dir)",
+    )
     fullchip.add_argument("--mode", choices=("fast", "exact"), default="fast")
     fullchip.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
     _add_backend_arg(fullchip)
@@ -719,6 +746,25 @@ def build_parser() -> argparse.ArgumentParser:
              "feeds ('repro watch DIR' while running, 'repro report DIR' "
              "afterwards)",
     )
+    queue_group = fullchip.add_argument_group(
+        "durable queue (--executor queue)"
+    )
+    queue_group.add_argument(
+        "--lease-s", type=float, default=30.0, metavar="SECONDS",
+        help="lease term per tile claim; a worker that stops heartbeating "
+             "loses its lease after this long and the tile is requeued "
+             "(default: 30)",
+    )
+    queue_group.add_argument(
+        "--max-requeues", type=int, default=2, metavar="N",
+        help="lease-expiry requeues tolerated per tile before it is "
+             "quarantined (default: 2)",
+    )
+    queue_group.add_argument(
+        "--queue-backoff", type=float, default=0.5, metavar="SECONDS",
+        help="base re-claim backoff after a lease expiry, doubling per "
+             "requeue (default: 0.5)",
+    )
     live = fullchip.add_argument_group("live monitoring (needs --telemetry-dir)")
     live.add_argument(
         "--resource-interval", type=float, default=None, metavar="SECONDS",
@@ -745,6 +791,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_args(fullchip)
     fullchip.set_defaults(func=cmd_fullchip)
+
+    worker = sub.add_parser(
+        "worker",
+        help="durable-queue tile worker: claim leases from a fullchip run "
+             "directory, solve, commit (launch any number; crash-safe)",
+    )
+    worker.add_argument(
+        "run_dir",
+        help="fullchip run directory (--telemetry-dir) whose queue/ was "
+             "seeded by a '--executor queue' run",
+    )
+    worker.add_argument(
+        "--poll", type=float, default=0.5, metavar="SECONDS",
+        help="sleep between claim attempts when nothing is claimable "
+             "(default: 0.5)",
+    )
+    worker.add_argument(
+        "--max-jobs", type=int, default=None, metavar="N",
+        help="exit after processing N claims (default: unlimited)",
+    )
+    worker.add_argument(
+        "--keep-alive", action="store_true",
+        help="keep polling after the queue drains instead of exiting "
+             "(standing-fleet mode)",
+    )
+    worker.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log claims and commits (-v info, -vv debug)",
+    )
+    worker.set_defaults(func=cmd_worker)
 
     simulate = sub.add_parser("simulate", help="print a layout without OPC")
     simulate.add_argument("layout", help="benchmark name (B1..B10) or .glp path")

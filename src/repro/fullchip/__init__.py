@@ -18,14 +18,26 @@ from .ambit import (
     model_cache_info,
 )
 from .engine import FullChipConfig, FullChipEngine, FullChipResult
+from .executor import (
+    ExecutionContext,
+    PoolExecutor,
+    QueueWorkerExecutor,
+    SerialExecutor,
+    TileExecutor,
+    executor_for,
+)
+from .queue import ClaimedJob, QueueConfig, TileJobQueue, load_queue_state
 from .scheduler import (
     FAIL_TILES_ENV,
+    KILL_TILES_ENV,
+    STALL_TILES_ENV,
     TileJob,
     TileResult,
     run_tile_jobs,
     solve_tile_job,
     warm_model_cache,
 )
+from .worker import run_worker
 from .stitch import (
     SeamDelta,
     SeamReport,
@@ -48,12 +60,25 @@ __all__ = [
     "FullChipConfig",
     "FullChipEngine",
     "FullChipResult",
+    "ExecutionContext",
+    "PoolExecutor",
+    "QueueWorkerExecutor",
+    "SerialExecutor",
+    "TileExecutor",
+    "executor_for",
+    "ClaimedJob",
+    "QueueConfig",
+    "TileJobQueue",
+    "load_queue_state",
     "FAIL_TILES_ENV",
+    "KILL_TILES_ENV",
+    "STALL_TILES_ENV",
     "TileJob",
     "TileResult",
     "run_tile_jobs",
     "solve_tile_job",
     "warm_model_cache",
+    "run_worker",
     "SeamDelta",
     "SeamReport",
     "build_seam_report",

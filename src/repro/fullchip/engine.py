@@ -122,8 +122,23 @@ class FullChipConfig:
             through POSIX shared memory instead of pickling them
             (observable via the ``fullchip_result_bytes_shared`` /
             ``fullchip_result_bytes_pickled`` counters).  Only affects
-            multi-worker runs; inline solves hand the array over
-            directly.
+            multi-worker pool runs; inline solves hand the array over
+            directly and the queue executor transports results through
+            its durable ``results/`` files.
+        executor: tile placement strategy — ``"pool"`` (the default:
+            fork pool, inline when ``workers <= 1``), ``"serial"``
+            (always inline), or ``"queue"`` (the durable file-backed
+            job queue under ``<telemetry_dir>/queue/`` with
+            crash-recovering ``repro worker`` processes; requires a
+            ``telemetry_dir``).
+        queue_lease_s: queue executor only — lease term granted to a
+            worker per claim; a lease not renewed (via heartbeat
+            pulses) within this window is swept and the tile requeued.
+        queue_max_requeues: queue executor only — lease-expiry requeues
+            tolerated per tile before it is quarantined (terminal, the
+            rasterized-target fallback covers its core).
+        queue_backoff_s: queue executor only — base of the exponential
+            re-claim backoff after a lease expiry (doubles per requeue).
     """
 
     tile_nm: float = 1024.0
@@ -149,6 +164,10 @@ class FullChipConfig:
     watchdog_cancel: bool = False
     backend: Optional[str] = None
     shared_results: bool = True
+    executor: str = "pool"
+    queue_lease_s: float = 30.0
+    queue_max_requeues: int = 2
+    queue_backoff_s: float = 0.5
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -170,6 +189,20 @@ class FullChipConfig:
                 "heartbeat_min_interval_s must be >= 0, "
                 f"got {self.heartbeat_min_interval_s}"
             )
+        if self.executor not in ("pool", "queue", "serial"):
+            raise FullChipError(
+                "executor must be one of ('pool', 'queue', 'serial'), "
+                f"got {self.executor!r}"
+            )
+        if self.executor == "queue":
+            if self.telemetry_dir is None:
+                raise FullChipError(
+                    "the queue executor needs a telemetry_dir (its run "
+                    "directory holds the durable queue/ state)"
+                )
+            # QueueConfig validates its own knobs; build one eagerly so
+            # a bad value fails at config time, not mid-run.
+            self.queue_config()
         # WatchdogConfig validates its own knobs; build one eagerly so a
         # bad value fails at config time, not mid-run.
         WatchdogConfig(
@@ -186,6 +219,16 @@ class FullChipConfig:
             stall_factor=self.watchdog_stall_factor,
             min_stall_s=self.watchdog_min_stall_s,
             cancel=self.watchdog_cancel,
+        )
+
+    def queue_config(self) -> "QueueConfig":
+        """The durable-queue settings as a :class:`QueueConfig`."""
+        from .queue import QueueConfig
+
+        return QueueConfig(
+            lease_s=self.queue_lease_s,
+            max_requeues=self.queue_max_requeues,
+            backoff_s=self.queue_backoff_s,
         )
 
 
@@ -529,10 +572,32 @@ class FullChipEngine:
                     timeout_s=cfg.tile_timeout_s,
                     telemetry=telemetry_cfg,
                     backend=cfg.backend,
-                    share_result=cfg.shared_results and cfg.workers > 1,
+                    # Shared-memory transport is a pool-boundary trick;
+                    # the queue executor moves results through its
+                    # durable results/ files instead.
+                    share_result=(
+                        cfg.shared_results
+                        and cfg.workers > 1
+                        and cfg.executor == "pool"
+                    ),
                 )
                 for tile in plan
             ]
+            # "pool" keeps executor=None: run_tile_jobs' legacy dispatch
+            # (inline for workers<=1 or a single tile) is the
+            # golden-tested historical behavior, preserved bit-for-bit.
+            executor = None
+            if cfg.executor != "pool":
+                from .executor import executor_for
+
+                executor = executor_for(
+                    cfg.executor,
+                    cfg.workers,
+                    run_dir=cfg.telemetry_dir,
+                    queue_config=(
+                        cfg.queue_config() if cfg.executor == "queue" else None
+                    ),
+                )
             try:
                 results = run_tile_jobs(
                     jobs,
@@ -546,6 +611,7 @@ class FullChipEngine:
                     heartbeat_dir=(
                         telemetry_cfg.heartbeat_dir if telemetry_cfg else None
                     ),
+                    executor=executor,
                 )
             except BaseException:
                 # The feed outlives an aborted run: readers see a

@@ -1,0 +1,832 @@
+"""Durable file-backed tile-job queue: leases, fencing tokens, quarantine.
+
+The at-least-once execution substrate behind the ``queue`` executor
+(:mod:`repro.fullchip.executor`): every tile job becomes durable state
+under ``<run_dir>/queue/`` so any number of independently launched
+``repro worker <run-dir>`` processes can claim, solve, and complete
+tiles — and crash-recover each other's work — without a coordinator
+holding anything in memory.
+
+Layout of a queue directory::
+
+    queue/
+      meta.json                  queue-level knobs + the tile roster
+      jobs/<tile>.pkl            immutable pickled TileJob payloads
+      pending/<tile>.t<N>.json   claim tickets (token N, backoff gate)
+      leased/<tile>.t<N>.json    live leases (pid, host, deadline)
+      done/<tile>.json           terminal records (one per tile)
+      failed/<tile>.json
+      quarantined/<tile>.json
+      results/<tile>.t<N>.npz    solved window masks, one per completion
+      history/<tile>.jsonl       append-only per-tile incident log
+
+State transitions are single filesystem operations, so every race has
+exactly one winner:
+
+* **claim** — ``os.rename(pending/<tile>.t<N>.json, leased/…)``.  POSIX
+  rename succeeds for exactly one claimant; losers see ``FileNotFound``
+  and move on.  The winner then rewrites the lease atomically with its
+  pid/host/deadline.
+* **renew** — atomic rewrite of the worker's own lease file with a new
+  deadline, driven by the worker's heartbeat pulses.
+* **expire/requeue** — any sweeper (a worker between claims, or the
+  parent supervisor) that finds an expired lease first creates
+  ``pending/<tile>.t<N+1>.json`` with ``O_EXCL`` (one winner → one
+  incident), appends the ``requeued`` history line, *then* unlinks the
+  stale lease.  A crash between the two steps leaves a harmless stale
+  lease that the next sweep clears.
+* **commit (fencing)** — the worker unlinks its *own* lease file; only
+  the process that still holds the lease can win that unlink.  A stale
+  worker whose lease was requeued from under it loses the unlink, and
+  its late result is discarded — the fencing token (the lease
+  generation ``N`` baked into every filename) guarantees a re-run's
+  result cannot be clobbered.  If terminal records from two generations
+  ever race (the sweep-vs-commit window), the **highest token wins**.
+
+Tokens double as the requeue counter: a job on token ``N`` has been
+requeued ``N`` times.  Expiry beyond ``max_requeues`` quarantines the
+tile (a poison tile that keeps killing workers), which surfaces as a
+failed :class:`~repro.fullchip.scheduler.TileResult` and falls back to
+the rasterized target like any other failure.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pickle
+import socket
+import tempfile
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..errors import FullChipError
+from ..utils.io import write_json_atomic
+
+logger = logging.getLogger(__name__)
+
+__all__ = [
+    "QUEUE_DIRNAME",
+    "QueueConfig",
+    "LeaseRecord",
+    "ClaimedJob",
+    "TileJobQueue",
+    "load_queue_state",
+]
+
+#: The queue lives in this subdirectory of a run directory.
+QUEUE_DIRNAME = "queue"
+
+META_FILENAME = "meta.json"
+JOBS_DIRNAME = "jobs"
+PENDING_DIRNAME = "pending"
+LEASED_DIRNAME = "leased"
+DONE_DIRNAME = "done"
+FAILED_DIRNAME = "failed"
+QUARANTINED_DIRNAME = "quarantined"
+RESULTS_DIRNAME = "results"
+HISTORY_DIRNAME = "history"
+
+#: Terminal state directories, in read-back precedence order.
+_TERMINAL_DIRS = (DONE_DIRNAME, FAILED_DIRNAME, QUARANTINED_DIRNAME)
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Durability knobs of one queue (persisted into ``meta.json``).
+
+    Attributes:
+        lease_s: lease duration; a lease not renewed within this window
+            is expired and its job requeued.
+        max_requeues: lease expiries tolerated per tile before the tile
+            is quarantined (solve *failures* are terminal immediately —
+            the in-worker retry loop already covers transient faults).
+        backoff_s: base of the exponential requeue backoff; requeue
+            ``N`` becomes claimable after ``backoff_s * 2**(N-1)``.
+    """
+
+    lease_s: float = 30.0
+    max_requeues: int = 2
+    backoff_s: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.lease_s <= 0:
+            raise FullChipError(f"lease_s must be positive, got {self.lease_s}")
+        if self.max_requeues < 0:
+            raise FullChipError(
+                f"max_requeues must be >= 0, got {self.max_requeues}"
+            )
+        if self.backoff_s < 0:
+            raise FullChipError(f"backoff_s must be >= 0, got {self.backoff_s}")
+
+
+@dataclass
+class LeaseRecord:
+    """One claimed job's lease state (the content of a leased file)."""
+
+    tile: str
+    index: Tuple[int, int]
+    token: int
+    pid: int = 0
+    host: str = ""
+    claimed_at: float = 0.0
+    deadline: float = 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "tile": self.tile,
+            "index": list(self.index),
+            "token": self.token,
+            "pid": self.pid,
+            "host": self.host,
+            "claimed_at": self.claimed_at,
+            "deadline": self.deadline,
+        }
+
+
+@dataclass
+class ClaimedJob:
+    """A claim winner's handle: the lease plus the unpickled job payload."""
+
+    lease: LeaseRecord
+    job: object  # a TileJob; typed loosely to avoid an import cycle
+
+    @property
+    def tile(self) -> str:
+        return self.lease.tile
+
+    @property
+    def token(self) -> int:
+        return self.lease.token
+
+    @property
+    def attempt(self) -> int:
+        """1-based attempt number across requeues (token 0 → attempt 1)."""
+        return self.lease.token + 1
+
+
+def _entry_name(tile: str, token: int) -> str:
+    return f"{tile}.t{token}.json"
+
+
+def _parse_entry_name(name: str) -> Optional[Tuple[str, int]]:
+    """``<tile>.t<token>.json`` → (tile, token); None when alien."""
+    if not name.endswith(".json"):
+        return None
+    stem = name[: -len(".json")]
+    tile, sep, token_part = stem.rpartition(".t")
+    if not sep or not tile or not token_part.isdigit():
+        return None
+    return tile, int(token_part)
+
+
+class TileJobQueue:
+    """One durable queue rooted at ``<run_dir>/queue/``.
+
+    Use :meth:`create` to seed a fresh queue from a job list (idempotent
+    under ``adopt=True`` for resumed runs) and :meth:`open` to attach a
+    worker to an existing queue directory.
+    """
+
+    def __init__(self, root: Union[str, Path], config: QueueConfig) -> None:
+        self.root = Path(root)
+        self.config = config
+        self._now = time.time
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        root: Union[str, Path],
+        jobs: Dict[str, Tuple[Tuple[int, int], object]],
+        config: Optional[QueueConfig] = None,
+        adopt: bool = False,
+    ) -> "TileJobQueue":
+        """Seed a queue with jobs (``{tile: (index, TileJob)}``).
+
+        A fresh seed wipes any previous queue state at ``root``.  With
+        ``adopt=True`` an existing queue is reused as-is (resume:
+        terminal records and in-flight leases survive), and only tiles
+        with no state at all get fresh pending tickets.
+        """
+        root = Path(root)
+        config = config or QueueConfig()
+        queue = cls(root, config)
+        if root.is_dir() and not adopt:
+            import shutil
+
+            shutil.rmtree(root)
+        for sub in (
+            JOBS_DIRNAME, PENDING_DIRNAME, LEASED_DIRNAME, DONE_DIRNAME,
+            FAILED_DIRNAME, QUARANTINED_DIRNAME, RESULTS_DIRNAME,
+            HISTORY_DIRNAME,
+        ):
+            (root / sub).mkdir(parents=True, exist_ok=True)
+        write_json_atomic(
+            root / META_FILENAME,
+            {
+                "schema": 1,
+                "kind": "fullchip_queue",
+                "lease_s": config.lease_s,
+                "max_requeues": config.max_requeues,
+                "backoff_s": config.backoff_s,
+                "tiles": {tile: list(index) for tile, (index, _) in jobs.items()},
+            },
+        )
+        for tile, (index, job) in jobs.items():
+            job_path = root / JOBS_DIRNAME / f"{tile}.pkl"
+            if not (adopt and job_path.is_file()):
+                fd, tmp = tempfile.mkstemp(dir=root / JOBS_DIRNAME, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        pickle.dump(job, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    os.replace(tmp, job_path)
+                except BaseException:
+                    if os.path.exists(tmp):
+                        os.unlink(tmp)
+                    raise
+            if adopt and queue._tile_has_state(tile):
+                continue
+            queue._write_ticket(tile, index, token=0, not_before=0.0)
+            queue._history(tile, "seeded", token=0)
+        return queue
+
+    @classmethod
+    def open(cls, root: Union[str, Path]) -> "TileJobQueue":
+        """Attach to an existing queue directory (reads ``meta.json``)."""
+        root = Path(root)
+        meta_path = root / META_FILENAME
+        if not meta_path.is_file():
+            raise FullChipError(f"no {META_FILENAME} under {root} — not a queue dir")
+        try:
+            with open(meta_path) as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise FullChipError(f"unreadable {meta_path}: {exc}") from exc
+        config = QueueConfig(
+            lease_s=float(meta.get("lease_s", 30.0)),
+            max_requeues=int(meta.get("max_requeues", 2)),
+            backoff_s=float(meta.get("backoff_s", 0.5)),
+        )
+        return cls(root, config)
+
+    # -- small path/state helpers ------------------------------------------
+
+    def _dir(self, name: str) -> Path:
+        return self.root / name
+
+    def tiles(self) -> Dict[str, Tuple[int, int]]:
+        """The tile roster from ``meta.json`` (name → plan index)."""
+        try:
+            with open(self.root / META_FILENAME) as handle:
+                meta = json.load(handle)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        return {
+            str(name): (int(index[0]), int(index[1]))
+            for name, index in (meta.get("tiles") or {}).items()
+        }
+
+    def terminal_record(self, tile: str) -> Optional[Dict[str, object]]:
+        """The tile's terminal record, if any (done/failed/quarantined)."""
+        for sub in _TERMINAL_DIRS:
+            path = self._dir(sub) / f"{tile}.json"
+            if path.is_file():
+                try:
+                    with open(path) as handle:
+                        record = json.load(handle)
+                except (OSError, json.JSONDecodeError):
+                    continue
+                record.setdefault("state", sub)
+                return record
+        return None
+
+    def _tile_has_state(self, tile: str) -> bool:
+        if self.terminal_record(tile) is not None:
+            return True
+        for sub in (PENDING_DIRNAME, LEASED_DIRNAME):
+            if any(self._dir(sub).glob(f"{tile}.t*.json")):
+                return True
+        return False
+
+    def drained(self) -> bool:
+        """Every tile in the roster has reached a terminal record."""
+        return all(
+            self.terminal_record(tile) is not None for tile in self.tiles()
+        )
+
+    def load_job(self, tile: str) -> object:
+        """Unpickle a tile's immutable job payload."""
+        path = self._dir(JOBS_DIRNAME) / f"{tile}.pkl"
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError) as exc:
+            raise FullChipError(f"unreadable job payload {path}: {exc}") from exc
+
+    def _write_ticket(
+        self, tile: str, index: Tuple[int, int], token: int, not_before: float
+    ) -> None:
+        write_json_atomic(
+            self._dir(PENDING_DIRNAME) / _entry_name(tile, token),
+            {
+                "tile": tile,
+                "index": list(index),
+                "token": token,
+                "not_before": not_before,
+            },
+        )
+
+    def _history(self, tile: str, kind: str, **fields: object) -> None:
+        """Append one incident line to the tile's history JSONL.
+
+        Single ``O_APPEND`` write of one short line — atomic on POSIX
+        for writes below PIPE_BUF, so concurrent sweepers never tear
+        each other's lines.  History is diagnostics: failures are
+        logged, never raised.
+        """
+        line = json.dumps(
+            {"ts": self._now(), "tile": tile, "kind": kind,
+             "pid": os.getpid(), **fields}
+        )
+        try:
+            path = self._dir(HISTORY_DIRNAME) / f"{tile}.jsonl"
+            with open(path, "a") as handle:
+                handle.write(line + "\n")
+        except OSError as exc:
+            logger.warning("queue history append failed for %s: %s", tile, exc)
+
+    def history(self, tile: str) -> List[Dict[str, object]]:
+        """The tile's incident lines, oldest first (bad lines skipped)."""
+        path = self._dir(HISTORY_DIRNAME) / f"{tile}.jsonl"
+        records: List[Dict[str, object]] = []
+        try:
+            with open(path) as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        records.append(json.loads(line))
+                    except json.JSONDecodeError:
+                        continue
+        except OSError:
+            return []
+        return records
+
+    # -- claim / renew ------------------------------------------------------
+
+    def claim(self) -> Optional[ClaimedJob]:
+        """Claim one ready pending ticket; None when nothing is claimable.
+
+        Tickets gated by a backoff ``not_before`` in the future are
+        skipped; tickets for tiles that already reached a terminal
+        record are garbage-collected instead of claimed.
+        """
+        now = self._now()
+        pending_dir = self._dir(PENDING_DIRNAME)
+        tickets: List[Tuple[str, str, int]] = []
+        try:
+            names = sorted(os.listdir(pending_dir))
+        except OSError:
+            return None
+        for name in names:
+            parsed = _parse_entry_name(name)
+            if parsed is not None:
+                tickets.append((name, parsed[0], parsed[1]))
+        for name, tile, token in tickets:
+            ticket_path = pending_dir / name
+            if self.terminal_record(tile) is not None:
+                try:
+                    os.unlink(ticket_path)
+                except FileNotFoundError:
+                    pass
+                continue
+            try:
+                with open(ticket_path) as handle:
+                    ticket = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue  # racing claimant took it, or torn write settling
+            if float(ticket.get("not_before", 0.0)) > now:
+                continue
+            lease_path = self._dir(LEASED_DIRNAME) / name
+            try:
+                os.rename(ticket_path, lease_path)
+            except FileNotFoundError:
+                continue  # exactly one winner; we lost this ticket
+            except OSError as exc:
+                logger.warning("claim rename failed for %s: %s", name, exc)
+                continue
+            index = ticket.get("index") or [0, 0]
+            lease = LeaseRecord(
+                tile=tile,
+                index=(int(index[0]), int(index[1])),
+                token=token,
+                pid=os.getpid(),
+                host=socket.gethostname(),
+                claimed_at=now,
+                deadline=now + self.config.lease_s,
+            )
+            try:
+                write_json_atomic(lease_path, lease.as_dict())
+            except OSError as exc:
+                logger.warning("lease write failed for %s: %s", name, exc)
+            self._history(tile, "leased", token=token)
+            return ClaimedJob(lease=lease, job=self.load_job(tile))
+        return None
+
+    def renew(self, lease: LeaseRecord) -> bool:
+        """Extend a held lease's deadline; False when the lease is gone.
+
+        A vanished lease file means a sweeper expired and requeued the
+        job from under this worker — the worker may finish its solve,
+        but its commit will lose the fence.  (The check-then-write
+        window can briefly resurrect a just-swept lease file; the
+        highest-token rule at commit time keeps that harmless.)
+        """
+        path = self._dir(LEASED_DIRNAME) / _entry_name(lease.tile, lease.token)
+        if not path.is_file():
+            return False
+        lease.deadline = self._now() + self.config.lease_s
+        try:
+            write_json_atomic(path, lease.as_dict())
+        except OSError as exc:
+            logger.warning("lease renew failed for %s: %s", lease.tile, exc)
+        return True
+
+    # -- expiry sweep -------------------------------------------------------
+
+    @staticmethod
+    def _pid_alive(pid: int) -> bool:
+        if pid <= 0:
+            return False
+        try:
+            os.kill(pid, 0)
+        except ProcessLookupError:
+            return False
+        except OSError:
+            return True
+        return True
+
+    def sweep_expired(
+        self, heartbeat_dir: Optional[Union[str, Path]] = None
+    ) -> List[Dict[str, object]]:
+        """Requeue (or quarantine) every expired lease; return incidents.
+
+        A lease is expired when its deadline has passed, or — faster —
+        when it was taken by a process on *this* host whose pid is gone
+        (a crashed worker; no need to wait out the lease).  Each
+        incident is also appended to the tile's history, and the stale
+        ``heartbeat_<tile>.json`` from the dead attempt is removed so
+        the watchdog doesn't flag the re-run against old pulses.
+        """
+        now = self._now()
+        incidents: List[Dict[str, object]] = []
+        leased_dir = self._dir(LEASED_DIRNAME)
+        try:
+            names = sorted(os.listdir(leased_dir))
+        except OSError:
+            return incidents
+        for name in names:
+            parsed = _parse_entry_name(name)
+            if parsed is None:
+                continue
+            tile, token = parsed
+            lease_path = leased_dir / name
+            if self.terminal_record(tile) is not None:
+                # A zombie lease left behind a settled tile: just clear it.
+                try:
+                    os.unlink(lease_path)
+                except FileNotFoundError:
+                    pass
+                continue
+            try:
+                with open(lease_path) as handle:
+                    lease = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            deadline = lease.get("deadline")
+            if deadline is None:
+                # Claim crashed between rename and lease rewrite: the
+                # file still holds the ticket payload.  Rename bumps
+                # ctime, so ctime + lease_s bounds the orphan's life.
+                try:
+                    deadline = os.stat(lease_path).st_ctime + self.config.lease_s
+                except OSError:
+                    continue
+            pid = int(lease.get("pid", 0) or 0)
+            host = str(lease.get("host", ""))
+            dead = (
+                pid > 0
+                and host == socket.gethostname()
+                and not self._pid_alive(pid)
+            )
+            if float(deadline) > now and not dead:
+                continue
+            reason = "worker died" if dead else "lease expired"
+            incident = self._expire_one(tile, token, lease, reason)
+            if incident is not None:
+                incidents.append(incident)
+                if heartbeat_dir is not None:
+                    from ..obs.live import heartbeat_filename
+
+                    try:
+                        os.unlink(Path(heartbeat_dir) / heartbeat_filename(tile))
+                    except FileNotFoundError:
+                        pass
+                    except OSError as exc:
+                        logger.warning(
+                            "stale heartbeat cleanup failed for %s: %s", tile, exc
+                        )
+        return incidents
+
+    def _expire_one(
+        self, tile: str, token: int, lease: Dict[str, object], reason: str
+    ) -> Optional[Dict[str, object]]:
+        """Requeue or quarantine one expired lease; None when we lost."""
+        index = lease.get("index") or [0, 0]
+        index = (int(index[0]), int(index[1]))
+        next_token = token + 1
+        if next_token > self.config.max_requeues:
+            record = {
+                "tile": tile,
+                "index": list(index),
+                "token": token,
+                "status": "quarantined",
+                "requeues": token,
+                "error": (
+                    f"quarantined after {token + 1} lease expiries "
+                    f"(max_requeues={self.config.max_requeues}): {reason}"
+                ),
+                "ts": self._now(),
+            }
+            if not self._write_exclusive(
+                self._dir(QUARANTINED_DIRNAME) / f"{tile}.json", record
+            ):
+                return None  # another sweeper won the incident
+            self._history(tile, "quarantined", token=token, reason=reason)
+            self._unlink_lease(tile, token)
+            incident = {"kind": "job_quarantined", **record}
+            logger.warning("queue: tile %s quarantined (%s)", tile, reason)
+            return incident
+        backoff = self.config.backoff_s * (2 ** (next_token - 1))
+        ticket_path = self._dir(PENDING_DIRNAME) / _entry_name(tile, next_token)
+        ticket = {
+            "tile": tile,
+            "index": list(index),
+            "token": next_token,
+            "not_before": self._now() + backoff,
+        }
+        if not self._write_exclusive(ticket_path, ticket):
+            return None  # another sweeper already requeued this generation
+        self._history(
+            tile, "requeued", token=next_token, reason=reason, backoff_s=backoff
+        )
+        self._unlink_lease(tile, token)
+        logger.warning(
+            "queue: tile %s requeued (token %d, %s, backoff %.2fs)",
+            tile, next_token, reason, backoff,
+        )
+        return {
+            "kind": "job_requeued",
+            "tile": tile,
+            "index": list(index),
+            "token": next_token,
+            "reason": reason,
+            "backoff_s": backoff,
+            "stale_pid": int(lease.get("pid", 0) or 0),
+        }
+
+    def _unlink_lease(self, tile: str, token: int) -> None:
+        try:
+            os.unlink(self._dir(LEASED_DIRNAME) / _entry_name(tile, token))
+        except FileNotFoundError:
+            pass
+        except OSError as exc:
+            logger.warning("stale lease unlink failed for %s: %s", tile, exc)
+
+    @staticmethod
+    def _write_exclusive(path: Path, payload: Dict[str, object]) -> bool:
+        """Create-or-lose: write ``path`` only if it does not exist yet."""
+        try:
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        except FileExistsError:
+            return False
+        except OSError as exc:
+            logger.warning("exclusive write failed for %s: %s", path, exc)
+            return False
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        return True
+
+    # -- commit (fenced) ----------------------------------------------------
+
+    def complete(
+        self,
+        claim: ClaimedJob,
+        mask: Optional[np.ndarray],
+        meta: Dict[str, object],
+    ) -> bool:
+        """Commit a successful solve; False when this claim lost the fence."""
+        return self._commit(claim, DONE_DIRNAME, "done", mask, meta)
+
+    def fail(self, claim: ClaimedJob, meta: Dict[str, object]) -> bool:
+        """Commit a terminal solve failure (fence-checked like success)."""
+        return self._commit(claim, FAILED_DIRNAME, "failed", None, meta)
+
+    def _commit(
+        self,
+        claim: ClaimedJob,
+        terminal_dir: str,
+        kind: str,
+        mask: Optional[np.ndarray],
+        meta: Dict[str, object],
+    ) -> bool:
+        tile, token = claim.tile, claim.token
+        # Fence acquisition: unlink our own lease.  Exactly one process
+        # can win the unlink of a given file; if a sweeper requeued this
+        # generation, the lease is gone and this (stale) result must be
+        # discarded — the re-run owns the tile now.
+        try:
+            os.unlink(self._dir(LEASED_DIRNAME) / _entry_name(tile, token))
+        except FileNotFoundError:
+            self._history(tile, "discarded", token=token, reason="lost lease fence")
+            logger.warning(
+                "queue: tile %s token %d commit discarded (lease revoked)",
+                tile, token,
+            )
+            return False
+        existing = self.terminal_record(tile)
+        if existing is not None and int(existing.get("token", -1)) > token:
+            # A higher generation already settled (sweep-vs-commit
+            # window); our stale result loses by token order.
+            self._history(
+                tile, "discarded", token=token, reason="newer result committed"
+            )
+            return False
+        result_file: Optional[str] = None
+        if mask is not None:
+            result_file = f"{tile}.t{token}.npz"
+            self._write_result_npz(
+                self._dir(RESULTS_DIRNAME) / result_file, mask
+            )
+        record = {
+            "tile": tile,
+            "index": list(claim.lease.index),
+            "token": token,
+            "requeues": token,
+            "result_file": result_file,
+            "pid": os.getpid(),
+            "host": socket.gethostname(),
+            "ts": self._now(),
+            **meta,
+        }
+        write_json_atomic(self._dir(terminal_dir) / f"{tile}.json", record)
+        self._history(tile, kind, token=token)
+        # Garbage-collect stale artifacts of older generations: tickets
+        # that would trigger pointless re-solves and superseded masks.
+        for sub in (PENDING_DIRNAME,):
+            for path in self._dir(sub).glob(f"{tile}.t*.json"):
+                parsed = _parse_entry_name(path.name)
+                if parsed is not None and parsed[1] <= token:
+                    try:
+                        os.unlink(path)
+                    except FileNotFoundError:
+                        pass
+        for path in self._dir(RESULTS_DIRNAME).glob(f"{tile}.t*.npz"):
+            stem_token = _parse_entry_name(path.name[: -len(".npz")] + ".json")
+            if stem_token is not None and stem_token[1] < token:
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    pass
+        return True
+
+    @staticmethod
+    def _write_result_npz(path: Path, mask: np.ndarray) -> None:
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                np.savez(handle, mask=np.asarray(mask, dtype=np.float64))
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+
+    def load_result_mask(self, record: Dict[str, object]) -> Optional[np.ndarray]:
+        """The mask committed with a done record (None when absent/torn)."""
+        result_file = record.get("result_file")
+        if not result_file:
+            return None
+        path = self._dir(RESULTS_DIRNAME) / str(result_file)
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                return np.asarray(archive["mask"], dtype=np.float64)
+        except Exception as exc:  # noqa: BLE001 - torn/missing → caller decides
+            logger.warning("queue result %s unreadable: %s", path, exc)
+            return None
+
+    # -- introspection ------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        """Live state counts over the queue directory."""
+        counts = {
+            "total": len(self.tiles()),
+            "pending": 0,
+            "leased": 0,
+            "done": 0,
+            "failed": 0,
+            "quarantined": 0,
+        }
+        settled = set()
+        for sub, key in (
+            (DONE_DIRNAME, "done"),
+            (FAILED_DIRNAME, "failed"),
+            (QUARANTINED_DIRNAME, "quarantined"),
+        ):
+            for path in self._dir(sub).glob("*.json"):
+                if path.stem not in settled:
+                    settled.add(path.stem)
+                    counts[key] += 1
+        for sub, key in ((PENDING_DIRNAME, "pending"), (LEASED_DIRNAME, "leased")):
+            for path in self._dir(sub).glob("*.json"):
+                parsed = _parse_entry_name(path.name)
+                if parsed is not None and parsed[0] not in settled:
+                    counts[key] += 1
+        return counts
+
+
+def load_queue_state(run_dir: Union[str, Path]) -> Optional[Dict[str, object]]:
+    """Read-only queue snapshot for ``repro watch`` / ``repro report``.
+
+    Accepts a run directory (containing ``queue/``) or a queue directory
+    itself; returns None when neither holds a queue.  Everything comes
+    from the queue directory alone — counts, per-tile state, attempts
+    (requeue generation + 1), and the per-tile incident history.
+    """
+    root = Path(run_dir)
+    if not (root / META_FILENAME).is_file():
+        root = root / QUEUE_DIRNAME
+        if not (root / META_FILENAME).is_file():
+            return None
+    try:
+        queue = TileJobQueue.open(root)
+    except FullChipError:
+        return None
+    tiles: List[Dict[str, object]] = []
+    requeued_total = 0
+    for tile, index in sorted(queue.tiles().items()):
+        history = queue.history(tile)
+        requeues = sum(1 for h in history if h.get("kind") == "requeued")
+        requeued_total += requeues
+        record = queue.terminal_record(tile)
+        if record is not None:
+            state = str(record.get("state", "done"))
+            token = int(record.get("token", 0))
+        else:
+            state = "pending"
+            token = 0
+            for sub, name in ((LEASED_DIRNAME, "leased"), (PENDING_DIRNAME, "pending")):
+                entries = [
+                    _parse_entry_name(p.name)
+                    for p in (root / sub).glob(f"{tile}.t*.json")
+                ]
+                entries = [e for e in entries if e is not None]
+                if entries:
+                    state = name
+                    token = max(t for _, t in entries)
+                    break
+        tiles.append(
+            {
+                "name": tile,
+                "index": list(index),
+                "state": state,
+                "attempts": token + 1,
+                "requeues": requeues,
+                "history": [
+                    {"kind": h.get("kind"), "token": h.get("token"),
+                     "ts": h.get("ts"), "reason": h.get("reason")}
+                    for h in history
+                ],
+            }
+        )
+    counts = queue.counts()
+    counts["requeued"] = requeued_total
+    return {
+        "schema": 1,
+        "kind": "fullchip_queue",
+        "dir": str(root),
+        "lease_s": queue.config.lease_s,
+        "max_requeues": queue.config.max_requeues,
+        "backoff_s": queue.config.backoff_s,
+        "counts": counts,
+        "tiles": tiles,
+    }

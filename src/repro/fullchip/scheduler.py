@@ -2,8 +2,12 @@
 
 Each tile is an independent :class:`TileJob` — a picklable bundle of the
 clipped window layout plus every configuration knob a worker needs —
-executed by the module-level :func:`solve_tile_job` either inline
-(``workers <= 1``) or in a ``ProcessPoolExecutor``.
+executed by the module-level :func:`solve_tile_job` through a pluggable
+:class:`~repro.fullchip.executor.TileExecutor`: inline
+(``SerialExecutor``, the ``workers <= 1`` path), on a fork
+``ProcessPoolExecutor`` (``PoolExecutor``), or over the durable
+file-backed job queue (``QueueWorkerExecutor`` +
+:mod:`repro.fullchip.queue`, any number of ``repro worker`` processes).
 
 Fault isolation mirrors the batch harness: per-tile retries, a per-tile
 wall-clock budget (:func:`repro.harness.call_with_budget` inside the
@@ -31,7 +35,6 @@ import os
 import signal
 import tempfile
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from contextlib import nullcontext
 from dataclasses import dataclass
 from pathlib import Path
@@ -49,7 +52,6 @@ from ..obs import Instrumentation
 from ..obs.distributed import (
     TileTelemetry,
     WorkerTelemetryConfig,
-    merge_tile_telemetry,
     summarize_worker,
     worker_instrumentation,
     write_spool,
@@ -62,6 +64,7 @@ from .tiling import TileSpec
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (live imports us not)
     from ..obs.live import LivenessWatchdog, StatusWriter
+    from .executor import TileExecutor
 
 logger = logging.getLogger(__name__)
 
@@ -78,8 +81,19 @@ FAIL_TILES_ENV = "REPRO_FULLCHIP_FAIL_TILES"
 #: the liveness watchdog path is testable without a real hang.
 STALL_TILES_ENV = "REPRO_FULLCHIP_STALL_TILES"
 
+#: Environment hook for deterministic *crash* injection: a semicolon-
+#: separated list of ``row,col[:pulses]`` entries.  A matching tile's
+#: worker pulses a few heartbeats, then SIGKILLs itself mid-solve — no
+#: final heartbeat, no result, no goodbye — so lease expiry and crash
+#: recovery are testable deterministically.  Fires only on the tile's
+#: *first* attempt (attempt 1), so the requeued attempt completes.
+KILL_TILES_ENV = "REPRO_FULLCHIP_KILL_TILES"
+
 #: Default injected-stall duration when the env entry has no seconds.
 _DEFAULT_STALL_S = 3600.0
+
+#: Default heartbeat pulses before an injected kill fires.
+_DEFAULT_KILL_PULSES = 3
 
 #: Name of the per-tile completed-result marker file.
 DONE_MARKER = "done.npz"
@@ -279,6 +293,64 @@ def _injected_stall(tile: TileSpec, obs: Optional[Instrumentation]) -> None:
     )
 
 
+def parse_kill_spec(spec: str) -> Dict[Tuple[int, int], int]:
+    """Parse a ``REPRO_FULLCHIP_KILL_TILES`` value.
+
+    Entries are semicolon-separated ``row,col`` or ``row,col:pulses``
+    (heartbeat pulses emitted before the SIGKILL; default 3).
+
+    Raises:
+        FullChipError: on a malformed entry.
+    """
+    kills: Dict[Tuple[int, int], int] = {}
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        index_part, _, pulses_part = part.partition(":")
+        try:
+            row, col = (int(v) for v in index_part.split(","))
+            pulses = int(pulses_part) if pulses_part else _DEFAULT_KILL_PULSES
+        except ValueError as exc:
+            raise FullChipError(
+                f"bad {KILL_TILES_ENV} entry {part!r} "
+                f"(expected 'row,col' or 'row,col:pulses')"
+            ) from exc
+        if pulses < 0:
+            raise FullChipError(
+                f"bad {KILL_TILES_ENV} entry {part!r}: pulses must be >= 0"
+            )
+        kills[(row, col)] = pulses
+    return kills
+
+
+def _injected_kill(
+    tile: TileSpec, obs: Optional[Instrumentation], attempt: int
+) -> None:
+    """Honor the crash-injection hook (runs in the worker).
+
+    The matching tile pulses a few heartbeats (so the run has observed
+    the worker alive and working), then SIGKILLs its own process — the
+    signature of an OOM kill or a lost host.  Unlike the stall/failure
+    hooks nothing is raised and no final heartbeat is written: the
+    worker simply ceases to exist mid-solve.  Only attempt 1 is killed,
+    so a requeued job recovers deterministically.
+    """
+    spec = os.environ.get(KILL_TILES_ENV, "")
+    if not spec or attempt != 1:
+        return
+    pulses = parse_kill_spec(spec).get(tile.index)
+    if pulses is None:
+        return
+    heartbeat = obs.heartbeat if obs is not None else None
+    for iteration in range(pulses):
+        if heartbeat is not None:
+            heartbeat.beat(phase="optimize", iteration=iteration, force=True)
+        time.sleep(0.01)
+    logger.warning("injected kill for tile %s (SIGKILL pid %d)", tile.index, os.getpid())
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
 def _tile_state_dir(job: TileJob) -> Optional[Path]:
     if job.checkpoint_dir is None:
         return None
@@ -368,10 +440,12 @@ def _solve_once(
     job: TileJob,
     state_dir: Optional[Path],
     obs: Optional[Instrumentation] = None,
+    attempt: int = 1,
 ) -> MosaicResult:
     """One solve attempt on the window simulator (runs in the worker)."""
     _injected_failure(job.tile)
     _injected_stall(job.tile, obs)
+    _injected_kill(job.tile, obs, attempt)
     model = ambit_model_for(
         job.litho, energy_tol=job.energy_tol, probe_extent_nm=job.probe_extent_nm
     )
@@ -492,7 +566,11 @@ def _ensure_resource_tracker() -> None:
         logger.debug("resource tracker not started: %s", exc)
 
 
-def solve_tile_job(job: TileJob) -> TileResult:
+def solve_tile_job(
+    job: TileJob,
+    attempt_base: int = 0,
+    on_beat=None,
+) -> TileResult:
     """Solve one tile with retries/timeout; never raises on solve faults.
 
     This is the pool's target function: every failure mode is folded
@@ -501,14 +579,23 @@ def solve_tile_job(job: TileJob) -> TileResult:
     short-circuit to an all-dark mask without spinning up a solver.
     With ``job.share_result`` the returned mask travels through shared
     memory (:func:`export_shared_mask`) rather than the result pickle.
+
+    ``attempt_base`` offsets the attempt numbering for queue workers
+    re-running a requeued job (generation N starts at attempt N+1, so
+    one-shot fault injection armed for attempt 1 stays quiet on the
+    recovery run, and heartbeats carry the right attempt version);
+    ``on_beat`` is forwarded to the worker's heartbeat writer — the
+    queue executor's lease-renewal hook.
     """
-    result = _solve_tile_job_impl(job)
+    result = _solve_tile_job_impl(job, attempt_base=attempt_base, on_beat=on_beat)
     if job.share_result:
         result = export_shared_mask(result)
     return result
 
 
-def _solve_tile_job_impl(job: TileJob) -> TileResult:
+def _solve_tile_job_impl(
+    job: TileJob, attempt_base: int = 0, on_beat=None
+) -> TileResult:
     tile = job.tile
     state_dir = _tile_state_dir(job)
     if job.resume and state_dir is not None:
@@ -539,7 +626,12 @@ def _solve_tile_job_impl(job: TileJob) -> TileResult:
     worker_events: List[Dict[str, object]] = []
     sampler = None
     if job.telemetry is not None:
-        worker_obs, worker_events = worker_instrumentation(job.telemetry, tile=tile.name)
+        worker_obs, worker_events = worker_instrumentation(
+            job.telemetry,
+            tile=tile.name,
+            attempt=attempt_base + 1,
+            on_beat=on_beat,
+        )
         if job.telemetry.resource_dir and job.telemetry.resource_interval_s > 0:
             from ..obs.resources import ResourceSampler, resources_filename
 
@@ -568,9 +660,12 @@ def _solve_tile_job_impl(job: TileJob) -> TileResult:
         with tile_span:
             for attempt in range(job.max_retries + 1):
                 attempts = attempt + 1
+                overall_attempt = attempt_base + attempts
                 try:
                     solved = call_with_budget(
-                        lambda: _solve_once(job, state_dir, obs=worker_obs),
+                        lambda: _solve_once(
+                            job, state_dir, obs=worker_obs, attempt=overall_attempt
+                        ),
                         job.timeout_s,
                     )
                     last_error = None
@@ -657,17 +752,29 @@ def _pool_context():
         return multiprocessing.get_context()
 
 
-def _counter_values(obs: Instrumentation) -> Dict[str, int]:
-    """Counter-type metrics of a bundle as plain name→value pairs."""
-    counters: Dict[str, int] = {}
-    try:
-        snapshot = obs.metrics.as_dict()
-    except Exception:  # noqa: BLE001 - live feed must not fail the run
-        return counters
-    for name, data in snapshot.items():
-        if data.get("type") == "counter":
-            counters[name] = int(data.get("value", 0) or 0)
-    return counters
+def _clear_stale_heartbeats(
+    heartbeat_dir: Optional[str], jobs: Sequence[TileJob]
+) -> None:
+    """Remove prior-attempt heartbeat files for this batch's tiles.
+
+    A resumed (or requeued) run would otherwise expose the previous
+    attempt's last ``heartbeat_<tile>.json`` to the watchdog before the
+    new worker's first pulse — an instant false "stalled"/"dead" flag.
+    No worker for these tiles has started yet, so anything present is
+    stale by construction.
+    """
+    if heartbeat_dir is None:
+        return
+    from ..obs.live import heartbeat_filename
+
+    for job in jobs:
+        path = Path(heartbeat_dir) / heartbeat_filename(job.tile.name)
+        try:
+            os.unlink(path)
+        except FileNotFoundError:
+            pass
+        except OSError as exc:  # pragma: no cover - permissions etc.
+            logger.warning("stale heartbeat cleanup failed for %s: %s", path, exc)
 
 
 def run_tile_jobs(
@@ -680,12 +787,14 @@ def run_tile_jobs(
     watchdog: Optional["LivenessWatchdog"] = None,
     status: Optional["StatusWriter"] = None,
     heartbeat_dir: Optional[str] = None,
+    executor: Optional["TileExecutor"] = None,
 ) -> List[TileResult]:
-    """Execute tile jobs, inline or on a process pool.
+    """Execute tile jobs through a :class:`TileExecutor`.
 
     Args:
         jobs: the tiles to solve.
         workers: process count; ``<= 1`` runs inline in this process.
+            Only consulted when ``executor`` is None (legacy dispatch).
         keep_going: tolerate failed tiles (they come back as failed
             :class:`TileResult`s); when False the first failure raises
             :class:`~repro.errors.FullChipError` after the in-flight
@@ -710,6 +819,11 @@ def run_tile_jobs(
             watchdog poll and tile completion.
         heartbeat_dir: where the tile workers write their heartbeat
             files (read here for the watchdog and the status feed).
+        executor: explicit :class:`~repro.fullchip.executor.TileExecutor`
+            (``SerialExecutor`` / ``PoolExecutor`` /
+            ``QueueWorkerExecutor``).  None preserves the historical
+            dispatch: inline when ``workers <= 1`` or there is a single
+            job, otherwise the fork pool.
 
     Returns:
         Tile results in the order of ``jobs``.
@@ -717,151 +831,26 @@ def run_tile_jobs(
     if not jobs:
         raise FullChipError("run_tile_jobs needs at least one job")
     obs = obs or Instrumentation.disabled()
-    total = obs.metrics.counter("fullchip_tiles_total")
-    failed = obs.metrics.counter("fullchip_tiles_failed")
-    retried = obs.metrics.counter("fullchip_tile_retries")
-    cached = obs.metrics.counter("fullchip_tiles_cached")
-    tile_names = {job.tile.index: job.tile.name for job in jobs}
+    # Imported lazily: executor.py imports solve_tile_job & co from here.
+    from .executor import ExecutionContext, PoolExecutor, SerialExecutor
 
-    def record(result: TileResult) -> None:
-        total.inc()
-        if result.from_cache:
-            cached.inc()
-        if result.status.attempts > 1:
-            retried.inc(result.status.attempts - 1)
-        if not result.ok:
-            failed.inc()
-        # Anchor absorbed worker spans at the live scheduling span so
-        # the merged report nests them where the work actually ran.
-        under = getattr(obs.tracer, "current_path", "") or "fullchip.tiles"
-        merge_tile_telemetry(obs, result.telemetry, under=under)
-        if watchdog is not None:
-            watchdog.mark_done(tile_names[result.index])
-        if status is not None:
-            status.mark_done(
-                tile_names[result.index],
-                status=result.status.status,
-                attempts=result.status.attempts,
-                runtime_s=result.status.runtime_s,
-                epe_violations=result.epe_violations if result.ok else None,
-                pv_band_nm2=result.pv_band_nm2 if result.ok else None,
-                score_total=result.score_total if result.ok else None,
-                iterations=(
-                    result.telemetry.iterations
-                    if result.telemetry is not None
-                    else None
-                ),
-                cached=result.from_cache,
-                error=result.status.error,
-            )
-        if on_tile is not None:
-            on_tile(result)
-        obs.events.emit(
-            "tile",
-            index=list(result.index),
-            status=result.status.status,
-            attempts=result.status.attempts,
-            runtime_s=result.status.runtime_s,
-            score=result.score_total,
-            cached=result.from_cache,
-            error=result.status.error,
+    if executor is None:
+        executor = (
+            SerialExecutor()
+            if workers <= 1 or len(jobs) == 1
+            else PoolExecutor(workers)
         )
-        progress(
-            f"tile {result.index} {result.status.status}"
-            + (" (cached)" if result.from_cache else "")
-        )
-
-    def poll_liveness() -> None:
-        """One watchdog/status round over the current heartbeat files."""
-        if heartbeat_dir is None or (watchdog is None and status is None):
-            return
-        from ..obs.live import read_heartbeats
-
-        beats = read_heartbeats(heartbeat_dir)
-        if status is not None:
-            for beat in beats.values():
-                status.apply_heartbeat(beat)
-        if watchdog is not None:
-            for flag in watchdog.observe(beats):
-                progress(
-                    f"tile worker {flag.tile} (pid {flag.pid}) {flag.reason} "
-                    f"after {flag.stalled_for_s:.1f}s without progress"
-                )
-                if status is not None:
-                    status.mark_stalled(flag.tile)
-                if watchdog.config.cancel:
-                    logger.warning(
-                        "watchdog cancel: killing %s worker pid %d",
-                        flag.tile, flag.pid,
-                    )
-                    try:
-                        os.kill(flag.pid, signal.SIGKILL)
-                    except OSError as exc:
-                        logger.warning("cancel kill failed: %s", exc)
-        if status is not None:
-            status.set_counters(_counter_values(obs))
-            status.write()
-
-    poll_s = watchdog.config.poll_s if watchdog is not None else None
-    results: Dict[Tuple[int, int], TileResult] = {}
+    ctx = ExecutionContext(
+        jobs=jobs,
+        keep_going=keep_going,
+        obs=obs,
+        progress=progress,
+        on_tile=on_tile,
+        watchdog=watchdog,
+        status=status,
+        heartbeat_dir=heartbeat_dir,
+    )
+    _clear_stale_heartbeats(heartbeat_dir, jobs)
     with obs.tracer.span("fullchip.tiles"):
-        if workers <= 1 or len(jobs) == 1:
-            for job in jobs:
-                if status is not None:
-                    status.mark_running(job.tile.name, pid=os.getpid())
-                    status.write()
-                result = absorb_shared_mask(solve_tile_job(job), obs)
-                record(result)
-                results[job.tile.index] = result
-                if status is not None:
-                    status.set_counters(_counter_values(obs))
-                    status.write()
-                if not result.ok and not keep_going:
-                    raise FullChipError(
-                        f"tile {result.index} {result.status.status}: "
-                        f"{result.status.error}"
-                    )
-        else:
-            warm_model_cache(jobs)
-            if any(job.share_result for job in jobs):
-                _ensure_resource_tracker()
-            with ProcessPoolExecutor(
-                max_workers=min(workers, len(jobs)), mp_context=_pool_context()
-            ) as pool:
-                futures = {pool.submit(solve_tile_job, job): job for job in jobs}
-                pending = set(futures)
-                first_failure: Optional[TileResult] = None
-                while pending:
-                    done, pending = wait(
-                        pending, timeout=poll_s, return_when=FIRST_COMPLETED
-                    )
-                    poll_liveness()
-                    for future in done:
-                        job = futures[future]
-                        try:
-                            result = future.result()
-                        except Exception as exc:  # noqa: BLE001 - pool fault
-                            result = TileResult(
-                                index=job.tile.index,
-                                status=CellStatus(
-                                    status="failed",
-                                    error=f"{type(exc).__name__}: {exc}",
-                                ),
-                            )
-                        result = absorb_shared_mask(result, obs)
-                        record(result)
-                        results[job.tile.index] = result
-                        if not result.ok and first_failure is None:
-                            first_failure = result
-                    if status is not None and done:
-                        status.set_counters(_counter_values(obs))
-                        status.write()
-                    if first_failure is not None and not keep_going:
-                        for future in pending:
-                            future.cancel()
-                        raise FullChipError(
-                            f"tile {first_failure.index} "
-                            f"{first_failure.status.status}: "
-                            f"{first_failure.status.error}"
-                        )
+        results = executor.run(jobs, ctx)
     return [results[job.tile.index] for job in jobs]

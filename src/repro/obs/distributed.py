@@ -158,6 +158,8 @@ class TileTelemetry:
 def worker_instrumentation(
     config: WorkerTelemetryConfig,
     tile: Optional[str] = None,
+    attempt: int = 1,
+    on_beat=None,
 ) -> Tuple[Instrumentation, List[Dict[str, object]]]:
     """Build a worker-local bundle whose events buffer in memory.
 
@@ -165,7 +167,10 @@ def worker_instrumentation(
     flushes both to the tile's spool file in one atomic write.  When the
     config carries a ``heartbeat_dir`` and a ``tile`` name is given, the
     bundle also gets a live :class:`~repro.obs.live.HeartbeatWriter` so
-    the optimizer's per-iteration beats land in ``heartbeat_<tile>.json``.
+    the optimizer's per-iteration beats land in ``heartbeat_<tile>.json``
+    — stamped with ``attempt`` (the requeue generation) and firing the
+    optional ``on_beat`` hook on every pulse (the queue executor's
+    lease-renewal seam).
     """
     events: List[Dict[str, object]] = []
     heartbeat = None
@@ -176,6 +181,8 @@ def worker_instrumentation(
             config.heartbeat_dir,
             tile,
             min_interval_s=config.heartbeat_min_interval_s,
+            attempt=attempt,
+            on_beat=on_beat,
         )
     obs = Instrumentation.collecting(
         trace=True,

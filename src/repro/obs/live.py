@@ -100,6 +100,10 @@ class Heartbeat:
         objective: latest objective value (None before the first
             evaluation or when non-finite).
         ts: epoch timestamp of the write.
+        attempt: 1-based attempt generation of the writing worker.  A
+            requeued tile's fresh worker beats with a higher attempt,
+            which the watchdog treats as progress — so pulses left over
+            from a dead attempt can never flag the re-run as stalled.
     """
 
     tile: str
@@ -108,6 +112,7 @@ class Heartbeat:
     iteration: int = 0
     objective: Optional[float] = None
     ts: float = 0.0
+    attempt: int = 1
 
     def age_s(self, now: float) -> float:
         """Seconds since this heartbeat was written."""
@@ -121,6 +126,7 @@ class Heartbeat:
             "iteration": self.iteration,
             "objective": self.objective,
             "ts": self.ts,
+            "attempt": self.attempt,
         }
 
     @classmethod
@@ -133,6 +139,7 @@ class Heartbeat:
             iteration=int(data.get("iteration", 0)),
             objective=float(objective) if objective is not None else None,
             ts=float(data.get("ts", 0.0)),
+            attempt=int(data.get("attempt", 1)),
         )
 
 
@@ -164,6 +171,12 @@ class HeartbeatWriter:
     ``force=True`` (phase transitions, final states) always writes.
     Writing never raises into the solve — a failed beat is logged and
     dropped.
+
+    ``attempt`` versions the pulses per requeue generation (see
+    :class:`Heartbeat`), and ``on_beat`` is an optional callback fired
+    on *every* ``beat()`` call (throttled writes included) with the
+    current timestamp — the seam the queue executor uses to renew a
+    worker's lease from the pulses the optimizer already emits.
     """
 
     enabled = True
@@ -174,6 +187,8 @@ class HeartbeatWriter:
         tile: str,
         min_interval_s: float = 0.0,
         clock=time.time,
+        attempt: int = 1,
+        on_beat=None,
     ) -> None:
         if min_interval_s < 0:
             raise ValueError(f"min_interval_s must be >= 0, got {min_interval_s}")
@@ -181,6 +196,8 @@ class HeartbeatWriter:
         self.tile = tile
         self.min_interval_s = min_interval_s
         self.clock = clock
+        self.attempt = attempt
+        self.on_beat = on_beat
         self._last_write = -math.inf
         self.path = self.directory / heartbeat_filename(tile)
 
@@ -192,6 +209,11 @@ class HeartbeatWriter:
         force: bool = False,
     ) -> None:
         now = float(self.clock())
+        if self.on_beat is not None:
+            try:
+                self.on_beat(now)
+            except Exception as exc:  # noqa: BLE001 - hooks must not fail solves
+                logger.warning("heartbeat on_beat hook failed: %s", exc)
         if not force and (now - self._last_write) < self.min_interval_s:
             return
         record = Heartbeat(
@@ -201,6 +223,7 @@ class HeartbeatWriter:
             iteration=iteration,
             objective=objective,
             ts=now,
+            attempt=self.attempt,
         )
         try:
             write_json_atomic(self.path, record.as_dict())
@@ -264,6 +287,7 @@ class _TileTrack:
     def __init__(self, beat: Heartbeat) -> None:
         self.iteration = beat.iteration
         self.phase = beat.phase
+        self.attempt = beat.attempt
         self.last_progress_ts = beat.ts
         self.flagged = False
 
@@ -343,16 +367,22 @@ class LivenessWatchdog:
             if track is None:
                 self._tracks[tile] = _TileTrack(beat)
                 continue
+            new_attempt = beat.attempt != track.attempt
             progressed = (
-                beat.iteration != track.iteration or beat.phase != track.phase
+                new_attempt
+                or beat.iteration != track.iteration
+                or beat.phase != track.phase
             )
             if progressed:
                 d_iter = beat.iteration - track.iteration
                 dt = beat.ts - track.last_progress_ts
-                if d_iter > 0 and dt > 0:
+                # A new attempt restarts the iteration counter — its
+                # first pulse is a fresh track, not an iteration sample.
+                if d_iter > 0 and dt > 0 and not new_attempt:
                     self._iter_times.append(dt / d_iter)
                 track.iteration = beat.iteration
                 track.phase = beat.phase
+                track.attempt = beat.attempt
                 track.last_progress_ts = beat.ts
                 if track.flagged:
                     track.flagged = False

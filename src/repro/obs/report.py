@@ -48,6 +48,7 @@ __all__ = [
     "load_run",
     "build_run_report",
     "render_run_report",
+    "render_queue_state",
     "BenchDelta",
     "bench_direction",
     "compare_bench",
@@ -194,6 +195,53 @@ def _render_convergence_line(tile: str, diag: Dict[str, object]) -> str:
     return line + flags
 
 
+# -- durable queue state ------------------------------------------------------
+
+
+def render_queue_state(queue: Dict[str, object]) -> str:
+    """Render one ``load_queue_state`` payload as a text section.
+
+    Shared by ``repro watch`` and ``repro report`` so the two views of
+    the durable queue can never drift apart.  Works from the queue
+    directory's files alone — no ``status.json`` / ``run.json`` needed.
+    """
+    counts = queue.get("counts") or {}
+    lines = [
+        "--- durable queue ---",
+        f"{counts.get('pending', 0)} pending, {counts.get('leased', 0)} leased, "
+        f"{counts.get('done', 0)} done, {counts.get('failed', 0)} failed, "
+        f"{counts.get('quarantined', 0)} quarantined | "
+        f"{counts.get('requeued', 0)} requeue incident(s) | "
+        f"lease {float(queue.get('lease_s', 0.0)):g}s, "
+        f"max requeues {queue.get('max_requeues')}, "
+        f"backoff {float(queue.get('backoff_s', 0.0)):g}s",
+    ]
+    table = TextTable(
+        [
+            ColumnSpec("tile", 12, "<"),
+            ColumnSpec("queue state", 11, "<"),
+            ColumnSpec("attempts", 8),
+            ColumnSpec("requeues", 8),
+            ColumnSpec("history", 40, "<"),
+        ]
+    )
+    for tile in queue.get("tiles", []):
+        kinds = [str(h.get("kind", "?")) for h in tile.get("history") or []]
+        if len(kinds) > 6:
+            kinds = ["..."] + kinds[-6:]
+        table.add_row(
+            [
+                str(tile.get("name", "?")),
+                str(tile.get("state", "?")),
+                str(tile.get("attempts", "?")),
+                str(tile.get("requeues", 0)),
+                " -> ".join(kinds) if kinds else None,
+            ]
+        )
+    lines.append(table.render())
+    return "\n".join(lines)
+
+
 # -- run report --------------------------------------------------------------
 
 
@@ -259,12 +307,18 @@ def build_run_report(run_dir: Union[str, Path]) -> Dict[str, object]:
         convergence[name] = diagnose_history(
             _history_from_events(spool.events), recoveries=recoveries
         ).as_dict()
+    # Durable-queue state, read from the queue/ directory alone (None
+    # for pool/serial runs that never seeded one).  Imported lazily:
+    # obs must stay importable without the fullchip package.
+    from ..fullchip.queue import load_queue_state
+
     return {
         "schema": 1,
         "kind": "fullchip_report",
         "run": run,
         "metrics": metrics,
         "convergence": convergence,
+        "queue": load_queue_state(run_dir),
         "resources": summarize_resources(
             run_dir / RESOURCES_DIRNAME, parent_pid=run.get("parent_pid")
         ),
@@ -350,6 +404,11 @@ def render_run_report(run_dir: Union[str, Path]) -> str:
         registry = MetricsRegistry()
         registry.merge_snapshot(report["metrics"])
         sections.append(registry.summary())
+
+    # Durable-queue state (queue-executor runs only).
+    queue = report.get("queue")
+    if queue:
+        sections.append(render_queue_state(queue))
 
     # Convergence diagnostics from the spooled iteration events.
     convergence = report["convergence"]

@@ -20,6 +20,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
+from ..errors import ReproError
 from ..tables import ColumnSpec, TextTable
 from .live import HEARTBEAT_DIRNAME, TERMINAL_TILE_STATES, load_status, read_heartbeats
 from .resources import RESOURCES_DIRNAME, summarize_resources
@@ -29,6 +30,56 @@ __all__ = ["collect_snapshot", "render_snapshot", "run_watch", "watch_exit_code"
 #: ANSI: clear screen + home the cursor (the refresh between frames).
 _CLEAR = "\x1b[2J\x1b[H"
 
+#: Queue tile states mapped onto the status-feed tile-state vocabulary.
+_QUEUE_TILE_STATES = {
+    "pending": "pending",
+    "leased": "running",
+    "done": "done",
+    "failed": "failed",
+    "quarantined": "failed",
+}
+
+
+def _snapshot_from_queue(queue_state: Dict[str, object]) -> Dict[str, object]:
+    """A minimal status snapshot derived from the queue directory alone.
+
+    Used when a run directory has a seeded ``queue/`` but no (or a
+    deleted) ``status.json`` — e.g. watching a fleet of hand-launched
+    ``repro worker`` processes with no supervising engine.
+    """
+    counts = queue_state.get("counts") or {}
+    failed = int(counts.get("failed", 0)) + int(counts.get("quarantined", 0))
+    done = int(counts.get("done", 0))
+    total = int(counts.get("total", 0))
+    if total and done + failed >= total:
+        state = "failed" if failed else "done"
+    else:
+        state = "running"
+    tile_states = []
+    for tile in queue_state.get("tiles", []):
+        qstate = str(tile.get("state", "pending"))
+        tile_states.append(
+            {
+                "name": tile.get("name"),
+                "state": _QUEUE_TILE_STATES.get(qstate, qstate),
+                "attempts": tile.get("attempts"),
+            }
+        )
+    return {
+        "schema": 1,
+        "kind": "fullchip_status",
+        "layout": None,
+        "state": state,
+        "tiles": {
+            "total": total,
+            "done": done,
+            "running": int(counts.get("leased", 0)),
+            "failed": failed,
+        },
+        "tile_states": tile_states,
+        "queue_only": True,
+    }
+
 
 def collect_snapshot(run_dir: Union[str, Path]) -> Dict[str, object]:
     """One fused view of a run directory (the ``--json`` payload).
@@ -37,10 +88,24 @@ def collect_snapshot(run_dir: Union[str, Path]) -> Dict[str, object]:
     :class:`~repro.errors.ReproError` when absent), then overlays the
     per-tile heartbeat files — which a busy scheduler may trail by up to
     a poll interval — onto the still-running tiles, and attaches the
-    per-process resource summaries.
+    per-process resource summaries.  A directory holding a seeded
+    durable queue additionally carries its state under ``"queue"`` —
+    and a queue *without* a ``status.json`` (a hand-launched worker
+    fleet) still renders, from the queue directory alone.
     """
     run_dir = Path(run_dir)
-    snapshot = load_status(run_dir)
+    # Imported lazily: obs stays importable without the fullchip package.
+    from ..fullchip.queue import load_queue_state
+
+    queue_state = load_queue_state(run_dir)
+    try:
+        snapshot = load_status(run_dir)
+    except ReproError:
+        if queue_state is None:
+            raise
+        snapshot = _snapshot_from_queue(queue_state)
+    if queue_state is not None:
+        snapshot["queue"] = queue_state
     beats = read_heartbeats(run_dir / HEARTBEAT_DIRNAME)
     for tile in snapshot.get("tile_states", []):
         beat = beats.get(tile.get("name"))
@@ -167,6 +232,13 @@ def render_snapshot(snapshot: Dict[str, object]) -> str:
                 ]
             )
         lines.append(res_table.render())
+
+    queue = snapshot.get("queue")
+    if queue:
+        from .report import render_queue_state
+
+        lines.append("")
+        lines.append(render_queue_state(queue))
 
     stalled = [
         t.get("name") for t in snapshot.get("tile_states", []) if t.get("stalled")

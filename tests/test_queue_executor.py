@@ -1,0 +1,296 @@
+"""Integration tests for the queue executor and crash-safe workers.
+
+The load-bearing acceptance fixture is ``kill_run``: a real 2-worker
+queue-executor full-chip solve with one worker SIGKILLed mid-solve via
+``REPRO_FULLCHIP_KILL_TILES``.  The run must still complete every
+tile, the recovered tile's stitched mask must equal an uninterrupted
+run's bit-for-bit, and exactly one ``job_requeued`` event must latch —
+the whole durability story end to end.  The cheaper tests drive
+``run_worker`` in-process against a hand-seeded queue and pin the
+executor dispatch seam.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.config import (
+    GridSpec,
+    LithoConfig,
+    OpticsConfig,
+    OptimizerConfig,
+    ProcessConfig,
+    ResistConfig,
+)
+from repro.errors import FullChipError
+from repro.fullchip import (
+    FullChipConfig,
+    FullChipEngine,
+    KILL_TILES_ENV,
+    PoolExecutor,
+    QueueWorkerExecutor,
+    SerialExecutor,
+    TileJob,
+    TileJobQueue,
+    build_tile_plan,
+    executor_for,
+    load_queue_state,
+    run_tile_jobs,
+    run_worker,
+)
+from repro.fullchip.queue import QUEUE_DIRNAME, QueueConfig
+from repro.geometry.rect import Rect
+from repro.obs import Instrumentation
+from repro.workloads.generator import synthetic_canvas
+
+PIXEL_NM = 16.0
+PROBE_NM = 1024.0
+
+#: The tile whose worker the acceptance fixture SIGKILLs mid-solve.
+KILLED = (0, 1)
+
+
+def _fc_litho() -> LithoConfig:
+    return LithoConfig(
+        grid=GridSpec(shape=(64, 64), pixel_nm=PIXEL_NM),
+        optics=OpticsConfig(num_kernels=4),
+        resist=ResistConfig(),
+        process=ProcessConfig(),
+    )
+
+
+def _fast_optimizer() -> OptimizerConfig:
+    return OptimizerConfig(max_iterations=3, use_jump=False)
+
+
+def _row_jobs(litho):
+    """Two small jobs (a 1x2 plan over a synthetic strip)."""
+    plan = build_tile_plan(Rect(0, 0, 2048, 1024), 1024.0, 192.0, PIXEL_NM)
+    layout = synthetic_canvas(2048.0, 1024.0, seed=2)
+    return [
+        TileJob(
+            tile=tile,
+            layout=tile.clip_layout(layout),
+            litho=litho,
+            optimizer=_fast_optimizer(),
+            probe_extent_nm=PROBE_NM,
+        )
+        for tile in plan
+    ]
+
+
+class TestExecutorFor:
+    def test_dispatch_table(self, tmp_path):
+        assert isinstance(executor_for("serial", 4), SerialExecutor)
+        assert isinstance(executor_for("pool", 1), SerialExecutor)
+        assert isinstance(executor_for("pool", 4), PoolExecutor)
+        queue_exec = executor_for("queue", 2, run_dir=tmp_path)
+        assert isinstance(queue_exec, QueueWorkerExecutor)
+        assert queue_exec.workers == 2
+
+    def test_queue_requires_run_dir(self):
+        with pytest.raises(FullChipError, match="run directory"):
+            executor_for("queue", 2)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FullChipError):
+            executor_for("carrier-pigeon", 2)
+
+
+class TestRunWorker:
+    def test_worker_drains_queue_and_matches_serial(self, tmp_path):
+        litho = _fc_litho()
+        jobs = _row_jobs(litho)
+        queue = TileJobQueue.create(
+            tmp_path / QUEUE_DIRNAME,
+            {job.tile.name: (job.tile.index, job) for job in jobs},
+            config=QueueConfig(lease_s=30.0),
+        )
+        assert run_worker(tmp_path, poll_s=0.05) == 0
+        assert queue.drained()
+        serial = {r.index: r for r in run_tile_jobs(jobs)}
+        for job in jobs:
+            record = queue.terminal_record(job.tile.name)
+            assert record["state"] == "done"
+            assert record["status"] == "ok"
+            assert record["attempts"] >= 1
+            mask = queue.load_result_mask(record)
+            assert np.array_equal(mask, serial[job.tile.index].mask)
+
+    def test_worker_on_unseeded_run_dir_raises(self, tmp_path):
+        with pytest.raises(FullChipError):
+            run_worker(tmp_path)
+
+    def test_worker_cli_subcommand(self, tmp_path):
+        litho = _fc_litho()
+        jobs = _row_jobs(litho)[:1]
+        queue = TileJobQueue.create(
+            tmp_path / QUEUE_DIRNAME,
+            {job.tile.name: (job.tile.index, job) for job in jobs},
+        )
+        assert main(["worker", str(tmp_path), "--poll", "0.05"]) == 0
+        assert queue.drained()
+
+
+class TestEngineQueueExecutor:
+    def test_config_validation(self, tmp_path):
+        with pytest.raises(FullChipError, match="telemetry_dir"):
+            FullChipConfig(
+                tile_nm=1024.0, probe_extent_nm=PROBE_NM, executor="queue"
+            )
+        with pytest.raises(FullChipError, match="executor"):
+            FullChipConfig(
+                tile_nm=1024.0, probe_extent_nm=PROBE_NM, executor="nope"
+            )
+        with pytest.raises(FullChipError, match="lease_s"):
+            FullChipConfig(
+                tile_nm=1024.0,
+                probe_extent_nm=PROBE_NM,
+                executor="queue",
+                telemetry_dir=str(tmp_path),
+                queue_lease_s=0.0,
+            )
+
+    def test_queue_run_matches_default_run(self, tmp_path):
+        """A clean queue-executor solve is bit-identical to the default."""
+        litho = _fc_litho()
+        layout = synthetic_canvas(2048.0, 1024.0, seed=2)
+        reference = FullChipEngine(
+            litho,
+            optimizer=_fast_optimizer(),
+            config=FullChipConfig(tile_nm=1024.0, probe_extent_nm=PROBE_NM),
+        ).solve(layout)
+        run_dir = tmp_path / "run"
+        result = FullChipEngine(
+            litho,
+            optimizer=_fast_optimizer(),
+            config=FullChipConfig(
+                tile_nm=1024.0,
+                probe_extent_nm=PROBE_NM,
+                executor="queue",
+                workers=1,
+                telemetry_dir=str(run_dir),
+                queue_lease_s=60.0,
+            ),
+        ).solve(layout)
+        assert result.all_ok
+        assert np.array_equal(result.mask, reference.mask)
+        state = load_queue_state(run_dir)
+        assert state is not None
+        assert state["counts"]["done"] == len(result.tile_results)
+        assert state["counts"]["requeued"] == 0
+
+
+@pytest.fixture(scope="module")
+def kill_run(tmp_path_factory):
+    """One 2-worker queue solve with tile (0,1)'s worker SIGKILLed.
+
+    Module scope cannot use ``monkeypatch``, so the env hook is set and
+    restored by hand.  The fixture also solves the same canvas
+    uninterrupted (serial, no injection) as the stitching reference.
+    """
+    litho = _fc_litho()
+    layout = synthetic_canvas(2048.0, 2048.0, seed=5)
+    reference = FullChipEngine(
+        litho,
+        optimizer=_fast_optimizer(),
+        config=FullChipConfig(tile_nm=1024.0, probe_extent_nm=PROBE_NM),
+    ).solve(layout)
+    run_dir = tmp_path_factory.mktemp("kill_run")
+    events = []
+    obs = Instrumentation.collecting(
+        trace=True, metrics=True, timeline=True, events_sink=events.append
+    )
+    engine = FullChipEngine(
+        litho,
+        optimizer=_fast_optimizer(),
+        config=FullChipConfig(
+            tile_nm=1024.0,
+            probe_extent_nm=PROBE_NM,
+            executor="queue",
+            workers=2,
+            keep_going=True,
+            telemetry_dir=str(run_dir),
+            queue_lease_s=10.0,
+            queue_backoff_s=0.05,
+            resource_interval_s=0.1,
+            watchdog_poll_s=0.2,
+        ),
+        obs=obs,
+    )
+    saved = os.environ.get(KILL_TILES_ENV)
+    os.environ[KILL_TILES_ENV] = f"{KILLED[0]},{KILLED[1]}:2"
+    try:
+        result = engine.solve(layout)
+    finally:
+        if saved is None:
+            os.environ.pop(KILL_TILES_ENV, None)
+        else:
+            os.environ[KILL_TILES_ENV] = saved
+    return run_dir, obs, events, result, reference
+
+
+class TestKillRecoveryAcceptance:
+    def test_every_tile_completes(self, kill_run):
+        _, _, _, result, _ = kill_run
+        assert result.all_ok
+        assert result.failed_tiles == []
+        assert len(result.tile_results) == 4
+
+    def test_killed_tile_is_recovered_on_a_fresh_attempt(self, kill_run):
+        _, _, _, result, _ = kill_run
+        by_index = {r.index: r for r in result.tile_results}
+        killed = by_index[KILLED]
+        assert killed.status.status == "recovered"
+        assert killed.status.attempts >= 2  # the SIGKILLed attempt + re-run
+        for index, tile in by_index.items():
+            if index != KILLED:
+                assert tile.status.status == "ok"
+
+    def test_exactly_one_requeue_event_latches(self, kill_run):
+        _, obs, events, _, _ = kill_run
+        requeued = [e for e in events if e["event"] == "job_requeued"]
+        assert len(requeued) == 1
+        event = requeued[0]
+        assert event["tile"] == f"tile_r{KILLED[0]}_c{KILLED[1]}"
+        assert event["token"] == 1
+        assert not [e for e in events if e["event"] == "job_quarantined"]
+        counters = obs.metrics.as_dict()
+        assert counters["fullchip_jobs_requeued"]["value"] == 1
+
+    def test_recovered_stitch_matches_uninterrupted_run(self, kill_run):
+        _, _, _, result, reference = kill_run
+        assert np.array_equal(result.mask, reference.mask)
+
+    def test_queue_directory_tells_the_whole_story(self, kill_run):
+        run_dir, _, _, result, _ = kill_run
+        state = load_queue_state(run_dir)
+        assert state["counts"]["done"] == 4
+        assert state["counts"]["requeued"] == 1
+        by_name = {t["name"]: t for t in state["tiles"]}
+        killed = by_name[f"tile_r{KILLED[0]}_c{KILLED[1]}"]
+        assert killed["state"] == "done"
+        assert killed["requeues"] == 1
+        kinds = [h["kind"] for h in killed["history"]]
+        assert kinds.count("requeued") == 1
+        assert kinds[-1] == "done"
+        # The dead attempt's pulses must not survive into the re-run:
+        # the recovered tile's final heartbeat carries attempt 2.
+        from repro.obs.live import HEARTBEAT_DIRNAME, read_heartbeats
+
+        beats = read_heartbeats(run_dir / HEARTBEAT_DIRNAME)
+        killed_beat = beats.get(f"tile_r{KILLED[0]}_c{KILLED[1]}")
+        if killed_beat is not None:
+            assert killed_beat.attempt >= 2
+
+    def test_report_renders_the_queue_section(self, kill_run):
+        run_dir, _, _, _, _ = kill_run
+        from repro.obs.report import build_run_report, render_run_report
+
+        report = build_run_report(run_dir)
+        assert report["queue"]["counts"]["done"] == 4
+        text = render_run_report(run_dir)
+        assert "durable queue" in text
+        assert "requeued" in text
