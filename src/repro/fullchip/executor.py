@@ -586,9 +586,24 @@ class QueueWorkerExecutor(TileExecutor):
     def _abandoned(
         self, queue: TileJobQueue, fleet: List[subprocess.Popen]
     ) -> bool:
-        """No live workers, no respawn budget, nothing in flight."""
+        """Nothing in flight and the queue has been dead quiet past grace.
+
+        Only consulted once the local fleet is gone and the respawn
+        budget is spent.  ``leased == 0`` alone is not abandonment:
+        externally attached workers (``repro worker`` launched by hand
+        on any host) are invisible to the local fleet list and may be
+        between claims, and pending tickets may still be parked behind
+        requeue backoff.  So tiles are only failed after every ticket
+        has been claimable — and nothing has touched the queue — for a
+        full grace window (two lease terms).  External workers extend
+        the run only by actually claiming within that window; they do
+        not otherwise disable the supervisor's abandonment check.
+        """
         counts = queue.counts()
-        return counts["leased"] == 0
+        if counts["leased"] > 0:
+            return False
+        grace = max(2.0 * self.queue_config.lease_s, 10.0 * self.poll_s)
+        return time.time() - queue.last_activity_ts() > grace
 
     def _fail_abandoned(
         self,

@@ -14,9 +14,9 @@ Layout of a queue directory::
       jobs/<tile>.pkl            immutable pickled TileJob payloads
       pending/<tile>.t<N>.json   claim tickets (token N, backoff gate)
       leased/<tile>.t<N>.json    live leases (pid, host, deadline)
-      done/<tile>.json           terminal records (one per tile)
-      failed/<tile>.json
-      quarantined/<tile>.json
+      done/<tile>.t<N>.json      terminal records (highest token wins)
+      failed/<tile>.t<N>.json
+      quarantined/<tile>.t<N>.json
       results/<tile>.t<N>.npz    solved window masks, one per completion
       history/<tile>.jsonl       append-only per-tile incident log
 
@@ -35,13 +35,19 @@ exactly one winner:
   incident), appends the ``requeued`` history line, *then* unlinks the
   stale lease.  A crash between the two steps leaves a harmless stale
   lease that the next sweep clears.
-* **commit (fencing)** — the worker unlinks its *own* lease file; only
-  the process that still holds the lease can win that unlink.  A stale
-  worker whose lease was requeued from under it loses the unlink, and
-  its late result is discarded — the fencing token (the lease
-  generation ``N`` baked into every filename) guarantees a re-run's
-  result cannot be clobbered.  If terminal records from two generations
-  ever race (the sweep-vs-commit window), the **highest token wins**.
+* **commit (fencing)** — the worker checks that it still holds its
+  lease, writes the result npz, creates its *token-named* terminal
+  record with ``O_EXCL``, and only then unlinks the lease.  The lease
+  outlives the terminal write, so a worker killed at any instant
+  leaves either a live lease (expires → requeue) or a settled tile
+  behind a zombie lease (cleared by the next sweep) — never a tile
+  with no state at all.  A stale worker whose lease was swept from
+  under it fails the lease check and its late result is discarded; if
+  terminal records from two generations ever land anyway (the narrow
+  check-vs-sweep window), the reader resolves the race: the fencing
+  token ``N`` is baked into every terminal filename and
+  :meth:`TileJobQueue.terminal_record` always returns the **highest
+  token**, so a re-run's result cannot be clobbered.
 
 Tokens double as the requeue counter: a job on token ``N`` has been
 requeued ``N`` times.  Expiry beyond ``max_requeues`` quarantines the
@@ -294,17 +300,28 @@ class TileJobQueue:
         }
 
     def terminal_record(self, tile: str) -> Optional[Dict[str, object]]:
-        """The tile's terminal record, if any (done/failed/quarantined)."""
-        for sub in _TERMINAL_DIRS:
-            path = self._dir(sub) / f"{tile}.json"
-            if path.is_file():
-                try:
-                    with open(path) as handle:
-                        record = json.load(handle)
-                except (OSError, json.JSONDecodeError):
-                    continue
-                record.setdefault("state", sub)
-                return record
+        """The tile's winning terminal record (done/failed/quarantined).
+
+        Terminal records are token-named, so two generations racing
+        through the sweep-vs-commit window each land their own file and
+        the race is resolved here, at read time: the **highest token**
+        wins (ties broken by done > failed > quarantined), with
+        unreadable records skipped in favor of the next-best.
+        """
+        candidates: List[Tuple[int, int, Path, str]] = []
+        for rank, sub in enumerate(_TERMINAL_DIRS):
+            for path in self._dir(sub).glob(f"{tile}.t*.json"):
+                parsed = _parse_entry_name(path.name)
+                if parsed is not None and parsed[0] == tile:
+                    candidates.append((parsed[1], -rank, path, sub))
+        for _token, _rank, path, sub in sorted(candidates, reverse=True):
+            try:
+                with open(path) as handle:
+                    record = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            record.setdefault("state", sub)
+            return record
         return None
 
     def _tile_has_state(self, tile: str) -> bool:
@@ -441,23 +458,36 @@ class TileJobQueue:
             return ClaimedJob(lease=lease, job=self.load_job(tile))
         return None
 
-    def renew(self, lease: LeaseRecord) -> bool:
-        """Extend a held lease's deadline; False when the lease is gone.
+    def lease_exists(self, lease: LeaseRecord) -> bool:
+        """Whether this claim's lease file is still on disk."""
+        return (
+            self._dir(LEASED_DIRNAME) / _entry_name(lease.tile, lease.token)
+        ).is_file()
 
-        A vanished lease file means a sweeper expired and requeued the
-        job from under this worker — the worker may finish its solve,
-        but its commit will lose the fence.  (The check-then-write
-        window can briefly resurrect a just-swept lease file; the
-        highest-token rule at commit time keeps that harmless.)
+    def renew(self, lease: LeaseRecord) -> bool:
+        """Extend a held lease's deadline; False when not extended.
+
+        False means the on-disk deadline is still ticking: either the
+        lease file vanished (a sweeper expired and requeued the job
+        from under this worker — the commit will lose the fence) or
+        the rewrite itself failed (transient ``OSError``; the caller
+        can distinguish via :meth:`lease_exists` and retry).  (The
+        check-then-write window can briefly resurrect a just-swept
+        lease file; the highest-token rule at commit time keeps that
+        harmless.)
         """
         path = self._dir(LEASED_DIRNAME) / _entry_name(lease.tile, lease.token)
         if not path.is_file():
             return False
-        lease.deadline = self._now() + self.config.lease_s
+        deadline = self._now() + self.config.lease_s
         try:
-            write_json_atomic(path, lease.as_dict())
+            write_json_atomic(
+                path, {**lease.as_dict(), "deadline": deadline}
+            )
         except OSError as exc:
             logger.warning("lease renew failed for %s: %s", lease.tile, exc)
+            return False
+        lease.deadline = deadline
         return True
 
     # -- expiry sweep -------------------------------------------------------
@@ -481,7 +511,12 @@ class TileJobQueue:
 
         A lease is expired when its deadline has passed, or — faster —
         when it was taken by a process on *this* host whose pid is gone
-        (a crashed worker; no need to wait out the lease).  Each
+        (a crashed worker; no need to wait out the lease).  A lease
+        whose deadline passed but whose claimant is *verifiably alive*
+        on this host gets a grace extension (two extra lease terms past
+        the deadline) before it is treated as lost — a live local
+        worker that merely missed a renewal window (renewal write
+        hiccup, a wedged renewal thread) is not a dead one.  Each
         incident is also appended to the tile's history, and the stale
         ``heartbeat_<tile>.json`` from the dead attempt is removed so
         the watchdog doesn't flag the re-run against old pulses.
@@ -506,6 +541,14 @@ class TileJobQueue:
                 except FileNotFoundError:
                     pass
                 continue
+            if self._newer_generation_exists(tile, token):
+                # A stale lower-generation lease behind a live higher
+                # generation (a sweeper crashed between writing the
+                # replacement ticket and unlinking this lease): clear
+                # it without an incident — requeueing it again would
+                # mint a duplicate generation.
+                self._unlink_lease(tile, token)
+                continue
             try:
                 with open(lease_path) as handle:
                     lease = json.load(handle)
@@ -522,14 +565,19 @@ class TileJobQueue:
                     continue
             pid = int(lease.get("pid", 0) or 0)
             host = str(lease.get("host", ""))
-            dead = (
-                pid > 0
-                and host == socket.gethostname()
-                and not self._pid_alive(pid)
-            )
+            local = pid > 0 and host == socket.gethostname()
+            dead = local and not self._pid_alive(pid)
             if float(deadline) > now and not dead:
                 continue
-            reason = "worker died" if dead else "lease expired"
+            if not dead and local:
+                # Deadline passed but the claimant is verifiably alive
+                # here: grant a bounded grace (the bound also caps the
+                # damage of a recycled pid masquerading as the worker).
+                if now < float(deadline) + 2.0 * self.config.lease_s:
+                    continue
+                reason = "lease expired (live pid outlasted grace)"
+            else:
+                reason = "worker died" if dead else "lease expired"
             incident = self._expire_one(tile, token, lease, reason)
             if incident is not None:
                 incidents.append(incident)
@@ -545,6 +593,15 @@ class TileJobQueue:
                             "stale heartbeat cleanup failed for %s: %s", tile, exc
                         )
         return incidents
+
+    def _newer_generation_exists(self, tile: str, token: int) -> bool:
+        """Any pending ticket or lease for this tile with a higher token."""
+        for sub in (PENDING_DIRNAME, LEASED_DIRNAME):
+            for path in self._dir(sub).glob(f"{tile}.t*.json"):
+                parsed = _parse_entry_name(path.name)
+                if parsed is not None and parsed[0] == tile and parsed[1] > token:
+                    return True
+        return False
 
     def _expire_one(
         self, tile: str, token: int, lease: Dict[str, object], reason: str
@@ -566,10 +623,18 @@ class TileJobQueue:
                 ),
                 "ts": self._now(),
             }
-            if not self._write_exclusive(
-                self._dir(QUARANTINED_DIRNAME) / f"{tile}.json", record
-            ):
-                return None  # another sweeper won the incident
+            quarantine_path = self._dir(QUARANTINED_DIRNAME) / _entry_name(
+                tile, token
+            )
+            if not self._write_exclusive(quarantine_path, record):
+                # Another sweeper won the incident (or a predecessor
+                # crashed after writing the record): make sure the
+                # stale lease does not outlive it.  Only safe when the
+                # record really exists — an OSError-failed write must
+                # keep the lease as the tile's recoverable state.
+                if quarantine_path.is_file():
+                    self._unlink_lease(tile, token)
+                return None
             self._history(tile, "quarantined", token=token, reason=reason)
             self._unlink_lease(tile, token)
             incident = {"kind": "job_quarantined", **record}
@@ -584,7 +649,15 @@ class TileJobQueue:
             "not_before": self._now() + backoff,
         }
         if not self._write_exclusive(ticket_path, ticket):
-            return None  # another sweeper already requeued this generation
+            # Another sweeper already requeued this generation (or a
+            # predecessor crashed after writing the ticket): clear the
+            # stale lease so it cannot later mint a duplicate
+            # generation.  Only safe when the ticket really exists — an
+            # OSError-failed write must keep the lease as the tile's
+            # only recoverable state.
+            if ticket_path.is_file():
+                self._unlink_lease(tile, token)
+            return None
         self._history(
             tile, "requeued", token=next_token, reason=reason, backoff_s=backoff
         )
@@ -650,13 +723,14 @@ class TileJobQueue:
         meta: Dict[str, object],
     ) -> bool:
         tile, token = claim.tile, claim.token
-        # Fence acquisition: unlink our own lease.  Exactly one process
-        # can win the unlink of a given file; if a sweeper requeued this
-        # generation, the lease is gone and this (stale) result must be
-        # discarded — the re-run owns the tile now.
-        try:
-            os.unlink(self._dir(LEASED_DIRNAME) / _entry_name(tile, token))
-        except FileNotFoundError:
+        # Fence check: our lease must still be on disk.  If a sweeper
+        # requeued this generation, the lease is gone and this (stale)
+        # result must be discarded — the re-run owns the tile now.  The
+        # lease itself is NOT consumed yet: it must outlive the result
+        # and terminal writes below, so a worker crashing anywhere in
+        # this function leaves a recoverable lease, never a tile with
+        # no pending ticket, no lease, and no terminal record.
+        if not self.lease_exists(claim.lease):
             self._history(tile, "discarded", token=token, reason="lost lease fence")
             logger.warning(
                 "queue: tile %s token %d commit discarded (lease revoked)",
@@ -688,14 +762,39 @@ class TileJobQueue:
             "ts": self._now(),
             **meta,
         }
-        write_json_atomic(self._dir(terminal_dir) / f"{tile}.json", record)
+        # The terminal record is token-named and O_EXCL: one writer per
+        # generation, and racing generations each land their own file —
+        # terminal_record() resolves highest-token-wins at read time,
+        # so a stale lower-token record landing last changes nothing.
+        if not self._write_exclusive(
+            self._dir(terminal_dir) / _entry_name(tile, token), record
+        ):
+            self._history(
+                tile, "discarded", token=token, reason="duplicate commit"
+            )
+            return False
         self._history(tile, kind, token=token)
+        # Release the fence.  Losing this unlink (swept in the narrow
+        # window since the check above) is harmless now: our record is
+        # durable and the sweep's replacement ticket will be garbage-
+        # collected against it by the next claim() pass.
+        try:
+            os.unlink(self._dir(LEASED_DIRNAME) / _entry_name(tile, token))
+        except FileNotFoundError:
+            logger.warning(
+                "queue: tile %s token %d was swept mid-commit; the "
+                "committed record stands", tile, token,
+            )
         # Garbage-collect stale artifacts of older generations: tickets
-        # that would trigger pointless re-solves and superseded masks.
-        for sub in (PENDING_DIRNAME,):
+        # that would trigger pointless re-solves, superseded terminal
+        # records, and superseded masks.
+        for sub in (PENDING_DIRNAME,) + _TERMINAL_DIRS:
             for path in self._dir(sub).glob(f"{tile}.t*.json"):
                 parsed = _parse_entry_name(path.name)
-                if parsed is not None and parsed[1] <= token:
+                if parsed is None or parsed[0] != tile:
+                    continue
+                cutoff = token if sub == PENDING_DIRNAME else token - 1
+                if parsed[1] <= cutoff:
                     try:
                         os.unlink(path)
                     except FileNotFoundError:
@@ -736,6 +835,35 @@ class TileJobQueue:
 
     # -- introspection ------------------------------------------------------
 
+    def last_activity_ts(self) -> float:
+        """Latest wall-clock signal of queue life, for abandonment checks.
+
+        The maximum of every history line's timestamp and every pending
+        ticket's ``not_before`` gate (a backoff-parked ticket is
+        "active" until it becomes claimable), falling back to the
+        ``meta.json`` mtime for a queue with no recorded activity.
+        """
+        latest = 0.0
+        for tile in self.tiles():
+            for line in self.history(tile):
+                try:
+                    latest = max(latest, float(line.get("ts", 0.0) or 0.0))
+                except (TypeError, ValueError):
+                    continue
+        for path in self._dir(PENDING_DIRNAME).glob("*.json"):
+            try:
+                with open(path) as handle:
+                    ticket = json.load(handle)
+                latest = max(latest, float(ticket.get("not_before", 0.0) or 0.0))
+            except (OSError, json.JSONDecodeError, TypeError, ValueError):
+                continue
+        if latest <= 0.0:
+            try:
+                latest = os.stat(self.root / META_FILENAME).st_mtime
+            except OSError:
+                pass
+        return latest
+
     def counts(self) -> Dict[str, int]:
         """Live state counts over the queue directory."""
         counts = {
@@ -746,16 +874,27 @@ class TileJobQueue:
             "failed": 0,
             "quarantined": 0,
         }
-        settled = set()
-        for sub, key in (
-            (DONE_DIRNAME, "done"),
-            (FAILED_DIRNAME, "failed"),
-            (QUARANTINED_DIRNAME, "quarantined"),
+        # Terminal records are token-named and may briefly coexist
+        # across generations/dirs; attribute each tile to its winning
+        # record (highest token, dir precedence on ties) exactly once.
+        best: Dict[str, Tuple[int, int, str]] = {}
+        for rank, (sub, key) in enumerate(
+            (
+                (DONE_DIRNAME, "done"),
+                (FAILED_DIRNAME, "failed"),
+                (QUARANTINED_DIRNAME, "quarantined"),
+            )
         ):
             for path in self._dir(sub).glob("*.json"):
-                if path.stem not in settled:
-                    settled.add(path.stem)
-                    counts[key] += 1
+                parsed = _parse_entry_name(path.name)
+                if parsed is None:
+                    continue
+                tile, token = parsed
+                if tile not in best or (token, -rank) > best[tile][:2]:
+                    best[tile] = (token, -rank, key)
+        settled = set(best)
+        for _token, _rank, key in best.values():
+            counts[key] += 1
         for sub, key in ((PENDING_DIRNAME, "pending"), (LEASED_DIRNAME, "leased")):
             for path in self._dir(sub).glob("*.json"):
                 parsed = _parse_entry_name(path.name)

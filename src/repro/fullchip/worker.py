@@ -9,9 +9,12 @@ queue's one-winner filesystem protocols:
 
 * **Claim** — atomic rename of a pending ticket into ``leased/``;
   exactly one worker wins each ticket.
-* **Renew** — the solve's own heartbeat pulses drive lease renewal
-  (the :class:`LeaseRenewer` hook rides ``HeartbeatWriter.on_beat``),
-  so a worker that stops beating stops renewing, by construction.
+* **Renew** — a background renewal thread extends the lease on a
+  fixed timer for as long as the worker process lives, so beat-free
+  solve phases (model build, cache warm, one slow iteration, a job
+  with telemetry off) cannot expire a healthy lease; the solve's own
+  heartbeat pulses also renew opportunistically (the
+  :class:`LeaseRenewer` hook rides ``HeartbeatWriter.on_beat``).
 * **Commit** — fenced by unlinking the worker's own lease file; a
   stale worker whose lease was swept while it kept computing loses the
   unlink and its result is discarded, never clobbering a re-run.
@@ -28,6 +31,7 @@ from __future__ import annotations
 
 import logging
 import os
+import threading
 import time
 from pathlib import Path
 from typing import Optional, Union
@@ -43,17 +47,24 @@ __all__ = ["LeaseRenewer", "process_claim", "run_worker"]
 
 
 class LeaseRenewer:
-    """Heartbeat-driven lease renewal hook (``HeartbeatWriter.on_beat``).
+    """Time-floored lease renewal: a timer thread plus a beat hook.
 
-    Called on *every* heartbeat pulse — including ones the writer
-    throttles away — and self-throttles to one queue write per quarter
-    lease term, so renewal cost is independent of iteration rate while
-    a healthy solve can never miss three consecutive renewal windows.
+    Renewal must never depend on the solve making *observable*
+    progress — model build and cache warm emit no heartbeat, a single
+    slow iteration can outlast the whole lease, and a job with
+    telemetry off never constructs a ``HeartbeatWriter`` at all.  So
+    the floor is a daemon thread (:meth:`start`) that renews every
+    quarter lease term for as long as this process lives; heartbeat
+    pulses (``__call__``, wired as ``HeartbeatWriter.on_beat``) renew
+    opportunistically on top, throttled to the same interval.
 
-    Losing the lease (swept as expired, or the queue re-seeded) is
-    remembered in :attr:`lost`; the solve itself is not interrupted —
-    the commit fence will discard the result, and aborting mid-solve
-    would buy nothing but a harder-to-test code path.
+    A renewal that fails because the lease *file is gone* (swept as
+    expired, or the queue re-seeded) latches :attr:`lost` — the solve
+    is not interrupted; the commit fence will discard the result, and
+    aborting mid-solve would buy nothing but a harder-to-test code
+    path.  A renewal whose *write* fails (transient ``OSError``) does
+    not latch: the on-disk deadline is still running, so the renewer
+    logs and retries on the next tick.
     """
 
     def __init__(self, queue: TileJobQueue, claim: ClaimedJob) -> None:
@@ -61,16 +72,54 @@ class LeaseRenewer:
         self.claim = claim
         self.interval_s = max(queue.config.lease_s / 4.0, 0.05)
         self.lost = False
+        self._lock = threading.Lock()
         self._last_renew = time.monotonic()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "LeaseRenewer":
+        """Launch the renewal-floor thread (idempotent)."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._run,
+                name=f"lease-renew-{self.claim.tile}",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        """Stop the renewal-floor thread (the beat hook keeps working)."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=max(2.0 * self.interval_s, 1.0))
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self._renew(force=True)
 
     def __call__(self, now: float) -> None:
-        if self.lost:
-            return
-        monotonic_now = time.monotonic()
-        if monotonic_now - self._last_renew < self.interval_s:
-            return
-        self._last_renew = monotonic_now
-        if not self.queue.renew(self.claim.lease):
+        self._renew()
+
+    def _renew(self, force: bool = False) -> None:
+        with self._lock:
+            if self.lost:
+                return
+            monotonic_now = time.monotonic()
+            if not force and monotonic_now - self._last_renew < self.interval_s:
+                return
+            self._last_renew = monotonic_now
+            if self.queue.renew(self.claim.lease):
+                return
+            if self.queue.lease_exists(self.claim.lease):
+                # Rewrite failed but the lease (and its old deadline)
+                # is still there: transient fault, retry next tick.
+                logger.warning(
+                    "lease renew write failed for tile %s (token %d); retrying",
+                    self.claim.tile, self.claim.token,
+                )
+                return
             self.lost = True
             logger.warning(
                 "lease lost for tile %s (token %d) — result will be fenced",
@@ -91,12 +140,15 @@ def process_claim(queue: TileJobQueue, claim: ClaimedJob) -> bool:
     reaches this function.
     """
     job = claim.job
-    renewer = LeaseRenewer(queue, claim)
+    renewer = LeaseRenewer(queue, claim).start()
     # attempt_base offsets heartbeat/kill-injection attempt numbering by
     # the requeue generation, so a recovered tile's attempt 1 is not
     # mistaken for the original attempt 1 (kill injection stays quiet,
     # the watchdog re-arms).
-    result = solve_tile_job(job, attempt_base=claim.token, on_beat=renewer)
+    try:
+        result = solve_tile_job(job, attempt_base=claim.token, on_beat=renewer)
+    finally:
+        renewer.stop()
     status = result.status.status
     if result.ok and claim.token > 0:
         # Success on a requeued generation is a recovery, not a plain ok.

@@ -138,6 +138,10 @@ class TestExpirySweep:
         incidents = queue.sweep_expired()
         assert incidents == []  # lease still live
         clock.t += 6.0
+        # Deadline passed, but the claimant (this process) is alive on
+        # this host: the live-pid grace defers expiry.
+        assert queue.sweep_expired() == []
+        clock.t += 10.0
         incidents = queue.sweep_expired()
         assert len(incidents) == 1
         incident = incidents[0]
@@ -172,7 +176,7 @@ class TestExpirySweep:
         queue.claim()
         other = TileJobQueue.open(tmp_path / "q")
         other._now = clock
-        clock.t += 10.0
+        clock.t += 16.0  # past deadline + the live-pid grace (2 lease terms)
         total = queue.sweep_expired() + other.sweep_expired()
         assert len(total) == 1  # O_EXCL ticket creation: one incident
 
@@ -212,7 +216,7 @@ class TestExpirySweep:
             tmp_path / "q", tiles=("tile_a",), clock=clock, max_requeues=0
         )
         queue.claim()
-        clock.t += 10.0
+        clock.t += 16.0  # past deadline + the live-pid grace (2 lease terms)
         (incident,) = queue.sweep_expired()
         assert incident["kind"] == "job_quarantined"
         record = queue.terminal_record("tile_a")
@@ -232,7 +236,7 @@ class TestExpirySweep:
         hb_dir.mkdir()
         stale = hb_dir / heartbeat_filename("tile_a")
         stale.write_text("{}")
-        clock.t += 10.0
+        clock.t += 16.0  # past deadline + the live-pid grace (2 lease terms)
         queue.sweep_expired(heartbeat_dir=hb_dir)
         assert not stale.exists()
 
@@ -244,7 +248,7 @@ class TestCommitFencing:
         clock = Clock()
         queue = _queue(tmp_path / "q", tiles=("tile_a",), clock=clock)
         stale_claim = queue.claim()  # worker A, token 0
-        clock.t += 10.0
+        clock.t += 16.0  # past deadline + the live-pid grace (2 lease terms)
         queue.sweep_expired()  # A presumed dead; tile requeued
         fresh_claim = queue.claim()  # worker B, token 1
         fresh_mask = np.full((4, 4), 2.0)
@@ -264,7 +268,7 @@ class TestCommitFencing:
         clock = Clock()
         queue = _queue(tmp_path / "q", tiles=("tile_a",), clock=clock)
         stale_claim = queue.claim()
-        clock.t += 10.0
+        clock.t += 16.0  # past deadline + the live-pid grace (2 lease terms)
         queue.sweep_expired()
         fresh_claim = queue.claim()
         fresh_mask = np.full((4, 4), 2.0)
@@ -282,12 +286,171 @@ class TestCommitFencing:
         clock = Clock()
         queue = _queue(tmp_path / "q", tiles=("tile_a",), clock=clock)
         stale_claim = queue.claim()
-        clock.t += 10.0
+        clock.t += 16.0  # past deadline + the live-pid grace (2 lease terms)
         queue.sweep_expired()
         fresh_claim = queue.claim()
         assert queue.complete(fresh_claim, np.ones((2, 2)), {"status": "ok"})
         assert queue.fail(stale_claim, {"status": "failed", "error": "late"}) is False
         assert queue.terminal_record("tile_a")["state"] == "done"
+
+
+class TestCommitCrashSafety:
+    """A worker (or sweeper) killed at any instant loses at most one
+    lease term of work — the commit/sweep orderings leave no stateless
+    window."""
+
+    def test_failed_result_write_leaves_lease_recoverable(
+        self, tmp_path, monkeypatch
+    ):
+        # OSError mid-commit (e.g. disk full writing the npz): the
+        # lease must survive, so the tile expires and requeues like
+        # any dead worker instead of vanishing from every state dir.
+        clock = Clock()
+        queue = _queue(tmp_path / "q", tiles=("tile_a",), clock=clock)
+        claim = queue.claim()
+
+        def explode(path, mask):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(
+            TileJobQueue, "_write_result_npz", staticmethod(explode)
+        )
+        with pytest.raises(OSError):
+            queue.complete(claim, np.ones((2, 2)), {"status": "ok"})
+        monkeypatch.undo()
+        assert queue.lease_exists(claim.lease)
+        assert queue.terminal_record("tile_a") is None
+        clock.t += 16.0
+        (incident,) = queue.sweep_expired()
+        assert incident["kind"] == "job_requeued"
+        retry = queue.claim()
+        assert retry.token == 1
+        assert queue.complete(retry, np.ones((2, 2)), {"status": "ok"})
+        assert queue.drained()
+
+    def test_zombie_lease_behind_settled_tile_is_cleared_not_requeued(
+        self, tmp_path
+    ):
+        # Crash between the terminal write and the lease unlink: the
+        # leftover lease is swept without minting a new generation.
+        clock = Clock()
+        queue = _queue(tmp_path / "q", tiles=("tile_a",), clock=clock)
+        claim = queue.claim()
+        assert queue.complete(claim, np.ones((2, 2)), {"status": "ok"})
+        lease_path = (
+            tmp_path / "q" / LEASED_DIRNAME / _entry_name("tile_a", 0)
+        )
+        lease_path.write_text(json.dumps(claim.lease.as_dict()))
+        clock.t += 100.0
+        assert queue.sweep_expired() == []
+        assert not lease_path.exists()
+        assert queue.drained()
+        assert not list((tmp_path / "q" / PENDING_DIRNAME).glob("*.json"))
+
+    def test_sweeper_crash_leftover_cannot_mint_duplicate_generation(
+        self, tmp_path
+    ):
+        # A sweeper that crashed after writing the replacement ticket
+        # but before unlinking the stale lease leaves both behind; once
+        # the ticket is claimed, the stale lease must be cleared — not
+        # requeued into a second live generation of the same tile.
+        clock = Clock()
+        queue = _queue(tmp_path / "q", tiles=("tile_a",), clock=clock)
+        stale = queue.claim()
+        clock.t += 16.0  # past deadline + the live-pid grace (2 lease terms)
+        queue.sweep_expired()
+        fresh = queue.claim()
+        assert fresh.token == 1
+        # Resurrect the crashed sweeper's leftover: the stale t0 lease.
+        stale_path = (
+            tmp_path / "q" / LEASED_DIRNAME / _entry_name("tile_a", 0)
+        )
+        stale_path.write_text(json.dumps(stale.lease.as_dict()))
+        assert queue.sweep_expired() == []  # cleared, no incident
+        assert not stale_path.exists()
+        assert not list((tmp_path / "q" / PENDING_DIRNAME).glob("*.json"))
+        assert queue.lease_exists(fresh.lease)
+
+    def test_reader_resolves_racing_terminal_records_by_token(self, tmp_path):
+        # Worst case: a stale lower-token record lands *last* (past
+        # every fence).  Token-named records make the read side resolve
+        # the race — highest token wins, the fresh mask stays loadable.
+        from repro.fullchip.queue import DONE_DIRNAME
+
+        clock = Clock()
+        queue = _queue(tmp_path / "q", tiles=("tile_a",), clock=clock)
+        stale = queue.claim()
+        clock.t += 16.0  # past deadline + the live-pid grace (2 lease terms)
+        queue.sweep_expired()
+        fresh = queue.claim()
+        fresh_mask = np.full((4, 4), 2.0)
+        assert queue.complete(fresh, fresh_mask, {"status": "ok"})
+        assert queue._write_exclusive(
+            tmp_path / "q" / DONE_DIRNAME / _entry_name("tile_a", 0),
+            {"tile": "tile_a", "token": stale.token, "status": "ok",
+             "result_file": "tile_a.t0.npz"},
+        )
+        record = queue.terminal_record("tile_a")
+        assert record["token"] == 1
+        assert np.array_equal(queue.load_result_mask(record), fresh_mask)
+        counts = queue.counts()
+        assert counts["done"] == 1 and counts["total"] == 1
+
+
+class TestLeaseRenewer:
+    def test_thread_floor_renews_without_beats(self, tmp_path):
+        # No heartbeat pulses at all (model build, telemetry off, one
+        # slow iteration): the renewal thread alone must keep the
+        # on-disk deadline moving.
+        from repro.fullchip.worker import LeaseRenewer
+
+        queue = _queue(tmp_path / "q", tiles=("tile_a",), lease_s=0.4)
+        claim = queue.claim()
+        first_deadline = claim.lease.deadline
+        lease_path = (
+            tmp_path / "q" / LEASED_DIRNAME / _entry_name("tile_a", 0)
+        )
+        renewer = LeaseRenewer(queue, claim).start()
+        try:
+            import time as _time
+
+            _time.sleep(1.0)  # several lease terms, zero beats
+            assert not renewer.lost
+            on_disk = json.loads(lease_path.read_text())
+            assert on_disk["deadline"] > first_deadline
+        finally:
+            renewer.stop()
+
+    def test_transient_write_failure_does_not_latch_lost(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.fullchip.queue as queue_mod
+        from repro.fullchip.worker import LeaseRenewer
+
+        queue = _queue(tmp_path / "q", tiles=("tile_a",))
+        claim = queue.claim()
+        renewer = LeaseRenewer(queue, claim)
+
+        def refuse(path, payload):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr(queue_mod, "write_json_atomic", refuse)
+        assert queue.renew(claim.lease) is False  # surfaced, not swallowed
+        renewer._renew(force=True)
+        assert not renewer.lost  # lease file still present: retryable
+        monkeypatch.undo()
+        renewer._renew(force=True)
+        assert not renewer.lost
+
+    def test_lost_latches_when_lease_file_gone(self, tmp_path):
+        from repro.fullchip.worker import LeaseRenewer
+
+        queue = _queue(tmp_path / "q", tiles=("tile_a",))
+        claim = queue.claim()
+        renewer = LeaseRenewer(queue, claim)
+        os.unlink(tmp_path / "q" / LEASED_DIRNAME / _entry_name("tile_a", 0))
+        renewer._renew(force=True)
+        assert renewer.lost
 
 
 class TestAdoption:
@@ -332,7 +495,7 @@ class TestHistoryAndState:
         queue = _queue(tmp_path / "q", clock=clock)
         queue.complete(queue.claim(), np.ones((2, 2)), {"status": "ok"})
         queue.claim()
-        clock.t += 10.0
+        clock.t += 16.0  # past deadline + the live-pid grace (2 lease terms)
         queue.sweep_expired()
         state = load_queue_state(tmp_path)  # run dir containing q? no — see below
         assert state is None  # tmp_path itself holds no queue/

@@ -134,6 +134,67 @@ class TestRunWorker:
         assert queue.drained()
 
 
+class TestAbandonmentGrace:
+    """`leased == 0` alone must not fail the run: externally attached
+    workers may be between claims and tickets may sit in backoff."""
+
+    def _seeded(self, tmp_path, lease_s=5.0):
+        executor = QueueWorkerExecutor(
+            tmp_path, workers=0, spawn_workers=False,
+            queue_config=QueueConfig(lease_s=lease_s),
+        )
+        queue = TileJobQueue.create(
+            tmp_path / QUEUE_DIRNAME,
+            {"tile_a": ((0, 0), "payload")},
+            config=QueueConfig(lease_s=lease_s),
+        )
+        return executor, queue
+
+    def test_recent_activity_defers_abandonment(self, tmp_path):
+        executor, queue = self._seeded(tmp_path)
+        # Freshly seeded: history is seconds old, well inside grace.
+        assert executor._abandoned(queue, []) is False
+
+    def test_inflight_lease_is_never_abandoned(self, tmp_path, monkeypatch):
+        import time as _time
+
+        import repro.fullchip.executor as executor_mod
+
+        executor, queue = self._seeded(tmp_path)
+        queue.claim()
+        monkeypatch.setattr(
+            executor_mod.time, "time", lambda: _time.monotonic() + 1e6
+        )
+        assert executor._abandoned(queue, []) is False
+
+    def test_quiet_queue_is_abandoned_after_grace(self, tmp_path, monkeypatch):
+        import time as _time
+
+        import repro.fullchip.executor as executor_mod
+
+        executor, queue = self._seeded(tmp_path)
+        real_now = _time.time()
+        monkeypatch.setattr(
+            executor_mod.time, "time", lambda: real_now + 1000.0
+        )
+        assert executor._abandoned(queue, []) is True
+
+    def test_backoff_parked_ticket_counts_as_activity(self, tmp_path, monkeypatch):
+        import time as _time
+
+        import repro.fullchip.executor as executor_mod
+
+        executor, queue = self._seeded(tmp_path)
+        real_now = _time.time()
+        # A ticket parked behind a long backoff is claimable at
+        # not_before; the quiet clock starts there, not at seed time.
+        queue._write_ticket("tile_a", (0, 0), token=1, not_before=real_now + 995.0)
+        monkeypatch.setattr(
+            executor_mod.time, "time", lambda: real_now + 1000.0
+        )
+        assert executor._abandoned(queue, []) is False
+
+
 class TestEngineQueueExecutor:
     def test_config_validation(self, tmp_path):
         with pytest.raises(FullChipError, match="telemetry_dir"):
