@@ -68,7 +68,7 @@ from .report import VerificationReport, verify_mask
 from .tables import ColumnSpec, TextTable, write_csv_rows
 from .workloads import BENCHMARK_NAMES, load_all_benchmarks, load_benchmark, synthetic_canvas
 
-__version__ = "1.0.0"
+from ._version import __version__
 
 __all__ = [
     # configuration

@@ -1,0 +1,8 @@
+"""Single source of truth for the package version.
+
+Kept in its own module so dependency-light entry points (CLI
+``--version``, the service ``/healthz`` endpoint, run manifests) can
+read it without importing the full ``repro`` package surface.
+"""
+
+__version__ = "1.1.0"

@@ -57,42 +57,17 @@ from .io.glp import read_glp, write_glp
 from .io.images import ascii_render, save_npz_images
 from .litho.simulator import LithographySimulator
 from .metrics.score import contest_score
+from .tables import ColumnSpec, TextTable
+from ._version import __version__
 from .workloads.iccad2013 import BENCHMARK_NAMES, load_all_benchmarks, load_benchmark
+from .workloads.spec import load_workload
 
 _MODES = ("fast", "exact", "multires", "modelbased", "rulebased", "ilt", "levelset")
 
 
-def _parse_synth_spec(spec: str) -> Layout:
-    """``synth:<W>x<H>[:seed]`` -> synthetic canvas layout."""
-    from .workloads.generator import synthetic_canvas
-
-    parts = spec.split(":")
-    if len(parts) not in (2, 3):
-        raise ReproError(f"bad synth spec {spec!r}; expected synth:<W>x<H>[:seed]")
-    dims = parts[1].lower().split("x")
-    if len(dims) != 2:
-        raise ReproError(f"bad synth dimensions {parts[1]!r}; expected <W>x<H> in nm")
-    try:
-        width, height = float(dims[0]), float(dims[1])
-        seed = int(parts[2]) if len(parts) == 3 else 0
-    except ValueError as exc:
-        raise ReproError(f"bad synth spec {spec!r}: {exc}") from exc
-    return synthetic_canvas(width, height, seed=seed)
-
-
 def _load_layout(spec: str) -> Layout:
     """Benchmark name, .glp path, or synth:<W>x<H>[:seed] -> Layout."""
-    if spec in BENCHMARK_NAMES:
-        return load_benchmark(spec)
-    if spec.startswith("synth:"):
-        return _parse_synth_spec(spec)
-    path = Path(spec)
-    if path.suffix == ".glp" or path.exists():
-        return read_glp(path)
-    raise ReproError(
-        f"{spec!r} is neither a bundled benchmark ({', '.join(BENCHMARK_NAMES)}), "
-        "a synth:<W>x<H>[:seed] spec, nor a readable .glp file"
-    )
+    return load_workload(spec)
 
 
 def _config_for(scale: str) -> LithoConfig:
@@ -610,10 +585,122 @@ def cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import (
+        IltService,
+        RateLimitConfig,
+        ServiceConfig,
+        serve,
+    )
+
+    service = IltService(
+        ServiceConfig(
+            root=args.root,
+            max_active=args.max_active,
+            ratelimit=RateLimitConfig(
+                rate_per_s=args.tenant_rate,
+                burst=args.tenant_burst,
+                max_active=args.tenant_active,
+            ),
+        )
+    )
+    server = serve(service, host=args.host, port=args.port)
+    host, port = server.address
+    print(f"repro ILT service v{__version__} on http://{host}:{port} (root {args.root})")
+    print(f"  POST http://{host}:{port}/v1/jobs  |  GET /healthz  |  Ctrl-C to stop")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\nshutting down...")
+    finally:
+        server.shutdown()
+        service.close()
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url, tenant=args.tenant)
+    payload = {
+        "layout": args.layout,
+        "mode": args.mode,
+        "scale": args.scale,
+        "tile_nm": args.tile_nm,
+        "workers": args.workers,
+        "executor": args.executor,
+    }
+    job = client.submit(payload)
+    state = job["state"]
+    cached = " (cache hit)" if job.get("cached") else ""
+    print(f"job {job['id']}: {state}{cached}")
+    if not args.wait or state in ("DONE", "FAILED", "CANCELLED"):
+        return 0 if state in ("PENDING", "RUNNING", "DONE") else 3
+    for record in client.events(job["id"], timeout_s=args.timeout):
+        kind = record.get("kind")
+        if kind == "event":
+            event = record.get("event", "")
+            if event == "tile":
+                print(
+                    f"  tile {record.get('index')} {record.get('status')} "
+                    f"({record.get('runtime_s', 0):.1f}s)"
+                )
+        elif kind == "status":
+            tiles = record.get("tiles") or {}
+            print(
+                f"  [{record.get('state')}] "
+                f"{tiles.get('done', 0)}/{tiles.get('total', 0)} tiles, "
+                f"eta {record.get('eta_s')}"
+            )
+        elif kind == "job":
+            state = record.get("state")
+            print(f"job {job['id']}: {state}"
+                  + (f" — {record.get('error')}" if record.get("error") else ""))
+            if record.get("score"):
+                print(f"  score: {record['score']}")
+    return 0 if state == "DONE" else 3
+
+
+def cmd_jobs(args: argparse.Namespace) -> int:
+    from .service import ServiceClient
+
+    client = ServiceClient(args.url, tenant=args.tenant)
+    jobs = client.jobs()
+    if not jobs:
+        print("no jobs")
+        return 0
+    table = TextTable(
+        [
+            ColumnSpec("id", 14, "<"),
+            ColumnSpec("tenant", 10, "<"),
+            ColumnSpec("state", 10, "<"),
+            ColumnSpec("layout", 22, "<"),
+            ColumnSpec("cached", 6),
+            ColumnSpec("error", 28, "<"),
+        ]
+    )
+    for job in jobs:
+        table.add_row(
+            [
+                job["id"],
+                job["tenant"],
+                job["state"],
+                str(job["payload"].get("layout", "")),
+                "yes" if job.get("cached") else "",
+                (job.get("error") or "")[:28],
+            ]
+        )
+    print(table.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MOSAIC process-window-aware inverse lithography (DAC 2014 reproduction)",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -906,6 +993,62 @@ def build_parser() -> argparse.ArgumentParser:
     export.add_argument("name", choices=BENCHMARK_NAMES)
     export.add_argument("path")
     export.set_defaults(func=cmd_export)
+
+    serve_p = sub.add_parser(
+        "serve", help="run the HTTP job service over the fullchip engine"
+    )
+    serve_p.add_argument(
+        "root", help="service state directory (jobs/, cache/, service.json)"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1")
+    serve_p.add_argument(
+        "--port", type=int, default=0,
+        help="listen port (default: 0 = ephemeral; see service.json)",
+    )
+    serve_p.add_argument(
+        "--max-active", type=int, default=8, metavar="N",
+        help="service-wide cap on live jobs (default: 8; 0 disables)",
+    )
+    limits = serve_p.add_argument_group("per-tenant limits")
+    limits.add_argument(
+        "--tenant-rate", type=float, default=2.0, metavar="PER_S",
+        help="sustained submissions/s per tenant (default: 2)",
+    )
+    limits.add_argument(
+        "--tenant-burst", type=int, default=5, metavar="N",
+        help="instantaneous burst budget per tenant (default: 5)",
+    )
+    limits.add_argument(
+        "--tenant-active", type=int, default=4, metavar="N",
+        help="concurrent jobs per tenant (default: 4; 0 disables)",
+    )
+    serve_p.set_defaults(func=cmd_serve)
+
+    submit = sub.add_parser("submit", help="submit a job to a running service")
+    submit.add_argument("url", help="service base URL (e.g. http://127.0.0.1:8734)")
+    submit.add_argument(
+        "layout", help="benchmark name (B1..B10) or synth:<W>x<H>[:seed]"
+    )
+    submit.add_argument("--mode", choices=("fast", "exact"), default="fast")
+    submit.add_argument("--scale", choices=("reduced", "paper"), default="reduced")
+    submit.add_argument("--tile-nm", type=float, default=1024.0, metavar="NM")
+    submit.add_argument("--workers", type=int, default=1, metavar="N")
+    submit.add_argument(
+        "--executor", choices=("queue", "pool", "serial"), default="queue"
+    )
+    submit.add_argument("--tenant", default="default")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="stream progress until the job settles "
+             "(exit 0 DONE, 3 FAILED/CANCELLED)",
+    )
+    submit.add_argument("--timeout", type=float, default=3600.0, metavar="S")
+    submit.set_defaults(func=cmd_submit)
+
+    jobs_p = sub.add_parser("jobs", help="list jobs on a running service")
+    jobs_p.add_argument("url", help="service base URL")
+    jobs_p.add_argument("--tenant", default="default")
+    jobs_p.set_defaults(func=cmd_jobs)
     return parser
 
 

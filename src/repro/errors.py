@@ -49,3 +49,27 @@ class LayoutIOError(ReproError):
 
 class FullChipError(ReproError):
     """Tiled full-chip engine failure (bad tile plan, unsolved tiles...)."""
+
+
+class FullChipCancelled(FullChipError):
+    """A full-chip run was cooperatively cancelled before completion."""
+
+
+class ServiceError(ReproError):
+    """Job-service failure (bad submission, unknown job, server fault...)."""
+
+
+class JobNotFoundError(ServiceError):
+    """The requested job id does not exist on this service."""
+
+
+class RateLimitedError(ServiceError):
+    """A submission was rejected by rate limiting / admission control.
+
+    Attributes:
+        retry_after_s: seconds after which a retry may be admitted.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)

@@ -28,8 +28,9 @@ from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
+from .._version import __version__
 from ..config import GridSpec, LithoConfig, OptimizerConfig
-from ..errors import FullChipError
+from ..errors import FullChipCancelled, FullChipError
 from ..geometry.layout import Layout
 from ..geometry.raster import rasterize_layout
 from ..metrics.epe import measure_epe
@@ -139,6 +140,9 @@ class FullChipConfig:
             rasterized-target fallback covers its core).
         queue_backoff_s: queue executor only — base of the exponential
             re-claim backoff after a lease expiry (doubles per requeue).
+        queue_drain_timeout_s: queue executor only — overall wall-clock
+            budget for the queue to drain; None (the default) waits
+            indefinitely (abandonment detection still applies).
     """
 
     tile_nm: float = 1024.0
@@ -168,6 +172,7 @@ class FullChipConfig:
     queue_lease_s: float = 30.0
     queue_max_requeues: int = 2
     queue_backoff_s: float = 0.5
+    queue_drain_timeout_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -193,6 +198,14 @@ class FullChipConfig:
             raise FullChipError(
                 "executor must be one of ('pool', 'queue', 'serial'), "
                 f"got {self.executor!r}"
+            )
+        if (
+            self.queue_drain_timeout_s is not None
+            and self.queue_drain_timeout_s <= 0
+        ):
+            raise FullChipError(
+                "queue_drain_timeout_s must be positive or None, "
+                f"got {self.queue_drain_timeout_s}"
             )
         if self.executor == "queue":
             if self.telemetry_dir is None:
@@ -480,6 +493,7 @@ class FullChipEngine:
         layout: Layout,
         progress: Callable[[str], None] = lambda msg: None,
         on_tile: Optional[Callable[[TileResult], None]] = None,
+        cancel: Optional[Callable[[], bool]] = None,
     ) -> FullChipResult:
         """Run the tiled full-chip flow on one layout.
 
@@ -490,12 +504,17 @@ class FullChipEngine:
             on_tile: callback receiving each completed
                 :class:`TileResult` in completion order (the CLI's
                 per-tile ``-v`` progress hook).
+            cancel: optional cooperative-cancel probe polled between
+                tile placements; once it returns True the run raises
+                :class:`~repro.errors.FullChipCancelled` and the
+                status feed finalizes as ``"cancelled"``.
 
         Returns:
             The stitched mask with per-tile, seam, and aggregate reports.
 
         Raises:
             FullChipError: a tile failed and ``keep_going`` is off.
+            FullChipCancelled: the ``cancel`` probe fired mid-run.
         """
         cfg = self.config
         telemetry_cfg: Optional[WorkerTelemetryConfig] = None
@@ -597,6 +616,7 @@ class FullChipEngine:
                     queue_config=(
                         cfg.queue_config() if cfg.executor == "queue" else None
                     ),
+                    drain_timeout_s=cfg.queue_drain_timeout_s,
                 )
             try:
                 results = run_tile_jobs(
@@ -612,7 +632,13 @@ class FullChipEngine:
                         telemetry_cfg.heartbeat_dir if telemetry_cfg else None
                     ),
                     executor=executor,
+                    cancel=cancel,
                 )
+            except FullChipCancelled:
+                if status is not None:
+                    status.finalize(state="cancelled")
+                    status.write()
+                raise
             except BaseException:
                 # The feed outlives an aborted run: readers see a
                 # terminal "failed" state instead of an eternal
@@ -738,6 +764,7 @@ class FullChipEngine:
         run = {
             "schema": 1,
             "kind": "fullchip_run",
+            "version": __version__,
             "layout": result.layout_name,
             "grid": list(result.plan.grid_shape),
             "workers": cfg.workers,

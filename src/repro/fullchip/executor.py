@@ -36,7 +36,7 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
-from ..errors import FullChipError
+from ..errors import FullChipCancelled, FullChipError
 from ..harness import CellStatus
 from ..obs import Instrumentation
 from ..obs.distributed import TileTelemetry, merge_tile_telemetry
@@ -81,6 +81,7 @@ class ExecutionContext:
     watchdog: Optional[object] = None  # LivenessWatchdog
     status: Optional[object] = None  # StatusWriter
     heartbeat_dir: Optional[str] = None
+    cancel: Optional[Callable[[], bool]] = None
 
     def __post_init__(self) -> None:
         self.tile_names: Dict[Tuple[int, int], str] = {
@@ -192,6 +193,16 @@ class ExecutionContext:
             self.status.set_counters(self.counter_values())
             self.status.write()
 
+    def check_cancelled(self) -> None:
+        """Raise :class:`~repro.errors.FullChipCancelled` when asked to stop.
+
+        Executors poll this between placements, so cancellation is
+        cooperative: settled tiles stay settled, in-flight work is
+        abandoned at the executor's next safe point.
+        """
+        if self.cancel is not None and self.cancel():
+            raise FullChipCancelled("tile run cancelled by request")
+
 
 class TileExecutor:
     """Placement strategy for one batch of tile jobs.
@@ -219,6 +230,7 @@ class SerialExecutor(TileExecutor):
     ) -> Dict[Tuple[int, int], TileResult]:
         results: Dict[Tuple[int, int], TileResult] = {}
         for job in jobs:
+            ctx.check_cancelled()
             if ctx.status is not None:
                 ctx.status.mark_running(job.tile.name, pid=os.getpid())
                 ctx.status.write()
@@ -265,6 +277,12 @@ class PoolExecutor(TileExecutor):
                     pending, timeout=poll_s, return_when=FIRST_COMPLETED
                 )
                 ctx.poll_liveness()
+                if ctx.cancel is not None and ctx.cancel():
+                    # Cooperative cancel: drop queued futures so the
+                    # pool __exit__ does not run them, then raise.
+                    for future in pending:
+                        future.cancel()
+                    raise FullChipCancelled("tile run cancelled by request")
                 for future in done:
                     job = futures[future]
                     try:
@@ -505,6 +523,10 @@ class QueueWorkerExecutor(TileExecutor):
             if self.spawn_workers:
                 fleet = [self._spawn_worker() for _ in range(self.workers)]
             while True:
+                # Cancelling here lets the finally-clause shut the local
+                # fleet down; the caller sweeps any expired leases the
+                # dead workers leave behind.
+                ctx.check_cancelled()
                 queue.sweep_expired(heartbeat_dir=ctx.heartbeat_dir)
                 self._emit_incidents(queue, ctx, emitted)
                 self._mark_leases_running(queue, ctx)
@@ -641,6 +663,7 @@ def executor_for(
     workers: int,
     run_dir: Optional[Union[str, Path]] = None,
     queue_config: Optional[QueueConfig] = None,
+    drain_timeout_s: Optional[float] = None,
 ) -> TileExecutor:
     """Build the executor named by ``kind`` (``pool``/``queue``/``serial``).
 
@@ -660,7 +683,10 @@ def executor_for(
                 "(FullChipConfig.telemetry_dir)"
             )
         return QueueWorkerExecutor(
-            run_dir, workers=workers, queue_config=queue_config
+            run_dir,
+            workers=workers,
+            queue_config=queue_config,
+            drain_timeout_s=drain_timeout_s,
         )
     raise FullChipError(
         f"executor must be one of ('pool', 'queue', 'serial'), got {kind!r}"

@@ -72,6 +72,7 @@ from typing import Dict, List, Optional, Tuple, Union
 import numpy as np
 
 from ..errors import FullChipError
+from ..utils.hashing import stable_json_dumps
 from ..utils.io import write_json_atomic
 
 logger = logging.getLogger(__name__)
@@ -368,9 +369,10 @@ class TileJobQueue:
         each other's lines.  History is diagnostics: failures are
         logged, never raised.
         """
-        line = json.dumps(
+        line = stable_json_dumps(
             {"ts": self._now(), "tile": tile, "kind": kind,
-             "pid": os.getpid(), **fields}
+             "pid": os.getpid(), **fields},
+            non_finite="allow",
         )
         try:
             path = self._dir(HISTORY_DIRNAME) / f"{tile}.jsonl"
@@ -695,7 +697,7 @@ class TileJobQueue:
             logger.warning("exclusive write failed for %s: %s", path, exc)
             return False
         with os.fdopen(fd, "w") as handle:
-            json.dump(payload, handle, indent=2)
+            handle.write(stable_json_dumps(payload, indent=2, non_finite="allow"))
             handle.write("\n")
         return True
 

@@ -788,6 +788,7 @@ def run_tile_jobs(
     status: Optional["StatusWriter"] = None,
     heartbeat_dir: Optional[str] = None,
     executor: Optional["TileExecutor"] = None,
+    cancel: Optional[Callable[[], bool]] = None,
 ) -> List[TileResult]:
     """Execute tile jobs through a :class:`TileExecutor`.
 
@@ -824,6 +825,10 @@ def run_tile_jobs(
             ``QueueWorkerExecutor``).  None preserves the historical
             dispatch: inline when ``workers <= 1`` or there is a single
             job, otherwise the fork pool.
+        cancel: optional cooperative-cancel probe; executors poll it
+            between placements and raise
+            :class:`~repro.errors.FullChipCancelled` once it returns
+            True (settled tiles stay settled).
 
     Returns:
         Tile results in the order of ``jobs``.
@@ -849,6 +854,7 @@ def run_tile_jobs(
         watchdog=watchdog,
         status=status,
         heartbeat_dir=heartbeat_dir,
+        cancel=cancel,
     )
     _clear_stale_heartbeats(heartbeat_dir, jobs)
     with obs.tracer.span("fullchip.tiles"):

@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from ..errors import CheckpointError
+from ..utils.hashing import stable_json_dumps
 from .history import OptimizationHistory
 
 __all__ = [
@@ -162,7 +163,7 @@ def save_checkpoint(
                 adam_m=state.adam_m,
                 adam_v=state.adam_v,
                 best_params=state.best_params,
-                **{_META_KEY: np.array(json.dumps(meta))},
+                **{_META_KEY: np.array(stable_json_dumps(meta, non_finite="allow"))},
             )
         os.replace(tmp_name, final_path)
     except OSError as exc:

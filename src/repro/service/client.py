@@ -1,0 +1,143 @@
+"""Thin stdlib client for the job service.
+
+Wraps ``urllib.request`` — no third-party HTTP stack — and converts
+the service's error statuses back into the typed exceptions the rest
+of the library raises (:class:`~repro.errors.RateLimitedError`,
+:class:`~repro.errors.JobNotFoundError`,
+:class:`~repro.errors.ServiceError>`), so callers handle local and
+remote failures identically.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Dict, Iterator, List, Optional
+
+from ..errors import JobNotFoundError, RateLimitedError, ServiceError
+
+__all__ = ["ServiceClient"]
+
+_TERMINAL = ("DONE", "FAILED", "CANCELLED")
+
+
+class ServiceClient:
+    """Client for one service base URL (e.g. ``http://127.0.0.1:8734``)."""
+
+    def __init__(
+        self, base_url: str, tenant: str = "default", timeout_s: float = 30.0
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.timeout_s = timeout_s
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _request(
+        self,
+        path: str,
+        method: str = "GET",
+        payload: Optional[dict] = None,
+        timeout_s: Optional[float] = None,
+    ):
+        data = json.dumps(payload).encode("utf-8") if payload is not None else None
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={
+                "Content-Type": "application/json",
+                "X-Tenant": self.tenant,
+            },
+        )
+        try:
+            return urllib.request.urlopen(
+                request, timeout=self.timeout_s if timeout_s is None else timeout_s
+            )
+        except urllib.error.HTTPError as exc:
+            raise self._typed_error(exc) from exc
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {self.base_url}: {exc.reason}") from exc
+
+    @staticmethod
+    def _typed_error(exc: urllib.error.HTTPError) -> ServiceError:
+        try:
+            detail = json.loads(exc.read().decode("utf-8")).get("error", "")
+        except Exception:  # noqa: BLE001 - error body is best-effort
+            detail = ""
+        message = f"HTTP {exc.code}: {detail or exc.reason}"
+        if exc.code == 429:
+            retry_after = float(exc.headers.get("Retry-After", 1.0) or 1.0)
+            return RateLimitedError(message, retry_after_s=retry_after)
+        if exc.code == 404:
+            return JobNotFoundError(message)
+        return ServiceError(message)
+
+    def _json(self, path: str, method: str = "GET", payload: Optional[dict] = None):
+        with self._request(path, method=method, payload=payload) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # -- the API -------------------------------------------------------------
+
+    def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+        """POST a job; returns the job record (may already be DONE on
+        a cache hit).  Raises :class:`RateLimitedError` on 429."""
+        return self._json("/v1/jobs", method="POST", payload=payload)
+
+    def job(self, job_id: str) -> Dict[str, object]:
+        return self._json(f"/v1/jobs/{job_id}")
+
+    def jobs(self) -> List[Dict[str, object]]:
+        return self._json("/v1/jobs")["jobs"]
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        return self._json(f"/v1/jobs/{job_id}", method="DELETE")
+
+    def events(
+        self, job_id: str, timeout_s: float = 600.0
+    ) -> Iterator[Dict[str, object]]:
+        """Stream the job's NDJSON progress records until it settles."""
+        with self._request(
+            f"/v1/jobs/{job_id}/events", timeout_s=timeout_s
+        ) as response:
+            for raw in response:
+                line = raw.decode("utf-8").strip()
+                if not line:
+                    continue
+                try:
+                    yield json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+
+    def wait(self, job_id: str, timeout_s: float = 600.0) -> Dict[str, object]:
+        """Follow the event stream to the terminal job record."""
+        deadline = time.monotonic() + timeout_s
+        final: Optional[Dict[str, object]] = None
+        for record in self.events(job_id, timeout_s=timeout_s):
+            if record.get("kind") == "job":
+                final = record
+        if final is not None:
+            return final
+        # Stream ended without a terminal record (e.g. server timeout
+        # marker): fall back to polling the job resource.
+        while time.monotonic() < deadline:
+            job = self.job(job_id)
+            if job.get("state") in _TERMINAL:
+                return job
+            time.sleep(0.5)
+        raise ServiceError(f"job {job_id} did not settle within {timeout_s:g}s")
+
+    def artifacts(self, job_id: str) -> List[str]:
+        return self._json(f"/v1/jobs/{job_id}/artifacts")["artifacts"]
+
+    def artifact(self, job_id: str, name: str) -> bytes:
+        with self._request(f"/v1/jobs/{job_id}/artifacts/{name}") as response:
+            return response.read()
+
+    def healthz(self) -> Dict[str, object]:
+        return self._json("/healthz")
+
+    def metricsz(self) -> Dict[str, object]:
+        return self._json("/metricsz")

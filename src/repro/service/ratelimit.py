@@ -1,0 +1,153 @@
+"""Per-tenant token buckets and concurrent-job admission control.
+
+Two independent gates guard :meth:`~repro.service.jobs.IltService.submit`:
+
+* a **token bucket** per tenant bounds the *submission rate* — a burst
+  can spend up to ``burst`` tokens instantly, then refills at
+  ``rate_per_s``; an empty bucket rejects with the exact time until the
+  next token, and
+* an **active-job cap** per tenant (plus an optional service-wide cap)
+  bounds *concurrency* — admitted jobs are unaffected by a neighbor's
+  burst, the burst itself is turned away.
+
+Both gates reject by raising :class:`~repro.errors.RateLimitedError`
+carrying ``retry_after_s``, which the HTTP front end maps to
+``429 Too Many Requests`` + a ``Retry-After`` header.
+
+The clock is injectable so tests can drive refills deterministically.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..errors import RateLimitedError, ServiceError
+
+__all__ = ["TokenBucket", "RateLimitConfig", "TenantLimiter"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``capacity`` burst, ``refill_per_s`` sustained.
+
+    Not thread-safe by itself; :class:`TenantLimiter` serializes access.
+    """
+
+    def __init__(
+        self,
+        capacity: float,
+        refill_per_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity <= 0:
+            raise ServiceError(f"bucket capacity must be > 0, got {capacity}")
+        if refill_per_s <= 0:
+            raise ServiceError(
+                f"bucket refill rate must be > 0, got {refill_per_s}"
+            )
+        self.capacity = float(capacity)
+        self.refill_per_s = float(refill_per_s)
+        self._clock = clock
+        self._tokens = float(capacity)
+        self._last = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(self.capacity, self._tokens + elapsed * self.refill_per_s)
+
+    def try_acquire(self, tokens: float = 1.0) -> float:
+        """Take ``tokens`` if available.
+
+        Returns ``0.0`` on success, else the seconds until enough
+        tokens will have refilled (the bucket is left untouched).
+        """
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return 0.0
+        return (tokens - self._tokens) / self.refill_per_s
+
+
+@dataclass(frozen=True)
+class RateLimitConfig:
+    """Per-tenant rate/concurrency budgets.
+
+    Attributes:
+        rate_per_s: sustained submissions per second per tenant.
+        burst: instantaneous burst budget per tenant (bucket capacity).
+        max_active: concurrent PENDING+RUNNING jobs allowed per tenant;
+            ``0`` disables the per-tenant concurrency gate.
+        retry_after_s: ``Retry-After`` hint for concurrency rejections
+            (rate rejections compute the exact refill time instead).
+    """
+
+    rate_per_s: float = 2.0
+    burst: int = 5
+    max_active: int = 4
+    retry_after_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ServiceError(f"rate_per_s must be > 0, got {self.rate_per_s}")
+        if self.burst < 1:
+            raise ServiceError(f"burst must be >= 1, got {self.burst}")
+        if self.max_active < 0:
+            raise ServiceError(f"max_active must be >= 0, got {self.max_active}")
+        if self.retry_after_s <= 0:
+            raise ServiceError(
+                f"retry_after_s must be > 0, got {self.retry_after_s}"
+            )
+
+
+class TenantLimiter:
+    """Thread-safe admission gate combining both budgets.
+
+    One bucket per tenant, created lazily on first submission.  The
+    active-job count is supplied by the caller (the job store owns the
+    authoritative state), keeping this class free of job bookkeeping.
+    """
+
+    def __init__(
+        self,
+        config: Optional[RateLimitConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config or RateLimitConfig()
+        self._clock = clock
+        self._buckets: Dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+
+    def admit(self, tenant: str, active_jobs: int) -> None:
+        """Charge one submission for ``tenant`` or raise 429 semantics.
+
+        Args:
+            tenant: the submitting tenant id.
+            active_jobs: the tenant's current PENDING+RUNNING job count.
+
+        Raises:
+            RateLimitedError: the rate budget is exhausted (with the
+                exact refill wait) or the concurrency cap is reached.
+        """
+        cfg = self.config
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = TokenBucket(cfg.burst, cfg.rate_per_s, clock=self._clock)
+                self._buckets[tenant] = bucket
+            wait_s = bucket.try_acquire()
+        if wait_s > 0.0:
+            raise RateLimitedError(
+                f"tenant {tenant!r} exceeded {cfg.rate_per_s:g}/s "
+                f"(burst {cfg.burst}); retry in {wait_s:.2f}s",
+                retry_after_s=wait_s,
+            )
+        if cfg.max_active and active_jobs >= cfg.max_active:
+            raise RateLimitedError(
+                f"tenant {tenant!r} has {active_jobs} active job(s) "
+                f"(cap {cfg.max_active})",
+                retry_after_s=cfg.retry_after_s,
+            )

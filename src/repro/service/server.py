@@ -1,0 +1,250 @@
+"""Stdlib HTTP front end over :class:`~repro.service.jobs.IltService`.
+
+Endpoints (all JSON unless noted):
+
+* ``POST   /v1/jobs``                     — submit; 202 (or 200 on a
+  cache hit) with the job record; 400 malformed; 429 rate limited
+  (with ``Retry-After``).
+* ``GET    /v1/jobs``                     — list job records.
+* ``GET    /v1/jobs/{id}``                — one job record; 404 unknown.
+* ``GET    /v1/jobs/{id}/events``         — NDJSON progress stream
+  (``application/x-ndjson``, ``Connection: close`` delimits the body);
+  ends with one ``{"kind": "job", ...}`` terminal record.
+* ``GET    /v1/jobs/{id}/artifacts``      — artifact name list.
+* ``GET    /v1/jobs/{id}/artifacts/{name}`` — raw artifact bytes.
+* ``DELETE /v1/jobs/{id}``                — cooperative cancel.
+* ``GET    /healthz``                     — liveness + version + counts.
+* ``GET    /metricsz``                    — the service metrics registry.
+
+Built on ``ThreadingHTTPServer`` — one thread per request, daemonic,
+no third-party dependencies.  The tenant is taken from the
+``X-Tenant`` header (default ``"default"``).
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Optional, Tuple
+
+from .._version import __version__
+from ..errors import (
+    JobNotFoundError,
+    RateLimitedError,
+    ReproError,
+    ServiceError,
+)
+from ..utils.hashing import stable_json_dumps
+from ..utils.io import write_json_atomic
+from .jobs import IltService
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["ServiceServer", "serve", "SERVICE_FILENAME"]
+
+SERVICE_FILENAME = "service.json"
+_NDJSON = "application/x-ndjson"
+_JSON = "application/json"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = f"repro-ilt/{__version__}"
+
+    # -- plumbing ------------------------------------------------------------
+
+    @property
+    def service(self) -> IltService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        logger.debug("%s - %s", self.address_string(), format % args)
+
+    def _send_json(
+        self, payload: object, code: int = 200, headers: Optional[dict] = None
+    ) -> None:
+        body = (stable_json_dumps(payload, indent=2, non_finite="null") + "\n").encode()
+        self.send_response(code)
+        self.send_header("Content-Type", _JSON)
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self, code: int, message: str, headers: Optional[dict] = None
+    ) -> None:
+        self._send_json({"error": message, "code": code}, code, headers)
+
+    def _read_body(self) -> object:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ServiceError("empty request body (expected a JSON object)")
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ServiceError(f"request body is not valid JSON: {exc}") from exc
+
+    def _tenant(self) -> str:
+        return self.headers.get("X-Tenant", "default") or "default"
+
+    def _route(self) -> Tuple[str, ...]:
+        return tuple(part for part in self.path.split("?")[0].split("/") if part)
+
+    # -- methods -------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802
+        route = self._route()
+        try:
+            if route == ("v1", "jobs"):
+                payload = self._read_body()
+                job = self.service.submit(payload, tenant=self._tenant())
+                self._send_json(job.as_dict(), 200 if job.cached else 202)
+                return
+            self._send_error_json(404, f"no such endpoint: POST {self.path}")
+        except RateLimitedError as exc:
+            self._send_error_json(
+                429, str(exc), {"Retry-After": f"{max(exc.retry_after_s, 0.001):.3f}"}
+            )
+        except (ServiceError, ReproError) as exc:
+            self._send_error_json(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 - handler fault barrier
+            logger.exception("POST %s failed", self.path)
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+
+    def do_GET(self) -> None:  # noqa: N802
+        route = self._route()
+        try:
+            if route == ("healthz",):
+                health = self.service.health()
+                health["version"] = __version__
+                self._send_json(health)
+            elif route == ("metricsz",):
+                self._send_json(self.service.metrics_snapshot())
+            elif route == ("v1", "jobs"):
+                self._send_json(
+                    {"jobs": [job.as_dict() for job in self.service.list()]}
+                )
+            elif len(route) == 3 and route[:2] == ("v1", "jobs"):
+                self._send_json(self.service.get(route[2]).as_dict())
+            elif len(route) == 4 and route[:2] == ("v1", "jobs") and route[3] == "events":
+                self._stream_events(route[2])
+            elif len(route) == 4 and route[:2] == ("v1", "jobs") and route[3] == "artifacts":
+                self._send_json(
+                    {"artifacts": self.service.list_artifacts(route[2])}
+                )
+            elif len(route) == 5 and route[:2] == ("v1", "jobs") and route[3] == "artifacts":
+                self._send_artifact(route[2], route[4])
+            else:
+                self._send_error_json(404, f"no such endpoint: GET {self.path}")
+        except JobNotFoundError as exc:
+            self._send_error_json(404, str(exc))
+        except (ServiceError, ReproError) as exc:
+            self._send_error_json(400, str(exc))
+        except Exception as exc:  # noqa: BLE001 - handler fault barrier
+            logger.exception("GET %s failed", self.path)
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        route = self._route()
+        try:
+            if len(route) == 3 and route[:2] == ("v1", "jobs"):
+                job = self.service.cancel(route[2])
+                self._send_json(job.as_dict(), 202)
+                return
+            self._send_error_json(404, f"no such endpoint: DELETE {self.path}")
+        except JobNotFoundError as exc:
+            self._send_error_json(404, str(exc))
+        except Exception as exc:  # noqa: BLE001 - handler fault barrier
+            logger.exception("DELETE %s failed", self.path)
+            self._send_error_json(500, f"{type(exc).__name__}: {exc}")
+
+    # -- streaming + artifacts ----------------------------------------------
+
+    def _stream_events(self, job_id: str) -> None:
+        # Probe first so an unknown id is a clean 404, not a broken stream.
+        self.service.get(job_id)
+        self.send_response(200)
+        self.send_header("Content-Type", _NDJSON)
+        self.send_header("Cache-Control", "no-store")
+        # No Content-Length: the connection close delimits the stream.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        try:
+            for record in self.service.events(job_id):
+                line = stable_json_dumps(record, non_finite="null") + "\n"
+                self.wfile.write(line.encode("utf-8"))
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError):
+            pass  # client went away; the job keeps running
+
+    def _send_artifact(self, job_id: str, name: str) -> None:
+        path = self.service.artifact_path(job_id, name)
+        if path is None:
+            self._send_error_json(404, f"job {job_id} has no artifact {name!r}")
+            return
+        data = Path(path).read_bytes()
+        content_type = (
+            _JSON if name.endswith(".json")
+            else _NDJSON if name.endswith(".jsonl")
+            else "application/octet-stream"
+        )
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """Threaded HTTP server bound to one :class:`IltService`."""
+
+    daemon_threads = True
+
+    def __init__(self, service: IltService, host: str = "127.0.0.1", port: int = 0):
+        super().__init__((host, port), _Handler)
+        self.service = service
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server_address[0], self.server_address[1]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def write_service_file(self) -> Path:
+        """Publish host/port/pid into ``<root>/service.json`` for discovery."""
+        import os
+
+        path = Path(self.service.root) / SERVICE_FILENAME
+        write_json_atomic(
+            path,
+            {
+                "host": self.address[0],
+                "port": self.address[1],
+                "url": self.url,
+                "pid": os.getpid(),
+                "version": __version__,
+            },
+        )
+        return path
+
+
+def serve(
+    service: IltService, host: str = "127.0.0.1", port: int = 0
+) -> ServiceServer:
+    """Bind a :class:`ServiceServer` (port 0 = ephemeral) and publish it.
+
+    The caller owns the serve loop: ``server.serve_forever()`` blocks,
+    or run it on a thread for tests.
+    """
+    server = ServiceServer(service, host=host, port=port)
+    server.write_service_file()
+    return server

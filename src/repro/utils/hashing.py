@@ -1,0 +1,139 @@
+"""Canonical JSON serialization and content hashing.
+
+One serialization to rule them all: the service's content-addressed
+result cache, the durable queue's meta/ticket writes, and the
+checkpoint metadata blobs must agree on what "the same payload" looks
+like on disk, or dedup silently breaks.  :func:`stable_json_dumps`
+pins the free choices JSON leaves open:
+
+* object keys are sorted (``sort_keys=True``),
+* containers are normalized (tuples/sets become lists, numpy scalars
+  become their Python equivalents, paths become strings),
+* floats are emitted via ``float.__repr__`` — the shortest string that
+  round-trips exactly (guaranteed since Python 3.1), so equal doubles
+  always serialize to equal bytes,
+* negative zero is normalized to ``0.0`` (they compare equal; they
+  must hash equal), and
+* non-finite floats are an explicit policy choice (``non_finite``),
+  never an accident.
+
+:func:`canonical_hash` is the content address built on top: the
+SHA-256 of the canonical serialization.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+from pathlib import Path
+from typing import Optional, Union
+
+from ..errors import ReproError
+
+__all__ = ["stable_json_dumps", "sha256_hex", "canonical_hash"]
+
+#: Accepted ``non_finite`` policies (see :func:`stable_json_dumps`).
+_NON_FINITE_POLICIES = ("error", "null", "allow")
+
+
+def _canonicalize(value: object, non_finite: str, where: str) -> object:
+    """Normalize a payload into plain JSON-able Python objects."""
+    if value is None or isinstance(value, (str, bool, int)):
+        return value
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            if non_finite == "error":
+                raise ReproError(
+                    f"non-finite float {value!r} at {where} cannot be "
+                    "canonically serialized (pass non_finite='null' or "
+                    "'allow' to permit it)"
+                )
+            if non_finite == "null":
+                return None
+            return value  # "allow": stdlib emits NaN/Infinity tokens
+        # Numbers that compare equal must serialize identically:
+        # integral floats (1024.0, and -0.0 via 0) collapse to ints so
+        # `1024` and `1024.0` produce one cache key.
+        if value.is_integer():
+            return int(value)
+        return value
+    if isinstance(value, dict):
+        out = {}
+        for key in sorted(value, key=str):
+            out[str(key)] = _canonicalize(
+                value[key], non_finite, f"{where}.{key}"
+            )
+        return out
+    if isinstance(value, (list, tuple)):
+        return [
+            _canonicalize(v, non_finite, f"{where}[{i}]")
+            for i, v in enumerate(value)
+        ]
+    if isinstance(value, (set, frozenset)):
+        return sorted(
+            (_canonicalize(v, non_finite, where) for v in value), key=str
+        )
+    if isinstance(value, Path):
+        return str(value)
+    item = getattr(value, "item", None)  # numpy scalars
+    if callable(item):
+        return _canonicalize(item(), non_finite, where)
+    return str(value)
+
+
+def stable_json_dumps(
+    payload: object,
+    indent: Optional[int] = None,
+    non_finite: str = "error",
+) -> str:
+    """Serialize ``payload`` to deterministic JSON text.
+
+    Args:
+        payload: any JSON-able structure (numpy scalars, tuples, sets
+            and paths are normalized along the way).
+        indent: pretty-print indent; None emits the compact one-line
+            form (``","``/``":"`` separators) used for hashing.
+        non_finite: what to do with NaN/±Infinity floats — ``"error"``
+            (raise :class:`~repro.errors.ReproError`; the right policy
+            for cache keys), ``"null"`` (replace with JSON ``null``),
+            or ``"allow"`` (emit the stdlib ``NaN``/``Infinity``
+            tokens; the right policy for telemetry/metadata writes that
+            must never fail on a stray sentinel value).
+
+    Returns:
+        The canonical JSON text (no trailing newline).
+    """
+    if non_finite not in _NON_FINITE_POLICIES:
+        raise ReproError(
+            f"non_finite must be one of {_NON_FINITE_POLICIES}, "
+            f"got {non_finite!r}"
+        )
+    canonical = _canonicalize(payload, non_finite, "$")
+    separators = (",", ": ") if indent is not None else (",", ":")
+    return json.dumps(
+        canonical,
+        sort_keys=True,
+        indent=indent,
+        separators=separators,
+        allow_nan=(non_finite == "allow"),
+    )
+
+
+def sha256_hex(data: Union[str, bytes]) -> str:
+    """Hex SHA-256 digest of a string (UTF-8) or bytes payload."""
+    if isinstance(data, str):
+        data = data.encode("utf-8")
+    return hashlib.sha256(data).hexdigest()
+
+
+def canonical_hash(payload: object) -> str:
+    """SHA-256 content address of a payload's canonical serialization.
+
+    Two payloads hash equal iff they are semantically equal under the
+    normalization rules of :func:`stable_json_dumps` — regardless of
+    key order, tuple-vs-list container choice, or numpy scalar types.
+    Non-finite floats are rejected: a cache key must never depend on a
+    sentinel that other serializers render differently.
+    """
+    return sha256_hex(stable_json_dumps(payload))

@@ -7,11 +7,12 @@ the final name, so readers see a complete file or none at all.
 
 from __future__ import annotations
 
-import json
 import os
 import tempfile
 from pathlib import Path
 from typing import Union
+
+from .hashing import stable_json_dumps
 
 __all__ = ["write_text_atomic", "write_json_atomic"]
 
@@ -33,5 +34,11 @@ def write_text_atomic(path: Union[str, Path], text: str) -> Path:
 
 
 def write_json_atomic(path: Union[str, Path], payload: object) -> Path:
-    """Atomically replace ``path`` with ``payload`` as JSON."""
-    return write_text_atomic(path, json.dumps(payload, indent=2) + "\n")
+    """Atomically replace ``path`` with ``payload`` as canonical JSON.
+
+    Serialized via :func:`~repro.utils.hashing.stable_json_dumps` with
+    ``non_finite="allow"`` — telemetry payloads may carry sentinel
+    inf/nan values and a status write must never fail on them.
+    """
+    text = stable_json_dumps(payload, indent=2, non_finite="allow")
+    return write_text_atomic(path, text + "\n")

@@ -20,6 +20,12 @@ from .generator import (
 )
 from .iccad2013 import BENCHMARK_NAMES, load_benchmark, load_all_benchmarks
 from .random_layout import random_layout, random_layout_suite
+from .spec import (
+    SYNTH_PREFIX,
+    load_workload,
+    parse_synth_spec,
+    validate_workload_spec,
+)
 
 __all__ = [
     "random_layout",
@@ -38,4 +44,8 @@ __all__ = [
     "BENCHMARK_NAMES",
     "load_benchmark",
     "load_all_benchmarks",
+    "SYNTH_PREFIX",
+    "parse_synth_spec",
+    "validate_workload_spec",
+    "load_workload",
 ]

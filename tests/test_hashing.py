@@ -1,0 +1,114 @@
+"""Canonical serialization/hashing contract (`repro.utils.hashing`).
+
+The service cache key, queue meta writes, and checkpoint meta all ride
+on one serialization — these tests pin the equivalences it promises
+(key order, container type, numpy scalars, float identity) and the
+non-finite policies.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.utils.hashing import canonical_hash, sha256_hex, stable_json_dumps
+from repro.utils.io import write_json_atomic
+
+
+class TestStableJsonDumps:
+    def test_key_order_irrelevant(self):
+        assert stable_json_dumps({"b": 1, "a": 2}) == stable_json_dumps(
+            {"a": 2, "b": 1}
+        )
+
+    def test_nested_normalization(self):
+        text = stable_json_dumps({"t": (1, 2), "s": {3, 1, 2}})
+        assert json.loads(text) == {"t": [1, 2], "s": [1, 2, 3]}
+
+    def test_numpy_scalars_collapse(self):
+        assert stable_json_dumps(
+            {"i": np.int64(7), "f": np.float64(1.5), "b": np.bool_(True)}
+        ) == stable_json_dumps({"i": 7, "f": 1.5, "b": True})
+
+    def test_equal_numbers_serialize_identically(self):
+        # 1024 vs 1024.0 vs np.float64(1024), and -0.0 vs 0: one form.
+        assert stable_json_dumps({"x": 1024.0}) == stable_json_dumps({"x": 1024})
+        assert stable_json_dumps({"x": -0.0}) == stable_json_dumps({"x": 0})
+
+    def test_float_repr_round_trips(self):
+        value = 0.1 + 0.2  # classic non-representable sum
+        assert json.loads(stable_json_dumps({"v": value}))["v"] == value
+
+    def test_compact_by_default_indent_on_request(self):
+        compact = stable_json_dumps({"a": 1, "b": 2})
+        assert " " not in compact
+        pretty = stable_json_dumps({"a": 1}, indent=2)
+        assert "\n" in pretty and json.loads(pretty) == {"a": 1}
+
+    def test_paths_become_strings(self):
+        from pathlib import Path
+
+        assert json.loads(stable_json_dumps({"p": Path("/x/y")}))["p"] == "/x/y"
+
+    def test_non_finite_error_default(self):
+        with pytest.raises(ReproError, match="non-finite"):
+            stable_json_dumps({"x": float("inf")})
+        with pytest.raises(ReproError):
+            stable_json_dumps({"x": float("nan")})
+
+    def test_non_finite_null(self):
+        text = stable_json_dumps(
+            {"x": float("nan"), "y": 1.0}, non_finite="null"
+        )
+        assert json.loads(text) == {"x": None, "y": 1}
+
+    def test_non_finite_allow(self):
+        text = stable_json_dumps({"x": float("inf")}, non_finite="allow")
+        assert json.loads(text)["x"] == float("inf")
+
+    def test_bad_policy_rejected(self):
+        with pytest.raises(ReproError, match="non_finite"):
+            stable_json_dumps({}, non_finite="whatever")
+
+
+class TestHashes:
+    def test_sha256_str_bytes_agree(self):
+        assert sha256_hex("abc") == sha256_hex(b"abc")
+        # Known digest of "abc" (FIPS 180-2 test vector).
+        assert sha256_hex("abc").startswith("ba7816bf")
+
+    def test_canonical_hash_equivalences(self):
+        a = {"workers": 2, "tile": (1, 2), "nm": np.float64(1024)}
+        b = {"nm": 1024, "tile": [1, 2], "workers": np.int32(2)}
+        assert canonical_hash(a) == canonical_hash(b)
+
+    def test_canonical_hash_distinguishes(self):
+        assert canonical_hash({"x": 1}) != canonical_hash({"x": 2})
+        assert canonical_hash({"x": 1.5}) != canonical_hash({"x": 1})
+
+    def test_canonical_hash_rejects_non_finite(self):
+        with pytest.raises(ReproError):
+            canonical_hash({"best": float("inf")})
+
+
+class TestWriteJsonAtomicCanonical:
+    def test_sorted_keys_and_newline(self, tmp_path):
+        path = tmp_path / "out.json"
+        write_json_atomic(path, {"b": 1, "a": 2})
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text.index('"a"') < text.index('"b"')
+        assert json.loads(text) == {"a": 2, "b": 1}
+
+    def test_non_finite_payloads_allowed(self, tmp_path):
+        # Telemetry/meta writes must never fail on sentinel inf/nan
+        # (e.g. a checkpoint's best_value before the first improvement).
+        path = tmp_path / "meta.json"
+        write_json_atomic(path, {"best_value": float("inf")})
+        assert "Infinity" in path.read_text()
+
+    def test_numpy_payloads_allowed(self, tmp_path):
+        path = tmp_path / "np.json"
+        write_json_atomic(path, {"n": np.int64(3), "f": np.float32(0.5)})
+        assert json.loads(path.read_text()) == {"n": 3, "f": 0.5}

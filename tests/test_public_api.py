@@ -13,7 +13,7 @@ class TestTopLevelExports:
             assert hasattr(repro, name), f"repro.__all__ lists missing name {name}"
 
     def test_version(self):
-        assert repro.__version__ == "1.0.0"
+        assert repro.__version__ == "1.1.0"
 
     def test_quickstart_names(self):
         # The README quickstart must keep working.
