@@ -621,7 +621,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
 def cmd_submit(args: argparse.Namespace) -> int:
     from .service import ServiceClient
 
-    client = ServiceClient(args.url, tenant=args.tenant)
+    client = ServiceClient(
+        args.url,
+        tenant=args.tenant,
+        timeout_s=args.request_timeout,
+        retries=args.retries,
+    )
     payload = {
         "layout": args.layout,
         "mode": args.mode,
@@ -630,10 +635,12 @@ def cmd_submit(args: argparse.Namespace) -> int:
         "workers": args.workers,
         "executor": args.executor,
     }
-    job = client.submit(payload)
+    job = client.submit(payload, trace_id=args.trace_id)
     state = job["state"]
     cached = " (cache hit)" if job.get("cached") else ""
     print(f"job {job['id']}: {state}{cached}")
+    if job.get("trace_id"):
+        print(f"  trace: {job['trace_id']}")
     if not args.wait or state in ("DONE", "FAILED", "CANCELLED"):
         return 0 if state in ("PENDING", "RUNNING", "DONE") else 3
     for record in client.events(job["id"], timeout_s=args.timeout):
@@ -691,6 +698,22 @@ def cmd_jobs(args: argparse.Namespace) -> int:
             ]
         )
     print(table.render())
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from .service.tracing import fuse_trace
+
+    fused = fuse_trace(args.target, root=args.root, out=args.out)
+    print(f"fused trace: {fused.path}")
+    if fused.trace_id:
+        print(f"  trace: {fused.trace_id}")
+    for lane in fused.lanes:
+        print(f"  lane pid={lane.pid} {lane.label}: {len(lane.slices)} slice(s)")
+    if fused.problems:
+        for problem in fused.problems:
+            print(f"  problem: {problem}")
+        return 2
     return 0
 
 
@@ -1043,12 +1066,42 @@ def build_parser() -> argparse.ArgumentParser:
              "(exit 0 DONE, 3 FAILED/CANCELLED)",
     )
     submit.add_argument("--timeout", type=float, default=3600.0, metavar="S")
+    submit.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="S",
+        help="per-HTTP-request timeout (default: 30)",
+    )
+    submit.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="connection-refused retries before giving up (default: 2)",
+    )
+    submit.add_argument(
+        "--trace-id", metavar="ID",
+        help="correlation id to reuse (default: mint a fresh one)",
+    )
     submit.set_defaults(func=cmd_submit)
 
     jobs_p = sub.add_parser("jobs", help="list jobs on a running service")
     jobs_p.add_argument("url", help="service base URL")
     jobs_p.add_argument("--tenant", default="default")
     jobs_p.set_defaults(func=cmd_jobs)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="fuse a job's access log, lifecycle, and engine/worker spans "
+             "into one Chrome trace (exit 2 on validation problems)",
+    )
+    trace_p.add_argument(
+        "target", help="job id (under --root) or a telemetry run directory"
+    )
+    trace_p.add_argument(
+        "--root", default="service-root",
+        help="service state directory for job-id targets (default: service-root)",
+    )
+    trace_p.add_argument(
+        "--out", metavar="PATH",
+        help="output path (default: <run_dir>/fused_trace.json)",
+    )
+    trace_p.set_defaults(func=cmd_trace)
     return parser
 
 

@@ -143,6 +143,9 @@ class FullChipConfig:
         queue_drain_timeout_s: queue executor only — overall wall-clock
             budget for the queue to drain; None (the default) waits
             indefinitely (abandonment detection still applies).
+        trace_id: request correlation id propagated into worker
+            telemetry, queue history, and ``run.json``; None for runs
+            with no originating request (CLI solves mint nothing).
     """
 
     tile_nm: float = 1024.0
@@ -173,6 +176,7 @@ class FullChipConfig:
     queue_max_requeues: int = 2
     queue_backoff_s: float = 0.5
     queue_drain_timeout_s: Optional[float] = None
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.backend is not None:
@@ -534,6 +538,7 @@ class FullChipEngine:
                 heartbeat_min_interval_s=cfg.heartbeat_min_interval_s,
                 resource_dir=resource_dir,
                 resource_interval_s=cfg.resource_interval_s,
+                trace_id=cfg.trace_id,
             )
         with Timer() as total, self.obs.tracer.span("fullchip.solve"):
             model = self.model
@@ -772,6 +777,7 @@ class FullChipEngine:
             "tile_nm": cfg.tile_nm,
             "halo_nm": result.plan.halo_nm,
             "parent_pid": os.getpid(),
+            "trace_id": cfg.trace_id,
             "runtime_s": result.runtime_s,
             "score": {
                 "total": result.score.total,

@@ -507,11 +507,20 @@ class QueueWorkerExecutor(TileExecutor):
             for job in jobs
         }
         adopt = all(job.resume for job in jobs) and bool(jobs)
+        trace_id = next(
+            (
+                job.telemetry.trace_id
+                for job in jobs
+                if job.telemetry is not None and job.telemetry.trace_id
+            ),
+            None,
+        )
         queue = TileJobQueue.create(
             self.run_dir / QUEUE_DIRNAME,
             queue_jobs,
             config=self.queue_config,
             adopt=adopt,
+            trace_id=trace_id,
         )
         fleet: List[subprocess.Popen] = []
         respawns = 0

@@ -200,9 +200,15 @@ class TileJobQueue:
     worker to an existing queue directory.
     """
 
-    def __init__(self, root: Union[str, Path], config: QueueConfig) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        config: QueueConfig,
+        trace_id: Optional[str] = None,
+    ) -> None:
         self.root = Path(root)
         self.config = config
+        self.trace_id = trace_id
         self._now = time.time
 
     # -- construction ------------------------------------------------------
@@ -214,6 +220,7 @@ class TileJobQueue:
         jobs: Dict[str, Tuple[Tuple[int, int], object]],
         config: Optional[QueueConfig] = None,
         adopt: bool = False,
+        trace_id: Optional[str] = None,
     ) -> "TileJobQueue":
         """Seed a queue with jobs (``{tile: (index, TileJob)}``).
 
@@ -224,7 +231,7 @@ class TileJobQueue:
         """
         root = Path(root)
         config = config or QueueConfig()
-        queue = cls(root, config)
+        queue = cls(root, config, trace_id=trace_id)
         if root.is_dir() and not adopt:
             import shutil
 
@@ -243,6 +250,7 @@ class TileJobQueue:
                 "lease_s": config.lease_s,
                 "max_requeues": config.max_requeues,
                 "backoff_s": config.backoff_s,
+                "trace_id": trace_id,
                 "tiles": {tile: list(index) for tile, (index, _) in jobs.items()},
             },
         )
@@ -281,7 +289,8 @@ class TileJobQueue:
             max_requeues=int(meta.get("max_requeues", 2)),
             backoff_s=float(meta.get("backoff_s", 0.5)),
         )
-        return cls(root, config)
+        raw_trace = meta.get("trace_id")
+        return cls(root, config, trace_id=str(raw_trace) if raw_trace else None)
 
     # -- small path/state helpers ------------------------------------------
 
@@ -369,11 +378,11 @@ class TileJobQueue:
         each other's lines.  History is diagnostics: failures are
         logged, never raised.
         """
-        line = stable_json_dumps(
-            {"ts": self._now(), "tile": tile, "kind": kind,
-             "pid": os.getpid(), **fields},
-            non_finite="allow",
-        )
+        record = {"ts": self._now(), "tile": tile, "kind": kind,
+                  "pid": os.getpid(), **fields}
+        if self.trace_id:
+            record.setdefault("trace_id", self.trace_id)
+        line = stable_json_dumps(record, non_finite="allow")
         try:
             path = self._dir(HISTORY_DIRNAME) / f"{tile}.jsonl"
             with open(path, "a") as handle:

@@ -690,7 +690,13 @@ def _solve_tile_job_impl(
     telemetry: Optional[TileTelemetry] = None
     if worker_obs is not None:
         try:
-            write_spool(job.telemetry.spool_dir, tile.name, worker_obs, worker_events)
+            write_spool(
+                job.telemetry.spool_dir,
+                tile.name,
+                worker_obs,
+                worker_events,
+                trace_id=job.telemetry.trace_id,
+            )
             telemetry = summarize_worker(tile.name, worker_obs, worker_events)
         except Exception as exc:  # noqa: BLE001 - telemetry must not fail tiles
             logger.warning("tile %s: telemetry spool failed: %s", tile.index, exc)

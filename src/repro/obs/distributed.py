@@ -94,6 +94,8 @@ class WorkerTelemetryConfig:
             timelines; None disables the worker resource sampler.
         resource_interval_s: sampling interval for the worker resource
             sampler (≤ 0 disables it even when ``resource_dir`` is set).
+        trace_id: request correlation id stamped into heartbeats and
+            spool headers; None when the run has no originating request.
     """
 
     spool_dir: str
@@ -102,6 +104,7 @@ class WorkerTelemetryConfig:
     heartbeat_min_interval_s: float = 0.0
     resource_dir: Optional[str] = None
     resource_interval_s: float = 0.0
+    trace_id: Optional[str] = None
 
 
 @dataclass
@@ -183,6 +186,7 @@ def worker_instrumentation(
             min_interval_s=config.heartbeat_min_interval_s,
             attempt=attempt,
             on_beat=on_beat,
+            trace_id=config.trace_id,
         )
     obs = Instrumentation.collecting(
         trace=True,
@@ -221,6 +225,7 @@ def write_spool(
     tile_name: str,
     obs: Instrumentation,
     events: List[Dict[str, object]],
+    trace_id: Optional[str] = None,
 ) -> Path:
     """Atomically persist one worker bundle as a per-tile spool file.
 
@@ -231,7 +236,14 @@ def write_spool(
     directory = Path(spool_dir)
     directory.mkdir(parents=True, exist_ok=True)
     target = directory / spool_filename(tile_name)
-    lines = [json.dumps({"kind": "header", "tile": tile_name, "pid": os.getpid()})]
+    header: Dict[str, object] = {
+        "kind": "header",
+        "tile": tile_name,
+        "pid": os.getpid(),
+    }
+    if trace_id:
+        header["trace_id"] = trace_id
+    lines = [json.dumps(header)]
     for stats in obs.tracer.stats().values():
         lines.append(json.dumps({"kind": "span", **stats.as_dict()}))
     for item in obs.tracer.slices():
@@ -259,6 +271,7 @@ class SpoolData:
 
     tile: str = ""
     pid: int = 0
+    trace_id: Optional[str] = None
     spans: List[Dict[str, object]] = field(default_factory=list)
     slices: List[TraceSlice] = field(default_factory=list)
     metrics: Dict[str, Dict[str, object]] = field(default_factory=dict)
@@ -282,6 +295,8 @@ def read_spool(path: Union[str, Path]) -> SpoolData:
             if kind == "header":
                 data.tile = str(record.get("tile", ""))
                 data.pid = int(record.get("pid", 0))
+                raw_trace = record.get("trace_id")
+                data.trace_id = str(raw_trace) if raw_trace else None
             elif kind == "span":
                 data.spans.append(record)
             elif kind == "slice":

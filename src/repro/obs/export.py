@@ -31,6 +31,7 @@ __all__ = [
     "TraceLane",
     "chrome_trace_events",
     "write_chrome_trace",
+    "read_chrome_trace",
     "validate_chrome_trace",
 ]
 
@@ -113,6 +114,62 @@ def write_chrome_trace(
         "displayTimeUnit": "ms",
     }
     return write_text_atomic(path, json.dumps(document))
+
+
+def read_chrome_trace(path: Union[str, Path]) -> List[TraceLane]:
+    """Parse a ``trace.json`` back into lanes (inverse of the writer).
+
+    ``process_name`` metadata creates a lane per pid (first label wins,
+    matching the writer); ``process_sort_index`` updates the lane's
+    ordering; every "X" event appends a :class:`TraceSlice` to its
+    pid's lane.  X events on a pid with no metadata get a synthesized
+    ``pid-<N>`` lane, so hand-edited or foreign traces still round-trip.
+    Lanes come back in first-appearance order.
+    """
+    with open(path, "r") as handle:
+        document = json.load(handle)
+    events = document.get("traceEvents") if isinstance(document, dict) else None
+    lanes: Dict[int, TraceLane] = {}
+    order: List[int] = []
+
+    def lane_for(pid: int, label: str) -> TraceLane:
+        lane = lanes.get(pid)
+        if lane is None:
+            lane = TraceLane(pid=pid, label=label)
+            lanes[pid] = lane
+            order.append(pid)
+        return lane
+
+    for event in events or []:
+        if not isinstance(event, dict):
+            continue
+        pid = event.get("pid")
+        if not isinstance(pid, int):
+            continue
+        phase = event.get("ph")
+        args = event.get("args") if isinstance(event.get("args"), dict) else {}
+        if phase == "M":
+            name = event.get("name")
+            if name == "process_name":
+                label = str(args.get("name", f"pid-{pid}"))
+                if pid in lanes:
+                    pass  # first label wins, matching the writer
+                else:
+                    lane_for(pid, label)
+            elif name == "process_sort_index":
+                lane_for(pid, f"pid-{pid}").sort_index = int(
+                    args.get("sort_index", 0)
+                )
+        elif phase == "X":
+            lane_for(pid, f"pid-{pid}").slices.append(
+                TraceSlice(
+                    path=str(args.get("path") or event.get("name", "")),
+                    ts_us=float(event.get("ts", 0.0)),
+                    dur_us=float(event.get("dur", 0.0)),
+                    failed=bool(args.get("failed", False)),
+                )
+            )
+    return [lanes[pid] for pid in order]
 
 
 def validate_chrome_trace(document: object) -> List[str]:

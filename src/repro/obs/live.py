@@ -113,13 +113,14 @@ class Heartbeat:
     objective: Optional[float] = None
     ts: float = 0.0
     attempt: int = 1
+    trace_id: Optional[str] = None
 
     def age_s(self, now: float) -> float:
         """Seconds since this heartbeat was written."""
         return max(0.0, now - self.ts)
 
     def as_dict(self) -> Dict[str, object]:
-        return {
+        record: Dict[str, object] = {
             "tile": self.tile,
             "pid": self.pid,
             "phase": self.phase,
@@ -128,10 +129,14 @@ class Heartbeat:
             "ts": self.ts,
             "attempt": self.attempt,
         }
+        if self.trace_id:
+            record["trace_id"] = self.trace_id
+        return record
 
     @classmethod
     def from_dict(cls, data: Dict[str, object]) -> "Heartbeat":
         objective = data.get("objective")
+        trace_id = data.get("trace_id")
         return cls(
             tile=str(data.get("tile", "")),
             pid=int(data.get("pid", 0)),
@@ -140,6 +145,7 @@ class Heartbeat:
             objective=float(objective) if objective is not None else None,
             ts=float(data.get("ts", 0.0)),
             attempt=int(data.get("attempt", 1)),
+            trace_id=str(trace_id) if trace_id else None,
         )
 
 
@@ -189,6 +195,7 @@ class HeartbeatWriter:
         clock=time.time,
         attempt: int = 1,
         on_beat=None,
+        trace_id: Optional[str] = None,
     ) -> None:
         if min_interval_s < 0:
             raise ValueError(f"min_interval_s must be >= 0, got {min_interval_s}")
@@ -198,6 +205,7 @@ class HeartbeatWriter:
         self.clock = clock
         self.attempt = attempt
         self.on_beat = on_beat
+        self.trace_id = trace_id
         self._last_write = -math.inf
         self.path = self.directory / heartbeat_filename(tile)
 
@@ -224,6 +232,7 @@ class HeartbeatWriter:
             objective=objective,
             ts=now,
             attempt=self.attempt,
+            trace_id=self.trace_id,
         )
         try:
             write_json_atomic(self.path, record.as_dict())

@@ -7,6 +7,14 @@ stay one-liners::
     registry.gauge("best_objective").set(value)
     registry.histogram("gradient_rms").observe(rms)
 
+Instruments may carry Prometheus-style labels: ``labels={"tenant": "a"}``
+folds into the instrument's identity as ``name{tenant="a"}`` (sorted
+keys, escaped values), so each label combination is its own time series
+while snapshots, merges, and persistence stay plain name→dict maps.
+:func:`render_prometheus` turns any registry snapshot into the
+Prometheus text exposition format (``# HELP``/``# TYPE`` comments,
+cumulative ``_bucket{le=...}``/``_sum``/``_count`` histogram expansion).
+
 A process-global :func:`default_registry` exists for convenience wiring;
 tests and the CLI inject their own :class:`MetricsRegistry` instances.
 :class:`NullMetricsRegistry` returns shared no-op instruments, so
@@ -15,8 +23,11 @@ instrumented hot paths cost one method call when metrics are disabled.
 
 from __future__ import annotations
 
+import math
+import re
+import threading
 from bisect import bisect_left
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 __all__ = [
     "Counter",
@@ -28,12 +39,58 @@ __all__ = [
     "default_registry",
     "set_default_registry",
     "DEFAULT_GRADIENT_RMS_BUCKETS",
+    "DEFAULT_LATENCY_BUCKETS",
+    "encode_labels",
+    "split_series_name",
+    "escape_label_value",
+    "render_prometheus",
 ]
 
 #: Log-spaced upper bounds suited to gradient-RMS magnitudes (paper th_g = 1e-5).
 DEFAULT_GRADIENT_RMS_BUCKETS = (
     1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0,
 )
+
+#: Latency bounds (seconds) spanning HTTP round trips to full solves.
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0,
+)
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition rules."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def encode_labels(name: str, labels: Optional[Mapping[str, object]]) -> str:
+    """Fold labels into an instrument identity: ``name{k="v",...}``.
+
+    Keys are sorted so ``{"a": 1, "b": 2}`` and ``{"b": 2, "a": 1}``
+    land on the same series; values are escaped so the encoded name is
+    already a valid Prometheus series reference.
+    """
+    if not labels:
+        return name
+    inner = ",".join(
+        f'{key}="{escape_label_value(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+    return f"{name}{{{inner}}}"
+
+
+def split_series_name(encoded: str) -> Tuple[str, str]:
+    """``name{k="v"}`` → ``("name", 'k="v"')``; bare names → ``(name, "")``."""
+    if encoded.endswith("}"):
+        brace = encoded.find("{")
+        if brace >= 0:
+            return encoded[:brace], encoded[brace + 1 : -1]
+    return encoded, ""
 
 
 class Counter:
@@ -166,29 +223,40 @@ class MetricsRegistry:
 
     def __init__(self) -> None:
         self._instruments: Dict[str, object] = {}
+        self._mutex = threading.Lock()
 
     def _get(self, name: str, cls, *args):
         instrument = self._instruments.get(name)
         if instrument is None:
-            instrument = cls(name, *args)
-            self._instruments[name] = instrument
-        elif not isinstance(instrument, cls):
+            with self._mutex:
+                instrument = self._instruments.get(name)
+                if instrument is None:
+                    instrument = cls(name, *args)
+                    self._instruments[name] = instrument
+        if not isinstance(instrument, cls):
             raise ValueError(
                 f"metric {name!r} already registered as "
                 f"{type(instrument).__name__}, not {cls.__name__}"
             )
         return instrument
 
-    def counter(self, name: str) -> Counter:
-        return self._get(name, Counter)
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Counter:
+        return self._get(encode_labels(name, labels), Counter)
 
-    def gauge(self, name: str) -> Gauge:
-        return self._get(name, Gauge)
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> Gauge:
+        return self._get(encode_labels(name, labels), Gauge)
 
     def histogram(
-        self, name: str, buckets: Sequence[float] = DEFAULT_GRADIENT_RMS_BUCKETS
+        self,
+        name: str,
+        buckets: Sequence[float] = DEFAULT_GRADIENT_RMS_BUCKETS,
+        labels: Optional[Mapping[str, object]] = None,
     ) -> Histogram:
-        return self._get(name, Histogram, buckets)
+        return self._get(encode_labels(name, labels), Histogram, buckets)
 
     def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
         """Fold another registry's ``as_dict`` snapshot into this one.
@@ -287,13 +355,22 @@ class NullMetricsRegistry:
 
     enabled = False
 
-    def counter(self, name: str) -> _NullInstrument:
+    def counter(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def gauge(self, name: str) -> _NullInstrument:
+    def gauge(
+        self, name: str, labels: Optional[Mapping[str, object]] = None
+    ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
-    def histogram(self, name: str, buckets: Sequence[float] = ()) -> _NullInstrument:
+    def histogram(
+        self,
+        name: str,
+        buckets: Sequence[float] = (),
+        labels: Optional[Mapping[str, object]] = None,
+    ) -> _NullInstrument:
         return _NULL_INSTRUMENT
 
     def merge_snapshot(self, snapshot: Dict[str, Dict[str, object]]) -> None:
@@ -335,3 +412,87 @@ def set_default_registry(registry: MetricsRegistry) -> MetricsRegistry:
     previous = _default_registry
     _default_registry = registry
     return previous
+
+
+_METRIC_NAME_RE = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+
+
+def _sanitize_metric_name(name: str) -> str:
+    if _METRIC_NAME_RE.match(name):
+        return name
+    cleaned = re.sub(r"[^a-zA-Z0-9_:]", "_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    number = float(value)  # type: ignore[arg-type]
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    return repr(number)
+
+
+def _format_bound(bound: float) -> str:
+    if math.isinf(bound):
+        return "+Inf"
+    return f"{float(bound):g}"
+
+
+def _with_extra_label(labelstr: str, extra: str) -> str:
+    return f"{labelstr},{extra}" if labelstr else extra
+
+
+def render_prometheus(snapshot: Mapping[str, Mapping[str, object]]) -> str:
+    """Render a registry snapshot in the Prometheus text exposition format.
+
+    Accepts the output of :meth:`MetricsRegistry.as_dict` (or any merged
+    snapshot of the same shape).  Series whose encoded name carries
+    labels (``name{k="v"}``) are grouped under one ``# HELP``/``# TYPE``
+    header per base name; histograms expand to cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.  Unset
+    gauges and null instruments are omitted.  Ends with a newline, per
+    the format spec.
+    """
+    groups: Dict[Tuple[str, str], List[Tuple[str, Mapping[str, object]]]] = {}
+    order: List[Tuple[str, str]] = []
+    for encoded in sorted(snapshot):
+        data = snapshot[encoded]
+        kind = str(data.get("type", ""))
+        if kind not in ("counter", "gauge", "histogram"):
+            continue
+        if kind == "gauge" and data.get("value") is None:
+            continue
+        base, labelstr = split_series_name(encoded)
+        base = _sanitize_metric_name(base)
+        key = (base, kind)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append((labelstr, data))
+
+    lines: List[str] = []
+    for base, kind in order:
+        lines.append(f"# HELP {base} repro {kind} {base}")
+        lines.append(f"# TYPE {base} {kind}")
+        for labelstr, data in groups[(base, kind)]:
+            suffix = f"{{{labelstr}}}" if labelstr else ""
+            if kind in ("counter", "gauge"):
+                lines.append(f"{base}{suffix} {_format_value(data.get('value', 0))}")
+                continue
+            buckets = [float(b) for b in data.get("buckets", [])]
+            counts = [int(c) for c in data.get("counts", [])]
+            cumulative = 0
+            for bound, count in zip(buckets + [math.inf], counts or [0] * (len(buckets) + 1)):
+                cumulative += count
+                le = _with_extra_label(labelstr, f'le="{_format_bound(bound)}"')
+                lines.append(f"{base}_bucket{{{le}}} {cumulative}")
+            lines.append(f"{base}_sum{suffix} {_format_value(data.get('sum', 0.0))}")
+            lines.append(f"{base}_count{suffix} {_format_value(int(data.get('count', 0)))}")
+    return "\n".join(lines) + "\n" if lines else ""

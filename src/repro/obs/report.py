@@ -339,6 +339,8 @@ def render_run_report(run_dir: Union[str, Path]) -> str:
         f"{run.get('workers', '?')} worker(s) | "
         f"runtime {float(run.get('runtime_s', 0.0)):.1f} s"
     )
+    if run.get("trace_id"):
+        sections.append(f"trace: {run['trace_id']}")
     if score:
         sections.append(
             f"chip score: {float(score.get('total', 0.0)):.0f} "

@@ -32,10 +32,28 @@ additionally tagged *failed* — ``SpanStats.failures`` counts them and
 from __future__ import annotations
 
 import time
+import uuid
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Union
 
-__all__ = ["SpanStats", "TraceSlice", "Tracer", "NullTracer", "NULL_TRACER"]
+__all__ = [
+    "SpanStats",
+    "TraceSlice",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "new_trace_id",
+]
+
+
+def new_trace_id() -> str:
+    """Mint a correlation id tying one request to every artifact it leaves.
+
+    Opaque hex, stable across processes: the service stamps it into job
+    records, run manifests, queue history, heartbeats, and spools so a
+    single grep reconstructs a request's path through the system.
+    """
+    return uuid.uuid4().hex
 
 
 @dataclass(frozen=True)

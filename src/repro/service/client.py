@@ -6,6 +6,12 @@ of the library raises (:class:`~repro.errors.RateLimitedError`,
 :class:`~repro.errors.JobNotFoundError`,
 :class:`~repro.errors.ServiceError>`), so callers handle local and
 remote failures identically.
+
+Connection-refused failures retry with exponential backoff (``retries``
+attempts) so a submit racing a restarting server rides out the gap; all
+other transport failures stay immediate.  Submits mint a client-side
+trace id (``X-Repro-Trace-Id``) that stays stable across those retries,
+so a resubmitted request correlates to one logical operation.
 """
 
 from __future__ import annotations
@@ -17,21 +23,38 @@ import urllib.request
 from typing import Dict, Iterator, List, Optional
 
 from ..errors import JobNotFoundError, RateLimitedError, ServiceError
+from ..obs.trace import new_trace_id
+from .server import TRACE_HEADER
 
 __all__ = ["ServiceClient"]
 
 _TERMINAL = ("DONE", "FAILED", "CANCELLED")
 
 
+def _connection_refused(reason: object) -> bool:
+    if isinstance(reason, ConnectionRefusedError):
+        return True
+    return "refused" in str(reason).lower()
+
+
 class ServiceClient:
     """Client for one service base URL (e.g. ``http://127.0.0.1:8734``)."""
 
     def __init__(
-        self, base_url: str, tenant: str = "default", timeout_s: float = 30.0
+        self,
+        base_url: str,
+        tenant: str = "default",
+        timeout_s: float = 30.0,
+        retries: int = 2,
+        retry_backoff_s: float = 0.25,
     ) -> None:
+        if retries < 0:
+            raise ServiceError(f"retries must be >= 0, got {retries}")
         self.base_url = base_url.rstrip("/")
         self.tenant = tenant
         self.timeout_s = timeout_s
+        self.retries = retries
+        self.retry_backoff_s = retry_backoff_s
 
     # -- plumbing ------------------------------------------------------------
 
@@ -41,25 +64,36 @@ class ServiceClient:
         method: str = "GET",
         payload: Optional[dict] = None,
         timeout_s: Optional[float] = None,
+        headers: Optional[Dict[str, str]] = None,
     ):
         data = json.dumps(payload).encode("utf-8") if payload is not None else None
-        request = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={
-                "Content-Type": "application/json",
-                "X-Tenant": self.tenant,
-            },
-        )
-        try:
-            return urllib.request.urlopen(
-                request, timeout=self.timeout_s if timeout_s is None else timeout_s
+        merged_headers = {
+            "Content-Type": "application/json",
+            "X-Tenant": self.tenant,
+        }
+        merged_headers.update(headers or {})
+        for attempt in range(self.retries + 1):
+            request = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                method=method,
+                headers=dict(merged_headers),
             )
-        except urllib.error.HTTPError as exc:
-            raise self._typed_error(exc) from exc
-        except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach {self.base_url}: {exc.reason}") from exc
+            try:
+                return urllib.request.urlopen(
+                    request,
+                    timeout=self.timeout_s if timeout_s is None else timeout_s,
+                )
+            except urllib.error.HTTPError as exc:
+                raise self._typed_error(exc) from exc
+            except urllib.error.URLError as exc:
+                if attempt < self.retries and _connection_refused(exc.reason):
+                    time.sleep(self.retry_backoff_s * (2 ** attempt))
+                    continue
+                raise ServiceError(
+                    f"cannot reach {self.base_url}: {exc.reason}"
+                ) from exc
+        raise ServiceError(f"cannot reach {self.base_url}")  # pragma: no cover
 
     @staticmethod
     def _typed_error(exc: urllib.error.HTTPError) -> ServiceError:
@@ -81,10 +115,24 @@ class ServiceClient:
 
     # -- the API -------------------------------------------------------------
 
-    def submit(self, payload: Dict[str, object]) -> Dict[str, object]:
+    def submit(
+        self, payload: Dict[str, object], trace_id: Optional[str] = None
+    ) -> Dict[str, object]:
         """POST a job; returns the job record (may already be DONE on
-        a cache hit).  Raises :class:`RateLimitedError` on 429."""
-        return self._json("/v1/jobs", method="POST", payload=payload)
+        a cache hit).  Raises :class:`RateLimitedError` on 429.
+
+        Mints a trace id when the caller brought none and sends it as
+        ``X-Repro-Trace-Id``; the same id rides every connection-refused
+        retry, so one logical submit correlates to one trace.
+        """
+        trace_id = str(trace_id) if trace_id else new_trace_id()
+        with self._request(
+            "/v1/jobs",
+            method="POST",
+            payload=payload,
+            headers={TRACE_HEADER: trace_id},
+        ) as response:
+            return json.loads(response.read().decode("utf-8"))
 
     def job(self, job_id: str) -> Dict[str, object]:
         return self._json(f"/v1/jobs/{job_id}")

@@ -45,7 +45,10 @@ from ..errors import (
     ServiceError,
 )
 from ..obs import Instrumentation, MetricsRegistry
+from ..obs.events import EventEmitter
 from ..obs.live import HEARTBEAT_DIRNAME, STATUS_FILENAME, read_heartbeats
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS
+from ..obs.trace import new_trace_id
 from ..utils.hashing import canonical_hash
 from ..utils.io import write_json_atomic
 from ..workloads.spec import load_workload, validate_workload_spec
@@ -209,6 +212,7 @@ class JobRecord:
     pid: Optional[int] = None
     version: str = __version__
     score: Optional[Dict[str, object]] = None
+    trace_id: Optional[str] = None
 
     def as_dict(self) -> Dict[str, object]:
         return asdict(self)
@@ -301,6 +305,8 @@ class IltService:
         self._failed = self.metrics.counter("service_jobs_failed")
         self._cancelled = self.metrics.counter("service_jobs_cancelled")
         self._rejected = self.metrics.counter("service_jobs_rate_limited")
+        self._in_flight = self.metrics.gauge("http_requests_in_flight")
+        self._in_flight_count = 0
         self._lock = threading.RLock()
         self._jobs: Dict[str, JobRecord] = {}
         self._threads: Dict[str, threading.Thread] = {}
@@ -321,10 +327,33 @@ class IltService:
             else None
         )
 
+    # -- HTTP-layer accounting ----------------------------------------------
+
+    def request_started(self) -> None:
+        """HTTP middleware hook: one more request in flight."""
+        with self._lock:
+            self._in_flight_count += 1
+            self._in_flight.set(self._in_flight_count)
+
+    def request_finished(self) -> None:
+        """HTTP middleware hook: one request left the handler."""
+        with self._lock:
+            self._in_flight_count = max(0, self._in_flight_count - 1)
+            self._in_flight.set(self._in_flight_count)
+
     # -- submission ----------------------------------------------------------
 
-    def submit(self, payload: object, tenant: str = "default") -> JobRecord:
+    def submit(
+        self,
+        payload: object,
+        tenant: str = "default",
+        trace_id: Optional[str] = None,
+    ) -> JobRecord:
         """Admit one job: rate limit → validate → cache → spawn runner.
+
+        ``trace_id`` is the request correlation id (minted here when the
+        caller brought none); it rides the job record into the run dir,
+        queue history, and every worker artifact.
 
         Raises:
             RateLimitedError: tenant rate/concurrency budget exhausted
@@ -332,6 +361,7 @@ class IltService:
             ServiceError: malformed payload (HTTP 400).
         """
         tenant = str(tenant or "default")
+        trace_id = str(trace_id) if trace_id else new_trace_id()
         try:
             self.limiter.admit(tenant, self._active_count(tenant))
         except RateLimitedError:
@@ -348,7 +378,10 @@ class IltService:
         self._submitted.inc()
         hit = self.cache.get_valid(key, self.artifact_path)
         if hit is not None:
-            return self._record_cache_hit(normalized, tenant, key, hit)
+            return self._record_cache_hit(normalized, tenant, key, hit, trace_id)
+        self.metrics.counter(
+            "service_jobs_by_tenant", labels={"tenant": tenant, "cache": "miss"}
+        ).inc()
         job = JobRecord(
             id=uuid.uuid4().hex[:12],
             tenant=tenant,
@@ -357,6 +390,7 @@ class IltService:
             cache_key=key,
             created_ts=time.time(),
             pid=os.getpid(),
+            trace_id=trace_id,
         )
         with self._lock:
             self._jobs[job.id] = job
@@ -376,9 +410,13 @@ class IltService:
         tenant: str,
         key: str,
         entry: Dict[str, object],
+        trace_id: Optional[str] = None,
     ) -> JobRecord:
         """A fresh DONE record whose artifacts live in the source job."""
         self._cache_hits.inc()
+        self.metrics.counter(
+            "service_jobs_by_tenant", labels={"tenant": tenant, "cache": "hit"}
+        ).inc()
         source_id = str(entry["job_id"])
         now = time.time()
         job = JobRecord(
@@ -393,6 +431,7 @@ class IltService:
             cached=True,
             cached_from=source_id,
             pid=os.getpid(),
+            trace_id=trace_id,
         )
         try:
             job.score = self._jobs[source_id].score
@@ -426,10 +465,32 @@ class IltService:
             job.state = "RUNNING"
             job.started_ts = time.time()
             self.store.save(job)
+        self.metrics.histogram(
+            "service_queue_wait_seconds",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            labels={"tenant": job.tenant},
+        ).observe(max(0.0, job.started_ts - job.created_ts))
+        # Events route through a callable sink so the first record also
+        # stamps the time-to-first-event SLO histogram; the inner
+        # emitter still owns the durable events.jsonl file.
+        inner_events = EventEmitter(str(run_dir / EVENTS_FILENAME))
+        first_event = threading.Event()
+
+        def _fused_sink(record: Dict[str, object]) -> None:
+            if not first_event.is_set():
+                first_event.set()
+                self.metrics.histogram(
+                    "service_time_to_first_event_seconds",
+                    buckets=DEFAULT_LATENCY_BUCKETS,
+                    labels={"tenant": job.tenant},
+                ).observe(max(0.0, time.time() - job.created_ts))
+            fields = {k: v for k, v in record.items() if k != "event"}
+            inner_events.emit(str(record.get("event", "")), **fields)
+
         obs = Instrumentation.collecting(
             trace=True,
             metrics=True,
-            events_sink=str(run_dir / EVENTS_FILENAME),
+            events_sink=_fused_sink,
             timeline=True,
         )
         try:
@@ -445,6 +506,10 @@ class IltService:
         finally:
             try:
                 obs.close()
+            except Exception:  # noqa: BLE001 - telemetry only
+                pass
+            try:
+                inner_events.close()
             except Exception:  # noqa: BLE001 - telemetry only
                 pass
         import numpy as np
@@ -491,6 +556,7 @@ class IltService:
             queue_drain_timeout_s=self.config.drain_timeout_s,
         )
         fc_kwargs.update(self.config.fullchip_overrides)
+        fc_kwargs["trace_id"] = job.trace_id
         fc_config = FullChipConfig(**fc_kwargs)
         engine = FullChipEngine(
             litho, optimizer=self.config.optimizer, config=fc_config, obs=obs
@@ -533,6 +599,12 @@ class IltService:
             self._failed.inc()
         elif state == "CANCELLED":
             self._cancelled.inc()
+        if state in ("DONE", "FAILED") and not job.cached and job.started_ts:
+            self.metrics.histogram(
+                "service_solve_seconds",
+                buckets=DEFAULT_LATENCY_BUCKETS,
+                labels={"tenant": job.tenant, "outcome": state.lower()},
+            ).observe(max(0.0, job.finished_ts - job.started_ts))
 
     # -- queries -------------------------------------------------------------
 

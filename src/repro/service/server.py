@@ -14,20 +14,33 @@ Endpoints (all JSON unless noted):
 * ``GET    /v1/jobs/{id}/artifacts/{name}`` — raw artifact bytes.
 * ``DELETE /v1/jobs/{id}``                — cooperative cancel.
 * ``GET    /healthz``                     — liveness + version + counts.
-* ``GET    /metricsz``                    — the service metrics registry.
+* ``GET    /metricsz``                    — the service metrics registry
+  (JSON by default; ``?format=prometheus`` renders the text exposition
+  format for scrapers).
 
 Built on ``ThreadingHTTPServer`` — one thread per request, daemonic,
 no third-party dependencies.  The tenant is taken from the
 ``X-Tenant`` header (default ``"default"``).
+
+Every request runs through an instrumentation wrapper: a trace id is
+accepted via ``X-Repro-Trace-Id`` (or minted), echoed on the response,
+and handed to the service so job artifacts correlate; per-endpoint
+latency histograms, request/response byte counters, and an in-flight
+gauge land in the service registry; and one JSONL line per request is
+appended to ``<root>/access.jsonl`` (single ``O_APPEND`` write, safe
+under concurrent handler threads).
 """
 
 from __future__ import annotations
 
 import json
 import logging
+import os
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
-from typing import Optional, Tuple
+from typing import Callable, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlparse
 
 from .._version import __version__
 from ..errors import (
@@ -36,22 +49,105 @@ from ..errors import (
     ReproError,
     ServiceError,
 )
+from ..obs.metrics import DEFAULT_LATENCY_BUCKETS, render_prometheus
+from ..obs.trace import new_trace_id
 from ..utils.hashing import stable_json_dumps
 from ..utils.io import write_json_atomic
 from .jobs import IltService
 
 logger = logging.getLogger(__name__)
 
-__all__ = ["ServiceServer", "serve", "SERVICE_FILENAME"]
+__all__ = [
+    "ServiceServer",
+    "serve",
+    "SERVICE_FILENAME",
+    "ACCESS_LOG_FILENAME",
+    "TRACE_HEADER",
+    "PROMETHEUS_CONTENT_TYPE",
+    "append_access_record",
+]
 
 SERVICE_FILENAME = "service.json"
+ACCESS_LOG_FILENAME = "access.jsonl"
+TRACE_HEADER = "X-Repro-Trace-Id"
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 _NDJSON = "application/x-ndjson"
 _JSON = "application/json"
+
+
+def append_access_record(
+    root: Union[str, Path], record: Dict[str, object]
+) -> None:
+    """Append one access-log line (single ``O_APPEND`` write).
+
+    One short JSON line per request, written in a single ``os.write``
+    call — atomic on POSIX below PIPE_BUF, so concurrent handler
+    threads never interleave bytes mid-line.
+    """
+    line = (stable_json_dumps(record, non_finite="null") + "\n").encode("utf-8")
+    fd = os.open(
+        str(Path(root) / ACCESS_LOG_FILENAME),
+        os.O_WRONLY | os.O_APPEND | os.O_CREAT,
+        0o644,
+    )
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+
+
+def _endpoint_template(route: Tuple[str, ...]) -> str:
+    """Collapse a concrete path onto its endpoint template.
+
+    Metric labels must have bounded cardinality, so job ids and
+    artifact names become ``{id}``/``{name}`` placeholders and unknown
+    paths all share ``/other``.
+    """
+    if route == ("healthz",):
+        return "/healthz"
+    if route == ("metricsz",):
+        return "/metricsz"
+    if route[:2] == ("v1", "jobs"):
+        if len(route) == 2:
+            return "/v1/jobs"
+        if len(route) == 3:
+            return "/v1/jobs/{id}"
+        if len(route) == 4 and route[3] == "events":
+            return "/v1/jobs/{id}/events"
+        if len(route) == 4 and route[3] == "artifacts":
+            return "/v1/jobs/{id}/artifacts"
+        if len(route) == 5 and route[3] == "artifacts":
+            return "/v1/jobs/{id}/artifacts/{name}"
+    return "/other"
+
+
+class _CountingWriter:
+    """Wraps the handler's ``wfile`` to count bytes written."""
+
+    def __init__(self, raw) -> None:
+        self._raw = raw
+        self.bytes_written = 0
+
+    def write(self, data: bytes) -> int:
+        written = self._raw.write(data)
+        self.bytes_written += len(data)
+        return written
+
+    def __getattr__(self, name: str):
+        return getattr(self._raw, name)
 
 
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = f"repro-ilt/{__version__}"
+
+    # Per-request instrumentation state.  The handler instance is
+    # reused across requests on one keep-alive connection, so every
+    # field here must be re-initialized by ``_dispatch``.
+    _trace_id: Optional[str] = None
+    _status_code: int = 0
+    _job_id: Optional[str] = None
+    _cache_hit: Optional[bool] = None
 
     # -- plumbing ------------------------------------------------------------
 
@@ -61,6 +157,98 @@ class _Handler(BaseHTTPRequestHandler):
 
     def log_message(self, format: str, *args: object) -> None:  # noqa: A002
         logger.debug("%s - %s", self.address_string(), format % args)
+
+    def setup(self) -> None:
+        super().setup()
+        self.wfile = _CountingWriter(self.wfile)  # type: ignore[assignment]
+
+    def send_response(self, code: int, message: Optional[str] = None) -> None:
+        self._status_code = int(code)
+        super().send_response(code, message)
+        if self._trace_id:
+            self.send_header(TRACE_HEADER, self._trace_id)
+
+    # -- the instrumentation wrapper -----------------------------------------
+
+    def _dispatch(self, method: str, handler: Callable[[], None]) -> None:
+        self._trace_id = (
+            self.headers.get(TRACE_HEADER, "").strip() or new_trace_id()
+        )
+        self._status_code = 0
+        self._job_id = None
+        self._cache_hit = None
+        started_ts = time.time()
+        start = time.perf_counter()
+        bytes_out_base = getattr(self.wfile, "bytes_written", 0)
+        request_bytes = int(self.headers.get("Content-Length", 0) or 0)
+        self.service.request_started()
+        try:
+            handler()
+        finally:
+            self.service.request_finished()
+            duration_s = time.perf_counter() - start
+            response_bytes = (
+                getattr(self.wfile, "bytes_written", 0) - bytes_out_base
+            )
+            try:
+                self._record_request(
+                    method, started_ts, duration_s, request_bytes, response_bytes
+                )
+            except Exception as exc:  # noqa: BLE001 - observability only
+                logger.warning("request instrumentation failed: %s", exc)
+
+    def _record_request(
+        self,
+        method: str,
+        started_ts: float,
+        duration_s: float,
+        request_bytes: int,
+        response_bytes: int,
+    ) -> None:
+        endpoint = _endpoint_template(self._route())
+        status = self._status_code
+        metrics = self.service.metrics
+        metrics.counter(
+            "http_requests_total",
+            labels={"endpoint": endpoint, "method": method, "status": str(status)},
+        ).inc()
+        metrics.histogram(
+            "http_request_duration_seconds",
+            buckets=DEFAULT_LATENCY_BUCKETS,
+            labels={"endpoint": endpoint, "method": method},
+        ).observe(duration_s)
+        metrics.counter(
+            "http_request_bytes_total",
+            labels={"endpoint": endpoint, "method": method},
+        ).inc(max(0, request_bytes))
+        metrics.counter(
+            "http_response_bytes_total",
+            labels={"endpoint": endpoint, "method": method},
+        ).inc(max(0, response_bytes))
+        if status >= 500:
+            outcome = "error"
+        elif status >= 400:
+            outcome = "client_error"
+        else:
+            outcome = "ok"
+        record: Dict[str, object] = {
+            "ts": started_ts,
+            "trace_id": self._trace_id,
+            "tenant": self._tenant(),
+            "method": method,
+            "endpoint": endpoint,
+            "path": self.path,
+            "status": status,
+            "outcome": outcome,
+            "duration_s": duration_s,
+            "request_bytes": max(0, request_bytes),
+            "response_bytes": max(0, response_bytes),
+        }
+        if self._job_id is not None:
+            record["job_id"] = self._job_id
+        if self._cache_hit is not None:
+            record["cache_hit"] = self._cache_hit
+        append_access_record(self.service.root, record)
 
     def _send_json(
         self, payload: object, code: int = 200, headers: Optional[dict] = None
@@ -98,11 +286,24 @@ class _Handler(BaseHTTPRequestHandler):
     # -- methods -------------------------------------------------------------
 
     def do_POST(self) -> None:  # noqa: N802
+        self._dispatch("POST", self._handle_post)
+
+    def do_GET(self) -> None:  # noqa: N802
+        self._dispatch("GET", self._handle_get)
+
+    def do_DELETE(self) -> None:  # noqa: N802
+        self._dispatch("DELETE", self._handle_delete)
+
+    def _handle_post(self) -> None:
         route = self._route()
         try:
             if route == ("v1", "jobs"):
                 payload = self._read_body()
-                job = self.service.submit(payload, tenant=self._tenant())
+                job = self.service.submit(
+                    payload, tenant=self._tenant(), trace_id=self._trace_id
+                )
+                self._job_id = job.id
+                self._cache_hit = job.cached
                 self._send_json(job.as_dict(), 200 if job.cached else 202)
                 return
             self._send_error_json(404, f"no such endpoint: POST {self.path}")
@@ -116,7 +317,24 @@ class _Handler(BaseHTTPRequestHandler):
             logger.exception("POST %s failed", self.path)
             self._send_error_json(500, f"{type(exc).__name__}: {exc}")
 
-    def do_GET(self) -> None:  # noqa: N802
+    def _send_metrics(self) -> None:
+        query = parse_qs(urlparse(self.path).query)
+        fmt = (query.get("format") or ["json"])[0]
+        if fmt == "prometheus":
+            body = render_prometheus(self.service.metrics_snapshot()).encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", PROMETHEUS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+        elif fmt == "json":
+            self._send_json(self.service.metrics_snapshot())
+        else:
+            self._send_error_json(
+                400, f"unknown metrics format {fmt!r}; use json or prometheus"
+            )
+
+    def _handle_get(self) -> None:
         route = self._route()
         try:
             if route == ("healthz",):
@@ -124,14 +342,16 @@ class _Handler(BaseHTTPRequestHandler):
                 health["version"] = __version__
                 self._send_json(health)
             elif route == ("metricsz",):
-                self._send_json(self.service.metrics_snapshot())
+                self._send_metrics()
             elif route == ("v1", "jobs"):
                 self._send_json(
                     {"jobs": [job.as_dict() for job in self.service.list()]}
                 )
             elif len(route) == 3 and route[:2] == ("v1", "jobs"):
+                self._job_id = route[2]
                 self._send_json(self.service.get(route[2]).as_dict())
             elif len(route) == 4 and route[:2] == ("v1", "jobs") and route[3] == "events":
+                self._job_id = route[2]
                 self._stream_events(route[2])
             elif len(route) == 4 and route[:2] == ("v1", "jobs") and route[3] == "artifacts":
                 self._send_json(
@@ -149,11 +369,12 @@ class _Handler(BaseHTTPRequestHandler):
             logger.exception("GET %s failed", self.path)
             self._send_error_json(500, f"{type(exc).__name__}: {exc}")
 
-    def do_DELETE(self) -> None:  # noqa: N802
+    def _handle_delete(self) -> None:
         route = self._route()
         try:
             if len(route) == 3 and route[:2] == ("v1", "jobs"):
                 job = self.service.cancel(route[2])
+                self._job_id = job.id
                 self._send_json(job.as_dict(), 202)
                 return
             self._send_error_json(404, f"no such endpoint: DELETE {self.path}")

@@ -1,0 +1,217 @@
+"""Cross-layer trace fusion: one Chrome trace per job, service lane included.
+
+Backs the ``repro trace <job-id|run-dir>`` CLI verb.  Everything here
+reads artifacts already on disk — the access log the HTTP layer
+appends, the persisted ``job.json``, and the engine's ``trace.json``
+(parent + worker lanes) — and fuses them into a single Perfetto-loadable
+trace answering "where did this job's wall-clock go" without a live
+service.
+
+The service lane (pid 0, sorted above the engine lanes) carries the
+job's lifecycle intervals (``job/queued``, ``job/solve``) plus one
+slice per HTTP request that shares the job's trace id, so ingress
+round-trips line up against the solve they triggered.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..errors import ServiceError
+from ..obs.export import (
+    TraceLane,
+    read_chrome_trace,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from ..obs.report import RUN_FILENAME, TRACE_FILENAME
+from ..obs.trace import TraceSlice
+from .jobs import JOB_FILENAME, JOBS_DIRNAME, RUN_DIRNAME
+from .server import ACCESS_LOG_FILENAME
+
+logger = logging.getLogger(__name__)
+
+__all__ = ["SERVICE_LANE_PID", "FUSED_TRACE_FILENAME", "FusedTrace", "fuse_trace"]
+
+#: The synthetic service lane's pid (real pids are never 0).
+SERVICE_LANE_PID = 0
+
+FUSED_TRACE_FILENAME = "fused_trace.json"
+
+
+@dataclass
+class FusedTrace:
+    """Result of one fusion: where it landed and what went in."""
+
+    path: Path
+    lanes: List[TraceLane]
+    trace_id: Optional[str]
+    problems: List[str]
+
+
+def _load_json(path: Path) -> Optional[Dict[str, object]]:
+    try:
+        with open(path) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+    return data if isinstance(data, dict) else None
+
+
+def _resolve(
+    target: Union[str, Path], root: Optional[Union[str, Path]]
+) -> Tuple[Path, Optional[Dict[str, object]], Optional[Path]]:
+    """``(run_dir, job record, service root)`` for a job id or run dir.
+
+    A directory containing ``run.json`` (or a ``trace.json``) is taken
+    as a run dir directly; anything else is a job id under
+    ``<root>/jobs/``.  Cached jobs resolve their run dir through the
+    job that actually solved, same as artifact serving.
+    """
+    candidate = Path(target)
+    if candidate.is_dir() and (
+        (candidate / RUN_FILENAME).is_file()
+        or (candidate / TRACE_FILENAME).is_file()
+    ):
+        job = _load_json(candidate.parent / JOB_FILENAME)
+        service_root: Optional[Path] = None
+        if job is not None and candidate.parent.parent.name == JOBS_DIRNAME:
+            service_root = candidate.parent.parent.parent
+        return candidate, job, service_root
+
+    service_root = Path(root) if root is not None else Path("service-root")
+    job_id = str(target)
+    job = _load_json(service_root / JOBS_DIRNAME / job_id / JOB_FILENAME)
+    if job is None:
+        raise ServiceError(
+            f"{target!r} is neither a run directory nor a job id under "
+            f"{service_root / JOBS_DIRNAME}"
+        )
+    source_id = job_id
+    if job.get("cached") and job.get("cached_from"):
+        source_id = str(job["cached_from"])
+    run_dir = service_root / JOBS_DIRNAME / source_id / RUN_DIRNAME
+    return run_dir, job, service_root
+
+
+def _job_slices(job: Dict[str, object]) -> List[TraceSlice]:
+    slices: List[TraceSlice] = []
+    created = job.get("created_ts")
+    started = job.get("started_ts")
+    finished = job.get("finished_ts")
+    if created and started:
+        slices.append(
+            TraceSlice(
+                path="job/queued",
+                ts_us=float(created) * 1e6,
+                dur_us=max(0.0, (float(started) - float(created))) * 1e6,
+            )
+        )
+    if started and finished:
+        slices.append(
+            TraceSlice(
+                path="job/solve",
+                ts_us=float(started) * 1e6,
+                dur_us=max(0.0, (float(finished) - float(started))) * 1e6,
+                failed=job.get("state") == "FAILED",
+            )
+        )
+    return slices
+
+
+def _access_slices(
+    service_root: Path, trace_id: str
+) -> List[TraceSlice]:
+    path = service_root / ACCESS_LOG_FILENAME
+    slices: List[TraceSlice] = []
+    try:
+        with open(path) as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(row, dict) or row.get("trace_id") != trace_id:
+                    continue
+                slices.append(
+                    TraceSlice(
+                        path=f"http/{row.get('method', '?')} {row.get('endpoint', '?')}",
+                        ts_us=float(row.get("ts", 0.0)) * 1e6,
+                        dur_us=max(0.0, float(row.get("duration_s", 0.0))) * 1e6,
+                        failed=row.get("outcome") == "error",
+                    )
+                )
+    except OSError:
+        pass
+    return slices
+
+
+def fuse_trace(
+    target: Union[str, Path],
+    root: Optional[Union[str, Path]] = None,
+    out: Optional[Union[str, Path]] = None,
+) -> FusedTrace:
+    """Fuse a job's artifacts into one Chrome trace.
+
+    ``target`` is a job id (resolved under ``root``, default
+    ``service-root``) or a run directory.  The output lands at ``out``
+    (default ``<run_dir>/fused_trace.json``) and the returned
+    :class:`FusedTrace` carries the validation problems (empty = the
+    trace loads cleanly in Perfetto).
+
+    Raises:
+        ServiceError: when the target resolves to nothing on disk.
+    """
+    run_dir, job, service_root = _resolve(target, root)
+    run_meta = _load_json(run_dir / RUN_FILENAME) or {}
+    trace_id = None
+    if job is not None and job.get("trace_id"):
+        trace_id = str(job["trace_id"])
+    elif run_meta.get("trace_id"):
+        trace_id = str(run_meta["trace_id"])
+
+    service_slices: List[TraceSlice] = []
+    if job is not None:
+        service_slices.extend(_job_slices(job))
+    if service_root is not None and trace_id:
+        service_slices.extend(_access_slices(service_root, trace_id))
+
+    engine_lanes: List[TraceLane] = []
+    trace_path = run_dir / TRACE_FILENAME
+    if trace_path.is_file():
+        try:
+            engine_lanes = read_chrome_trace(trace_path)
+        except (OSError, json.JSONDecodeError, ValueError) as exc:
+            logger.warning("unreadable engine trace %s: %s", trace_path, exc)
+
+    lanes: List[TraceLane] = []
+    if service_slices:
+        lanes.append(
+            TraceLane(
+                pid=SERVICE_LANE_PID,
+                label="service",
+                slices=service_slices,
+                sort_index=-1,
+            )
+        )
+    lanes.extend(lane for lane in engine_lanes if lane.pid != SERVICE_LANE_PID)
+    if not lanes:
+        raise ServiceError(
+            f"nothing to fuse for {target!r}: no job record, access log "
+            f"rows, or engine trace under {run_dir}"
+        )
+
+    out_path = Path(out) if out is not None else run_dir / FUSED_TRACE_FILENAME
+    write_chrome_trace(out_path, lanes)
+    with open(out_path) as handle:
+        problems = validate_chrome_trace(json.load(handle))
+    return FusedTrace(
+        path=out_path, lanes=lanes, trace_id=trace_id, problems=problems
+    )
